@@ -1,0 +1,387 @@
+//! Bootstrap-guided adaptive optimization (Algorithm 4).
+//!
+//! The iterative-optimization stage of the paper's framework. Each step:
+//!
+//! 1. Form the search scope `C_t` as the radius-`R` neighborhood of the
+//!    previously selected configuration; if the relative improvement `r_t`
+//!    (Equation 1) fell below `η`, widen to radius `τ·R`.
+//! 2. Run [`crate::bs::bootstrap_select`] over `C_t` (Γ bagged evaluation
+//!    functions; pick the candidate maximizing their sum).
+//! 3. Measure the winner on hardware and append it to `(X, Y)`.
+//!
+//! Implemented as a [`crate::tuner::Tuner`] with batch size 1 so the shared
+//! measurement loop (budget, early stopping, records) drives it like any
+//! other strategy.
+
+use crate::evaluator::{Evaluator, GbtEvaluator};
+use crate::tuner::Tuner;
+use gbt::GbtParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use schedule::neighborhood::sample_feature_neighborhood;
+use schedule::{Config, ConfigSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Parameters of Algorithm 4, defaulting to the paper's settings
+/// `(η = 0.05, Γ = 2, τ = 1.5, R = 3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaoOptions {
+    /// Number of bootstrap resamples Γ.
+    pub gamma: usize,
+    /// Relative-improvement threshold η.
+    pub eta: f64,
+    /// Neighborhood enlargement factor τ (> 1).
+    pub tau: f64,
+    /// Base neighborhood radius R — Euclidean distance in *feature space*
+    /// (Definition 1 encodes a configuration as a feature vector, so the
+    /// paper's `R = 3` is a distance between those vectors; one factor-of-2
+    /// tiling change is √2 apart).
+    pub radius: f64,
+    /// Maximum candidates sampled from the scope `C_t` per step (the paper
+    /// evaluates all of `C`; sampling caps the cost on huge neighborhoods).
+    pub scope_size: usize,
+    /// Ceiling on the widened radius. The paper widens once to `τ·R`; we
+    /// let consecutive stalls compound the widening (`τ^k·R`, reset on
+    /// improvement) so the scope escapes deep local optima, capped here.
+    pub max_radius: f64,
+    /// Bootstrap fits use at most this many of the most recent measurements
+    /// (plus the all-time elite), bounding the per-step evaluation-function
+    /// cost on long runs — the same scalability concern the paper's batching
+    /// addresses at initialization time.
+    pub fit_window: usize,
+}
+
+impl Default for BaoOptions {
+    fn default() -> Self {
+        BaoOptions {
+            gamma: 2,
+            eta: 0.05,
+            tau: 1.5,
+            radius: 3.0,
+            scope_size: 512,
+            max_radius: 48.0,
+            fit_window: 384,
+        }
+    }
+}
+
+/// The BAO tuner: owns the measured set and the adaptive search scope.
+pub struct BaoTuner<'s, E = GbtEvaluator, F = Box<dyn Fn() -> GbtEvaluator>>
+where
+    E: Evaluator,
+    F: Fn() -> E,
+{
+    space: &'s ConfigSpace,
+    opts: BaoOptions,
+    make_evaluator: F,
+    /// Initial configurations still waiting to be measured (BTED's output).
+    pending_init: Vec<Config>,
+    /// The already-sampled set (X, Y).
+    measured: Vec<(Config, f64)>,
+    visited: HashSet<u64>,
+    /// x*_{t-1}: the incumbent — the best configuration found so far (the
+    /// paper defines y*_t as "the optimal performance values found in step
+    /// t", so the scope centers on the running optimum).
+    center: Option<(Config, f64)>,
+    /// y*_{t-1}, y*_{t-2}: best-so-far values after the previous two steps.
+    last_two: (Option<f64>, Option<f64>),
+    /// Consecutive steps whose relative improvement fell below η.
+    stall_widenings: u32,
+    rng: StdRng,
+    step: u64,
+}
+
+impl<'s> BaoTuner<'s> {
+    /// Creates a BAO tuner with the paper's GBT evaluation function.
+    #[must_use]
+    pub fn new(
+        space: &'s ConfigSpace,
+        init: Vec<Config>,
+        opts: BaoOptions,
+        gbt: GbtParams,
+        seed: u64,
+    ) -> Self {
+        BaoTuner::with_evaluator(
+            space,
+            init,
+            opts,
+            Box::new(move || GbtEvaluator::new(gbt)),
+            seed,
+        )
+    }
+}
+
+impl<'s, E, F> BaoTuner<'s, E, F>
+where
+    E: Evaluator,
+    F: Fn() -> E,
+{
+    /// Creates a BAO tuner with a custom evaluation-function family.
+    pub fn with_evaluator(
+        space: &'s ConfigSpace,
+        init: Vec<Config>,
+        opts: BaoOptions,
+        make_evaluator: F,
+        seed: u64,
+    ) -> Self {
+        assert!(opts.tau > 1.0, "tau must enlarge the neighborhood");
+        assert!(opts.gamma > 0, "need at least one bootstrap resample");
+        BaoTuner {
+            space,
+            opts,
+            make_evaluator,
+            pending_init: init,
+            measured: Vec::new(),
+            visited: HashSet::new(),
+            center: None,
+            last_two: (None, None),
+            stall_widenings: 0,
+            rng: StdRng::seed_from_u64(seed),
+            step: 0,
+        }
+    }
+
+    /// Equation (1): relative improvement between the previous two sampled
+    /// values; `None` before step 2.
+    fn relative_improvement(&self) -> Option<f64> {
+        match self.last_two {
+            (Some(y1), Some(y2)) if y1 > 0.0 => Some((y1 - y2) / y1),
+            (Some(_), Some(_)) => Some(0.0),
+            _ => None,
+        }
+    }
+
+    /// The measurements the bootstrap models are fit on: the most recent
+    /// `fit_window` plus the 32 best-ever (so the models never forget where
+    /// the good region is).
+    fn fit_window(&self) -> Vec<(Config, f64)> {
+        if self.measured.len() <= self.opts.fit_window {
+            return self.measured.clone();
+        }
+        let recent_start = self.measured.len() - self.opts.fit_window;
+        let mut out: Vec<(Config, f64)> = self.measured[recent_start..].to_vec();
+        let mut elite: Vec<&(Config, f64)> = self.measured[..recent_start].iter().collect();
+        elite.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out.extend(elite.into_iter().take(32).cloned());
+        out
+    }
+
+    /// The current search scope C_t (Algorithm 4 lines 3-9). Consecutive
+    /// sub-η steps compound the widening: radius = min(τ^k · R, max).
+    fn scope(&mut self, center: &Config) -> Vec<Config> {
+        let widen = self.relative_improvement().is_some_and(|r| r < self.opts.eta);
+        if widen {
+            self.stall_widenings = self.stall_widenings.saturating_add(1);
+        } else {
+            self.stall_widenings = 0;
+        }
+        let radius = (self.opts.radius * self.opts.tau.powi(self.stall_widenings as i32))
+            .min(self.opts.max_radius);
+        let mut c = sample_feature_neighborhood(
+            self.space,
+            center,
+            radius,
+            self.opts.scope_size,
+            &mut self.rng,
+        );
+        // A thin stream of global candidates rides along with the local
+        // scope: the τ^∞ limit of the widening rule. Without it, a center
+        // whose neighborhood is dense in invalid configurations (common for
+        // small-spatial layers) traps the search in a pocket the bagged
+        // models can never see out of.
+        let global = (self.opts.scope_size / 8).max(8);
+        for _ in 0..global {
+            c.push(self.space.sample(&mut self.rng));
+        }
+        c.retain(|cfg| !self.visited.contains(&cfg.index));
+        c.sort_by_key(|cfg| cfg.index);
+        c.dedup_by_key(|cfg| cfg.index);
+        c
+    }
+}
+
+impl<E, F> Tuner for BaoTuner<'_, E, F>
+where
+    E: Evaluator,
+    F: Fn() -> E,
+{
+    fn next_batch(&mut self, n: usize) -> Vec<Config> {
+        // Initialization stage: drain the BTED set first.
+        if !self.pending_init.is_empty() {
+            let take = n.min(self.pending_init.len());
+            return self.pending_init.drain(..take).collect();
+        }
+        if self.measured.is_empty() {
+            // No valid initial set: fall back to random exploration.
+            return (0..n).map(|_| self.space.sample(&mut self.rng)).collect();
+        }
+        // Line 1 / line 3: center on the incumbent (the best configuration
+        // of the initial set on the first iteration).
+        let center = self
+            .center
+            .clone()
+            .unwrap_or_else(|| {
+                self.measured
+                    .iter()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .cloned()
+                    .expect("measured is non-empty")
+            })
+            .0;
+        let fit_set = self.fit_window();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let candidates = self.scope(&center);
+            self.step += 1;
+            let pick = if candidates.is_empty() {
+                None
+            } else {
+                crate::bs::bootstrap_select(
+                    self.space,
+                    &fit_set,
+                    &candidates,
+                    self.opts.gamma,
+                    &self.make_evaluator,
+                    self.step.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            };
+            // Exhausted or degenerate neighborhood: random restart keeps the
+            // search alive (the space is astronomically larger than the
+            // visited set, so this terminates).
+            let cfg = pick.unwrap_or_else(|| self.space.sample(&mut self.rng));
+            self.visited.insert(cfg.index);
+            out.push(cfg);
+        }
+        out
+    }
+
+    fn update(&mut self, results: &[(Config, f64)]) {
+        for (cfg, y) in results {
+            self.visited.insert(cfg.index);
+            self.measured.push((cfg.clone(), *y));
+            // Maintain the incumbent and the best-so-far history that
+            // Equation (1) compares.
+            if *y > 0.0 && self.center.as_ref().is_none_or(|(_, best)| *y > *best) {
+                self.center = Some((cfg.clone(), *y));
+            }
+            let best_now = self.center.as_ref().map(|(_, b)| *b);
+            self.last_two = (best_now, self.last_two.0);
+        }
+    }
+
+    fn preferred_batch(&self) -> usize {
+        if self.pending_init.is_empty() {
+            1 // BAO selects one configuration per iteration.
+        } else {
+            self.pending_init.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedule::Knob;
+
+    fn toy_space() -> ConfigSpace {
+        ConfigSpace::new(
+            "toy",
+            vec![Knob::split("a", 4096, 2), Knob::split("b", 4096, 2)],
+        )
+    }
+
+    /// Smooth peaked truth, maximum at choices (9, 4).
+    fn truth(c: &Config) -> f64 {
+        let a = c.choices[0] as f64;
+        let b = c.choices[1] as f64;
+        100.0 - ((a - 9.0) * (a - 9.0) + (b - 4.0) * (b - 4.0))
+    }
+
+    fn drive(tuner: &mut dyn Tuner, steps: usize) -> Vec<(Config, f64)> {
+        let mut all = Vec::new();
+        for _ in 0..steps {
+            let batch = tuner.next_batch(tuner.preferred_batch());
+            if batch.is_empty() {
+                break;
+            }
+            let results: Vec<(Config, f64)> =
+                batch.into_iter().map(|c| {
+                    let y = truth(&c);
+                    (c, y)
+                }).collect();
+            tuner.update(&results);
+            all.extend(results);
+        }
+        all
+    }
+
+    #[test]
+    fn init_set_is_measured_first() {
+        let space = toy_space();
+        let init: Vec<Config> = (0..8).map(|i| space.config(i).unwrap()).collect();
+        let mut t = BaoTuner::new(&space, init.clone(), BaoOptions::default(), GbtParams::default(), 0);
+        let batch = t.next_batch(t.preferred_batch());
+        assert_eq!(batch.len(), 8);
+        assert_eq!(batch[0].index, init[0].index);
+    }
+
+    #[test]
+    fn climbs_toward_the_peak() {
+        let space = toy_space();
+        let init: Vec<Config> = (0..12).map(|i| space.config((i * 7) % space.len()).unwrap()).collect();
+        let opts = BaoOptions { scope_size: 64, ..BaoOptions::default() };
+        let gbt = GbtParams { n_rounds: 15, ..GbtParams::default() };
+        let mut t = BaoTuner::new(&space, init, opts, gbt, 1);
+        let all = drive(&mut t, 40);
+        let best = all.iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max);
+        let best_init = all[..12].iter().map(|(_, y)| *y).fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > best_init, "BAO must improve on the initial set");
+        assert!(best > 90.0, "best found {best}");
+    }
+
+    #[test]
+    fn never_revisits_a_configuration() {
+        let space = toy_space();
+        let init: Vec<Config> = (0..6).map(|i| space.config(i).unwrap()).collect();
+        let mut t =
+            BaoTuner::new(&space, init, BaoOptions::default(), GbtParams { n_rounds: 10, ..GbtParams::default() }, 2);
+        let all = drive(&mut t, 30);
+        let mut seen = HashSet::new();
+        for (c, _) in &all {
+            assert!(seen.insert(c.index), "revisited config {}", c.index);
+        }
+    }
+
+    #[test]
+    fn invalid_measurement_recenter_does_not_crash() {
+        let space = toy_space();
+        let init: Vec<Config> = (0..4).map(|i| space.config(i).unwrap()).collect();
+        let mut t =
+            BaoTuner::new(&space, init, BaoOptions::default(), GbtParams { n_rounds: 5, ..GbtParams::default() }, 3);
+        let batch = t.next_batch(t.preferred_batch());
+        let results: Vec<(Config, f64)> = batch.into_iter().map(|c| (c, 0.0)).collect();
+        t.update(&results); // all invalid
+        let next = t.next_batch(1);
+        assert_eq!(next.len(), 1);
+    }
+
+    #[test]
+    fn relative_improvement_tracks_last_two() {
+        let space = toy_space();
+        let mut t = BaoTuner::new(
+            &space,
+            vec![],
+            BaoOptions::default(),
+            GbtParams::default(),
+            4,
+        );
+        assert!(t.relative_improvement().is_none());
+        t.update(&[(space.config(0).unwrap(), 10.0)]);
+        assert!(t.relative_improvement().is_none());
+        t.update(&[(space.config(1).unwrap(), 12.0)]);
+        // y*_{t-1} = 12, y*_{t-2} = 10 -> (12-10)/12.
+        let r = t.relative_improvement().unwrap();
+        assert!((r - 2.0 / 12.0).abs() < 1e-12);
+    }
+}

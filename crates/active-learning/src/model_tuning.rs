@@ -1,0 +1,111 @@
+//! End-to-end model tuning: tune every node, deploy, measure latency.
+//!
+//! Reproduces the paper's Table I protocol: tune each of the model's tasks
+//! with a method, deploy the best configurations, run the model 600 times
+//! and record the mean latency and its variance.
+
+use crate::options::TuneOptions;
+use crate::task_tuning::{tune_task, Method, TaskTuneResult};
+use dnn_graph::task::{extract_tasks, TuningTask};
+use dnn_graph::Graph;
+use gpu_sim::{measure_model, KernelPerf, ModelDeployment, ModelLatency, SimMeasurer};
+use schedule::template::space_for_task;
+use serde::{Deserialize, Serialize};
+
+/// Result of tuning and deploying one model with one method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelTuneResult {
+    /// Model name.
+    pub model_name: String,
+    /// Method used.
+    pub method: Method,
+    /// End-to-end latency statistics over the measurement runs.
+    pub latency: ModelLatency,
+    /// Per-task tuning outcomes.
+    pub tasks: Vec<TaskTuneResult>,
+    /// Total configurations measured across all tasks.
+    pub total_measurements: usize,
+}
+
+impl ModelTuneResult {
+    /// Mean GFLOPS across tasks, weighted equally (Fig. 5(b) summary).
+    #[must_use]
+    pub fn mean_task_gflops(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        self.tasks.iter().map(|t| t.best_gflops).sum::<f64>() / self.tasks.len() as f64
+    }
+}
+
+/// Number of end-to-end runs the paper averages (Section V-A).
+pub const PAPER_RUNS: usize = 600;
+
+/// Tunes every task of `graph` with `method` and measures the deployed
+/// model `runs` times.
+///
+/// The measurer must be a [`SimMeasurer`] (the deployment step needs
+/// noise-free per-kernel performance, which only the simulator interface
+/// exposes; a hardware measurer would re-time the kernels instead).
+#[must_use]
+pub fn tune_model(
+    graph: &Graph,
+    measurer: &SimMeasurer,
+    method: Method,
+    opts: &TuneOptions,
+    runs: usize,
+) -> ModelTuneResult {
+    let tasks = extract_tasks(graph);
+    let mut results = Vec::with_capacity(tasks.len());
+    let mut tuned: Vec<(TuningTask, KernelPerf)> = Vec::with_capacity(tasks.len());
+    let mut total = 0usize;
+
+    for (i, task) in tasks.into_iter().enumerate() {
+        // Derive a per-task seed so tasks explore independently.
+        let topts = TuneOptions {
+            seed: opts.seed.wrapping_add((i as u64 + 1) * 0x9E37_79B9),
+            ..*opts
+        };
+        let r = tune_task(&task, measurer, method, &topts);
+        total += r.num_measured;
+        if let Some(cfg) = &r.best_config {
+            let space = space_for_task(&task);
+            let perf = measurer
+                .true_perf(&task, &space, cfg)
+                .expect("best config was measured as valid");
+            tuned.push((task.clone(), perf));
+        }
+        results.push(r);
+    }
+
+    let deployment = ModelDeployment::assemble(graph, &tuned, measurer.device());
+    let latency = measure_model(&deployment, runs, opts.seed);
+    ModelTuneResult {
+        model_name: graph.name.clone(),
+        method,
+        latency,
+        tasks: results,
+        total_measurements: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::models;
+    use gpu_sim::GpuDevice;
+
+    #[test]
+    fn tunes_and_deploys_squeezenet_smoke() {
+        // SqueezeNet is the cheapest model; smoke budget keeps this fast.
+        let g = models::squeezenet_v1_1(1);
+        let m = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+        let opts = TuneOptions { n_trial: 40, early_stopping: 40, ..TuneOptions::smoke() };
+        let r = tune_model(&g, &m, Method::AutoTvm, &opts, 60);
+        assert_eq!(r.tasks.len(), 18);
+        assert!(r.latency.mean_ms > 0.0);
+        assert!(r.latency.variance >= 0.0);
+        assert!(r.total_measurements > 0);
+        assert!(r.mean_task_gflops() > 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Tuning options shared by all methods.
+
+use crate::bao::BaoOptions;
+use crate::bted::BtedOptions;
+use crate::sa::SaOptions;
+use gbt::GbtParams;
+use serde::{Deserialize, Serialize};
+
+/// Options of one node-wise tuning run.
+///
+/// Defaults mirror the paper's experimental settings (Section V-A):
+/// 64 initial points, early stopping at 400, BTED `(µ=0.1, M=500, m=64,
+/// B=10)`, BAO `(η=0.05, Γ=2, τ=1.5, R=3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuneOptions {
+    /// Measurement budget per task.
+    pub n_trial: usize,
+    /// Stop when the best result has not improved for this many
+    /// measurements (the paper sets 400).
+    pub early_stopping: usize,
+    /// Configurations measured per round (AutoTVM's measure batch).
+    pub batch_size: usize,
+    /// Initial configurations (random for AutoTVM, BTED for ours).
+    pub init_points: usize,
+    /// Candidates the model-guided search proposes per refit.
+    pub plan_size: usize,
+    /// ε-greedy random fraction of each planned batch.
+    pub epsilon: f64,
+    /// Cost-model (evaluation function) hyper-parameters.
+    pub gbt: GbtParams,
+    /// Evaluation-function hyper-parameters for BAO's per-step bootstrap
+    /// fits (lighter than the batch-refit model: BAO trains 2·T models per
+    /// task instead of ~16).
+    pub bao_gbt: GbtParams,
+    /// Simulated-annealing proposer settings (AutoTVM baseline).
+    pub sa: SaOptions,
+    /// BTED initialization settings.
+    pub bted: BtedOptions,
+    /// BAO iterative-optimization settings.
+    pub bao: BaoOptions,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            n_trial: 1024,
+            early_stopping: 400,
+            batch_size: 64,
+            init_points: 64,
+            plan_size: 64,
+            epsilon: 0.05,
+            gbt: GbtParams::default(),
+            bao_gbt: GbtParams {
+                n_rounds: 35,
+                colsample: 0.6,
+                ..GbtParams::default()
+            },
+            sa: SaOptions::default(),
+            bted: BtedOptions::default(),
+            bao: BaoOptions::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl TuneOptions {
+    /// A reduced-budget preset for unit tests and smoke benches.
+    #[must_use]
+    pub fn smoke() -> Self {
+        TuneOptions {
+            n_trial: 96,
+            early_stopping: 96,
+            batch_size: 16,
+            init_points: 16,
+            plan_size: 16,
+            gbt: GbtParams { n_rounds: 20, ..GbtParams::default() },
+            bao_gbt: GbtParams { n_rounds: 15, colsample: 0.6, ..GbtParams::default() },
+            sa: SaOptions { parallel_size: 16, n_iter: 30, ..SaOptions::default() },
+            bted: BtedOptions {
+                batch_candidates: 64,
+                num_selected: 16,
+                num_batches: 3,
+                ..BtedOptions::default()
+            },
+            ..TuneOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = TuneOptions::default();
+        assert_eq!(o.init_points, 64);
+        assert_eq!(o.early_stopping, 400);
+        assert!((o.bted.mu - 0.1).abs() < 1e-12);
+        assert_eq!(o.bted.batch_candidates, 500);
+        assert_eq!(o.bted.num_selected, 64);
+        assert_eq!(o.bted.num_batches, 10);
+        assert!((o.bao.eta - 0.05).abs() < 1e-12);
+        assert_eq!(o.bao.gamma, 2);
+        assert!((o.bao.tau - 1.5).abs() < 1e-12);
+        assert!((o.bao.radius - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoke_preset_is_smaller() {
+        let s = TuneOptions::smoke();
+        assert!(s.n_trial < TuneOptions::default().n_trial);
+        assert!(s.bted.batch_candidates < 500);
+    }
+}

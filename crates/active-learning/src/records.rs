@@ -1,0 +1,188 @@
+//! Tuning records — the JSONL log format (AutoTVM keeps an equivalent log
+//! for transfer learning and post-hoc analysis).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// One measured configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// 0-based measurement counter within the task.
+    pub trial: usize,
+    /// Flat configuration index in the task's space.
+    pub config_index: u64,
+    /// Measured GFLOPS (0.0 for a failed launch).
+    pub gflops: f64,
+    /// Measured kernel latency in seconds.
+    pub latency_s: f64,
+    /// Best GFLOPS seen up to and including this trial.
+    pub best_gflops: f64,
+}
+
+/// The full log of one task-tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TuningLog {
+    /// Task name.
+    pub task_name: String,
+    /// Method label (e.g. `"autotvm"`, `"bted+bao"`).
+    pub method: String,
+    /// All trials in measurement order.
+    pub records: Vec<TrialRecord>,
+}
+
+impl TuningLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new(task_name: impl Into<String>, method: impl Into<String>) -> Self {
+        TuningLog { task_name: task_name.into(), method: method.into(), records: Vec::new() }
+    }
+
+    /// The best-so-far GFLOPS curve (the y-axis of the paper's Fig. 4).
+    #[must_use]
+    pub fn convergence_curve(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.best_gflops).collect()
+    }
+
+    /// Number of measurements (the y-axis of Fig. 5(a)).
+    #[must_use]
+    pub fn num_measured(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Final best GFLOPS (0.0 for an empty log).
+    #[must_use]
+    pub fn best_gflops(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.best_gflops)
+    }
+
+    /// Writes the log as JSON lines: one header line, then one line per
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let header = serde_json::json!({
+            "task_name": self.task_name,
+            "method": self.method,
+        });
+        writeln!(w, "{header}")?;
+        for r in &self.records {
+            writeln!(w, "{}", serde_json::to_string(r).expect("record serializes"))?;
+        }
+        Ok(())
+    }
+
+    /// Reads a log written by [`TuningLog::write_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for I/O failures or malformed lines.
+    pub fn read_jsonl<R: BufRead>(r: R) -> Result<Self, ReadLogError> {
+        let mut lines = r.lines();
+        let header_line = lines.next().ok_or(ReadLogError::Empty)??;
+        let header: serde_json::Value = serde_json::from_str(&header_line)?;
+        let mut log = TuningLog::new(
+            header["task_name"].as_str().unwrap_or_default(),
+            header["method"].as_str().unwrap_or_default(),
+        );
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            log.records.push(serde_json::from_str(&line)?);
+        }
+        Ok(log)
+    }
+}
+
+/// Errors from [`TuningLog::read_jsonl`].
+#[derive(Debug)]
+pub enum ReadLogError {
+    /// The stream contained no header line.
+    Empty,
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A line was not valid JSON for its position.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for ReadLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadLogError::Empty => write!(f, "log stream is empty"),
+            ReadLogError::Io(e) => write!(f, "i/o error reading log: {e}"),
+            ReadLogError::Parse(e) => write!(f, "malformed log line: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadLogError {}
+
+impl From<std::io::Error> for ReadLogError {
+    fn from(e: std::io::Error) -> Self {
+        ReadLogError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ReadLogError {
+    fn from(e: serde_json::Error) -> Self {
+        ReadLogError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> TuningLog {
+        let mut log = TuningLog::new("m.T1", "bted+bao");
+        for i in 0..5 {
+            let g = (i * 100) as f64;
+            log.records.push(TrialRecord {
+                trial: i,
+                config_index: i as u64 * 17,
+                gflops: g,
+                latency_s: 1e-3 / (g + 1.0),
+                best_gflops: g,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+        let back = TuningLog::read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn convergence_curve_matches_best() {
+        let log = sample_log();
+        assert_eq!(log.convergence_curve(), vec![0.0, 100.0, 200.0, 300.0, 400.0]);
+        assert_eq!(log.best_gflops(), 400.0);
+        assert_eq!(log.num_measured(), 5);
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert!(matches!(
+            TuningLog::read_jsonl(&b""[..]),
+            Err(ReadLogError::Empty)
+        ));
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let data = b"{\"task_name\":\"t\",\"method\":\"m\"}\nnot json\n";
+        assert!(matches!(
+            TuningLog::read_jsonl(&data[..]),
+            Err(ReadLogError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,306 @@
+//! Simulated annealing over a configuration space.
+//!
+//! AutoTVM's model-guided proposer (reference \[16\] in the paper): a population of
+//! walkers mutates one knob at a time, accepting moves on the model score
+//! with a linearly decaying temperature, while a running top-k of every
+//! visited point becomes the next measurement plan.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use schedule::{Config, ConfigSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::{BinaryHeap, HashSet};
+
+/// Annealing parameters (AutoTVM defaults, scaled to this harness).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaOptions {
+    /// Number of parallel walkers.
+    pub parallel_size: usize,
+    /// Mutation iterations.
+    pub n_iter: usize,
+    /// Start temperature (relative score units).
+    pub temp_start: f64,
+    /// Final temperature.
+    pub temp_end: f64,
+}
+
+impl Default for SaOptions {
+    fn default() -> Self {
+        SaOptions { parallel_size: 64, n_iter: 120, temp_start: 1.0, temp_end: 0.0 }
+    }
+}
+
+/// Mutates one random knob of `cfg` to a different candidate.
+fn mutate(space: &ConfigSpace, cfg: &Config, rng: &mut StdRng) -> Config {
+    let mut choices = cfg.choices.clone();
+    // Find a knob with more than one candidate (spaces of interest always
+    // have one, but stay total).
+    for _ in 0..16 {
+        let k = rng.gen_range(0..choices.len());
+        let card = space.knobs()[k].cardinality();
+        if card <= 1 {
+            continue;
+        }
+        let mut c = rng.gen_range(0..card - 1);
+        if c >= choices[k] {
+            c += 1;
+        }
+        choices[k] = c;
+        break;
+    }
+    let index = space.index_of(&choices);
+    Config { index, choices }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    score: f64,
+    index: u64,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on score via reversal so the heap root is the worst of
+        // the current top-k.
+        other.score.total_cmp(&self.score).then(other.index.cmp(&self.index))
+    }
+}
+
+/// Runs simulated annealing maximizing `score`, returning up to `plan_size`
+/// distinct configurations ordered best-first.
+///
+/// `score` receives a batch of configurations and returns one value per
+/// configuration (so the caller can use a batched model). `exclude` holds
+/// already-measured indices that must not appear in the plan.
+///
+/// # Example
+///
+/// ```
+/// use active_learning::sa::{simulated_annealing, SaOptions};
+/// use schedule::{ConfigSpace, Knob};
+/// use std::collections::HashSet;
+///
+/// let space = ConfigSpace::new("demo", vec![Knob::split("t", 256, 2)]);
+/// // Prefer balanced splits: maximize min(outer, inner).
+/// let plan = simulated_annealing(
+///     &space,
+///     |cands| cands.iter().map(|c| {
+///         let f = space.values(c)[0].as_split().unwrap().to_vec();
+///         f[0].min(f[1]) as f64
+///     }).collect(),
+///     &SaOptions::default(),
+///     1,
+///     &HashSet::new(),
+///     42,
+/// );
+/// let best = space.values(&plan[0])[0].as_split().unwrap().to_vec();
+/// assert_eq!(best, vec![16, 16]);
+/// ```
+pub fn simulated_annealing<S>(
+    space: &ConfigSpace,
+    score: S,
+    opts: &SaOptions,
+    plan_size: usize,
+    exclude: &HashSet<u64>,
+    seed: u64,
+) -> Vec<Config>
+where
+    S: Fn(&[Config]) -> Vec<f64>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points: Vec<Config> =
+        (0..opts.parallel_size).map(|_| space.sample(&mut rng)).collect();
+    let mut scores = score(&points);
+
+    // Top-k tracker over every point SA visits.
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+    let mut in_heap: HashSet<u64> = HashSet::new();
+    let mut configs_by_index: std::collections::HashMap<u64, Config> =
+        std::collections::HashMap::new();
+    let offer = |heap: &mut BinaryHeap<HeapItem>,
+                     in_heap: &mut HashSet<u64>,
+                     configs_by_index: &mut std::collections::HashMap<u64, Config>,
+                     cfg: &Config,
+                     s: f64| {
+        if exclude.contains(&cfg.index) || in_heap.contains(&cfg.index) {
+            return;
+        }
+        if heap.len() < plan_size {
+            in_heap.insert(cfg.index);
+            configs_by_index.insert(cfg.index, cfg.clone());
+            heap.push(HeapItem { score: s, index: cfg.index });
+        } else if let Some(worst) = heap.peek() {
+            if s > worst.score {
+                let removed = heap.pop().expect("heap non-empty");
+                in_heap.remove(&removed.index);
+                configs_by_index.remove(&removed.index);
+                in_heap.insert(cfg.index);
+                configs_by_index.insert(cfg.index, cfg.clone());
+                heap.push(HeapItem { score: s, index: cfg.index });
+            }
+        }
+    };
+
+    for (p, &s) in points.iter().zip(&scores) {
+        offer(&mut heap, &mut in_heap, &mut configs_by_index, p, s);
+    }
+
+    for iter in 0..opts.n_iter {
+        let t = opts.temp_start
+            + (opts.temp_end - opts.temp_start) * (iter as f64 / opts.n_iter.max(1) as f64);
+        let proposals: Vec<Config> =
+            points.iter().map(|p| mutate(space, p, &mut rng)).collect();
+        let new_scores = score(&proposals);
+        for i in 0..points.len() {
+            offer(&mut heap, &mut in_heap, &mut configs_by_index, &proposals[i], new_scores[i]);
+            let accept = new_scores[i] > scores[i]
+                || (t > 0.0 && rng.gen::<f64>() < ((new_scores[i] - scores[i]) / t).exp());
+            if accept {
+                points[i] = proposals[i].clone();
+                scores[i] = new_scores[i];
+            }
+        }
+    }
+
+    let mut plan: Vec<HeapItem> = heap.into_vec();
+    plan.sort_by(|a, b| b.score.total_cmp(&a.score));
+    plan.into_iter()
+        .map(|item| configs_by_index.remove(&item.index).expect("config tracked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedule::Knob;
+
+    fn toy_space() -> ConfigSpace {
+        ConfigSpace::new(
+            "toy",
+            vec![Knob::split("a", 1024, 2), Knob::split("b", 1024, 2)],
+        )
+    }
+
+    /// Score peaked at a specific knob combination.
+    fn peaked_score(points: &[Config]) -> Vec<f64> {
+        points
+            .iter()
+            .map(|c| {
+                let a = c.choices[0] as f64;
+                let b = c.choices[1] as f64;
+                -((a - 7.0) * (a - 7.0) + (b - 3.0) * (b - 3.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_the_peak_region() {
+        let space = toy_space();
+        let plan = simulated_annealing(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            8,
+            &HashSet::new(),
+            1,
+        );
+        assert!(!plan.is_empty());
+        // Best plan entry should be at/near the peak (7, 3).
+        let best = &plan[0];
+        assert!((best.choices[0] as f64 - 7.0).abs() <= 1.0);
+        assert!((best.choices[1] as f64 - 3.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn plan_is_distinct_and_sorted() {
+        let space = toy_space();
+        let plan = simulated_annealing(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            16,
+            &HashSet::new(),
+            2,
+        );
+        let mut seen = HashSet::new();
+        for c in &plan {
+            assert!(seen.insert(c.index), "duplicate plan entry");
+        }
+        let scores = peaked_score(&plan);
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1], "plan not sorted best-first");
+        }
+    }
+
+    #[test]
+    fn excluded_indices_never_returned() {
+        let space = toy_space();
+        // Exclude the exact peak.
+        let peak_choices = vec![7usize, 3usize];
+        let peak_index = space.index_of(&peak_choices);
+        let mut exclude = HashSet::new();
+        exclude.insert(peak_index);
+        let plan = simulated_annealing(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            8,
+            &exclude,
+            3,
+        );
+        assert!(plan.iter().all(|c| c.index != peak_index));
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_knob() {
+        let space = toy_space();
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = space.config(100).unwrap();
+        for _ in 0..50 {
+            let m = mutate(&space, &base, &mut rng);
+            let diffs = base
+                .choices
+                .iter()
+                .zip(&m.choices)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = toy_space();
+        let a: Vec<u64> = simulated_annealing(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            8,
+            &HashSet::new(),
+            9,
+        )
+        .iter()
+        .map(|c| c.index)
+        .collect();
+        let b: Vec<u64> = simulated_annealing(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            8,
+            &HashSet::new(),
+            9,
+        )
+        .iter()
+        .map(|c| c.index)
+        .collect();
+        assert_eq!(a, b);
+    }
+}

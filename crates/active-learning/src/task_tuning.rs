@@ -1,0 +1,258 @@
+//! Node-wise tuning: the shared measurement loop over any [`Tuner`].
+
+use crate::bao::BaoTuner;
+use crate::bted::bted;
+use crate::options::TuneOptions;
+use crate::records::{TrialRecord, TuningLog};
+use crate::tuner::{RandomTuner, Tuner, XgbTuner};
+use dnn_graph::task::TuningTask;
+use gpu_sim::Measurer;
+use schedule::template::space_for_task;
+use schedule::{Config, ConfigSpace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The experiment arms of Section V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Uniform random search (sanity baseline, not in the paper's table).
+    Random,
+    /// Stock AutoTVM: random init + XGBoost cost model + SA search.
+    AutoTvm,
+    /// AutoTVM with the BTED initial set (the paper's "BTED" arm).
+    Bted,
+    /// BTED initialization + BAO iterative optimization (the paper's
+    /// "BTED + BAO" arm — the full advanced active-learning framework).
+    BtedBao,
+}
+
+impl Method {
+    /// All methods compared in the paper's Table I, in column order.
+    pub const PAPER_ARMS: [Method; 3] = [Method::AutoTvm, Method::Bted, Method::BtedBao];
+
+    /// Short label used in logs and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Random => "random",
+            Method::AutoTvm => "autotvm",
+            Method::Bted => "bted",
+            Method::BtedBao => "bted+bao",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Outcome of tuning one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskTuneResult {
+    /// Task name.
+    pub task_name: String,
+    /// Method used.
+    pub method: Method,
+    /// Best configuration found (`None` if every measurement failed).
+    pub best_config: Option<Config>,
+    /// Its measured GFLOPS.
+    pub best_gflops: f64,
+    /// Number of configurations measured (Fig. 5(a)'s y-axis).
+    pub num_measured: usize,
+    /// Full per-trial log.
+    pub log: TuningLog,
+}
+
+/// Builds the initial configuration set for `method`.
+fn initial_set(space: &ConfigSpace, method: Method, opts: &TuneOptions) -> Vec<Config> {
+    use rand::SeedableRng;
+    match method {
+        Method::Bted | Method::BtedBao => {
+            let bopts = crate::bted::BtedOptions {
+                num_selected: opts.init_points,
+                ..opts.bted
+            };
+            bted(space, &bopts, opts.seed ^ 0xB7ED)
+        }
+        Method::AutoTvm => {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(opts.seed ^ 0xA070);
+            space.sample_distinct(&mut rng, opts.init_points)
+        }
+        Method::Random => Vec::new(),
+    }
+}
+
+/// Tunes one task with the given method and options.
+///
+/// Runs the shared measurement loop: propose → measure → update, stopping
+/// at the `n_trial` budget or after `early_stopping` measurements without
+/// improvement (the paper uses 400).
+#[must_use]
+pub fn tune_task<M: Measurer>(
+    task: &TuningTask,
+    measurer: &M,
+    method: Method,
+    opts: &TuneOptions,
+) -> TaskTuneResult {
+    let space = space_for_task(task);
+    let init = initial_set(&space, method, opts);
+    let mut tuner: Box<dyn Tuner> = match method {
+        Method::Random => Box::new(RandomTuner::new(&space, opts.seed)),
+        Method::AutoTvm | Method::Bted => Box::new(XgbTuner::new(
+            &space,
+            init,
+            opts.gbt,
+            opts.sa,
+            opts.plan_size,
+            opts.epsilon,
+            opts.seed,
+        )),
+        Method::BtedBao => {
+            Box::new(BaoTuner::new(&space, init, opts.bao, opts.bao_gbt, opts.seed))
+        }
+    };
+    drive_loop(task, &space, tuner.as_mut(), measurer, method, opts)
+}
+
+/// The measurement loop, shared by every method (and reusable with a custom
+/// [`Tuner`] implementation).
+pub fn drive_loop<M: Measurer>(
+    task: &TuningTask,
+    space: &ConfigSpace,
+    tuner: &mut dyn Tuner,
+    measurer: &M,
+    method: Method,
+    opts: &TuneOptions,
+) -> TaskTuneResult {
+    let mut log = TuningLog::new(task.name.clone(), method.label());
+    let mut best: Option<(Config, f64)> = None;
+    let mut since_best = 0usize;
+    let mut measured = 0usize;
+
+    while measured < opts.n_trial && since_best < opts.early_stopping {
+        let want = tuner
+            .preferred_batch()
+            .min(opts.batch_size)
+            .min(opts.n_trial - measured)
+            .max(1);
+        let batch = tuner.next_batch(want);
+        if batch.is_empty() {
+            break;
+        }
+        let mut results = Vec::with_capacity(batch.len());
+        for cfg in batch {
+            let r = measurer.measure(task, space, &cfg);
+            let improved = best.as_ref().is_none_or(|(_, g)| r.gflops > *g);
+            if improved && r.gflops > 0.0 {
+                best = Some((cfg.clone(), r.gflops));
+                since_best = 0;
+            } else {
+                since_best += 1;
+            }
+            log.records.push(TrialRecord {
+                trial: measured,
+                config_index: cfg.index,
+                gflops: r.gflops,
+                latency_s: r.latency_s,
+                best_gflops: best.as_ref().map_or(0.0, |(_, g)| *g),
+            });
+            measured += 1;
+            results.push((cfg, r.gflops));
+        }
+        tuner.update(&results);
+    }
+
+    let (best_config, best_gflops) = match best {
+        Some((c, g)) => (Some(c), g),
+        None => (None, 0.0),
+    };
+    TaskTuneResult {
+        task_name: task.name.clone(),
+        method,
+        best_config,
+        best_gflops,
+        num_measured: measured,
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{models, task::extract_tasks};
+    use gpu_sim::{GpuDevice, SimMeasurer};
+
+    fn measurer() -> SimMeasurer {
+        SimMeasurer::new(GpuDevice::gtx_1080_ti())
+    }
+
+    fn task(idx: usize) -> TuningTask {
+        extract_tasks(&models::mobilenet_v1(1)).remove(idx)
+    }
+
+    #[test]
+    fn all_methods_produce_a_valid_best() {
+        let t = task(0);
+        let m = measurer();
+        let opts = TuneOptions::smoke();
+        for method in [Method::Random, Method::AutoTvm, Method::Bted, Method::BtedBao] {
+            let r = tune_task(&t, &m, method, &opts);
+            assert!(r.best_gflops > 0.0, "{method} found nothing");
+            assert!(r.best_config.is_some());
+            assert!(r.num_measured <= opts.n_trial);
+            assert_eq!(r.log.num_measured(), r.num_measured);
+        }
+    }
+
+    #[test]
+    fn convergence_curve_is_monotone() {
+        let t = task(1);
+        let r = tune_task(&t, &measurer(), Method::BtedBao, &TuneOptions::smoke());
+        let curve = r.log.convergence_curve();
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0], "best-so-far must be monotone");
+        }
+    }
+
+    #[test]
+    fn early_stopping_caps_measurements() {
+        let t = task(0);
+        let opts = TuneOptions {
+            n_trial: 10_000,
+            early_stopping: 24,
+            ..TuneOptions::smoke()
+        };
+        let r = tune_task(&t, &measurer(), Method::Random, &opts);
+        assert!(r.num_measured < 10_000, "early stopping must trigger");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = task(2);
+        let m = measurer();
+        let opts = TuneOptions::smoke();
+        let a = tune_task(&t, &m, Method::BtedBao, &opts);
+        let b = tune_task(&t, &m, Method::BtedBao, &opts);
+        assert_eq!(a.best_gflops, b.best_gflops);
+        assert_eq!(a.log, b.log);
+    }
+
+    #[test]
+    fn model_guided_methods_beat_random_on_average() {
+        let t = task(3);
+        let m = measurer();
+        let mut rand_best = 0.0;
+        let mut bao_best = 0.0;
+        for seed in 0..3 {
+            let opts = TuneOptions { seed, ..TuneOptions::smoke() };
+            rand_best += tune_task(&t, &m, Method::Random, &opts).best_gflops;
+            bao_best += tune_task(&t, &m, Method::BtedBao, &opts).best_gflops;
+        }
+        assert!(
+            bao_best > rand_best * 0.95,
+            "bted+bao {bao_best} should not lose badly to random {rand_best}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Transfer learning across tasks (reference \[17\] in the paper).
+//!
+//! AutoTVM accelerates tuning by seeding a new task with knowledge from
+//! previously tuned, similar tasks. We implement the configuration-transfer
+//! variant: take the top configurations from a finished log, map their knob
+//! choices into the new task's space (clipping each choice to the new
+//! knob's cardinality), and prepend them to the initial measurement set.
+
+use crate::records::TuningLog;
+use schedule::{Config, ConfigSpace};
+
+/// Maps the top-`k` configurations of `prior` (tuned on `prior_space`) into
+/// `space`, best first. Configurations that collide after clipping are
+/// deduplicated.
+///
+/// Returns an empty vector when the spaces have different knob counts —
+/// transfer only makes sense between tasks of the same template family.
+#[must_use]
+pub fn warm_start_configs(
+    space: &ConfigSpace,
+    prior_space: &ConfigSpace,
+    prior: &TuningLog,
+    k: usize,
+) -> Vec<Config> {
+    if space.num_knobs() != prior_space.num_knobs() {
+        return Vec::new();
+    }
+    let mut ranked: Vec<_> = prior.records.iter().filter(|r| r.gflops > 0.0).collect();
+    ranked.sort_by(|a, b| b.gflops.total_cmp(&a.gflops));
+
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(k);
+    for rec in ranked {
+        if out.len() >= k {
+            break;
+        }
+        let Ok(prior_cfg) = prior_space.config(rec.config_index) else {
+            continue; // stale log entry
+        };
+        let choices: Vec<usize> = prior_cfg
+            .choices
+            .iter()
+            .zip(space.knobs())
+            .map(|(&c, knob)| c.min(knob.cardinality() - 1))
+            .collect();
+        let index = space.index_of(&choices);
+        if seen.insert(index) {
+            out.push(Config { index, choices });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::TrialRecord;
+    use schedule::Knob;
+
+    fn space(extent: usize) -> ConfigSpace {
+        ConfigSpace::new(
+            format!("s{extent}"),
+            vec![Knob::split("a", extent, 2), Knob::choice("u", vec![0, 1])],
+        )
+    }
+
+    fn log_with(prior_space: &ConfigSpace, entries: &[(u64, f64)]) -> TuningLog {
+        let mut log = TuningLog::new(prior_space.task_name.clone(), "autotvm");
+        for (i, &(idx, g)) in entries.iter().enumerate() {
+            log.records.push(TrialRecord {
+                trial: i,
+                config_index: idx,
+                gflops: g,
+                latency_s: 1e-3,
+                best_gflops: g,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn transfers_best_first_and_dedupes() {
+        let prior_space = space(64);
+        let new_space = space(64);
+        let log = log_with(&prior_space, &[(0, 10.0), (5, 99.0), (3, 50.0)]);
+        let got = warm_start_configs(&new_space, &prior_space, &log, 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].index, 5);
+        assert_eq!(got[1].index, 3);
+    }
+
+    #[test]
+    fn clips_choices_into_smaller_space() {
+        let prior_space = space(1024); // 11 split candidates
+        let new_space = space(16); // 5 split candidates
+        let last = prior_space.len() - 1;
+        let log = log_with(&prior_space, &[(last, 42.0)]);
+        let got = warm_start_configs(&new_space, &prior_space, &log, 1);
+        assert_eq!(got.len(), 1);
+        for (&c, k) in got[0].choices.iter().zip(new_space.knobs()) {
+            assert!(c < k.cardinality());
+        }
+    }
+
+    #[test]
+    fn mismatched_templates_transfer_nothing() {
+        let prior_space = space(64);
+        let other = ConfigSpace::new("other", vec![Knob::choice("x", vec![0, 1])]);
+        let log = log_with(&prior_space, &[(1, 5.0)]);
+        assert!(warm_start_configs(&other, &prior_space, &log, 4).is_empty());
+    }
+
+    #[test]
+    fn failed_trials_are_ignored() {
+        let prior_space = space(64);
+        let log = log_with(&prior_space, &[(1, 0.0), (2, 0.0)]);
+        assert!(warm_start_configs(&prior_space, &prior_space, &log, 4).is_empty());
+    }
+}

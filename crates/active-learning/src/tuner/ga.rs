@@ -1,0 +1,198 @@
+//! Genetic-algorithm tuner — AutoTVM's `GATuner` baseline.
+//!
+//! A model-free population search: tournament selection on measured GFLOPS,
+//! single-point crossover of knob choices, and per-knob mutation. Useful as
+//! a second baseline family (the paper compares against the XGBoost+SA
+//! AutoTVM configuration; GA shows where model-free search lands).
+
+use crate::tuner::Tuner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use schedule::{Config, ConfigSpace};
+use std::collections::HashSet;
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaOptions {
+    /// Population size.
+    pub population: usize,
+    /// Parents kept per generation (elite).
+    pub elite: usize,
+    /// Per-knob mutation probability.
+    pub mutation_prob: f64,
+}
+
+impl Default for GaOptions {
+    fn default() -> Self {
+        GaOptions { population: 64, elite: 16, mutation_prob: 0.1 }
+    }
+}
+
+/// Genetic-algorithm tuner over one configuration space.
+pub struct GaTuner<'s> {
+    space: &'s ConfigSpace,
+    opts: GaOptions,
+    /// Scored population (config, measured GFLOPS).
+    scored: Vec<(Config, f64)>,
+    visited: HashSet<u64>,
+    rng: StdRng,
+}
+
+impl<'s> GaTuner<'s> {
+    /// Creates a GA tuner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elite` is 0 or exceeds `population`.
+    #[must_use]
+    pub fn new(space: &'s ConfigSpace, opts: GaOptions, seed: u64) -> Self {
+        assert!(opts.elite > 0 && opts.elite <= opts.population, "invalid elite size");
+        GaTuner {
+            space,
+            opts,
+            scored: Vec::new(),
+            visited: HashSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Tournament-selects a parent index (higher GFLOPS wins).
+    fn select_parent(&mut self) -> usize {
+        let n = self.scored.len();
+        let a = self.rng.gen_range(0..n);
+        let b = self.rng.gen_range(0..n);
+        if self.scored[a].1 >= self.scored[b].1 {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Crossover + mutation producing one child.
+    fn breed(&mut self) -> Config {
+        let pa = self.select_parent();
+        let pb = self.select_parent();
+        let k = self.space.num_knobs();
+        let cut = self.rng.gen_range(0..=k);
+        let mut choices: Vec<usize> = (0..k)
+            .map(|i| {
+                if i < cut {
+                    self.scored[pa].0.choices[i]
+                } else {
+                    self.scored[pb].0.choices[i]
+                }
+            })
+            .collect();
+        for (i, c) in choices.iter_mut().enumerate() {
+            if self.rng.gen::<f64>() < self.opts.mutation_prob {
+                let card = self.space.knobs()[i].cardinality();
+                *c = self.rng.gen_range(0..card);
+            }
+        }
+        let index = self.space.index_of(&choices);
+        Config { index, choices }
+    }
+}
+
+impl Tuner for GaTuner<'_> {
+    fn next_batch(&mut self, n: usize) -> Vec<Config> {
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0;
+        while out.len() < n && attempts < 200 * n {
+            attempts += 1;
+            let cfg = if self.scored.len() < self.opts.elite {
+                self.space.sample(&mut self.rng)
+            } else {
+                self.breed()
+            };
+            if self.visited.insert(cfg.index) {
+                out.push(cfg);
+            }
+        }
+        out
+    }
+
+    fn update(&mut self, results: &[(Config, f64)]) {
+        self.scored.extend(results.iter().cloned());
+        // Keep the elite as the breeding pool.
+        self.scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        self.scored.truncate(self.opts.elite.max(2));
+    }
+
+    fn preferred_batch(&self) -> usize {
+        self.opts.population
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schedule::Knob;
+
+    fn toy_space() -> ConfigSpace {
+        // Two 4-way splits of 2^12: 455 candidates each, ~207k configs —
+        // big enough that six 64-child generations cannot exhaust it.
+        ConfigSpace::new(
+            "toy",
+            vec![Knob::split("a", 4096, 4), Knob::split("b", 4096, 4)],
+        )
+    }
+
+    fn truth(c: &Config) -> f64 {
+        let a = c.choices[0] as f64;
+        let b = c.choices[1] as f64;
+        100.0 - 0.01 * ((a - 200.0) * (a - 200.0) + (b - 300.0) * (b - 300.0))
+    }
+
+    #[test]
+    fn selection_pressure_raises_generation_means() {
+        let space = toy_space();
+        let mut t = GaTuner::new(&space, GaOptions::default(), 1);
+        let mut gen_means = Vec::new();
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..6 {
+            let batch = t.next_batch(t.preferred_batch());
+            let results: Vec<(Config, f64)> =
+                batch.into_iter().map(|c| {
+                    let y = truth(&c);
+                    (c, y)
+                }).collect();
+            let mean: f64 =
+                results.iter().map(|(_, y)| *y).sum::<f64>() / results.len() as f64;
+            best = results.iter().map(|(_, y)| *y).fold(best, f64::max);
+            gen_means.push(mean);
+            t.update(&results);
+        }
+        assert!(
+            gen_means.last().unwrap() > gen_means.first().unwrap(),
+            "breeding should raise the population mean: {gen_means:?}"
+        );
+        assert!(best > 60.0, "GA should approach the peak, got {best}");
+    }
+
+    #[test]
+    fn never_repeats_configs() {
+        let space = toy_space();
+        let mut t = GaTuner::new(&space, GaOptions::default(), 2);
+        let mut seen = HashSet::new();
+        for _ in 0..5 {
+            let batch = t.next_batch(32);
+            for c in &batch {
+                assert!(seen.insert(c.index));
+            }
+            let results: Vec<(Config, f64)> =
+                batch.into_iter().map(|c| {
+                    let y = truth(&c);
+                    (c, y)
+                }).collect();
+            t.update(&results);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid elite")]
+    fn zero_elite_panics() {
+        let space = toy_space();
+        let _ = GaTuner::new(&space, GaOptions { elite: 0, ..GaOptions::default() }, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Tuning strategies behind a common interface.
+//!
+//! Every strategy implements [`Tuner`]: propose a batch, receive measured
+//! results, repeat. The shared measurement loop in
+//! [`crate::task_tuning::tune_task`] owns the budget, early stopping and
+//! record keeping, so strategies stay pure.
+
+mod ga;
+mod grid;
+mod random;
+mod xgb;
+
+pub use ga::{GaOptions, GaTuner};
+pub use grid::GridTuner;
+pub use random::RandomTuner;
+pub use xgb::XgbTuner;
+
+use schedule::Config;
+
+/// A batch-oriented tuning strategy.
+pub trait Tuner {
+    /// Proposes up to `n` configurations to measure next. May return fewer
+    /// (or none, which ends the run) when the strategy is exhausted.
+    fn next_batch(&mut self, n: usize) -> Vec<Config>;
+
+    /// Feeds back measured `(configuration, GFLOPS)` pairs; failed launches
+    /// report 0.0 GFLOPS.
+    fn update(&mut self, results: &[(Config, f64)]);
+
+    /// The batch size this strategy prefers (the loop may clamp it to the
+    /// remaining budget).
+    fn preferred_batch(&self) -> usize {
+        64
+    }
+}

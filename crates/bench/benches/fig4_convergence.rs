@@ -1,0 +1,37 @@
+//! Criterion bench for the Fig. 4 experiment (reduced budget): times one
+//! full convergence run per method on MobileNet-v1's first layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use active_learning::{tune_task, Method, TuneOptions};
+use dnn_graph::{models, task::extract_tasks};
+use gpu_sim::{GpuDevice, SimMeasurer};
+
+fn bench_fig4(c: &mut Criterion) {
+    let task = extract_tasks(&models::mobilenet_v1(1)).remove(0);
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts = TuneOptions {
+        n_trial: 128,
+        early_stopping: usize::MAX,
+        ..TuneOptions::smoke()
+    };
+    let mut group = c.benchmark_group("fig4_convergence");
+    group.sample_size(10);
+    for method in Method::PAPER_ARMS {
+        group.bench_with_input(
+            BenchmarkId::new("mobilenet_l1", method.label()),
+            &method,
+            |b, &m| {
+                b.iter(|| {
+                    let r = tune_task(black_box(&task), &measurer, m, &opts);
+                    black_box(r.best_gflops)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

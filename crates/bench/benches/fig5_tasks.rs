@@ -1,0 +1,26 @@
+//! Criterion bench for the Fig. 5 experiment (reduced budget): times the
+//! three-method sweep over a slice of MobileNet-v1 tasks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use active_learning::TuneOptions;
+use bench::experiments::run_fig5_tasks;
+use dnn_graph::{models, task::extract_tasks};
+
+fn bench_fig5(c: &mut Criterion) {
+    let tasks = extract_tasks(&models::mobilenet_v1(1));
+    let opts = TuneOptions::smoke();
+    let mut group = c.benchmark_group("fig5_tasks");
+    group.sample_size(10);
+    group.bench_function("three_methods_two_tasks", |b| {
+        b.iter(|| {
+            let d = run_fig5_tasks(black_box(&tasks[..2]), &opts, 1);
+            black_box(d.rows.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the Table I experiment (reduced budget): times an
+//! end-to-end tune-and-deploy of SqueezeNet-v1.1 plus the 600-run latency
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use active_learning::{tune_model, Method, TuneOptions};
+use dnn_graph::models;
+use gpu_sim::{measure_model, GpuDevice, ModelDeployment, SimMeasurer};
+
+fn bench_table1(c: &mut Criterion) {
+    let graph = models::squeezenet_v1_1(1);
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts = TuneOptions { n_trial: 32, early_stopping: 32, ..TuneOptions::smoke() };
+
+    let mut group = c.benchmark_group("table1_end_to_end");
+    group.sample_size(10);
+    for method in [Method::AutoTvm, Method::BtedBao] {
+        group.bench_with_input(
+            BenchmarkId::new("squeezenet_tune_deploy", method.label()),
+            &method,
+            |b, &m| {
+                b.iter(|| {
+                    let r = tune_model(black_box(&graph), &measurer, m, &opts, 100);
+                    black_box(r.latency.mean_ms)
+                });
+            },
+        );
+    }
+
+    // The 600-run latency measurement itself (deployment pre-built).
+    let r = tune_model(&graph, &measurer, Method::AutoTvm, &opts, 10);
+    let tuned: Vec<_> = r
+        .tasks
+        .iter()
+        .filter_map(|t| {
+            let task = dnn_graph::task::extract_tasks(&graph)
+                .into_iter()
+                .find(|x| x.name == t.task_name)?;
+            let space = schedule::template::space_for_task(&task);
+            let cfg = t.best_config.clone()?;
+            let perf = measurer.true_perf(&task, &space, &cfg).ok()?;
+            Some((task, perf))
+        })
+        .collect();
+    let deployment = ModelDeployment::assemble(&graph, &tuned, measurer.device());
+    group.bench_function("measure_600_runs", |b| {
+        b.iter(|| black_box(measure_model(&deployment, 600, 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

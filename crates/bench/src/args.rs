@@ -1,0 +1,94 @@
+//! Minimal `--key value` argument parsing for the experiment binaries
+//! (keeps the workspace dependency-light; no clap).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments (everything after the binary name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if a `--key` is missing its value.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `--key` has no following value.
+    pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut it = iter.into_iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                panic!("unexpected argument `{key}` (expected --key value)");
+            };
+            let value = it
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{name}"));
+            values.insert(name.to_string(), value);
+        }
+        Args { values }
+    }
+
+    /// Typed lookup with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value fails to parse as `T`.
+    #[must_use]
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.values.get(name).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|e| panic!("invalid value for --{name}: {v} ({e:?})"))
+        })
+    }
+
+    /// String lookup with a default.
+    #[must_use]
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn of(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn parses_pairs_and_defaults() {
+        let a = of(&["--trials", "5", "--out", "results"]);
+        assert_eq!(a.get::<usize>("trials", 1), 5);
+        assert_eq!(a.get::<usize>("n-trial", 7), 7);
+        assert_eq!(a.get_str("out", "x"), "results");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn missing_value_panics() {
+        let _ = of(&["--trials"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_parse_panics() {
+        let a = of(&["--trials", "many"]);
+        let _ = a.get::<usize>("trials", 1);
+    }
+}

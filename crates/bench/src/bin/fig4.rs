@@ -1,0 +1,36 @@
+//! Regenerates Fig. 4: GFLOPS convergence on MobileNet-v1 layers 1–2.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig4 -- [--n-trial 1024] [--trials 3] \
+//!     [--seed 0] [--out results]
+//! ```
+
+use bench::args::Args;
+use bench::experiments::run_fig4;
+use bench::plot::ascii_chart;
+use bench::report::{render_fig4, write_json};
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::from_env();
+    let n_trial: usize = args.get("n-trial", 1024);
+    let trials: usize = args.get("trials", 3);
+    let seed: u64 = args.get("seed", 0);
+    let out: PathBuf = PathBuf::from(args.get_str("out", "results"));
+
+    eprintln!("fig4: n_trial={n_trial} trials={trials} seed={seed}");
+    let data = run_fig4(n_trial, trials, seed);
+    print!("{}", render_fig4(&data));
+    for layer in 0..2 {
+        println!("\nMobileNet-v1 layer {} convergence:", layer + 1);
+        let series: Vec<(String, Vec<f64>)> = data
+            .curves
+            .iter()
+            .filter(|c| c.layer == layer)
+            .map(|c| (c.method.to_string(), c.curve.clone()))
+            .collect();
+        print!("{}", ascii_chart(&series, 72, 14));
+    }
+    write_json(&out, "fig4.json", &data).expect("write results");
+    eprintln!("wrote {}", out.join("fig4.json").display());
+}

@@ -1,0 +1,28 @@
+//! Regenerates Fig. 5: per-task sampled-configuration counts and GFLOPS
+//! (relative to AutoTVM) on the 19 MobileNet-v1 tuning tasks.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig5 -- [--n-trial 1024] [--trials 3] \
+//!     [--seed 0] [--out results]
+//! ```
+
+use bench::args::Args;
+use bench::experiments::run_fig5;
+use bench::report::{render_fig5, write_json};
+use bench::scaled_options;
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::from_env();
+    let n_trial: usize = args.get("n-trial", 1024);
+    let trials: usize = args.get("trials", 3);
+    let seed: u64 = args.get("seed", 0);
+    let out: PathBuf = PathBuf::from(args.get_str("out", "results"));
+
+    eprintln!("fig5: n_trial={n_trial} trials={trials} seed={seed}");
+    let opts = scaled_options(n_trial, seed);
+    let data = run_fig5(&opts, trials);
+    print!("{}", render_fig5(&data));
+    write_json(&out, "fig5.json", &data).expect("write results");
+    eprintln!("wrote {}", out.join("fig5.json").display());
+}

@@ -1,0 +1,75 @@
+//! Summarizes `results/*.json` into the markdown fragments EXPERIMENTS.md
+//! embeds — so the document can be refreshed from raw data at any time.
+//!
+//! ```text
+//! cargo run --release -p bench --bin summarize -- [--dir results]
+//! ```
+
+use bench::args::Args;
+use bench::experiments::{Fig4Data, Fig5Data, Table1Data};
+use std::path::Path;
+
+fn load<T: serde::de::DeserializeOwned>(dir: &Path, name: &str) -> Option<T> {
+    let body = std::fs::read_to_string(dir.join(name)).ok()?;
+    serde_json::from_str(&body).ok()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let dir = std::path::PathBuf::from(args.get_str("dir", "results"));
+
+    if let Some(fig4) = load::<Fig4Data>(&dir, "fig4.json") {
+        println!("### Fig. 4 (final best-so-far GFLOPS, {} trials)\n", fig4.trials);
+        println!("| curve | final GFLOPS |");
+        println!("|-------|-------------:|");
+        for c in &fig4.curves {
+            println!(
+                "| L{} {} | {:.1} |",
+                c.layer + 1,
+                c.method,
+                c.curve.last().copied().unwrap_or(0.0)
+            );
+        }
+        println!();
+    }
+
+    if let Some(fig5) = load::<Fig5Data>(&dir, "fig5.json") {
+        if let Some(avg) = fig5.rows.last() {
+            println!("### Fig. 5 AVG row ({} trials)\n", fig5.trials);
+            println!("| method | configs | GFLOPS vs AutoTVM |");
+            println!("|--------|--------:|------------------:|");
+            for c in &avg.cells {
+                println!("| {} | {:.0} | {:.2} % |", c.method, c.num_configs, c.gflops_pct);
+            }
+            println!();
+        }
+    }
+
+    if let Some(t1) = load::<Table1Data>(&dir, "table1.json") {
+        println!("### Table I ({} trials x {} runs)\n", t1.trials, t1.runs);
+        println!(
+            "| model | AutoTVM ms (var) | BTED ms (Δ%) var (Δ%) | BTED+BAO ms (Δ%) var (Δ%) |"
+        );
+        println!("|-------|------------------|------------------------|----------------------------|");
+        for row in &t1.rows {
+            let a = &row.cells[0];
+            let b = &row.cells[1];
+            let c = &row.cells[2];
+            println!(
+                "| {} | {:.4} ({:.4}) | {:.4} ({:+.2}%) {:.4} ({:+.2}%) | {:.4} ({:+.2}%) {:.4} ({:+.2}%) |",
+                row.model,
+                a.latency_ms,
+                a.variance,
+                b.latency_ms,
+                b.latency_delta_pct,
+                b.variance,
+                b.variance_delta_pct,
+                c.latency_ms,
+                c.latency_delta_pct,
+                c.variance,
+                c.variance_delta_pct,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment drivers regenerating the paper's figures and tables.
+//!
+//! Every artifact of the evaluation section has a driver here and a binary
+//! under `src/bin/` that prints the same rows/series the paper reports:
+//!
+//! | artifact | driver | binary |
+//! |----------|--------|--------|
+//! | Fig. 4 (convergence, MobileNet-v1 layers 1–2) | [`experiments::run_fig4`] | `fig4` |
+//! | Fig. 5 (per-task configs & GFLOPS, 19 tasks) | [`experiments::run_fig5`] | `fig5` |
+//! | Table I (end-to-end latency & variance, 5 models) | [`experiments::run_table1`] | `table1` |
+//! | Ablations (Γ, η/τ/R, init strategy) | [`experiments::run_ablation_gamma`] et al. | `ablation` |
+//!
+//! Criterion benches under `benches/` time reduced-budget versions of the
+//! same drivers so `cargo bench` exercises each experiment end-to-end.
+
+pub mod args;
+pub mod experiments;
+pub mod plot;
+pub mod report;
+pub mod stats;
+
+/// Scales a [`active_learning::TuneOptions`] budget for quick runs.
+#[must_use]
+pub fn scaled_options(n_trial: usize, seed: u64) -> active_learning::TuneOptions {
+    active_learning::TuneOptions {
+        n_trial,
+        early_stopping: 400.min(n_trial),
+        seed,
+        ..active_learning::TuneOptions::default()
+    }
+}

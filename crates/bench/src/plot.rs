@@ -1,0 +1,103 @@
+//! Minimal ASCII line plots for the figure binaries — the "series" view of
+//! the paper's plots without any plotting dependency.
+
+/// Renders `series` (label, y-values) as an ASCII chart of the given
+/// height. All series share the x-axis (index) and the y-range.
+///
+/// # Panics
+///
+/// Panics if no series or an empty series is given.
+#[must_use]
+pub fn ascii_chart(series: &[(String, Vec<f64>)], width: usize, height: usize) -> String {
+    assert!(!series.is_empty(), "nothing to plot");
+    assert!(series.iter().all(|(_, ys)| !ys.is_empty()), "empty series");
+    let y_min = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter())
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let y_max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter())
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (y_max - y_min).max(1e-12);
+    let marks = ['*', '+', 'o', 'x', '#', '@'];
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        #[allow(clippy::needless_range_loop)] // row varies per column
+        for col in 0..width {
+            // Nearest sample for this column.
+            let idx = col * (ys.len() - 1) / (width - 1).max(1);
+            let y = ys[idx];
+            let row = ((y - y_min) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>10.1} |")
+        } else if r == height - 1 {
+            format!("{y_min:>10.1} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {}", marks[si % marks.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_has_requested_dimensions() {
+        let s = vec![("up".to_string(), vec![0.0, 1.0, 2.0, 3.0])];
+        let chart = ascii_chart(&s, 20, 5);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 5 + 2); // grid + axis + legend
+        assert!(chart.contains("up"));
+    }
+
+    #[test]
+    fn monotone_series_marks_corners() {
+        let s = vec![("up".to_string(), vec![0.0, 10.0])];
+        let chart = ascii_chart(&s, 10, 4);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Max label on top, min at bottom.
+        assert!(lines[0].trim_start().starts_with("10.0"));
+        assert!(lines[3].trim_start().starts_with("0.0"));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_marks() {
+        let s = vec![
+            ("a".to_string(), vec![0.0, 1.0]),
+            ("b".to_string(), vec![1.0, 0.0]),
+        ];
+        let chart = ascii_chart(&s, 8, 4);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('+'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_input_panics() {
+        let _ = ascii_chart(&[], 10, 4);
+    }
+}

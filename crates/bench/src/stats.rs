@@ -1,0 +1,51 @@
+//! Small statistics helpers for aggregating experiment trials.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0.0 for fewer than two samples.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Relative change in percent: `100 * (new - base) / base`.
+/// Returns 0.0 when `base` is 0.
+#[must_use]
+pub fn delta_pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (new - base) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn delta_pct_signs() {
+        assert!((delta_pct(2.0, 1.0) + 50.0).abs() < 1e-12);
+        assert!((delta_pct(2.0, 3.0) - 50.0).abs() < 1e-12);
+        assert_eq!(delta_pct(0.0, 3.0), 0.0);
+    }
+}

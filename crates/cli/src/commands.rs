@@ -1,0 +1,208 @@
+//! CLI subcommands.
+
+use crate::opts::{device_by_name, method_by_name, model_by_name, Cli};
+use active_learning::{tune_model, tune_task, TuneOptions};
+use dnn_graph::task::extract_tasks;
+use gpu_sim::SimMeasurer;
+use schedule::template::space_for_task;
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage:
+  aaltune tasks   <model>
+  aaltune dot     <model> [--fused true]
+  aaltune devices
+  aaltune tune    <model> [--task N] [--method M] [--n-trial N] [--seed S]
+                          [--device D] [--log FILE]
+  aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
+                          [--device D]
+models:  alexnet resnet18 resnet34 vgg16 vgg19 mobilenet_v1 squeezenet_v1.1
+methods: random autotvm bted bted+bao (default)
+devices: gtx1080ti (default) v100 jetson";
+
+/// Parses and runs one invocation.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, names, or values.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let cli = Cli::parse(args)?;
+    match cli.positional.first().map(String::as_str) {
+        Some("tasks") => tasks(&cli),
+        Some("dot") => dot(&cli),
+        Some("devices") => {
+            devices();
+            Ok(())
+        }
+        Some("tune") => tune(&cli),
+        Some("deploy") => deploy(&cli),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given".to_string()),
+    }
+}
+
+fn model_arg(cli: &Cli) -> Result<dnn_graph::Graph, String> {
+    let name = cli.positional.get(1).ok_or("missing <model> argument")?;
+    model_by_name(name)
+}
+
+fn options(cli: &Cli) -> Result<TuneOptions, String> {
+    let n_trial: usize = cli.flag("n-trial", 512)?;
+    Ok(TuneOptions {
+        n_trial,
+        early_stopping: 400.min(n_trial),
+        seed: cli.flag("seed", 0)?,
+        ..TuneOptions::default()
+    })
+}
+
+fn measurer(cli: &Cli) -> Result<SimMeasurer, String> {
+    let device = device_by_name(cli.flag_str("device").unwrap_or("gtx1080ti"))?;
+    Ok(SimMeasurer::new(device))
+}
+
+fn tasks(cli: &Cli) -> Result<(), String> {
+    let model = model_arg(cli)?;
+    let tasks = extract_tasks(&model);
+    println!("{}: {} tuning tasks", model.name, tasks.len());
+    for t in &tasks {
+        let space = space_for_task(t);
+        println!("  {:<18} {:>14} configs   {}", t.name, space.len(), t.workload);
+    }
+    Ok(())
+}
+
+fn dot(cli: &Cli) -> Result<(), String> {
+    let model = model_arg(cli)?;
+    let fused: bool = cli.flag("fused", false)?;
+    if fused {
+        let groups = dnn_graph::fusion::fuse(&model);
+        print!("{}", dnn_graph::dot::to_dot_fused(&model, &groups));
+    } else {
+        print!("{}", dnn_graph::dot::to_dot(&model));
+    }
+    Ok(())
+}
+
+fn devices() {
+    for d in [
+        gpu_sim::GpuDevice::gtx_1080_ti(),
+        gpu_sim::GpuDevice::tesla_v100(),
+        gpu_sim::GpuDevice::jetson_tx2(),
+    ] {
+        println!(
+            "{:<14} {:>3} SMs  {:>6.1} GB/s  {:>5.1} TFLOPS",
+            d.name,
+            d.num_sms,
+            d.dram_bw_gbps,
+            d.peak_flops() / 1e12
+        );
+    }
+}
+
+fn tune(cli: &Cli) -> Result<(), String> {
+    let model = model_arg(cli)?;
+    let method = method_by_name(cli.flag_str("method").unwrap_or("bted+bao"))?;
+    let opts = options(cli)?;
+    let m = measurer(cli)?;
+    let tasks = extract_tasks(&model);
+    let selected: Vec<usize> = match cli.flag_str("task") {
+        Some(s) => {
+            let i: usize =
+                s.parse().map_err(|_| format!("invalid --task index `{s}`"))?;
+            if i >= tasks.len() {
+                return Err(format!("--task {i} out of range (model has {})", tasks.len()));
+            }
+            vec![i]
+        }
+        None => (0..tasks.len()).collect(),
+    };
+    let mut logs = Vec::new();
+    for i in selected {
+        let r = tune_task(&tasks[i], &m, method, &opts);
+        println!(
+            "{:<18} {:>9.1} GFLOPS in {:>4} measurements ({method})",
+            r.task_name, r.best_gflops, r.num_measured
+        );
+        logs.push(r.log);
+    }
+    if let Some(path) = cli.flag_str("log") {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        for log in &logs {
+            log.write_jsonl(&mut f).map_err(|e| format!("write failed: {e}"))?;
+        }
+        println!("wrote {} logs to {path}", logs.len());
+    }
+    Ok(())
+}
+
+fn deploy(cli: &Cli) -> Result<(), String> {
+    let model = model_arg(cli)?;
+    let method = method_by_name(cli.flag_str("method").unwrap_or("bted+bao"))?;
+    let opts = options(cli)?;
+    let runs: usize = cli.flag("runs", 600)?;
+    let m = measurer(cli)?;
+    let r = tune_model(&model, &m, method, &opts, runs);
+    println!(
+        "{} ({method}): latency {:.4} ms  variance {:.4}  min {:.4}  max {:.4}  ({} measurements)",
+        r.model_name,
+        r.latency.mean_ms,
+        r.latency.variance,
+        r.latency.min_ms,
+        r.latency.max_ms,
+        r.total_measurements
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&sv(&["frobnicate"])).is_err());
+        assert!(dispatch(&sv(&[])).is_err());
+    }
+
+    #[test]
+    fn tasks_lists_mobilenet() {
+        dispatch(&sv(&["tasks", "mobilenet_v1"])).unwrap();
+    }
+
+    #[test]
+    fn dot_export_runs() {
+        dispatch(&sv(&["dot", "alexnet"])).unwrap();
+        dispatch(&sv(&["dot", "resnet18", "--fused", "true"])).unwrap();
+    }
+
+    #[test]
+    fn devices_prints() {
+        dispatch(&sv(&["devices"])).unwrap();
+    }
+
+    #[test]
+    fn tune_single_task_smoke() {
+        dispatch(&sv(&[
+            "tune",
+            "squeezenet",
+            "--task",
+            "0",
+            "--n-trial",
+            "40",
+            "--method",
+            "autotvm",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn tune_task_out_of_range_errors() {
+        let e = dispatch(&sv(&["tune", "alexnet", "--task", "99"])).unwrap_err();
+        assert!(e.contains("out of range"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `aaltune` — command-line auto-tuner.
+//!
+//! ```text
+//! aaltune tasks   <model>
+//! aaltune devices
+//! aaltune tune    <model> [--task N] [--method autotvm|bted|bted+bao|random]
+//!                         [--n-trial N] [--seed S] [--device NAME] [--log FILE]
+//! aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
+//!                         [--device NAME]
+//! ```
+//!
+//! Models: `alexnet`, `resnet18`, `vgg16`, `mobilenet_v1`, `squeezenet_v1.1`.
+
+mod commands;
+mod opts;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Graphviz (`dot`) export of computational graphs.
+//!
+//! Renders a [`Graph`] — optionally with its fused groups — so model wiring
+//! can be inspected visually, the way TVM users inspect Relay graphs.
+
+use crate::fusion::FusedGraph;
+use crate::graph::Graph;
+use crate::ops::Op;
+use std::fmt::Write as _;
+
+/// Renders `graph` as a Graphviz digraph.
+///
+/// Nodes carry the operator name and output shape; inputs are drawn as
+/// boxes, compute anchors (conv/dense) as bold ellipses.
+#[must_use]
+pub fn to_dot(graph: &Graph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", graph.name);
+    let _ = writeln!(s, "  rankdir=TB;");
+    for node in graph.nodes() {
+        let shape_attr = match node.op {
+            Op::Input(_) => "shape=box",
+            Op::Conv2d(_) | Op::Dense(_) => "style=bold",
+            _ => "",
+        };
+        let _ = writeln!(
+            s,
+            "  n{} [label=\"{}\\n{}\" {}];",
+            node.id, node.op, node.output, shape_attr
+        );
+        for &input in &node.inputs {
+            let _ = writeln!(s, "  n{input} -> n{};", node.id);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Renders `graph` with fusion groups as Graphviz clusters.
+#[must_use]
+pub fn to_dot_fused(graph: &Graph, fused: &FusedGraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", graph.name);
+    let _ = writeln!(s, "  rankdir=TB; compound=true;");
+    for (gi, group) in fused.groups.iter().enumerate() {
+        let _ = writeln!(s, "  subgraph cluster_{gi} {{");
+        let label = group
+            .anchor
+            .map_or("aux".to_string(), |a| graph.node(a).op.name().to_string());
+        let _ = writeln!(s, "    label=\"{label}\";");
+        for &m in &group.members {
+            let node = graph.node(m);
+            let _ = writeln!(s, "    n{} [label=\"{}\\n{}\"];", m, node.op, node.output);
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    // Inputs live outside any cluster; edges afterwards.
+    for node in graph.nodes() {
+        if matches!(node.op, Op::Input(_)) {
+            let _ = writeln!(s, "  n{} [label=\"input\\n{}\" shape=box];", node.id, node.output);
+        }
+        for &input in &node.inputs {
+            let _ = writeln!(s, "  n{input} -> n{};", node.id);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fusion::fuse;
+    use crate::tensor::Shape;
+
+    fn tiny() -> Graph {
+        let mut g = Graph::new("tiny");
+        let x = g.add_input(Shape::nchw(1, 3, 8, 8));
+        let c = g.add_conv2d(x, 3, 4, 3, 1, 1, 1, false).unwrap();
+        let _ = g.add_relu(c);
+        g
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = tiny();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"tiny\""));
+        assert!(dot.contains("n0 [label=\"input"));
+        assert!(dot.contains("n1 [label=\"conv2d"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn fused_dot_groups_conv_and_relu() {
+        let g = tiny();
+        let fused = fuse(&g);
+        let dot = to_dot_fused(&g, &fused);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"conv2d\""));
+    }
+
+    #[test]
+    fn whole_model_export_is_parseable_shape() {
+        // Sanity: balanced braces on a real model.
+        let g = crate::models::squeezenet_v1_1(1);
+        let dot = to_dot(&g);
+        let open = dot.matches('{').count();
+        let close = dot.matches('}').count();
+        assert_eq!(open, close);
+        assert!(dot.matches("->").count() > g.len());
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for graph construction and shape inference.
+
+use std::fmt;
+
+/// Errors produced while building or analyzing a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operator received a tensor whose rank or extents are incompatible.
+    ShapeMismatch {
+        /// Name of the operator that rejected its inputs.
+        op: String,
+        /// Human-readable detail of the mismatch.
+        detail: String,
+    },
+    /// A node referenced an input id that does not exist in the graph.
+    UnknownNode(usize),
+    /// An operator was given the wrong number of inputs.
+    ArityMismatch {
+        /// Name of the operator.
+        op: String,
+        /// Number of inputs the operator expects.
+        expected: usize,
+        /// Number of inputs it was given.
+        got: usize,
+    },
+    /// The graph contains a cycle and cannot be topologically ordered.
+    Cyclic,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in `{op}`: {detail}")
+            }
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            GraphError::ArityMismatch { op, expected, got } => {
+                write!(f, "`{op}` expects {expected} inputs, got {got}")
+            }
+            GraphError::Cyclic => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,189 @@
+//! Graph-level optimization: operator fusion.
+//!
+//! The paper's framework (Fig. 1) first runs high-level computation-graph
+//! optimization — the dominant transform being *operator fusion*, which folds
+//! element-wise epilogues (bias/ReLU/batch-norm/residual add) into the
+//! preceding compute-heavy kernel so that one tuning task covers the fused
+//! node. This module reproduces that pass: a greedy, single-consumer fusion
+//! of element-wise operators into their producing anchor, identical in effect
+//! to TVM's `FuseOps` for the model zoo in [`crate::models`].
+
+use crate::graph::{Graph, NodeId};
+use crate::ops::Op;
+use serde::{Deserialize, Serialize};
+
+/// A fused kernel: one anchor plus zero or more element-wise epilogue ops,
+/// or a standalone non-fusible operator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusedGroup {
+    /// The compute anchor (conv2d/dense), if this group has one.
+    pub anchor: Option<NodeId>,
+    /// All member node ids in topological order (anchor first if present).
+    pub members: Vec<NodeId>,
+}
+
+impl FusedGroup {
+    /// The node whose output leaves the group (the last member).
+    #[must_use]
+    pub fn output(&self) -> NodeId {
+        *self.members.last().expect("groups are never empty")
+    }
+}
+
+/// Result of running fusion over a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusedGraph {
+    /// Fused groups in topological order.
+    pub groups: Vec<FusedGroup>,
+}
+
+impl FusedGraph {
+    /// Number of groups (deployable kernels).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True if no groups exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterates over groups that carry a tunable anchor.
+    pub fn anchored(&self) -> impl Iterator<Item = &FusedGroup> {
+        self.groups.iter().filter(|g| g.anchor.is_some())
+    }
+}
+
+/// Number of consumers of every node.
+fn consumer_counts(graph: &Graph) -> Vec<usize> {
+    let mut counts = vec![0usize; graph.len()];
+    for n in graph.nodes() {
+        for &i in &n.inputs {
+            counts[i] += 1;
+        }
+    }
+    counts
+}
+
+/// Runs operator fusion.
+///
+/// An element-wise node fuses into the group of its *first* input when that
+/// input is consumed only by this node (single-consumer rule, as in TVM);
+/// residual [`Op::Add`] fuses into the branch that produced its first
+/// operand. All other operators start their own group. Inputs are skipped —
+/// they produce no kernel.
+#[must_use]
+pub fn fuse(graph: &Graph) -> FusedGraph {
+    let consumers = consumer_counts(graph);
+    // group_of[node] = index into groups, usize::MAX while unassigned.
+    let mut group_of = vec![usize::MAX; graph.len()];
+    let mut groups: Vec<FusedGroup> = Vec::new();
+
+    for node in graph.nodes() {
+        if matches!(node.op, Op::Input(_)) {
+            continue;
+        }
+        let fuse_target = if node.op.is_elementwise() && !node.inputs.is_empty() {
+            let producer = node.inputs[0];
+            // Single-consumer rule: only fold into a producer whose output
+            // is not needed elsewhere, and which already belongs to a group.
+            if consumers[producer] == 1 && group_of[producer] != usize::MAX {
+                Some(group_of[producer])
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        match fuse_target {
+            Some(gi) => {
+                groups[gi].members.push(node.id);
+                group_of[node.id] = gi;
+            }
+            None => {
+                let gi = groups.len();
+                groups.push(FusedGroup {
+                    anchor: node.op.is_anchor().then_some(node.id),
+                    members: vec![node.id],
+                });
+                group_of[node.id] = gi;
+            }
+        }
+    }
+    FusedGraph { groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Shape;
+
+    #[test]
+    fn conv_bn_relu_fuses_to_one_group() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(Shape::nchw(1, 3, 32, 32));
+        let c = g.add_conv2d(x, 3, 8, 3, 1, 1, 1, false).unwrap();
+        let b = g.add_batch_norm(c);
+        let r = g.add_relu(b);
+        let fused = fuse(&g);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused.groups[0].anchor, Some(c));
+        assert_eq!(fused.groups[0].members, vec![c, b, r]);
+        assert_eq!(fused.groups[0].output(), r);
+    }
+
+    #[test]
+    fn residual_add_fuses_into_branch() {
+        // x -> conv1 -> relu -> conv2 -> add(x2 branch) ; shortcut conv.
+        let mut g = Graph::new("t");
+        let x = g.add_input(Shape::nchw(1, 8, 16, 16));
+        let c1 = g.add_conv2d(x, 8, 8, 3, 1, 1, 1, false).unwrap();
+        let r1 = g.add_relu(c1);
+        let c2 = g.add_conv2d(r1, 8, 8, 3, 1, 1, 1, false).unwrap();
+        let add = g.add_residual(c2, x).unwrap();
+        let fused = fuse(&g);
+        // Groups: [c1, r1], [c2, add]. The add folds into c2's group because
+        // c2 has a single consumer.
+        assert_eq!(fused.len(), 2);
+        assert_eq!(fused.groups[1].members, vec![c2, add]);
+    }
+
+    #[test]
+    fn multi_consumer_blocks_fusion() {
+        // conv output feeds both relu and a second conv: relu cannot fuse.
+        let mut g = Graph::new("t");
+        let x = g.add_input(Shape::nchw(1, 4, 8, 8));
+        let c = g.add_conv2d(x, 4, 4, 3, 1, 1, 1, false).unwrap();
+        let _r = g.add_relu(c);
+        let _c2 = g.add_conv2d(c, 4, 4, 3, 1, 1, 1, false).unwrap();
+        let fused = fuse(&g);
+        assert_eq!(fused.len(), 3);
+    }
+
+    #[test]
+    fn pool_is_standalone() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(Shape::nchw(1, 4, 8, 8));
+        let c = g.add_conv2d(x, 4, 4, 3, 1, 1, 1, false).unwrap();
+        let r = g.add_relu(c);
+        let p = g
+            .add_pool2d(
+                r,
+                crate::ops::Pool2dAttrs {
+                    kind: crate::ops::PoolKind::Max,
+                    kernel: (2, 2),
+                    stride: (2, 2),
+                    padding: crate::ops::Padding::same(0),
+                    ceil_mode: false,
+                },
+            )
+            .unwrap();
+        let fused = fuse(&g);
+        assert_eq!(fused.len(), 2);
+        assert_eq!(fused.groups[1].members, vec![p]);
+        assert_eq!(fused.groups[1].anchor, None);
+        assert_eq!(fused.anchored().count(), 1);
+    }
+}

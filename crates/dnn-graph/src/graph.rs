@@ -1,0 +1,337 @@
+//! The computational graph.
+//!
+//! A [`Graph`] is a DAG of [`Node`]s; each node applies one [`Op`] to the
+//! outputs of its input nodes. Graphs are built through the fluent `add_*`
+//! helpers, which run shape inference eagerly so every node always has a
+//! concrete output shape — mirroring how Relay type-checks while importing a
+//! model.
+
+use crate::error::GraphError;
+use crate::infer::infer_shape;
+use crate::ops::{Conv2dAttrs, DenseAttrs, Op, Pool2dAttrs};
+use crate::tensor::{DType, Shape};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node inside one [`Graph`] (its index in `nodes`).
+pub type NodeId = usize;
+
+/// One operator application in the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's id (equals its index).
+    pub id: NodeId,
+    /// The operator.
+    pub op: Op,
+    /// Ids of the producer nodes, in operator argument order.
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub output: Shape,
+}
+
+/// A DNN model as a DAG of operator nodes.
+///
+/// # Example
+///
+/// ```
+/// use dnn_graph::{Graph, Shape};
+///
+/// let mut g = Graph::new("tiny");
+/// let x = g.add_input(Shape::nchw(1, 3, 32, 32));
+/// let c = g.add_conv2d(x, 3, 8, 3, 1, 1, 1, true).unwrap();
+/// let r = g.add_relu(c);
+/// assert_eq!(g.node(r).output, Shape::nchw(1, 8, 32, 32));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    /// Human-readable model name (e.g. `"mobilenet_v1"`).
+    pub name: String,
+    /// Element type of all activations.
+    pub dtype: DType,
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty fp32 graph.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph { name: name.into(), dtype: DType::F32, nodes: Vec::new() }
+    }
+
+    /// All nodes in topological (insertion) order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Adds a node applying `op` to `inputs`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an input id is unknown, the arity is wrong,
+    /// or the input shapes are incompatible with `op`.
+    pub fn add(&mut self, op: Op, inputs: Vec<NodeId>) -> Result<NodeId, GraphError> {
+        for &i in &inputs {
+            if i >= self.nodes.len() {
+                return Err(GraphError::UnknownNode(i));
+            }
+        }
+        let in_shapes: Vec<&Shape> = inputs.iter().map(|&i| &self.nodes[i].output).collect();
+        let output = infer_shape(&op, &in_shapes)?;
+        let id = self.nodes.len();
+        self.nodes.push(Node { id, op, inputs, output });
+        Ok(id)
+    }
+
+    /// Adds a graph input of the given shape.
+    pub fn add_input(&mut self, shape: Shape) -> NodeId {
+        self.add(Op::Input(shape), vec![]).expect("input nodes are always valid")
+    }
+
+    /// Adds a square-kernel 2-D convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `x`'s channel count differs from
+    /// `in_channels` or the shape is not 4-D.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_conv2d(
+        &mut self,
+        x: NodeId,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+        bias: bool,
+    ) -> Result<NodeId, GraphError> {
+        let attrs = Conv2dAttrs {
+            in_channels,
+            out_channels,
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: crate::ops::Padding::same(padding),
+            groups,
+            bias,
+        };
+        self.add(Op::Conv2d(attrs), vec![x])
+    }
+
+    /// Adds a dense (fully-connected) layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `x` is not a 2-D tensor of `in_features`.
+    pub fn add_dense(
+        &mut self,
+        x: NodeId,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+    ) -> Result<NodeId, GraphError> {
+        self.add(Op::Dense(DenseAttrs { in_features, out_features, bias }), vec![x])
+    }
+
+    /// Adds a pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `x` is not 4-D.
+    pub fn add_pool2d(&mut self, x: NodeId, attrs: Pool2dAttrs) -> Result<NodeId, GraphError> {
+        self.add(Op::Pool2d(attrs), vec![x])
+    }
+
+    /// Adds a ReLU. Never fails for an existing node.
+    pub fn add_relu(&mut self, x: NodeId) -> NodeId {
+        self.add(Op::Relu, vec![x]).expect("relu preserves any shape")
+    }
+
+    /// Adds an inference-mode batch normalization.
+    pub fn add_batch_norm(&mut self, x: NodeId) -> NodeId {
+        self.add(Op::BatchNorm, vec![x]).expect("batch_norm preserves any shape")
+    }
+
+    /// Adds an element-wise residual addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ShapeMismatch`] if the operand shapes differ.
+    pub fn add_residual(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, GraphError> {
+        self.add(Op::Add, vec![a, b])
+    }
+
+    /// Adds a channel-wise concatenation of two or more 4-D tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if fewer than two inputs are given or their
+    /// non-channel extents differ.
+    pub fn add_concat(&mut self, inputs: Vec<NodeId>) -> Result<NodeId, GraphError> {
+        self.add(Op::Concat, inputs)
+    }
+
+    /// Adds a global average pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `x` is not 4-D.
+    pub fn add_global_avg_pool(&mut self, x: NodeId) -> Result<NodeId, GraphError> {
+        self.add(Op::GlobalAvgPool, vec![x])
+    }
+
+    /// Adds a flatten from `NCHW` to `N×(CHW)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `x` has rank < 2.
+    pub fn add_flatten(&mut self, x: NodeId) -> Result<NodeId, GraphError> {
+        self.add(Op::Flatten, vec![x])
+    }
+
+    /// Adds a softmax over the last dimension.
+    pub fn add_softmax(&mut self, x: NodeId) -> NodeId {
+        self.add(Op::Softmax, vec![x]).expect("softmax preserves any shape")
+    }
+
+    /// Total multiply–accumulate count of all convolution and dense nodes.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.op {
+                Op::Conv2d(a) => {
+                    let in_shape = &self.nodes[n.inputs[0]].output;
+                    a.macs(in_shape.dim(0), in_shape.dim(2), in_shape.dim(3))
+                }
+                Op::Dense(a) => {
+                    let n_batch = self.nodes[n.inputs[0]].output.dim(0) as u64;
+                    n_batch * a.in_features as u64 * a.out_features as u64
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Ids of nodes that no other node consumes (the graph outputs).
+    #[must_use]
+    pub fn output_ids(&self) -> Vec<NodeId> {
+        let mut consumed = vec![false; self.nodes.len()];
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                consumed[i] = true;
+            }
+        }
+        (0..self.nodes.len()).filter(|&i| !consumed[i]).collect()
+    }
+
+    /// Verifies the graph is a well-formed DAG in topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cyclic`] if any node consumes a node that is not
+    /// strictly earlier in the list (construction normally prevents this, but
+    /// deserialized graphs are re-checked).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                if i >= n.id {
+                    return Err(GraphError::Cyclic);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{PoolKind, Padding};
+
+    fn pool(k: usize, s: usize) -> Pool2dAttrs {
+        Pool2dAttrs {
+            kind: PoolKind::Max,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: Padding::same(0),
+            ceil_mode: false,
+        }
+    }
+
+    #[test]
+    fn build_small_graph() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(Shape::nchw(1, 3, 32, 32));
+        let c = g.add_conv2d(x, 3, 16, 3, 1, 1, 1, true).unwrap();
+        let r = g.add_relu(c);
+        let p = g.add_pool2d(r, pool(2, 2)).unwrap();
+        assert_eq!(g.node(p).output, Shape::nchw(1, 16, 16, 16));
+        assert_eq!(g.output_ids(), vec![p]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut g = Graph::new("t");
+        assert_eq!(g.add(Op::Relu, vec![5]), Err(GraphError::UnknownNode(5)));
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(Shape::nchw(1, 3, 32, 32));
+        assert!(g.add_conv2d(x, 4, 16, 3, 1, 1, 1, true).is_err());
+    }
+
+    #[test]
+    fn residual_shape_mismatch_rejected() {
+        let mut g = Graph::new("t");
+        let a = g.add_input(Shape::nchw(1, 8, 8, 8));
+        let b = g.add_input(Shape::nchw(1, 8, 4, 4));
+        assert!(g.add_residual(a, b).is_err());
+    }
+
+    #[test]
+    fn total_macs_counts_conv_and_dense() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(Shape::nchw(1, 1, 4, 4));
+        let c = g.add_conv2d(x, 1, 2, 3, 1, 1, 1, false).unwrap();
+        let f = g.add_flatten(c).unwrap();
+        let _d = g.add_dense(f, 32, 10, false).unwrap();
+        // conv: 2*4*4 outputs * 9 MACs = 288; dense: 32*10 = 320.
+        assert_eq!(g.total_macs(), 288 + 320);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut g = Graph::new("t");
+        let x = g.add_input(Shape::nchw(1, 3, 8, 8));
+        let _ = g.add_conv2d(x, 3, 4, 3, 1, 1, 1, true).unwrap();
+        let s = serde_json::to_string(&g).unwrap();
+        let g2: Graph = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, g2);
+        g2.validate().unwrap();
+    }
+}

@@ -1,0 +1,192 @@
+//! Shape inference for every operator.
+
+use crate::error::GraphError;
+use crate::ops::Op;
+use crate::tensor::Shape;
+
+fn mismatch(op: &Op, detail: impl Into<String>) -> GraphError {
+    GraphError::ShapeMismatch { op: op.name().to_string(), detail: detail.into() }
+}
+
+fn expect_rank(op: &Op, s: &Shape, rank: usize) -> Result<(), GraphError> {
+    if s.rank() != rank {
+        return Err(mismatch(op, format!("expected rank-{rank} input, got {s}")));
+    }
+    Ok(())
+}
+
+/// Computes the output shape of `op` applied to `inputs`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ArityMismatch`] for a wrong input count and
+/// [`GraphError::ShapeMismatch`] for incompatible extents.
+pub fn infer_shape(op: &Op, inputs: &[&Shape]) -> Result<Shape, GraphError> {
+    let arity_err = |expected: usize| GraphError::ArityMismatch {
+        op: op.name().to_string(),
+        expected,
+        got: inputs.len(),
+    };
+    match op {
+        Op::Input(shape) => {
+            if !inputs.is_empty() {
+                return Err(arity_err(0));
+            }
+            Ok(shape.clone())
+        }
+        Op::Conv2d(a) => {
+            let [x] = inputs else { return Err(arity_err(1)) };
+            expect_rank(op, x, 4)?;
+            if x.dim(1) != a.in_channels {
+                return Err(mismatch(
+                    op,
+                    format!("input has {} channels, attrs expect {}", x.dim(1), a.in_channels),
+                ));
+            }
+            if a.groups == 0
+                || a.in_channels % a.groups != 0
+                || a.out_channels % a.groups != 0
+            {
+                return Err(mismatch(op, format!("invalid groups {}", a.groups)));
+            }
+            let (oh, ow) = a.out_hw(x.dim(2), x.dim(3));
+            Ok(Shape::nchw(x.dim(0), a.out_channels, oh, ow))
+        }
+        Op::Dense(a) => {
+            let [x] = inputs else { return Err(arity_err(1)) };
+            expect_rank(op, x, 2)?;
+            if x.dim(1) != a.in_features {
+                return Err(mismatch(
+                    op,
+                    format!("input has {} features, attrs expect {}", x.dim(1), a.in_features),
+                ));
+            }
+            Ok(Shape::new(vec![x.dim(0), a.out_features]))
+        }
+        Op::Pool2d(a) => {
+            let [x] = inputs else { return Err(arity_err(1)) };
+            expect_rank(op, x, 4)?;
+            let (oh, ow) = a.out_hw(x.dim(2), x.dim(3));
+            Ok(Shape::nchw(x.dim(0), x.dim(1), oh, ow))
+        }
+        Op::GlobalAvgPool => {
+            let [x] = inputs else { return Err(arity_err(1)) };
+            expect_rank(op, x, 4)?;
+            Ok(Shape::nchw(x.dim(0), x.dim(1), 1, 1))
+        }
+        Op::BatchNorm | Op::Relu | Op::Softmax | Op::Dropout | Op::Lrn => {
+            let [x] = inputs else { return Err(arity_err(1)) };
+            Ok((*x).clone())
+        }
+        Op::Add => {
+            let [a, b] = inputs else { return Err(arity_err(2)) };
+            if a != b {
+                return Err(mismatch(op, format!("operand shapes differ: {a} vs {b}")));
+            }
+            Ok((*a).clone())
+        }
+        Op::Concat => {
+            if inputs.len() < 2 {
+                return Err(arity_err(2));
+            }
+            let first = inputs[0];
+            expect_rank(op, first, 4)?;
+            let mut channels = first.dim(1);
+            for x in &inputs[1..] {
+                expect_rank(op, x, 4)?;
+                if x.dim(0) != first.dim(0) || x.dim(2) != first.dim(2) || x.dim(3) != first.dim(3)
+                {
+                    return Err(mismatch(
+                        op,
+                        format!("non-channel extents differ: {first} vs {x}"),
+                    ));
+                }
+                channels += x.dim(1);
+            }
+            Ok(Shape::nchw(first.dim(0), channels, first.dim(2), first.dim(3)))
+        }
+        Op::Flatten => {
+            let [x] = inputs else { return Err(arity_err(1)) };
+            if x.rank() < 2 {
+                return Err(mismatch(op, format!("need rank >= 2, got {x}")));
+            }
+            Ok(Shape::new(vec![x.dim(0), x.num_elements() / x.dim(0)]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Conv2dAttrs, DenseAttrs, Padding};
+
+    #[test]
+    fn conv_shape() {
+        let op = Op::Conv2d(Conv2dAttrs {
+            in_channels: 3,
+            out_channels: 96,
+            kernel: (11, 11),
+            stride: (4, 4),
+            padding: Padding::same(2),
+            groups: 1,
+            bias: true,
+        });
+        let x = Shape::nchw(1, 3, 224, 224);
+        // AlexNet conv1: (224 + 4 - 11)/4 + 1 = 55.
+        assert_eq!(infer_shape(&op, &[&x]).unwrap(), Shape::nchw(1, 96, 55, 55));
+    }
+
+    #[test]
+    fn concat_channels_sum() {
+        let a = Shape::nchw(1, 64, 56, 56);
+        let b = Shape::nchw(1, 64, 56, 56);
+        assert_eq!(infer_shape(&Op::Concat, &[&a, &b]).unwrap(), Shape::nchw(1, 128, 56, 56));
+    }
+
+    #[test]
+    fn concat_spatial_mismatch() {
+        let a = Shape::nchw(1, 64, 56, 56);
+        let b = Shape::nchw(1, 64, 28, 28);
+        assert!(infer_shape(&Op::Concat, &[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn flatten_folds_chw() {
+        let x = Shape::nchw(2, 256, 6, 6);
+        assert_eq!(infer_shape(&Op::Flatten, &[&x]).unwrap(), Shape::new(vec![2, 256 * 36]));
+    }
+
+    #[test]
+    fn dense_feature_check() {
+        let op = Op::Dense(DenseAttrs { in_features: 9216, out_features: 4096, bias: true });
+        let good = Shape::new(vec![1, 9216]);
+        let bad = Shape::new(vec![1, 100]);
+        assert!(infer_shape(&op, &[&good]).is_ok());
+        assert!(infer_shape(&op, &[&bad]).is_err());
+    }
+
+    #[test]
+    fn arity_errors() {
+        let x = Shape::nchw(1, 3, 8, 8);
+        assert!(matches!(
+            infer_shape(&Op::Relu, &[&x, &x]),
+            Err(GraphError::ArityMismatch { .. })
+        ));
+        assert!(matches!(infer_shape(&Op::Add, &[&x]), Err(GraphError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn invalid_groups_rejected() {
+        let op = Op::Conv2d(Conv2dAttrs {
+            in_channels: 6,
+            out_channels: 8,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::same(1),
+            groups: 4, // 6 % 4 != 0
+            bias: false,
+        });
+        let x = Shape::nchw(1, 6, 8, 8);
+        assert!(infer_shape(&op, &[&x]).is_err());
+    }
+}

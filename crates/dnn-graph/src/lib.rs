@@ -1,0 +1,41 @@
+//! Computational-graph intermediate representation for DNN deployment tuning.
+//!
+//! This crate rebuilds, in pure Rust, the front-end substrate that the paper
+//! *“Deep Neural Network Hardware Deployment Optimization via Advanced Active
+//! Learning”* (Sun et al., DATE 2021) obtains from TVM/Relay:
+//!
+//! * a tensor/graph IR with shape inference ([`graph::Graph`]),
+//! * the operator set used by the five evaluated models ([`ops::Op`]),
+//! * graph-level optimization — operator fusion ([`fusion`]),
+//! * a model zoo with AlexNet, ResNet-18, VGG-16, MobileNet-v1 and
+//!   SqueezeNet-v1.1 ([`models`]),
+//! * extraction of node-wise tuning tasks ([`task`]), the unit of work the
+//!   paper's active-learning framework optimizes.
+//!
+//! # Example
+//!
+//! ```
+//! use dnn_graph::models;
+//! use dnn_graph::task::extract_tasks;
+//!
+//! let model = models::mobilenet_v1(1);
+//! let tasks = extract_tasks(&model);
+//! // The paper tunes 19 unique convolution workloads for MobileNet-v1.
+//! assert_eq!(tasks.len(), 19);
+//! ```
+
+pub mod dot;
+pub mod error;
+pub mod fusion;
+pub mod graph;
+pub mod infer;
+pub mod models;
+pub mod ops;
+pub mod task;
+pub mod tensor;
+
+pub use error::GraphError;
+pub use graph::{Graph, Node, NodeId};
+pub use ops::Op;
+pub use task::{extract_tasks, TaskKind, TuningTask};
+pub use tensor::{DType, Shape};

@@ -1,0 +1,66 @@
+//! AlexNet (Krizhevsky et al., NIPS 2012), torchvision single-tower variant.
+
+use super::{conv_relu, max_pool};
+use crate::graph::Graph;
+use crate::ops::Op;
+use crate::tensor::Shape;
+
+/// Builds AlexNet for `batch × 3 × 224 × 224` inputs.
+///
+/// Five convolution stages (each a unique tuning task), three max pools,
+/// and the 9216→4096→4096→1000 classifier head.
+#[must_use]
+pub fn alexnet(batch: usize) -> Graph {
+    let mut g = Graph::new("alexnet");
+    let x = g.add_input(Shape::nchw(batch, 3, 224, 224));
+
+    let c1 = conv_relu(&mut g, x, 3, 64, 11, 4, 2); // 55x55
+    let l1 = g.add(Op::Lrn, vec![c1]).expect("lrn preserves shape");
+    let p1 = max_pool(&mut g, l1, 3, 2, 0, false); // 27x27
+
+    let c2 = conv_relu(&mut g, p1, 64, 192, 5, 1, 2);
+    let l2 = g.add(Op::Lrn, vec![c2]).expect("lrn preserves shape");
+    let p2 = max_pool(&mut g, l2, 3, 2, 0, false); // 13x13
+
+    let c3 = conv_relu(&mut g, p2, 192, 384, 3, 1, 1);
+    let c4 = conv_relu(&mut g, c3, 384, 256, 3, 1, 1);
+    let c5 = conv_relu(&mut g, c4, 256, 256, 3, 1, 1);
+    let p5 = max_pool(&mut g, c5, 3, 2, 0, false); // 6x6
+
+    let flat = g.add_flatten(p5).expect("rank-4 flatten");
+    let d1 = g.add(Op::Dropout, vec![flat]).expect("dropout preserves shape");
+    let fc1 = g.add_dense(d1, 256 * 6 * 6, 4096, true).expect("9216 features");
+    let r1 = g.add_relu(fc1);
+    let d2 = g.add(Op::Dropout, vec![r1]).expect("dropout preserves shape");
+    let fc2 = g.add_dense(d2, 4096, 4096, true).expect("4096 features");
+    let r2 = g.add_relu(fc2);
+    let fc3 = g.add_dense(r2, 4096, 1000, true).expect("4096 features");
+    let _out = g.add_softmax(fc3);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{extract_tasks, extract_tasks_with_dense, TaskKind};
+
+    #[test]
+    fn five_unique_conv_tasks() {
+        let tasks = extract_tasks(&alexnet(1));
+        assert_eq!(tasks.len(), 5);
+        assert!(tasks.iter().all(|t| t.kind == TaskKind::Conv2d));
+    }
+
+    #[test]
+    fn dense_tasks_present_when_requested() {
+        let tasks = extract_tasks_with_dense(&alexnet(1));
+        assert_eq!(tasks.iter().filter(|t| t.kind == TaskKind::Dense).count(), 3);
+    }
+
+    #[test]
+    fn conv1_spatial_is_55() {
+        let g = alexnet(1);
+        // Node 1 is conv1 (node 0 is the input).
+        assert_eq!(g.node(1).output.dims(), &[1, 64, 55, 55]);
+    }
+}

@@ -1,0 +1,93 @@
+//! MobileNet-v1 (Howard et al., 2017), width multiplier 1.0.
+
+use super::conv_bn_relu;
+use crate::graph::{Graph, NodeId};
+use crate::tensor::Shape;
+
+/// Depth-wise separable block: 3×3 depth-wise conv + 1×1 point-wise conv,
+/// each followed by batch-norm and ReLU.
+fn separable(g: &mut Graph, x: NodeId, ic: usize, oc: usize, stride: usize) -> NodeId {
+    let dw = conv_bn_relu(g, x, ic, ic, 3, stride, 1, ic);
+    conv_bn_relu(g, dw, ic, oc, 1, 1, 0, 1)
+}
+
+/// Builds MobileNet-v1 for `batch × 3 × 224 × 224` inputs.
+///
+/// One standard 3×3 stem plus 13 depth-wise separable blocks. After
+/// workload deduplication this yields exactly the paper's **19 tuning
+/// tasks** (Fig. 5: T1–T19): the stem, 9 unique depth-wise and 9 unique
+/// point-wise workloads.
+#[must_use]
+pub fn mobilenet_v1(batch: usize) -> Graph {
+    let mut g = Graph::new("mobilenet_v1");
+    let x = g.add_input(Shape::nchw(batch, 3, 224, 224));
+
+    let mut cur = conv_bn_relu(&mut g, x, 3, 32, 3, 2, 1, 1); // 112x112
+
+    // (in, out, stride) for the 13 separable blocks.
+    let blocks: [(usize, usize, usize); 13] = [
+        (32, 64, 1),
+        (64, 128, 2),
+        (128, 128, 1),
+        (128, 256, 2),
+        (256, 256, 1),
+        (256, 512, 2),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 512, 1),
+        (512, 1024, 2),
+        (1024, 1024, 1),
+    ];
+    for (ic, oc, s) in blocks {
+        cur = separable(&mut g, cur, ic, oc, s);
+    }
+
+    let gap = g.add_global_avg_pool(cur).expect("rank-4 pooling");
+    let flat = g.add_flatten(gap).expect("rank-4 flatten");
+    let fc = g.add_dense(flat, 1024, 1000, true).expect("1024 features");
+    let _out = g.add_softmax(fc);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{extract_tasks, TaskKind};
+
+    #[test]
+    fn nineteen_tasks_like_fig5() {
+        let tasks = extract_tasks(&mobilenet_v1(1));
+        assert_eq!(tasks.len(), 19);
+        let dw = tasks.iter().filter(|t| t.kind == TaskKind::DepthwiseConv2d).count();
+        let pw = tasks
+            .iter()
+            .filter(|t| {
+                t.kind == TaskKind::Conv2d
+                    && matches!(t.workload, crate::task::Workload::Conv2d { kernel: (1, 1), .. })
+            })
+            .count();
+        assert_eq!(dw, 9);
+        assert_eq!(pw, 9);
+    }
+
+    #[test]
+    fn twenty_seven_conv_nodes_total() {
+        let tasks = extract_tasks(&mobilenet_v1(1));
+        let total: usize = tasks.iter().map(|t| t.occurrences).sum();
+        // 1 stem + 13 dw + 13 pw.
+        assert_eq!(total, 27);
+    }
+
+    #[test]
+    fn final_feature_map_is_1024x7x7() {
+        let g = mobilenet_v1(1);
+        let gap = g
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, crate::ops::Op::GlobalAvgPool))
+            .expect("mobilenet has a global avg pool");
+        assert_eq!(g.node(gap.inputs[0]).output.dims(), &[1, 1024, 7, 7]);
+    }
+}

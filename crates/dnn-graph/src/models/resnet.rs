@@ -1,0 +1,130 @@
+//! ResNet-18 (He et al., CVPR 2016).
+
+use super::{conv_bn_relu, max_pool};
+use crate::graph::{Graph, NodeId};
+use crate::tensor::Shape;
+
+/// One basic residual block: two 3×3 convs plus identity or projection
+/// shortcut. Returns the post-addition activation.
+fn basic_block(g: &mut Graph, x: NodeId, ic: usize, oc: usize, stride: usize) -> NodeId {
+    let c1 = conv_bn_relu(g, x, ic, oc, 3, stride, 1, 1);
+    let c2 = g.add_conv2d(c1, oc, oc, 3, 1, 1, 1, false).expect("block channels match");
+    let b2 = g.add_batch_norm(c2);
+    let shortcut = if stride != 1 || ic != oc {
+        let p = g.add_conv2d(x, ic, oc, 1, stride, 0, 1, false).expect("projection shortcut");
+        g.add_batch_norm(p)
+    } else {
+        x
+    };
+    let sum = g.add_residual(b2, shortcut).expect("branch shapes agree");
+    g.add_relu(sum)
+}
+
+/// Builds ResNet-18 for `batch × 3 × 224 × 224` inputs.
+///
+/// A 7×7 stem, four stages of two basic blocks (64/128/256/512 channels),
+/// global average pooling and a 512→1000 classifier. Eleven unique conv
+/// workloads (shortcut projections included).
+#[must_use]
+pub fn resnet18(batch: usize) -> Graph {
+    let mut g = Graph::new("resnet18");
+    let x = g.add_input(Shape::nchw(batch, 3, 224, 224));
+
+    let stem = conv_bn_relu(&mut g, x, 3, 64, 7, 2, 3, 1); // 112x112
+    let mut cur = max_pool(&mut g, stem, 3, 2, 1, false); // 56x56
+
+    let stages: [(usize, usize, usize); 4] =
+        [(64, 64, 1), (64, 128, 2), (128, 256, 2), (256, 512, 2)];
+    for (ic, oc, first_stride) in stages {
+        cur = basic_block(&mut g, cur, ic, oc, first_stride);
+        cur = basic_block(&mut g, cur, oc, oc, 1);
+    }
+
+    let gap = g.add_global_avg_pool(cur).expect("rank-4 pooling");
+    let flat = g.add_flatten(gap).expect("rank-4 flatten");
+    let fc = g.add_dense(flat, 512, 1000, true).expect("512 features");
+    let _out = g.add_softmax(fc);
+    g
+}
+
+/// Builds ResNet-34 for `batch × 3 × 224 × 224` inputs (extension model,
+/// not part of the paper's Table I): the same basic-block design with
+/// 3/4/6/3 blocks per stage.
+#[must_use]
+pub fn resnet34(batch: usize) -> Graph {
+    let mut g = Graph::new("resnet34");
+    let x = g.add_input(Shape::nchw(batch, 3, 224, 224));
+
+    let stem = conv_bn_relu(&mut g, x, 3, 64, 7, 2, 3, 1);
+    let mut cur = max_pool(&mut g, stem, 3, 2, 1, false);
+
+    let stages: [(usize, usize, usize, usize); 4] =
+        [(64, 64, 1, 3), (64, 128, 2, 4), (128, 256, 2, 6), (256, 512, 2, 3)];
+    for (ic, oc, first_stride, blocks) in stages {
+        cur = basic_block(&mut g, cur, ic, oc, first_stride);
+        for _ in 1..blocks {
+            cur = basic_block(&mut g, cur, oc, oc, 1);
+        }
+    }
+
+    let gap = g.add_global_avg_pool(cur).expect("rank-4 pooling");
+    let flat = g.add_flatten(gap).expect("rank-4 flatten");
+    let fc = g.add_dense(flat, 512, 1000, true).expect("512 features");
+    let _out = g.add_softmax(fc);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::extract_tasks;
+
+    #[test]
+    fn eleven_unique_conv_tasks() {
+        let tasks = extract_tasks(&resnet18(1));
+        assert_eq!(tasks.len(), 11);
+        // 1 stem + 16 block convs + 3 projections = 20 conv nodes total.
+        let total: usize = tasks.iter().map(|t| t.occurrences).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn resnet34_has_same_unique_tasks_as_18() {
+        // Deeper stages repeat the same workloads: identical task set,
+        // higher occurrence counts.
+        let t18 = extract_tasks(&resnet18(1));
+        let t34 = extract_tasks(&resnet34(1));
+        assert_eq!(t18.len(), t34.len());
+        let n18: usize = t18.iter().map(|t| t.occurrences).sum();
+        let n34: usize = t34.iter().map(|t| t.occurrences).sum();
+        assert!(n34 > n18);
+    }
+
+    #[test]
+    fn final_stage_is_7x7() {
+        let g = resnet18(1);
+        // The node feeding global-avg-pool must be 512 x 7 x 7.
+        let gap = g
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, crate::ops::Op::GlobalAvgPool))
+            .expect("resnet has a global avg pool");
+        assert_eq!(g.node(gap.inputs[0]).output.dims(), &[1, 512, 7, 7]);
+    }
+
+    #[test]
+    fn identity_shortcut_has_no_projection() {
+        // Stage 1 blocks are stride-1 64->64: exactly 3 1x1 projections in
+        // the whole net (stages 2-4).
+        let g = resnet18(1);
+        let projections = g
+            .nodes()
+            .iter()
+            .filter(|n| match &n.op {
+                crate::ops::Op::Conv2d(a) => a.kernel == (1, 1),
+                _ => false,
+            })
+            .count();
+        assert_eq!(projections, 3);
+    }
+}

@@ -1,0 +1,81 @@
+//! SqueezeNet-v1.1 (Iandola et al., 2016).
+
+use super::{conv_relu, max_pool};
+use crate::graph::{Graph, NodeId};
+use crate::ops::Op;
+use crate::tensor::Shape;
+
+/// A fire module: 1×1 squeeze, then parallel 1×1 and 3×3 expands whose
+/// outputs concatenate channel-wise.
+fn fire(g: &mut Graph, x: NodeId, ic: usize, squeeze: usize, expand: usize) -> NodeId {
+    let s = conv_relu(g, x, ic, squeeze, 1, 1, 0);
+    let e1 = conv_relu(g, s, squeeze, expand, 1, 1, 0);
+    let e3 = conv_relu(g, s, squeeze, expand, 3, 1, 1);
+    g.add_concat(vec![e1, e3]).expect("expand branches share spatial extents")
+}
+
+/// Builds SqueezeNet-v1.1 for `batch × 3 × 224 × 224` inputs.
+///
+/// The v1.1 revision: a 3×3/stride-2 stem with 64 channels and earlier
+/// pooling than v1.0. Eight fire modules plus the 1×1 `conv10` classifier;
+/// eighteen unique conv workloads.
+#[must_use]
+pub fn squeezenet_v1_1(batch: usize) -> Graph {
+    let mut g = Graph::new("squeezenet_v1.1");
+    let x = g.add_input(Shape::nchw(batch, 3, 224, 224));
+
+    let stem = conv_relu(&mut g, x, 3, 64, 3, 2, 0); // 111x111
+    let mut cur = max_pool(&mut g, stem, 3, 2, 0, true); // 55x55 (ceil)
+
+    cur = fire(&mut g, cur, 64, 16, 64);
+    cur = fire(&mut g, cur, 128, 16, 64);
+    cur = max_pool(&mut g, cur, 3, 2, 0, true); // 27x27
+
+    cur = fire(&mut g, cur, 128, 32, 128);
+    cur = fire(&mut g, cur, 256, 32, 128);
+    cur = max_pool(&mut g, cur, 3, 2, 0, true); // 13x13
+
+    cur = fire(&mut g, cur, 256, 48, 192);
+    cur = fire(&mut g, cur, 384, 48, 192);
+    cur = fire(&mut g, cur, 384, 64, 256);
+    cur = fire(&mut g, cur, 512, 64, 256);
+
+    let drop = g.add(Op::Dropout, vec![cur]).expect("dropout preserves shape");
+    let conv10 = conv_relu(&mut g, drop, 512, 1000, 1, 1, 0);
+    let gap = g.add_global_avg_pool(conv10).expect("rank-4 pooling");
+    let flat = g.add_flatten(gap).expect("rank-4 flatten");
+    let _out = g.add_softmax(flat);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::extract_tasks;
+
+    #[test]
+    fn eighteen_unique_conv_tasks() {
+        let tasks = extract_tasks(&squeezenet_v1_1(1));
+        assert_eq!(tasks.len(), 18);
+        // 1 stem + 8 fires * 3 convs + conv10 = 26 conv nodes.
+        let total: usize = tasks.iter().map(|t| t.occurrences).sum();
+        assert_eq!(total, 26);
+    }
+
+    #[test]
+    fn stem_is_111x111() {
+        let g = squeezenet_v1_1(1);
+        assert_eq!(g.node(1).output.dims(), &[1, 64, 111, 111]);
+    }
+
+    #[test]
+    fn fire_concat_doubles_expand_channels() {
+        let g = squeezenet_v1_1(1);
+        let first_concat = g
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Op::Concat))
+            .expect("fire modules concat");
+        assert_eq!(first_concat.output.dim(1), 128);
+    }
+}

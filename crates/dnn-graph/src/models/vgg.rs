@@ -1,0 +1,99 @@
+//! VGG-16 (Simonyan & Zisserman, ICLR 2015), configuration D.
+
+use super::{conv_relu, max_pool};
+use crate::graph::Graph;
+use crate::ops::Op;
+use crate::tensor::Shape;
+
+/// Builds VGG-16 for `batch × 3 × 224 × 224` inputs.
+///
+/// Thirteen 3×3 convolutions in five stages; nine unique conv workloads.
+#[must_use]
+pub fn vgg16(batch: usize) -> Graph {
+    let mut g = Graph::new("vgg16");
+    let x = g.add_input(Shape::nchw(batch, 3, 224, 224));
+
+    // (in, out, repeats) per stage; every conv is 3x3 s1 p1.
+    let stages: [(usize, usize, usize); 5] =
+        [(3, 64, 2), (64, 128, 2), (128, 256, 3), (256, 512, 3), (512, 512, 3)];
+
+    let mut cur = x;
+    for (ic, oc, reps) in stages {
+        let mut c = ic;
+        for _ in 0..reps {
+            cur = conv_relu(&mut g, cur, c, oc, 3, 1, 1);
+            c = oc;
+        }
+        cur = max_pool(&mut g, cur, 2, 2, 0, false);
+    }
+
+    let flat = g.add_flatten(cur).expect("rank-4 flatten"); // 512*7*7 = 25088
+    let fc1 = g.add_dense(flat, 512 * 7 * 7, 4096, true).expect("25088 features");
+    let r1 = g.add_relu(fc1);
+    let d1 = g.add(Op::Dropout, vec![r1]).expect("dropout preserves shape");
+    let fc2 = g.add_dense(d1, 4096, 4096, true).expect("4096 features");
+    let r2 = g.add_relu(fc2);
+    let d2 = g.add(Op::Dropout, vec![r2]).expect("dropout preserves shape");
+    let fc3 = g.add_dense(d2, 4096, 1000, true).expect("4096 features");
+    let _out = g.add_softmax(fc3);
+    g
+}
+
+/// Builds VGG-19 (configuration E; extension model): 16 convolutions in
+/// the same five stages.
+#[must_use]
+pub fn vgg19(batch: usize) -> Graph {
+    let mut g = Graph::new("vgg19");
+    let x = g.add_input(Shape::nchw(batch, 3, 224, 224));
+    let stages: [(usize, usize, usize); 5] =
+        [(3, 64, 2), (64, 128, 2), (128, 256, 4), (256, 512, 4), (512, 512, 4)];
+    let mut cur = x;
+    for (ic, oc, reps) in stages {
+        let mut c = ic;
+        for _ in 0..reps {
+            cur = conv_relu(&mut g, cur, c, oc, 3, 1, 1);
+            c = oc;
+        }
+        cur = max_pool(&mut g, cur, 2, 2, 0, false);
+    }
+    let flat = g.add_flatten(cur).expect("rank-4 flatten");
+    let fc1 = g.add_dense(flat, 512 * 7 * 7, 4096, true).expect("25088 features");
+    let r1 = g.add_relu(fc1);
+    let fc2 = g.add_dense(r1, 4096, 4096, true).expect("4096 features");
+    let r2 = g.add_relu(fc2);
+    let fc3 = g.add_dense(r2, 4096, 1000, true).expect("4096 features");
+    let _out = g.add_softmax(fc3);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::extract_tasks;
+
+    #[test]
+    fn nine_unique_conv_tasks_from_thirteen_convs() {
+        let tasks = extract_tasks(&vgg16(1));
+        assert_eq!(tasks.len(), 9);
+        let total: usize = tasks.iter().map(|t| t.occurrences).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn vgg19_shares_vgg16_task_set() {
+        let t16 = extract_tasks(&vgg16(1));
+        let t19 = extract_tasks(&vgg19(1));
+        assert_eq!(t16.len(), t19.len(), "same unique workloads");
+        let convs19: usize = t19.iter().map(|t| t.occurrences).sum();
+        assert_eq!(convs19, 16);
+    }
+
+    #[test]
+    fn vgg_is_the_flop_heavyweight() {
+        // VGG-16 is ~15.5 GFLOPs; AlexNet ~1.4 GFLOPs. The ordering drives
+        // Table I's latency ordering, so lock it down.
+        let vgg = vgg16(1).total_macs();
+        let alex = super::super::alexnet(1).total_macs();
+        assert!(vgg > 7 * alex, "vgg {vgg} vs alexnet {alex}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Operator set.
+//!
+//! These are the operators needed to express the five models evaluated in the
+//! paper (AlexNet, ResNet-18, VGG-16, MobileNet-v1, SqueezeNet-v1.1):
+//! convolutions (standard, grouped/depth-wise and 1×1 point-wise all share
+//! [`Op::Conv2d`]), dense layers, pooling, batch-normalization, element-wise
+//! ops, concatenation (SqueezeNet fire modules, multi-branch layers) and the
+//! residual addition (ResNet shortcut layers).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Padding specification for convolution / pooling (symmetric `[h, w]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Padding {
+    /// Rows of zero padding added on top and bottom.
+    pub h: usize,
+    /// Columns of zero padding added on left and right.
+    pub w: usize,
+}
+
+impl Padding {
+    /// Symmetric padding of `p` in both spatial dimensions.
+    #[must_use]
+    pub fn same(p: usize) -> Self {
+        Padding { h: p, w: p }
+    }
+}
+
+/// Attributes of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dAttrs {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Kernel extent `[kh, kw]`.
+    pub kernel: (usize, usize),
+    /// Stride `[sh, sw]`.
+    pub stride: (usize, usize),
+    /// Zero padding.
+    pub padding: Padding,
+    /// Channel groups. `groups == in_channels == out_channels` is a
+    /// depth-wise convolution (MobileNet-v1).
+    pub groups: usize,
+    /// Whether a bias vector is added (fused into the kernel epilogue).
+    pub bias: bool,
+}
+
+impl Conv2dAttrs {
+    /// True if this is a depth-wise convolution.
+    #[must_use]
+    pub fn is_depthwise(&self) -> bool {
+        self.groups > 1 && self.groups == self.in_channels && self.groups == self.out_channels
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    #[must_use]
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding.h - self.kernel.0) / self.stride.0 + 1;
+        let ow = (w + 2 * self.padding.w - self.kernel.1) / self.stride.1 + 1;
+        (oh, ow)
+    }
+
+    /// Multiply–accumulate count for a batch-`n` input of `h × w`
+    /// (2 floating-point ops per MAC).
+    #[must_use]
+    pub fn macs(&self, n: usize, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_hw(h, w);
+        let per_out = self.in_channels / self.groups * self.kernel.0 * self.kernel.1;
+        (n * self.out_channels * oh * ow) as u64 * per_out as u64
+    }
+}
+
+/// Attributes of a dense (fully-connected) layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DenseAttrs {
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+    /// Whether a bias vector is added.
+    pub bias: bool,
+}
+
+/// Pooling kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Attributes of a 2-D pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pool2dAttrs {
+    /// Max or average.
+    pub kind: PoolKind,
+    /// Window extent `[kh, kw]`.
+    pub kernel: (usize, usize),
+    /// Stride `[sh, sw]`.
+    pub stride: (usize, usize),
+    /// Zero padding.
+    pub padding: Padding,
+    /// Round output size up (ceil mode), used by AlexNet-style pooling.
+    pub ceil_mode: bool,
+}
+
+impl Pool2dAttrs {
+    /// Output spatial size for an input of `h × w`.
+    #[must_use]
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let num_h = h + 2 * self.padding.h - self.kernel.0;
+        let num_w = w + 2 * self.padding.w - self.kernel.1;
+        if self.ceil_mode {
+            (
+                num_h.div_ceil(self.stride.0) + 1,
+                num_w.div_ceil(self.stride.1) + 1,
+            )
+        } else {
+            (num_h / self.stride.0 + 1, num_w / self.stride.1 + 1)
+        }
+    }
+}
+
+/// A graph operator.
+///
+/// Each node of a [`crate::Graph`] holds one `Op`. Shape inference for every
+/// variant lives in [`crate::infer`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Graph input placeholder with a fixed shape.
+    Input(crate::Shape),
+    /// 2-D convolution (standard, grouped, depth-wise, or 1×1 point-wise).
+    Conv2d(Conv2dAttrs),
+    /// Dense / fully-connected layer.
+    Dense(DenseAttrs),
+    /// 2-D max/average pooling.
+    Pool2d(Pool2dAttrs),
+    /// Global average pooling over the spatial dimensions.
+    GlobalAvgPool,
+    /// Batch normalization (inference-mode affine transform).
+    BatchNorm,
+    /// Rectified linear unit.
+    Relu,
+    /// Element-wise addition (ResNet shortcut).
+    Add,
+    /// Channel-wise concatenation (SqueezeNet fire expand).
+    Concat,
+    /// Flatten `NCHW` to `N×(CHW)`.
+    Flatten,
+    /// Softmax over the feature dimension.
+    Softmax,
+    /// Dropout: identity at inference time, kept for structural fidelity.
+    Dropout,
+    /// Local response normalization (AlexNet).
+    Lrn,
+}
+
+impl Op {
+    /// Number of tensor inputs the operator consumes.
+    ///
+    /// [`Op::Concat`] and [`Op::Add`] are variadic and report their minimum
+    /// arity (2); all others are exact.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Input(_) => 0,
+            Op::Add | Op::Concat => 2,
+            _ => 1,
+        }
+    }
+
+    /// True for element-wise operators that fuse into a preceding anchor op.
+    #[must_use]
+    pub fn is_elementwise(&self) -> bool {
+        matches!(self, Op::Relu | Op::BatchNorm | Op::Dropout | Op::Add)
+    }
+
+    /// True for "anchor" operators that own a tuning task (compute-heavy).
+    #[must_use]
+    pub fn is_anchor(&self) -> bool {
+        matches!(self, Op::Conv2d(_) | Op::Dense(_))
+    }
+
+    /// Short lowercase name, used in diagnostics and task names.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Input(_) => "input",
+            Op::Conv2d(a) if a.is_depthwise() => "depthwise_conv2d",
+            Op::Conv2d(_) => "conv2d",
+            Op::Dense(_) => "dense",
+            Op::Pool2d(_) => "pool2d",
+            Op::GlobalAvgPool => "global_avg_pool",
+            Op::BatchNorm => "batch_norm",
+            Op::Relu => "relu",
+            Op::Add => "add",
+            Op::Concat => "concat",
+            Op::Flatten => "flatten",
+            Op::Softmax => "softmax",
+            Op::Dropout => "dropout",
+            Op::Lrn => "lrn",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(ic: usize, oc: usize, k: usize, s: usize, p: usize, g: usize) -> Conv2dAttrs {
+        Conv2dAttrs {
+            in_channels: ic,
+            out_channels: oc,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: Padding::same(p),
+            groups: g,
+            bias: true,
+        }
+    }
+
+    #[test]
+    fn conv_out_hw_same_padding() {
+        let c = conv(3, 64, 3, 1, 1, 1);
+        assert_eq!(c.out_hw(224, 224), (224, 224));
+    }
+
+    #[test]
+    fn conv_out_hw_strided() {
+        let c = conv(3, 32, 3, 2, 1, 1);
+        assert_eq!(c.out_hw(224, 224), (112, 112));
+    }
+
+    #[test]
+    fn conv_macs_standard() {
+        let c = conv(3, 64, 3, 1, 1, 1);
+        // 64*224*224 outputs, each 3*3*3 MACs.
+        assert_eq!(c.macs(1, 224, 224), 64 * 224 * 224 * 27);
+    }
+
+    #[test]
+    fn conv_macs_depthwise() {
+        let c = conv(32, 32, 3, 1, 1, 32);
+        assert!(c.is_depthwise());
+        // groups = 32, so each output sees 1*3*3 MACs.
+        assert_eq!(c.macs(1, 112, 112), 32 * 112 * 112 * 9);
+    }
+
+    #[test]
+    fn pool_ceil_mode() {
+        // AlexNet pool: 3x3 stride 2 on 55 -> 27 (floor), 27.5 -> 28 (ceil).
+        let p = Pool2dAttrs {
+            kind: PoolKind::Max,
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: Padding::same(0),
+            ceil_mode: false,
+        };
+        assert_eq!(p.out_hw(55, 55), (27, 27));
+        let p_ceil = Pool2dAttrs { ceil_mode: true, ..p };
+        assert_eq!(p_ceil.out_hw(56, 56), (28, 28));
+    }
+
+    #[test]
+    fn op_arity_and_classes() {
+        assert_eq!(Op::Relu.arity(), 1);
+        assert_eq!(Op::Add.arity(), 2);
+        assert!(Op::Relu.is_elementwise());
+        assert!(Op::Conv2d(conv(3, 8, 3, 1, 1, 1)).is_anchor());
+        assert!(!Op::Softmax.is_anchor());
+        assert_eq!(Op::Conv2d(conv(8, 8, 3, 1, 1, 8)).name(), "depthwise_conv2d");
+    }
+}

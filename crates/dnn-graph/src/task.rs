@@ -1,0 +1,312 @@
+//! Tuning-task extraction.
+//!
+//! After fusion, every anchored group is a deployable kernel whose schedule
+//! must be tuned (the paper's "node-wise optimization"). Identical workloads
+//! share one task: tuning it once yields the configuration for every
+//! occurrence. AutoTVM's GPU flow extracts convolution workloads only (dense
+//! layers run through a fixed library schedule), which is what makes
+//! MobileNet-v1 a 19-task model in the paper; [`extract_tasks`] follows that
+//! convention and [`extract_tasks_with_dense`] also covers dense layers.
+
+use crate::fusion::fuse;
+use crate::graph::Graph;
+use crate::ops::{Conv2dAttrs, DenseAttrs, Op};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The template family a task is tuned with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Direct CUDA conv2d template.
+    Conv2d,
+    /// Depth-wise conv2d template.
+    DepthwiseConv2d,
+    /// Dense (matmul) template.
+    Dense,
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskKind::Conv2d => write!(f, "conv2d"),
+            TaskKind::DepthwiseConv2d => write!(f, "depthwise_conv2d"),
+            TaskKind::Dense => write!(f, "dense"),
+        }
+    }
+}
+
+/// A fully-specified kernel workload — the tuple TVM calls a "workload key".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// Convolution workload (also covers depth-wise via `groups`).
+    Conv2d {
+        /// Batch size.
+        batch: usize,
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Input spatial height.
+        height: usize,
+        /// Input spatial width.
+        width: usize,
+        /// Kernel extent `[kh, kw]`.
+        kernel: (usize, usize),
+        /// Stride `[sh, sw]`.
+        stride: (usize, usize),
+        /// Symmetric padding `[ph, pw]`.
+        padding: (usize, usize),
+        /// Channel groups.
+        groups: usize,
+    },
+    /// Dense workload.
+    Dense {
+        /// Batch size.
+        batch: usize,
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+impl Workload {
+    /// Output spatial size (convolutions only).
+    #[must_use]
+    pub fn out_hw(&self) -> Option<(usize, usize)> {
+        match *self {
+            Workload::Conv2d { height, width, kernel, stride, padding, .. } => {
+                let oh = (height + 2 * padding.0 - kernel.0) / stride.0 + 1;
+                let ow = (width + 2 * padding.1 - kernel.1) / stride.1 + 1;
+                Some((oh, ow))
+            }
+            Workload::Dense { .. } => None,
+        }
+    }
+
+    /// Multiply–accumulate count of one kernel invocation.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Workload::Conv2d {
+                batch, in_channels, out_channels, kernel, groups, ..
+            } => {
+                let (oh, ow) = self.out_hw().expect("conv has spatial output");
+                let per_out = in_channels / groups * kernel.0 * kernel.1;
+                (batch * out_channels * oh * ow) as u64 * per_out as u64
+            }
+            Workload::Dense { batch, in_features, out_features } => {
+                (batch * in_features * out_features) as u64
+            }
+        }
+    }
+
+    /// Floating-point operation count (2 per MAC).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Workload::Conv2d {
+                batch,
+                in_channels,
+                out_channels,
+                height,
+                width,
+                kernel,
+                stride,
+                padding,
+                groups,
+            } => write!(
+                f,
+                "conv2d(n={batch}, {in_channels}->{out_channels}, {height}x{width}, \
+                 k={}x{}, s={}, p={}, g={groups})",
+                kernel.0, kernel.1, stride.0, padding.0
+            ),
+            Workload::Dense { batch, in_features, out_features } => {
+                write!(f, "dense(n={batch}, {in_features}->{out_features})")
+            }
+        }
+    }
+}
+
+/// One node-wise tuning task: a unique workload plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TuningTask {
+    /// Template family.
+    pub kind: TaskKind,
+    /// Stable task name, e.g. `"mobilenet_v1.T3"`.
+    pub name: String,
+    /// The workload tuple.
+    pub workload: Workload,
+    /// How many graph nodes share this workload (the task's weight when
+    /// combining per-node latencies into a model latency).
+    pub occurrences: usize,
+}
+
+impl TuningTask {
+    /// Floating-point operations of one invocation of this kernel.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        self.workload.flops()
+    }
+}
+
+impl fmt::Display for TuningTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} x{}]", self.name, self.workload, self.occurrences)
+    }
+}
+
+fn conv_workload(graph: &Graph, node_id: usize, a: &Conv2dAttrs) -> Workload {
+    let input = &graph.node(graph.node(node_id).inputs[0]).output;
+    Workload::Conv2d {
+        batch: input.dim(0),
+        in_channels: a.in_channels,
+        out_channels: a.out_channels,
+        height: input.dim(2),
+        width: input.dim(3),
+        kernel: a.kernel,
+        stride: a.stride,
+        padding: (a.padding.h, a.padding.w),
+        groups: a.groups,
+    }
+}
+
+fn dense_workload(graph: &Graph, node_id: usize, a: &DenseAttrs) -> Workload {
+    let input = &graph.node(graph.node(node_id).inputs[0]).output;
+    Workload::Dense {
+        batch: input.dim(0),
+        in_features: a.in_features,
+        out_features: a.out_features,
+    }
+}
+
+fn extract(graph: &Graph, include_dense: bool) -> Vec<TuningTask> {
+    let fused = fuse(graph);
+    let mut order: Vec<(TaskKind, Workload)> = Vec::new();
+    let mut counts: HashMap<Workload, usize> = HashMap::new();
+    for group in fused.anchored() {
+        let anchor = group.anchor.expect("anchored() yields anchored groups");
+        let (kind, workload) = match &graph.node(anchor).op {
+            Op::Conv2d(a) => {
+                let kind = if a.is_depthwise() {
+                    TaskKind::DepthwiseConv2d
+                } else {
+                    TaskKind::Conv2d
+                };
+                (kind, conv_workload(graph, anchor, a))
+            }
+            Op::Dense(a) => {
+                if !include_dense {
+                    continue;
+                }
+                (TaskKind::Dense, dense_workload(graph, anchor, a))
+            }
+            other => unreachable!("anchor is conv or dense, got {other}"),
+        };
+        if !counts.contains_key(&workload) {
+            order.push((kind, workload.clone()));
+        }
+        *counts.entry(workload).or_insert(0) += 1;
+    }
+    order
+        .into_iter()
+        .enumerate()
+        .map(|(i, (kind, workload))| TuningTask {
+            kind,
+            name: format!("{}.T{}", graph.name, i + 1),
+            occurrences: counts[&workload],
+            workload,
+        })
+        .collect()
+}
+
+/// Extracts the unique convolution tuning tasks of a model, in first-use
+/// order (AutoTVM's GPU convention; dense layers are not tuned).
+#[must_use]
+pub fn extract_tasks(graph: &Graph) -> Vec<TuningTask> {
+    extract(graph, false)
+}
+
+/// Extracts convolution *and* dense tuning tasks.
+#[must_use]
+pub fn extract_tasks_with_dense(graph: &Graph) -> Vec<TuningTask> {
+    extract(graph, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Shape;
+
+    fn two_identical_convs() -> Graph {
+        let mut g = Graph::new("m");
+        let x = g.add_input(Shape::nchw(1, 8, 16, 16));
+        let c1 = g.add_conv2d(x, 8, 8, 3, 1, 1, 1, true).unwrap();
+        let r1 = g.add_relu(c1);
+        let c2 = g.add_conv2d(r1, 8, 8, 3, 1, 1, 1, true).unwrap();
+        let _ = g.add_relu(c2);
+        g
+    }
+
+    #[test]
+    fn identical_workloads_dedupe() {
+        let tasks = extract_tasks(&two_identical_convs());
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].occurrences, 2);
+        assert_eq!(tasks[0].name, "m.T1");
+    }
+
+    #[test]
+    fn dense_excluded_by_default() {
+        let mut g = Graph::new("m");
+        let x = g.add_input(Shape::nchw(1, 4, 4, 4));
+        let c = g.add_conv2d(x, 4, 4, 3, 1, 1, 1, true).unwrap();
+        let f = g.add_flatten(c).unwrap();
+        let _d = g.add_dense(f, 64, 10, true).unwrap();
+        assert_eq!(extract_tasks(&g).len(), 1);
+        let with_dense = extract_tasks_with_dense(&g);
+        assert_eq!(with_dense.len(), 2);
+        assert_eq!(with_dense[1].kind, TaskKind::Dense);
+    }
+
+    #[test]
+    fn depthwise_kind_detected() {
+        let mut g = Graph::new("m");
+        let x = g.add_input(Shape::nchw(1, 8, 16, 16));
+        let _ = g.add_conv2d(x, 8, 8, 3, 1, 1, 8, false).unwrap();
+        let tasks = extract_tasks(&g);
+        assert_eq!(tasks[0].kind, TaskKind::DepthwiseConv2d);
+    }
+
+    #[test]
+    fn workload_flops_match_graph_macs() {
+        let g = two_identical_convs();
+        let tasks = extract_tasks(&g);
+        let task_macs: u64 =
+            tasks.iter().map(|t| t.workload.macs() * t.occurrences as u64).sum();
+        assert_eq!(task_macs, g.total_macs());
+    }
+
+    #[test]
+    fn conv_workload_out_hw() {
+        let w = Workload::Conv2d {
+            batch: 1,
+            in_channels: 3,
+            out_channels: 32,
+            height: 224,
+            width: 224,
+            kernel: (3, 3),
+            stride: (2, 2),
+            padding: (1, 1),
+            groups: 1,
+        };
+        assert_eq!(w.out_hw(), Some((112, 112)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Tensor shapes and element types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// The paper's experiments run fp32 inference; the other types exist so the
+/// simulator can model reduced-precision deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// 32-bit IEEE float (the paper's setting).
+    #[default]
+    F32,
+    /// 16-bit IEEE float.
+    F16,
+    /// 8-bit signed integer.
+    I8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[must_use]
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 => 2,
+            DType::I8 => 1,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F32 => write!(f, "float32"),
+            DType::F16 => write!(f, "float16"),
+            DType::I8 => write!(f, "int8"),
+        }
+    }
+}
+
+/// A tensor shape: a list of extents, outermost first.
+///
+/// Activations use `NCHW` layout (`[batch, channels, height, width]`),
+/// matching the layout TVM's CUDA conv2d templates tune over.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from extents.
+    #[must_use]
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    #[must_use]
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Extents as a slice.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Convenience constructor for an `NCHW` activation shape.
+    #[must_use]
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![n, c, h, w])
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn shape_basics() {
+        let s = Shape::nchw(1, 3, 224, 224);
+        assert_eq!(s.rank(), 4);
+        assert_eq!(s.num_elements(), 3 * 224 * 224);
+        assert_eq!(s.dim(1), 3);
+        assert_eq!(s.to_string(), "(1, 3, 224, 224)");
+    }
+
+    #[test]
+    fn shape_scalar_product_is_one() {
+        assert_eq!(Shape::new(vec![]).num_elements(), 1);
+    }
+
+    #[test]
+    fn shape_from_slice_and_vec() {
+        let a: Shape = vec![2, 3].into();
+        let b: Shape = (&[2usize, 3][..]).into();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,137 @@
+//! Regression quality metrics.
+
+/// Root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty inputs");
+    let mse = truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / truth.len() as f64;
+    mse.sqrt()
+}
+
+/// Coefficient of determination R². 1.0 is perfect; 0.0 is the mean
+/// predictor; negative is worse than the mean.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty inputs");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Average rank of each value (ties share the average of their positions).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation — the metric that matters for a tuner's cost
+/// model, since only the *ordering* of candidates drives selection.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 items.
+#[must_use]
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(a.len() >= 2, "need at least two samples");
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let n = a.len() as f64;
+    let ma = ra.iter().sum::<f64>() / n;
+    let mb = rb.iter().sum::<f64>() / n;
+    let cov: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = ra.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = rb.iter().map(|y| (y - mb) * (y - mb)).sum();
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_zero_on_perfect() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2(&y, &y) - 1.0).abs() < 1e-12);
+        let mean = [2.5, 2.5, 2.5, 2.5];
+        assert!(r2(&y, &mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 100.0, 1000.0, 10000.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_reversed_is_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 10.0, 5.0]), vec![2.5, 2.5, 1.0]);
+    }
+}

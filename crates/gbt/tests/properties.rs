@@ -1,0 +1,99 @@
+//! Property-based invariants of the boosting implementation.
+
+use gbt::{BaggedGbt, Gbt, GbtParams, Matrix, RegressionTree};
+use proptest::prelude::*;
+
+/// An arbitrary small regression dataset with finite values.
+fn arb_dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (2usize..6, 5usize..60).prop_flat_map(|(d, n)| {
+        let rows = proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, d..=d),
+            n..=n,
+        );
+        let ys = proptest::collection::vec(-1000.0f64..1000.0, n..=n);
+        (rows, ys)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn predictions_are_finite_everywhere((rows, ys) in arb_dataset()) {
+        let x = Matrix::from_rows(&rows);
+        let m = Gbt::fit(&GbtParams { n_rounds: 10, ..GbtParams::default() }, &x, &ys, 1);
+        for r in &rows {
+            prop_assert!(m.predict_row(r).is_finite());
+        }
+        // Extrapolation stays finite too.
+        let far: Vec<f64> = vec![1e9; rows[0].len()];
+        prop_assert!(m.predict_row(&far).is_finite());
+    }
+
+    #[test]
+    fn training_never_increases_rmse_vs_mean_predictor((rows, ys) in arb_dataset()) {
+        let x = Matrix::from_rows(&rows);
+        let m = Gbt::fit(&GbtParams { n_rounds: 20, ..GbtParams::default() }, &x, &ys, 2);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mean_pred = vec![mean; ys.len()];
+        let rmse_mean = gbt::metrics::rmse(&ys, &mean_pred);
+        let rmse_model = gbt::metrics::rmse(&ys, &m.predict(&x));
+        // Squared-loss boosting from the mean cannot do worse on training
+        // data (allow tiny numeric slack).
+        prop_assert!(rmse_model <= rmse_mean + 1e-9,
+            "model rmse {rmse_model} vs mean {rmse_mean}");
+    }
+
+    #[test]
+    fn single_tree_predicts_group_means_for_pure_splits(split_at in 1usize..9) {
+        // A one-feature step function: any depth-1 tree must recover it.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> =
+            (0..10).map(|i| if i < split_at { -5.0 } else { 5.0 }).collect();
+        let x = Matrix::from_rows(&rows);
+        let grad: Vec<f64> = ys.iter().map(|y| -y).collect();
+        let hess = vec![1.0; ys.len()];
+        let tree = RegressionTree::fit(
+            &gbt::tree::TreeParams { max_depth: 1, lambda: 1e-9, ..Default::default() },
+            &x,
+            &grad,
+            &hess,
+            &[0],
+        );
+        prop_assert!(tree.predict_row(&[0.0]) < 0.0);
+        prop_assert!(tree.predict_row(&[9.0]) > 0.0);
+    }
+
+    #[test]
+    fn bagging_mean_is_average_of_members((rows, ys) in arb_dataset(), gamma in 1usize..5) {
+        let x = Matrix::from_rows(&rows);
+        let b = BaggedGbt::fit(
+            &GbtParams { n_rounds: 5, ..GbtParams::default() },
+            &x,
+            &ys,
+            gamma,
+            3,
+        );
+        prop_assert_eq!(b.gamma(), gamma);
+        let row = &rows[0];
+        let sum = b.predict_sum_row(row);
+        let mean = b.predict_mean_row(row);
+        prop_assert!((sum - mean * gamma as f64).abs() < 1e-9);
+        prop_assert!(b.predict_std_row(row) >= 0.0);
+    }
+
+    #[test]
+    fn metrics_are_scale_consistent(scale in 0.1f64..10.0) {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [1.1, 2.2, 2.9, 4.3];
+        let scaled_truth: Vec<f64> = truth.iter().map(|v| v * scale).collect();
+        let scaled_pred: Vec<f64> = pred.iter().map(|v| v * scale).collect();
+        // RMSE scales linearly; Spearman is scale-invariant.
+        let r1 = gbt::metrics::rmse(&truth, &pred);
+        let r2 = gbt::metrics::rmse(&scaled_truth, &scaled_pred);
+        prop_assert!((r2 - r1 * scale).abs() < 1e-9);
+        let s1 = gbt::metrics::spearman(&truth, &pred);
+        let s2 = gbt::metrics::spearman(&scaled_truth, &scaled_pred);
+        prop_assert!((s1 - s2).abs() < 1e-12);
+    }
+}

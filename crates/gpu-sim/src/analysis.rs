@@ -1,0 +1,160 @@
+//! Human-readable kernel analysis — the "why is this configuration slow"
+//! breakdown an engineer consults when a tuned schedule underperforms.
+
+use crate::device::GpuDevice;
+use crate::occupancy::{occupancy, Limiter};
+use crate::perf::{predict, Bottleneck, KernelPerf};
+use schedule::KernelSpec;
+use std::fmt::Write as _;
+
+/// Full analysis of one kernel launch on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelAnalysis {
+    /// Device name.
+    pub device: String,
+    /// Predicted performance.
+    pub perf: KernelPerf,
+    /// Resident blocks per SM.
+    pub blocks_per_sm: usize,
+    /// What limited occupancy.
+    pub occupancy_limiter: Limiter,
+    /// Arithmetic intensity (flops per DRAM byte).
+    pub arithmetic_intensity: f64,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Grid blocks.
+    pub grid_blocks: u64,
+    /// Shared memory per block in bytes.
+    pub smem_bytes: usize,
+    /// Estimated registers per thread.
+    pub regs_per_thread: usize,
+}
+
+/// Analyzes `spec` on `device` (same inputs as [`predict`]).
+#[must_use]
+pub fn analyze(spec: &KernelSpec, device: &GpuDevice, config_index: u64) -> KernelAnalysis {
+    let occ = occupancy(spec, device);
+    KernelAnalysis {
+        device: device.name.clone(),
+        perf: predict(spec, device, config_index),
+        blocks_per_sm: occ.blocks_per_sm,
+        occupancy_limiter: occ.limiter,
+        arithmetic_intensity: spec.arithmetic_intensity(),
+        threads_per_block: spec.threads_per_block,
+        grid_blocks: spec.grid_blocks,
+        smem_bytes: spec.smem_bytes_per_block,
+        regs_per_thread: spec.regs_per_thread,
+    }
+}
+
+impl KernelAnalysis {
+    /// Renders the analysis as an indented report.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "kernel analysis on {}:", self.device);
+        let _ = writeln!(
+            s,
+            "  latency {:>10.3} us   {:>8.1} GFLOPS   bound by {:?}",
+            self.perf.latency_s * 1e6,
+            self.perf.gflops,
+            self.perf.bottleneck
+        );
+        let _ = writeln!(
+            s,
+            "  occupancy {:>6.1}% ({} blocks/SM, limited by {:?})",
+            self.perf.occupancy * 100.0,
+            self.blocks_per_sm,
+            self.occupancy_limiter
+        );
+        let _ = writeln!(
+            s,
+            "  launch: {} blocks x {} threads   smem {} B   ~{} regs/thread",
+            self.grid_blocks, self.threads_per_block, self.smem_bytes, self.regs_per_thread
+        );
+        let _ = writeln!(
+            s,
+            "  arithmetic intensity {:.2} flop/B   tail {:.1}%",
+            self.arithmetic_intensity,
+            self.perf.tail_fraction * 100.0
+        );
+        s
+    }
+
+    /// One-line tuning hint derived from the binding resource.
+    #[must_use]
+    pub fn hint(&self) -> &'static str {
+        match self.perf.bottleneck {
+            Bottleneck::Compute => {
+                "compute-bound: raise ILP (unrolling) or occupancy to saturate the FP32 pipes"
+            }
+            Bottleneck::Memory => {
+                "memory-bound: enlarge output tiles for reuse, improve coalescing of the inner axis"
+            }
+            Bottleneck::SharedMem => {
+                "shared-memory-bound: pick odd inner-tile strides to break bank conflicts"
+            }
+            Bottleneck::Launch => {
+                "launch-bound: the kernel is too small — merge work or batch more outputs per launch"
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{models, task::extract_tasks};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use schedule::{kernel::lower, template::space_for_task};
+
+    fn any_valid_analysis() -> KernelAnalysis {
+        let task = extract_tasks(&models::vgg16(1)).remove(2);
+        let space = space_for_task(&task);
+        let device = GpuDevice::gtx_1080_ti();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        loop {
+            let cfg = space.sample(&mut rng);
+            if let Ok(spec) = lower(&task, &space, &cfg) {
+                return analyze(&spec, &device, cfg.index);
+            }
+        }
+    }
+
+    #[test]
+    fn report_mentions_key_quantities() {
+        let a = any_valid_analysis();
+        let r = a.report();
+        assert!(r.contains("GFLOPS"));
+        assert!(r.contains("occupancy"));
+        assert!(r.contains("blocks"));
+    }
+
+    #[test]
+    fn hint_matches_bottleneck() {
+        let a = any_valid_analysis();
+        let hint = a.hint();
+        match a.perf.bottleneck {
+            Bottleneck::Compute => assert!(hint.contains("compute")),
+            Bottleneck::Memory => assert!(hint.starts_with("memory")),
+            Bottleneck::SharedMem => assert!(hint.contains("bank")),
+            Bottleneck::Launch => assert!(hint.contains("launch")),
+        }
+    }
+
+    #[test]
+    fn analysis_agrees_with_predict() {
+        let task = extract_tasks(&models::alexnet(1)).remove(0);
+        let space = space_for_task(&task);
+        let device = GpuDevice::gtx_1080_ti();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        for _ in 0..20 {
+            let cfg = space.sample(&mut rng);
+            if let Ok(spec) = lower(&task, &space, &cfg) {
+                let a = analyze(&spec, &device, cfg.index);
+                assert_eq!(a.perf, predict(&spec, &device, cfg.index));
+            }
+        }
+    }
+}

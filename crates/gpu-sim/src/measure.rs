@@ -1,0 +1,219 @@
+//! The measurement interface between tuners and "hardware".
+//!
+//! Tuners never see the performance model directly — they submit a
+//! configuration and get back a [`MeasureResult`], exactly like AutoTVM's
+//! `LocalRunner` RPC round-trip. Invalid configurations (launch failures)
+//! come back with `gflops == 0.0`, which is how AutoTVM records them too.
+
+use crate::device::GpuDevice;
+use crate::noise::seed_for;
+use crate::perf::{predict, KernelPerf};
+use dnn_graph::task::TuningTask;
+use schedule::kernel::lower;
+use schedule::{Config, ConfigSpace};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of measuring one configuration on (simulated) hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureResult {
+    /// Mean achieved GFLOPS over the repeats (0.0 for failed launches).
+    pub gflops: f64,
+    /// Mean latency in seconds (an hour for failed launches).
+    pub latency_s: f64,
+    /// Launch error, if the configuration was invalid.
+    pub error: Option<String>,
+}
+
+impl MeasureResult {
+    /// True if the configuration launched successfully.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Anything that can evaluate a configuration of a task.
+///
+/// The paper's framework is explicitly agnostic to what sits behind this
+/// interface (real silicon via RPC in the paper, [`SimMeasurer`] here).
+pub trait Measurer {
+    /// Deploys `config` for `task` and reports measured performance.
+    fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult;
+
+    /// Number of timed runs averaged per measurement.
+    fn repeats(&self) -> usize {
+        3
+    }
+}
+
+/// Simulated on-chip measurement: lowering + performance model + noise.
+#[derive(Debug, Clone)]
+pub struct SimMeasurer {
+    device: GpuDevice,
+    repeats: usize,
+    /// Seed namespace separating measurement noise between experiment
+    /// trials (the paper runs 10 trials per algorithm).
+    trial_seed: u64,
+}
+
+impl SimMeasurer {
+    /// Creates a measurer for `device` with AutoTVM's default of averaging
+    /// 3 timed runs.
+    #[must_use]
+    pub fn new(device: GpuDevice) -> Self {
+        SimMeasurer { device, repeats: 3, trial_seed: 0 }
+    }
+
+    /// Sets the number of timed runs averaged per measurement.
+    #[must_use]
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        assert!(repeats > 0, "need at least one timed run");
+        self.repeats = repeats;
+        self
+    }
+
+    /// Sets the trial seed (distinct trials observe different noise).
+    #[must_use]
+    pub fn with_trial_seed(mut self, seed: u64) -> Self {
+        self.trial_seed = seed;
+        self
+    }
+
+    /// The device being simulated.
+    #[must_use]
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// Noise-free performance of a configuration (used when assembling
+    /// end-to-end deployments, where noise is re-sampled per run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowering error for invalid configurations.
+    pub fn true_perf(
+        &self,
+        task: &TuningTask,
+        space: &ConfigSpace,
+        config: &Config,
+    ) -> Result<KernelPerf, schedule::ScheduleError> {
+        let spec = lower(task, space, config)?;
+        Ok(predict(&spec, &self.device, config.index))
+    }
+}
+
+impl Measurer for SimMeasurer {
+    fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult {
+        match self.true_perf(task, space, config) {
+            Err(e) => MeasureResult {
+                gflops: 0.0,
+                latency_s: 3600.0,
+                error: Some(e.to_string()),
+            },
+            Ok(perf) => {
+                let profile = perf.noise_profile();
+                let seed = seed_for(&task.name, config.index ^ self.trial_seed.rotate_left(17));
+                let mean_latency = (0..self.repeats as u64)
+                    .map(|i| profile.sample(perf.latency_s, seed, i))
+                    .sum::<f64>()
+                    / self.repeats as f64;
+                MeasureResult {
+                    gflops: task.flops() as f64 / mean_latency / 1e9,
+                    latency_s: mean_latency,
+                    error: None,
+                }
+            }
+        }
+    }
+
+    fn repeats(&self) -> usize {
+        self.repeats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{models, task::extract_tasks};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use schedule::template::space_for_task;
+
+    fn setup() -> (TuningTask, ConfigSpace, SimMeasurer) {
+        let task = extract_tasks(&models::mobilenet_v1(1)).remove(0);
+        let space = space_for_task(&task);
+        (task, space, SimMeasurer::new(GpuDevice::gtx_1080_ti()))
+    }
+
+    #[test]
+    fn measurement_is_deterministic_given_trial_seed() {
+        let (task, space, m) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let cfg = space.sample(&mut rng);
+        assert_eq!(m.measure(&task, &space, &cfg), m.measure(&task, &space, &cfg));
+    }
+
+    #[test]
+    fn different_trials_see_different_noise() {
+        let (task, space, m0) = setup();
+        let m1 = m0.clone().with_trial_seed(99);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Find a valid config so noise actually applies.
+        let cfg = loop {
+            let c = space.sample(&mut rng);
+            if m0.measure(&task, &space, &c).is_valid() {
+                break c;
+            }
+        };
+        let a = m0.measure(&task, &space, &cfg);
+        let b = m1.measure(&task, &space, &cfg);
+        assert_ne!(a.gflops, b.gflops);
+        // But they agree to within the noise scale.
+        assert!((a.gflops - b.gflops).abs() / a.gflops < 0.5);
+    }
+
+    #[test]
+    fn invalid_configs_report_zero_gflops() {
+        let (task, space, m) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut saw_invalid = false;
+        for _ in 0..500 {
+            let cfg = space.sample(&mut rng);
+            let r = m.measure(&task, &space, &cfg);
+            if !r.is_valid() {
+                assert_eq!(r.gflops, 0.0);
+                assert!(r.latency_s >= 3600.0);
+                saw_invalid = true;
+                break;
+            }
+        }
+        assert!(saw_invalid, "expected some invalid configs in 500 samples");
+    }
+
+    #[test]
+    fn more_repeats_reduce_measurement_scatter() {
+        let (task, space, _) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let base = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+        let cfg = loop {
+            let c = space.sample(&mut rng);
+            if base.measure(&task, &space, &c).is_valid() {
+                break c;
+            }
+        };
+        let scatter = |reps: usize| {
+            let xs: Vec<f64> = (0..30)
+                .map(|t| {
+                    SimMeasurer::new(GpuDevice::gtx_1080_ti())
+                        .with_repeats(reps)
+                        .with_trial_seed(t)
+                        .measure(&task, &space, &cfg)
+                        .gflops
+                })
+                .collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        assert!(scatter(20) < scatter(1));
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic ruggedness and run-to-run measurement noise.
+//!
+//! Two distinct stochastic layers, mirroring real on-chip tuning:
+//!
+//! 1. **Ruggedness** — a deterministic, per-(task, configuration) multiplier
+//!    on the *true* latency. Real schedules have high-frequency performance
+//!    structure (instruction scheduling, cache-set collisions) that no
+//!    smooth analytical model captures; this term makes the landscape
+//!    realistically hard for the evaluation function to fit.
+//! 2. **Measurement noise** — run-to-run jitter when timing a kernel:
+//!    a multiplicative log-normal-ish body whose scale grows for fragile
+//!    configurations, plus a heavy tail of contention spikes. This is what
+//!    makes Table I's *variance* column respond to configuration quality.
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a string and a 64-bit index into one seed.
+#[must_use]
+pub fn seed_for(name: &str, index: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix64(h ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Uniform `[0, 1)` from a seed.
+#[must_use]
+pub fn unit(seed: u64) -> f64 {
+    (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic ruggedness multiplier on the true latency, in
+/// `[1.0, 1.0 + amplitude]`.
+///
+/// The square skews mass toward small penalties: most configurations sit
+/// near the analytical prediction, a few are noticeably worse — matching
+/// the asymmetry of real schedule pathologies.
+#[must_use]
+pub fn ruggedness(task_name: &str, config_index: u64, amplitude: f64) -> f64 {
+    let u = unit(seed_for(task_name, config_index));
+    1.0 + amplitude * u * u
+}
+
+/// Run-to-run noise parameters of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseProfile {
+    /// Relative standard deviation of the multiplicative body.
+    pub sigma: f64,
+    /// Probability that a run hits a contention spike.
+    pub spike_prob: f64,
+    /// Latency multiplier of a spike run.
+    pub spike_scale: f64,
+}
+
+impl NoiseProfile {
+    /// Builds the profile from configuration quality signals.
+    ///
+    /// `occupancy` in `[0, 1]`; `tail_fraction` in `[0, 1]` is the share of
+    /// the last, partially-filled wave. Fragile configurations — low
+    /// occupancy, big tails — jitter more and spike more often, which is the
+    /// mechanism behind the paper's variance reductions.
+    #[must_use]
+    pub fn from_quality(occupancy: f64, tail_fraction: f64) -> Self {
+        let fragility = (1.0 - occupancy).clamp(0.0, 1.0) * 0.7 + tail_fraction.clamp(0.0, 1.0) * 0.3;
+        NoiseProfile {
+            sigma: 0.012 + 0.22 * fragility * fragility,
+            spike_prob: 0.004 + 0.12 * fragility * fragility,
+            spike_scale: 2.0 + 8.0 * fragility,
+        }
+    }
+
+    /// One latency sample: `base_latency` scaled by the noise draw for run
+    /// `run_index` under `seed`.
+    #[must_use]
+    pub fn sample(&self, base_latency: f64, seed: u64, run_index: u64) -> f64 {
+        let s = splitmix64(seed ^ run_index.wrapping_mul(0xA076_1D64_78BD_642F));
+        let u1 = unit(s);
+        let u2 = unit(splitmix64(s));
+        // Box-Muller body.
+        let z = (-2.0 * (1.0 - u1).max(1e-12).ln()).sqrt()
+            * (2.0 * std::f64::consts::PI * u2).cos();
+        let mut lat = base_latency * (1.0 + self.sigma * z).max(0.2);
+        let u3 = unit(splitmix64(s ^ 0xDEAD_BEEF));
+        if u3 < self.spike_prob {
+            lat *= self.spike_scale;
+        }
+        lat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ruggedness_is_deterministic_and_bounded() {
+        let a = ruggedness("task", 42, 0.16);
+        let b = ruggedness("task", 42, 0.16);
+        assert_eq!(a, b);
+        for i in 0..1000 {
+            let r = ruggedness("task", i, 0.16);
+            assert!((1.0..=1.16).contains(&r));
+        }
+        for i in 0..1000 {
+            let r = ruggedness("task", i, crate::perf::RUGGEDNESS_AMPLITUDE);
+            assert!((1.0..=1.0 + crate::perf::RUGGEDNESS_AMPLITUDE).contains(&r));
+        }
+    }
+
+    #[test]
+    fn ruggedness_varies_across_configs() {
+        let vals: Vec<f64> = (0..100).map(|i| ruggedness("task", i, 0.16)).collect();
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.05);
+    }
+
+    #[test]
+    fn good_configs_are_quieter() {
+        let good = NoiseProfile::from_quality(0.9, 0.05);
+        let bad = NoiseProfile::from_quality(0.1, 0.8);
+        assert!(good.sigma < bad.sigma);
+        assert!(good.spike_prob < bad.spike_prob);
+        assert!(good.spike_scale < bad.spike_scale);
+    }
+
+    #[test]
+    fn samples_are_positive_and_mean_is_close() {
+        let p = NoiseProfile::from_quality(0.7, 0.1);
+        let n = 5000;
+        let mean: f64 =
+            (0..n).map(|i| p.sample(1.0, 12345, i)).sum::<f64>() / n as f64;
+        assert!(mean > 0.95 && mean < 1.1, "mean {mean}");
+        for i in 0..n {
+            assert!(p.sample(1.0, 12345, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn variance_shrinks_with_quality() {
+        let var = |p: NoiseProfile| {
+            let n = 4000;
+            let xs: Vec<f64> = (0..n).map(|i| p.sample(1.0, 7, i)).collect();
+            let m = xs.iter().sum::<f64>() / n as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64
+        };
+        let v_good = var(NoiseProfile::from_quality(0.95, 0.0));
+        let v_bad = var(NoiseProfile::from_quality(0.15, 0.9));
+        assert!(v_bad > 10.0 * v_good, "good {v_good} bad {v_bad}");
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        for i in 0..1000 {
+            let u = unit(i);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The CUDA occupancy calculation.
+
+use crate::device::GpuDevice;
+use schedule::KernelSpec;
+
+/// Occupancy of a kernel on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM (0 if the kernel cannot launch).
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// Fraction of the SM's warp slots occupied, in `[0, 1]`.
+    pub fraction: f64,
+    /// What limited residency.
+    pub limiter: Limiter,
+    /// Register-spill slowdown (`>= 1`): when a block's register demand
+    /// exceeds the file even at one block per SM, the compiler spills to
+    /// local memory and every access gets slower.
+    pub spill_factor: f64,
+}
+
+/// The resource that limited occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Thread slots per SM.
+    Threads,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMem,
+    /// The architectural max-blocks-per-SM cap.
+    BlockSlots,
+}
+
+/// Computes occupancy for `spec` on `device`.
+///
+/// Warp-granular: threads per block are rounded up to whole warps, exactly
+/// like the hardware scheduler allocates them.
+#[must_use]
+pub fn occupancy(spec: &KernelSpec, device: &GpuDevice) -> Occupancy {
+    let warps_per_block = spec.threads_per_block.div_ceil(device.warp_size).max(1);
+    let alloc_threads = warps_per_block * device.warp_size;
+
+    let by_threads = device.max_threads_per_sm / alloc_threads;
+    let by_regs = device
+        .regs_per_sm
+        .checked_div(spec.regs_per_thread * alloc_threads)
+        .unwrap_or(usize::MAX);
+    let by_smem = device
+        .smem_per_sm
+        .checked_div(spec.smem_bytes_per_block)
+        .unwrap_or(usize::MAX);
+    let by_slots = device.max_blocks_per_sm;
+
+    let (blocks, limiter) = [
+        (by_threads, Limiter::Threads),
+        (by_regs, Limiter::Registers),
+        (by_smem, Limiter::SharedMem),
+        (by_slots, Limiter::BlockSlots),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .expect("four candidates");
+
+    // Register over-subscription at one resident block does not prevent a
+    // launch: the compiler caps registers and spills the remainder to local
+    // memory. Model that as blocks = 1 with a spill slowdown.
+    let (blocks, limiter, spill) = if blocks == 0 && limiter == Limiter::Registers && by_threads > 0
+    {
+        let demand = spec.regs_per_thread * alloc_threads;
+        (1, Limiter::Registers, 1.0 + (demand as f64 / device.regs_per_sm as f64 - 1.0).max(0.0))
+    } else {
+        (blocks, limiter, 1.0)
+    };
+
+    let warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        fraction: warps as f64 / device.max_warps_per_sm() as f64,
+        limiter,
+        spill_factor: spill,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(threads: usize, regs: usize, smem: usize) -> KernelSpec {
+        KernelSpec {
+            task_name: "t".to_string(),
+            grid_blocks: 100,
+            threads_per_block: threads,
+            vthreads: 1,
+            regs_per_thread: regs,
+            smem_bytes_per_block: smem,
+            flops: 1_000_000,
+            gmem_read_bytes: 1_000,
+            gmem_write_bytes: 1_000,
+            read_coalesce_eff: 1.0,
+            write_coalesce_eff: 1.0,
+            bank_conflict_factor: 1.0,
+            unroll_ilp: 1.0,
+            outputs_per_thread: 4,
+            inner_loop_size: 16,
+        }
+    }
+
+    #[test]
+    fn small_kernel_hits_block_slot_cap() {
+        let d = GpuDevice::gtx_1080_ti();
+        let o = occupancy(&spec(32, 16, 0), &d);
+        assert_eq!(o.limiter, Limiter::BlockSlots);
+        assert_eq!(o.blocks_per_sm, 32);
+    }
+
+    #[test]
+    fn register_pressure_limits() {
+        let d = GpuDevice::gtx_1080_ti();
+        // 256 threads x 128 regs = 32768 regs/block -> 2 blocks/SM.
+        let o = occupancy(&spec(256, 128, 0), &d);
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert!((o.fraction - 16.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smem_limits() {
+        let d = GpuDevice::gtx_1080_ti();
+        let o = occupancy(&spec(64, 16, 40 * 1024), &d);
+        assert_eq!(o.limiter, Limiter::SharedMem);
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn full_occupancy_possible() {
+        let d = GpuDevice::gtx_1080_ti();
+        // 1024 threads, 32 regs: 2 blocks = 2048 threads, 64 warps.
+        let o = occupancy(&spec(1024, 32, 0), &d);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_warps_round_up() {
+        let d = GpuDevice::gtx_1080_ti();
+        // 33 threads = 2 warps allocated.
+        let o = occupancy(&spec(33, 16, 0), &d);
+        assert_eq!(o.warps_per_sm, 2 * o.blocks_per_sm);
+    }
+}

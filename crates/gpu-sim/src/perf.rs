@@ -1,0 +1,275 @@
+//! Kernel latency prediction.
+//!
+//! A roofline-style model with the second-order effects that make schedule
+//! tuning interesting: occupancy-limited latency hiding, wave quantization,
+//! coalescing and bank-conflict penalties, unrolling ILP, warp-granularity
+//! slack, and a fixed launch overhead that punishes over-decomposition.
+
+use crate::device::GpuDevice;
+use crate::noise::{ruggedness, NoiseProfile};
+use crate::occupancy::{occupancy, Occupancy};
+use schedule::KernelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which roofline bound the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// FP32 throughput.
+    Compute,
+    /// DRAM bandwidth.
+    Memory,
+    /// Shared-memory throughput (bank conflicts).
+    SharedMem,
+    /// Fixed launch overhead dominates.
+    Launch,
+}
+
+/// Predicted performance of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelPerf {
+    /// Expected (noise-free) latency in seconds.
+    pub latency_s: f64,
+    /// Achieved GFLOPS at that latency.
+    pub gflops: f64,
+    /// Occupancy fraction in `[0, 1]`.
+    pub occupancy: f64,
+    /// Fraction of work in the final, partially-filled wave.
+    pub tail_fraction: f64,
+    /// The binding resource.
+    pub bottleneck: Bottleneck,
+}
+
+impl KernelPerf {
+    /// Run-to-run noise profile implied by this kernel's quality.
+    #[must_use]
+    pub fn noise_profile(&self) -> NoiseProfile {
+        NoiseProfile::from_quality(self.occupancy, self.tail_fraction)
+    }
+}
+
+/// Amplitude of the deterministic ruggedness term (fractional latency).
+///
+/// Calibrated high: real schedule landscapes carry large high-frequency
+/// structure that knob-level features cannot explain, which is what makes
+/// the paper's search problem hard (and its variances large).
+pub const RUGGEDNESS_AMPLITUDE: f64 = 0.6;
+
+/// Warps per SM needed to reach ~95% of peak issue rate (Pascal-era FP32
+/// pipes need roughly half the warp slots filled to hide ALU latency).
+const WARPS_FOR_PEAK: f64 = 24.0;
+
+/// Predicts the latency of `spec` on `device`.
+///
+/// Deterministic: the same `(task, config)` always yields the same number.
+/// The per-configuration ruggedness term is included; run-to-run noise is
+/// *not* (see [`KernelPerf::noise_profile`]).
+///
+/// # Example
+///
+/// ```
+/// use dnn_graph::{models, task::extract_tasks};
+/// use gpu_sim::{perf::predict, GpuDevice};
+/// use schedule::{kernel::lower, template::space_for_task};
+///
+/// let task = extract_tasks(&models::vgg16(1)).remove(2);
+/// let space = space_for_task(&task);
+/// let device = GpuDevice::gtx_1080_ti();
+/// let cfg = space.config(space.len() / 3)?;
+/// if let Ok(spec) = lower(&task, &space, &cfg) {
+///     let perf = predict(&spec, &device, cfg.index);
+///     assert!(perf.gflops > 0.0);
+///     assert!(perf.occupancy <= 1.0);
+/// }
+/// # Ok::<(), schedule::ScheduleError>(())
+/// ```
+#[must_use]
+pub fn predict(spec: &KernelSpec, device: &GpuDevice, config_index: u64) -> KernelPerf {
+    let occ: Occupancy = occupancy(spec, device);
+    if occ.blocks_per_sm == 0 || spec.grid_blocks == 0 {
+        // Cannot launch: report an hour-long latency so tuners rank it last
+        // (AutoTVM uses the same "huge latency on error" convention).
+        return KernelPerf {
+            latency_s: 3600.0,
+            gflops: 0.0,
+            occupancy: 0.0,
+            tail_fraction: 1.0,
+            bottleneck: Bottleneck::Launch,
+        };
+    }
+
+    // --- Compute roofline --------------------------------------------------
+    // Issue-rate utilization rises with resident warps; unrolling ILP lets
+    // fewer warps saturate the pipes.
+    let eff_warps = occ.warps_per_sm as f64 * spec.unroll_ilp;
+    let latency_hiding = (eff_warps / WARPS_FOR_PEAK).min(1.0);
+    // Warp-granularity slack: threads that don't fill whole warps burn lanes.
+    let warp_slack = {
+        let t = spec.threads_per_block as f64;
+        let alloc =
+            (spec.threads_per_block.div_ceil(device.warp_size) * device.warp_size) as f64;
+        t / alloc
+    };
+    let compute_rate = device.peak_flops() * latency_hiding * warp_slack;
+    let compute_time = spec.flops as f64 / compute_rate;
+
+    // --- DRAM roofline -----------------------------------------------------
+    let read_bytes = spec.gmem_read_bytes as f64 / spec.read_coalesce_eff.max(0.05);
+    let write_bytes = spec.gmem_write_bytes as f64 / spec.write_coalesce_eff.max(0.05);
+    // Low occupancy cannot keep the memory pipes full either.
+    let mem_utilization = (occ.warps_per_sm as f64 / 16.0).min(1.0);
+    let mem_time = (read_bytes + write_bytes) / (device.dram_bw_gbps * 1e9 * mem_utilization);
+
+    // --- Shared-memory roofline --------------------------------------------
+    // Each MAC streams ~2 operands from shared memory (4 B each); conflicts
+    // serialize accesses.
+    let smem_bytes = spec.flops as f64 / 2.0 * 2.0 * 4.0;
+    let smem_peak =
+        device.num_sms as f64 * 128.0 * device.clock_ghz * 1e9 / spec.bank_conflict_factor;
+    let smem_time = smem_bytes / smem_peak;
+
+    // --- Combine ------------------------------------------------------------
+    let (mut body, bottleneck) = {
+        let c = (compute_time, Bottleneck::Compute);
+        let m = (mem_time, Bottleneck::Memory);
+        let s = (smem_time, Bottleneck::SharedMem);
+        let max = [c, m, s]
+            .into_iter()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("three candidates");
+        // Imperfect overlap between the pipes.
+        let sum = compute_time + mem_time + smem_time;
+        (max.0 + 0.15 * (sum - max.0), max.1)
+    };
+
+    // Register spills turn register traffic into local-memory traffic and
+    // slow the whole body down.
+    body *= occ.spill_factor;
+
+    // Wave quantization: the grid executes in ceil(waves) full rounds.
+    let concurrent = (occ.blocks_per_sm * device.num_sms) as f64;
+    let exact_waves = spec.grid_blocks as f64 / concurrent;
+    let waves = exact_waves.ceil().max(1.0);
+    let quantization = waves / exact_waves.max(1e-9);
+    // Only the steady-state portion quantizes; clamp the penalty.
+    body *= quantization.clamp(1.0, 8.0);
+    let tail_fraction = ((waves - exact_waves) / waves).clamp(0.0, 1.0);
+
+    body *= ruggedness(&spec.task_name, config_index, RUGGEDNESS_AMPLITUDE);
+
+    let latency = body + device.launch_overhead_s;
+    let bottleneck = if device.launch_overhead_s > body { Bottleneck::Launch } else { bottleneck };
+
+    KernelPerf {
+        latency_s: latency,
+        gflops: spec.flops as f64 / latency / 1e9,
+        occupancy: occ.fraction,
+        tail_fraction,
+        bottleneck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{models, task::extract_tasks};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use schedule::{kernel::lower, template::space_for_task};
+
+    fn sample_perfs(model: &dnn_graph::Graph, task_idx: usize, n: usize) -> Vec<KernelPerf> {
+        let task = extract_tasks(model).remove(task_idx);
+        let space = space_for_task(&task);
+        let device = GpuDevice::gtx_1080_ti();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut out = Vec::new();
+        while out.len() < n {
+            let cfg = space.sample(&mut rng);
+            if let Ok(spec) = lower(&task, &space, &cfg) {
+                out.push(predict(&spec, &device, cfg.index));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gflops_are_positive_and_below_peak() {
+        let device = GpuDevice::gtx_1080_ti();
+        for p in sample_perfs(&models::vgg16(1), 2, 200) {
+            assert!(p.gflops > 0.0);
+            assert!(p.gflops * 1e9 < device.peak_flops());
+        }
+    }
+
+    #[test]
+    fn landscape_has_wide_dynamic_range() {
+        // Tuning is only meaningful if configs differ by orders of magnitude.
+        let perfs = sample_perfs(&models::vgg16(1), 2, 400);
+        let best = perfs.iter().map(|p| p.gflops).fold(0.0, f64::max);
+        let worst = perfs.iter().map(|p| p.gflops).fold(f64::INFINITY, f64::min);
+        assert!(best / worst > 10.0, "best {best}, worst {worst}");
+    }
+
+    #[test]
+    fn good_configs_reach_a_decent_fraction_of_peak() {
+        let perfs = sample_perfs(&models::vgg16(1), 2, 2000);
+        let best = perfs.iter().map(|p| p.gflops).fold(0.0, f64::max);
+        // Random sampling over a big conv should already find > 400 GFLOPS.
+        assert!(best > 400.0, "best {best}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = sample_perfs(&models::mobilenet_v1(1), 0, 10);
+        let b = sample_perfs(&models::mobilenet_v1(1), 0, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn launch_overhead_binds_tiny_kernels() {
+        let spec = KernelSpec {
+            task_name: "tiny".to_string(),
+            grid_blocks: 1,
+            threads_per_block: 32,
+            vthreads: 1,
+            regs_per_thread: 32,
+            smem_bytes_per_block: 1024,
+            flops: 1000,
+            gmem_read_bytes: 100,
+            gmem_write_bytes: 100,
+            read_coalesce_eff: 1.0,
+            write_coalesce_eff: 1.0,
+            bank_conflict_factor: 1.0,
+            unroll_ilp: 1.0,
+            outputs_per_thread: 1,
+            inner_loop_size: 4,
+        };
+        let p = predict(&spec, &GpuDevice::gtx_1080_ti(), 0);
+        assert_eq!(p.bottleneck, Bottleneck::Launch);
+    }
+
+    #[test]
+    fn bank_conflicts_slow_kernels_down() {
+        let mut spec = KernelSpec {
+            task_name: "bc".to_string(),
+            grid_blocks: 2000,
+            threads_per_block: 256,
+            vthreads: 1,
+            regs_per_thread: 48,
+            smem_bytes_per_block: 8 * 1024,
+            flops: 500_000_000,
+            gmem_read_bytes: 2_000_000,
+            gmem_write_bytes: 2_000_000,
+            read_coalesce_eff: 1.0,
+            write_coalesce_eff: 1.0,
+            bank_conflict_factor: 1.0,
+            unroll_ilp: 1.2,
+            outputs_per_thread: 8,
+            inner_loop_size: 64,
+        };
+        let d = GpuDevice::gtx_1080_ti();
+        let fast = predict(&spec, &d, 0);
+        spec.bank_conflict_factor = 8.0;
+        let slow = predict(&spec, &d, 0);
+        assert!(slow.latency_s > fast.latency_s);
+    }
+}

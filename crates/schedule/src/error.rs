@@ -1,0 +1,67 @@
+//! Error types for configuration handling and lowering.
+
+use std::fmt;
+
+/// Errors from configuration decoding or kernel lowering.
+///
+/// `Invalid*` variants correspond to configurations that TVM would fail to
+/// launch on the device (the tuner records them as failed measurements with
+/// zero GFLOPS, exactly like AutoTVM does).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A flat index was outside the configuration space.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u64,
+        /// Total size of the space.
+        len: u64,
+    },
+    /// The launch would exceed the per-block thread limit.
+    InvalidThreadCount {
+        /// Threads per block the configuration requires.
+        threads: usize,
+        /// Device limit.
+        limit: usize,
+    },
+    /// The launch would exceed per-block shared memory.
+    InvalidSharedMem {
+        /// Bytes of shared memory the configuration requires.
+        bytes: usize,
+        /// Device limit in bytes.
+        limit: usize,
+    },
+    /// The kernel would need more registers than a thread can hold even
+    /// after spilling heuristics.
+    InvalidRegisterCount {
+        /// Estimated registers per thread.
+        regs: usize,
+        /// Architectural per-thread cap.
+        limit: usize,
+    },
+    /// The task kind has no template (cannot build a config space).
+    UnsupportedTask(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::IndexOutOfRange { index, len } => {
+                write!(f, "config index {index} out of range for space of {len}")
+            }
+            ScheduleError::InvalidThreadCount { threads, limit } => {
+                write!(f, "invalid config: {threads} threads/block exceeds {limit}")
+            }
+            ScheduleError::InvalidSharedMem { bytes, limit } => {
+                write!(f, "invalid config: {bytes} B shared memory exceeds {limit} B")
+            }
+            ScheduleError::InvalidRegisterCount { regs, limit } => {
+                write!(f, "invalid config: {regs} registers/thread exceeds {limit}")
+            }
+            ScheduleError::UnsupportedTask(name) => {
+                write!(f, "no schedule template for task `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}

@@ -1,0 +1,123 @@
+//! Integer factorization helpers used to enumerate split-knob candidates.
+
+/// All divisors of `n`, ascending.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn divisors(n: usize) -> Vec<usize> {
+    assert!(n > 0, "divisors of 0 are undefined");
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            small.push(d);
+            if d * d != n {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// All ordered `k`-tuples of positive integers whose product is `n`,
+/// in lexicographic order.
+///
+/// This is AutoTVM's split-candidate enumeration: a `define_split` with
+/// `num_outputs = k` over an axis of extent `n` yields exactly these tuples.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `k == 0`.
+#[must_use]
+pub fn ordered_factorizations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(n > 0 && k > 0, "need n > 0 and k > 0");
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(rem: usize, slots: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if slots == 1 {
+            cur.push(rem);
+            out.push(cur.clone());
+            cur.pop();
+            return;
+        }
+        for d in divisors(rem) {
+            cur.push(d);
+            rec(rem / d, slots - 1, cur, out);
+            cur.pop();
+        }
+    }
+    rec(n, k, &mut cur, &mut out);
+    out
+}
+
+/// Number of ordered `k`-factorizations of `n` without materializing them.
+#[must_use]
+pub fn count_ordered_factorizations(n: usize, k: usize) -> u64 {
+    assert!(n > 0 && k > 0, "need n > 0 and k > 0");
+    if k == 1 {
+        return 1;
+    }
+    divisors(n).iter().map(|&d| count_ordered_factorizations(n / d, k - 1)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisors_of_12() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+    }
+
+    #[test]
+    fn divisors_of_prime() {
+        assert_eq!(divisors(7), vec![1, 7]);
+    }
+
+    #[test]
+    fn divisors_of_one() {
+        assert_eq!(divisors(1), vec![1]);
+    }
+
+    #[test]
+    fn factorizations_products_are_n() {
+        for f in ordered_factorizations(24, 3) {
+            assert_eq!(f.iter().product::<usize>(), 24);
+            assert_eq!(f.len(), 3);
+        }
+    }
+
+    #[test]
+    fn factorization_counts_match_enumeration() {
+        for n in [1, 2, 7, 12, 64, 224] {
+            for k in 1..=4 {
+                assert_eq!(
+                    count_ordered_factorizations(n, k),
+                    ordered_factorizations(n, k).len() as u64,
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_count_is_stars_and_bars() {
+        // Ordered factorizations of 2^e into k parts = C(e + k - 1, k - 1).
+        // 2^6 into 4: C(9,3) = 84.
+        assert_eq!(count_ordered_factorizations(64, 4), 84);
+        // 2^5 * 7 into 4: C(8,3) * 4 = 224.
+        assert_eq!(count_ordered_factorizations(224, 4), 224);
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let f = ordered_factorizations(4, 2);
+        assert_eq!(f, vec![vec![1, 4], vec![2, 2], vec![4, 1]]);
+    }
+}

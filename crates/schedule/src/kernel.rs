@@ -1,0 +1,525 @@
+//! Lowering: configuration → concrete kernel launch.
+//!
+//! Reproduces what TVM's schedule application + codegen do for the direct
+//! CUDA templates: compute the grid/block geometry, per-thread register
+//! pressure, shared-memory tiles, global-memory traffic (with halo and
+//! re-read redundancy), coalescing and bank-conflict characteristics, and
+//! unrolling ILP. The result, [`KernelSpec`], is everything the GPU
+//! performance model (`gpu-sim`) needs to predict the launch.
+//!
+//! Lowering also performs the *validity checks* a real launch would fail:
+//! too many threads per block, shared-memory overflow, or register
+//! exhaustion return a [`ScheduleError`] — AutoTVM records such configs as
+//! failed measurements, and our tuners do the same.
+
+use crate::error::ScheduleError;
+use crate::knob::KnobValue;
+use crate::space::{Config, ConfigSpace};
+use dnn_graph::task::{TuningTask, Workload};
+use dnn_graph::TaskKind;
+use serde::{Deserialize, Serialize};
+
+/// CUDA architectural limits that are device-independent in this era of
+/// hardware (Pascal/Volta/Turing).
+pub mod limits {
+    /// Maximum threads per block.
+    pub const MAX_THREADS_PER_BLOCK: usize = 1024;
+    /// Maximum static shared memory per block in bytes.
+    pub const MAX_SMEM_PER_BLOCK: usize = 48 * 1024;
+    /// Maximum registers per thread.
+    pub const MAX_REGS_PER_THREAD: usize = 255;
+}
+
+/// A fully-lowered kernel launch: geometry, resources and traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Task name this kernel implements.
+    pub task_name: String,
+    /// Total thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Virtual threads (TVM `vthread`) multiplying per-thread state.
+    pub vthreads: usize,
+    /// Estimated registers per thread.
+    pub regs_per_thread: usize,
+    /// Static shared memory per block in bytes.
+    pub smem_bytes_per_block: usize,
+    /// Floating-point operations of the whole kernel.
+    pub flops: u64,
+    /// Global-memory bytes read (including tile re-reads and halos).
+    pub gmem_read_bytes: u64,
+    /// Global-memory bytes written.
+    pub gmem_write_bytes: u64,
+    /// Read coalescing efficiency in `(0, 1]`.
+    pub read_coalesce_eff: f64,
+    /// Write coalescing efficiency in `(0, 1]`.
+    pub write_coalesce_eff: f64,
+    /// Shared-memory bank-conflict slowdown (`>= 1`).
+    pub bank_conflict_factor: f64,
+    /// Instruction-level-parallelism factor from unrolling (`>= 1`).
+    pub unroll_ilp: f64,
+    /// Output elements computed by each thread.
+    pub outputs_per_thread: usize,
+    /// Size of the innermost loop body in MACs (unrolling granularity).
+    pub inner_loop_size: usize,
+}
+
+impl KernelSpec {
+    /// Arithmetic intensity in flops per global-memory byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops as f64 / (self.gmem_read_bytes + self.gmem_write_bytes).max(1) as f64
+    }
+}
+
+const BYTES: u64 = 4; // fp32
+
+/// Coalescing efficiency of reading rows of `row_elems` consecutive floats:
+/// fraction of each 128-byte (32-float) transaction that is useful.
+fn row_coalesce_eff(row_elems: usize) -> f64 {
+    let row = row_elems.max(1) as f64;
+    let tx = (row / 32.0).ceil() * 32.0;
+    row / tx
+}
+
+/// Write-coalescing efficiency when each thread writes `per_thread` elements
+/// at stride `stride` (threads interleave).
+fn write_eff(per_thread: usize, stride: usize) -> f64 {
+    if per_thread <= 1 || stride <= 1 {
+        1.0
+    } else {
+        // Strided per-thread writes break transactions; degrade smoothly.
+        1.0 / (1.0 + 0.2 * ((per_thread.min(16) - 1) as f64))
+    }
+}
+
+/// Bank-conflict slowdown for shared loads at element stride `stride`.
+fn bank_conflicts(stride: usize) -> f64 {
+    let g = gcd(stride.max(1), 32);
+    1.0 + 0.25 * (g as f64 - 1.0)
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// ILP factor from the unrolling knobs.
+fn unroll_ilp(auto_unroll_max_step: i64, explicit: i64, inner_loop: usize) -> f64 {
+    if auto_unroll_max_step == 0 {
+        return 1.0;
+    }
+    if inner_loop as i64 > auto_unroll_max_step {
+        // Loop too large to unroll: slight bookkeeping overhead only.
+        return 0.98;
+    }
+    // Unrolled: ILP grows with body size up to a point, explicit unrolling
+    // squeezes a bit more out of small bodies but bloats large ones.
+    let body = inner_loop as f64;
+    let base = 1.0 + 0.35 * (body.ln() / (body.ln() + 3.0));
+    if explicit != 0 {
+        if body <= 256.0 {
+            base * 1.05
+        } else {
+            base * 0.97
+        }
+    } else {
+        base
+    }
+}
+
+fn split4(space: &ConfigSpace, cfg: &Config, name: &str) -> [usize; 4] {
+    match space.value_of(cfg, name) {
+        Some(KnobValue::Split(f)) if f.len() == 4 => [f[0], f[1], f[2], f[3]],
+        other => unreachable!("expected 4-way split `{name}`, got {other:?}"),
+    }
+}
+
+fn split2(space: &ConfigSpace, cfg: &Config, name: &str) -> [usize; 2] {
+    match space.value_of(cfg, name) {
+        Some(KnobValue::Split(f)) if f.len() == 2 => [f[0], f[1]],
+        other => unreachable!("expected 2-way split `{name}`, got {other:?}"),
+    }
+}
+
+fn choice(space: &ConfigSpace, cfg: &Config, name: &str) -> i64 {
+    match space.value_of(cfg, name) {
+        Some(KnobValue::Choice(v)) => v,
+        other => unreachable!("expected choice `{name}`, got {other:?}"),
+    }
+}
+
+fn validate(
+    threads: usize,
+    smem: usize,
+    regs: usize,
+) -> Result<(), ScheduleError> {
+    if threads > limits::MAX_THREADS_PER_BLOCK {
+        return Err(ScheduleError::InvalidThreadCount {
+            threads,
+            limit: limits::MAX_THREADS_PER_BLOCK,
+        });
+    }
+    if smem > limits::MAX_SMEM_PER_BLOCK {
+        return Err(ScheduleError::InvalidSharedMem {
+            bytes: smem,
+            limit: limits::MAX_SMEM_PER_BLOCK,
+        });
+    }
+    if regs > limits::MAX_REGS_PER_THREAD {
+        return Err(ScheduleError::InvalidRegisterCount {
+            regs,
+            limit: limits::MAX_REGS_PER_THREAD,
+        });
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn lower_conv2d(
+    task: &TuningTask,
+    space: &ConfigSpace,
+    cfg: &Config,
+) -> Result<KernelSpec, ScheduleError> {
+    let Workload::Conv2d {
+        batch,
+        in_channels,
+        out_channels,
+        kernel,
+        stride,
+        groups,
+        ..
+    } = task.workload
+    else {
+        unreachable!("conv lowering requires a conv workload")
+    };
+    let (oh, ow) = task.workload.out_hw().expect("conv has spatial output");
+    let rc = in_channels / groups;
+
+    let [bf, vf, tf, fi] = split4(space, cfg, "tile_f");
+    let [by, vy, ty, yi] = split4(space, cfg, "tile_y");
+    let [bx, vx, tx, xi] = split4(space, cfg, "tile_x");
+    let [_rco, rci] = split2(space, cfg, "tile_rc");
+    let [_ryo, ryi] = split2(space, cfg, "tile_ry");
+    let [_rxo, rxi] = split2(space, cfg, "tile_rx");
+    let unroll_step = choice(space, cfg, "auto_unroll_max_step");
+    let explicit = choice(space, cfg, "unroll_explicit");
+    debug_assert_eq!(bf * vf * tf * fi, out_channels);
+    debug_assert_eq!(by * vy * ty * yi, oh);
+    debug_assert_eq!(bx * vx * tx * xi, ow);
+
+    let grid_blocks = (batch * bf * by * bx) as u64;
+    let threads = tf * ty * tx;
+    let vthreads = vf * vy * vx;
+    let outputs_per_thread = vthreads * fi * yi * xi;
+
+    // Block-level output tile.
+    let f_t = vf * tf * fi;
+    let y_t = vy * ty * yi;
+    let x_t = vx * tx * xi;
+
+    // Shared-memory tiles cached per (rc, ry, rx) outer iteration.
+    let in_span_y = (y_t - 1) * stride.0 + ryi;
+    let in_span_x = (x_t - 1) * stride.1 + rxi;
+    let smem_input = rci * in_span_y * in_span_x;
+    let smem_weight = f_t * rci * ryi * rxi;
+    let smem_bytes = (smem_input + smem_weight) * BYTES as usize;
+
+    // Register estimate: accumulators (one per output element, virtual
+    // threads multiply real state) + staging operands + addressing.
+    let regs = 18 + outputs_per_thread + 2 * (fi + xi).min(64);
+
+    validate(threads, smem_bytes, regs)?;
+
+    // Global traffic. Input is re-read once per f-block; each spatial block
+    // reads its halo'd tile for all rc channels and kernel taps covered by
+    // outer reduction loops.
+    let full_span_y = (y_t - 1) * stride.0 + kernel.0;
+    let full_span_x = (x_t - 1) * stride.1 + kernel.1;
+    let input_reads =
+        (batch * bf) as u64 * (by * bx) as u64 * (rc * full_span_y * full_span_x) as u64;
+    // Weights are re-read once per spatial block.
+    let weight_elems = (out_channels * rc * kernel.0 * kernel.1) as u64;
+    let weight_reads = weight_elems * (batch * by * bx) as u64;
+    let gmem_read_bytes = (input_reads + weight_reads) * BYTES;
+    let gmem_write_bytes = (batch * out_channels * oh * ow) as u64 * BYTES;
+
+    let inner_loop_size = fi * yi * xi * rci * ryi * rxi;
+
+    Ok(KernelSpec {
+        task_name: task.name.clone(),
+        grid_blocks,
+        threads_per_block: threads,
+        vthreads,
+        regs_per_thread: regs,
+        smem_bytes_per_block: smem_bytes,
+        flops: task.flops(),
+        gmem_read_bytes,
+        gmem_write_bytes,
+        read_coalesce_eff: row_coalesce_eff(in_span_x),
+        write_coalesce_eff: write_eff(xi, tx),
+        bank_conflict_factor: bank_conflicts(xi),
+        unroll_ilp: unroll_ilp(unroll_step, explicit, inner_loop_size),
+        outputs_per_thread,
+        inner_loop_size,
+    })
+}
+
+fn lower_depthwise(
+    task: &TuningTask,
+    space: &ConfigSpace,
+    cfg: &Config,
+) -> Result<KernelSpec, ScheduleError> {
+    let Workload::Conv2d { batch, out_channels, kernel, stride, .. } = task.workload else {
+        unreachable!("depthwise lowering requires a conv workload")
+    };
+    let (oh, ow) = task.workload.out_hw().expect("conv has spatial output");
+
+    let [bc, vc, tc, ci] = split4(space, cfg, "tile_c");
+    let [by, vy, ty, yi] = split4(space, cfg, "tile_y");
+    let [bx, vx, tx, xi] = split4(space, cfg, "tile_x");
+    let [_ryo, ryi] = split2(space, cfg, "tile_ry");
+    let [_rxo, rxi] = split2(space, cfg, "tile_rx");
+    let unroll_step = choice(space, cfg, "auto_unroll_max_step");
+    let explicit = choice(space, cfg, "unroll_explicit");
+    debug_assert_eq!(bc * vc * tc * ci, out_channels);
+
+    let grid_blocks = (batch * bc * by * bx) as u64;
+    let threads = tc * ty * tx;
+    let vthreads = vc * vy * vx;
+    let outputs_per_thread = vthreads * ci * yi * xi;
+
+    let c_t = vc * tc * ci;
+    let y_t = vy * ty * yi;
+    let x_t = vx * tx * xi;
+
+    let in_span_y = (y_t - 1) * stride.0 + ryi;
+    let in_span_x = (x_t - 1) * stride.1 + rxi;
+    let smem_input = c_t * in_span_y * in_span_x;
+    let smem_weight = c_t * ryi * rxi;
+    let smem_bytes = (smem_input + smem_weight) * BYTES as usize;
+
+    let regs = 16 + outputs_per_thread + 2 * (ci + xi).min(64);
+    validate(threads, smem_bytes, regs)?;
+
+    // Depth-wise input is read once per covering block (no cross-channel
+    // reduction, so no f-block redundancy), with spatial halo.
+    let full_span_y = (y_t - 1) * stride.0 + kernel.0;
+    let full_span_x = (x_t - 1) * stride.1 + kernel.1;
+    // Every block reads the halo'd tile for each of its c_t channels:
+    // blocks (batch*bc*by*bx) x per-block (c_t * span_y * span_x).
+    let input_reads =
+        (batch * by * bx * out_channels) as u64 * (full_span_y * full_span_x) as u64;
+    let weight_reads =
+        (out_channels * kernel.0 * kernel.1) as u64 * (batch * by * bx) as u64;
+    let gmem_read_bytes = (input_reads + weight_reads) * BYTES;
+    let gmem_write_bytes = (batch * out_channels * oh * ow) as u64 * BYTES;
+
+    let inner_loop_size = ci * yi * xi * ryi * rxi;
+
+    Ok(KernelSpec {
+        task_name: task.name.clone(),
+        grid_blocks,
+        threads_per_block: threads,
+        vthreads,
+        regs_per_thread: regs,
+        smem_bytes_per_block: smem_bytes,
+        flops: task.flops(),
+        gmem_read_bytes,
+        gmem_write_bytes,
+        read_coalesce_eff: row_coalesce_eff(in_span_x),
+        write_coalesce_eff: write_eff(xi, tx),
+        bank_conflict_factor: bank_conflicts(xi),
+        unroll_ilp: unroll_ilp(unroll_step, explicit, inner_loop_size),
+        outputs_per_thread,
+        inner_loop_size,
+    })
+}
+
+fn lower_dense(
+    task: &TuningTask,
+    space: &ConfigSpace,
+    cfg: &Config,
+) -> Result<KernelSpec, ScheduleError> {
+    let Workload::Dense { batch, in_features, out_features } = task.workload else {
+        unreachable!("dense lowering requires a dense workload")
+    };
+    let [byo, yi] = split2(space, cfg, "tile_y");
+    let [bx, vx, tx, xi] = split4(space, cfg, "tile_x");
+    let [_ko, ki] = split2(space, cfg, "tile_k");
+    let unroll_step = choice(space, cfg, "auto_unroll_max_step");
+    let explicit = choice(space, cfg, "unroll_explicit");
+
+    let grid_blocks = (byo * bx) as u64;
+    let threads = tx;
+    let vthreads = vx;
+    let outputs_per_thread = vx * xi * yi;
+    let x_t = vx * tx * xi;
+
+    let smem_bytes = (ki * (x_t + yi)) * BYTES as usize;
+    let regs = 16 + outputs_per_thread + 2 * xi.min(64);
+    validate(threads, smem_bytes, regs)?;
+
+    let input_reads = (byo * yi) as u64 * in_features as u64 * bx as u64;
+    let weight_reads = (out_features * in_features) as u64 * byo as u64;
+    let gmem_read_bytes = (input_reads + weight_reads) * BYTES;
+    let gmem_write_bytes = (batch * out_features) as u64 * BYTES;
+
+    let inner_loop_size = xi * yi * ki;
+
+    Ok(KernelSpec {
+        task_name: task.name.clone(),
+        grid_blocks,
+        threads_per_block: threads,
+        vthreads,
+        regs_per_thread: regs,
+        smem_bytes_per_block: smem_bytes,
+        flops: task.flops(),
+        gmem_read_bytes,
+        gmem_write_bytes,
+        read_coalesce_eff: row_coalesce_eff(ki),
+        write_coalesce_eff: write_eff(xi, tx),
+        bank_conflict_factor: bank_conflicts(xi),
+        unroll_ilp: unroll_ilp(unroll_step, explicit, inner_loop_size),
+        outputs_per_thread,
+        inner_loop_size,
+    })
+}
+
+/// Lowers `cfg` (a point of `space`) for `task` into a [`KernelSpec`].
+///
+/// # Example
+///
+/// ```
+/// use dnn_graph::{models, task::extract_tasks};
+/// use schedule::{kernel::lower, template::space_for_task};
+///
+/// let task = extract_tasks(&models::mobilenet_v1(1)).remove(0);
+/// let space = space_for_task(&task);
+/// let cfg = space.config(12345)?;
+/// if let Ok(spec) = lower(&task, &space, &cfg) {
+///     assert_eq!(spec.flops, task.flops());
+///     assert!(spec.threads_per_block <= 1024);
+/// } // Err(_) means the launch would fail on device — tuners record it.
+/// # Ok::<(), schedule::ScheduleError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ScheduleError`] when the configuration would fail to launch
+/// (thread, shared-memory or register limits).
+pub fn lower(
+    task: &TuningTask,
+    space: &ConfigSpace,
+    cfg: &Config,
+) -> Result<KernelSpec, ScheduleError> {
+    match task.kind {
+        TaskKind::Conv2d => lower_conv2d(task, space, cfg),
+        TaskKind::DepthwiseConv2d => lower_depthwise(task, space, cfg),
+        TaskKind::Dense => lower_dense(task, space, cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::space_for_task;
+    use dnn_graph::{models, task::extract_tasks};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn first_task(model: &dnn_graph::Graph) -> TuningTask {
+        extract_tasks(model).remove(0)
+    }
+
+    #[test]
+    fn lowered_flops_match_workload() {
+        let task = first_task(&models::mobilenet_v1(1));
+        let space = space_for_task(&task);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let cfg = space.sample(&mut rng);
+            if let Ok(spec) = lower(&task, &space, &cfg) {
+                assert_eq!(spec.flops, task.flops());
+            }
+        }
+    }
+
+    #[test]
+    fn some_configs_are_invalid_and_some_valid() {
+        // The paper's setting relies on the space containing both launchable
+        // and unlaunchable points.
+        let task = first_task(&models::vgg16(1));
+        let space = space_for_task(&task);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut ok = 0;
+        let mut bad = 0;
+        for _ in 0..300 {
+            let cfg = space.sample(&mut rng);
+            match lower(&task, &space, &cfg) {
+                Ok(_) => ok += 1,
+                Err(_) => bad += 1,
+            }
+        }
+        assert!(ok > 0, "no valid configs found");
+        assert!(bad > 0, "no invalid configs found");
+    }
+
+    #[test]
+    fn thread_limit_enforced() {
+        let task = first_task(&models::vgg16(1));
+        let space = space_for_task(&task);
+        // Build a config with tf=ty=tx as large as possible: find the
+        // candidate (1, 1, extent, 1) for each 4-way split.
+        let mut choices = vec![0usize; space.num_knobs()];
+        for (i, knob) in space.knobs().iter().enumerate() {
+            if let crate::knob::Knob::Split { candidates, extent, num_outputs: 4, .. } = knob {
+                if ["tile_f", "tile_y", "tile_x"].contains(&knob.name()) {
+                    let want = vec![1, 1, *extent, 1];
+                    choices[i] =
+                        candidates.iter().position(|c| *c == want).expect("candidate exists");
+                }
+            }
+        }
+        let cfg = Config { index: space.index_of(&choices), choices };
+        let err = lower(&task, &space, &cfg).unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidThreadCount { .. }));
+    }
+
+    #[test]
+    fn write_eff_and_bank_conflicts_behave() {
+        assert_eq!(write_eff(1, 7), 1.0);
+        assert!(write_eff(8, 4) < 1.0);
+        assert_eq!(bank_conflicts(1), 1.0);
+        assert!(bank_conflicts(16) > bank_conflicts(2));
+        assert_eq!(bank_conflicts(3), 1.0); // odd strides conflict-free
+    }
+
+    #[test]
+    fn unroll_ilp_monotone_regions() {
+        assert_eq!(unroll_ilp(0, 0, 100), 1.0);
+        assert!(unroll_ilp(512, 0, 64) > 1.0);
+        assert!(unroll_ilp(512, 0, 5000) < 1.0); // too big to unroll
+        assert!(unroll_ilp(1500, 1, 64) > unroll_ilp(1500, 0, 64));
+    }
+
+    #[test]
+    fn dense_lowering_works() {
+        let tasks = dnn_graph::task::extract_tasks_with_dense(&models::alexnet(1));
+        let dense = tasks.into_iter().find(|t| t.kind == TaskKind::Dense).unwrap();
+        let space = space_for_task(&dense);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut ok = 0;
+        for _ in 0..100 {
+            let cfg = space.sample(&mut rng);
+            if lower(&dense, &space, &cfg).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 0);
+    }
+}

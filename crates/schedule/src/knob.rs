@@ -1,0 +1,162 @@
+//! Tuning knobs: the dimensions of a configuration space.
+
+use crate::factorization::ordered_factorizations;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One tunable dimension of a schedule template.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Knob {
+    /// An axis split: candidates are every ordered factorization of the axis
+    /// extent into `num_outputs` parts (AutoTVM `define_split`).
+    Split {
+        /// Knob name, e.g. `"tile_f"`.
+        name: String,
+        /// Extent of the split axis.
+        extent: usize,
+        /// Number of split outputs.
+        num_outputs: usize,
+        /// Enumerated candidates (each of length `num_outputs`, product =
+        /// `extent`), lexicographically ordered.
+        candidates: Vec<Vec<usize>>,
+    },
+    /// A categorical choice (AutoTVM `define_knob`).
+    Choice {
+        /// Knob name, e.g. `"auto_unroll_max_step"`.
+        name: String,
+        /// The candidate values.
+        values: Vec<i64>,
+    },
+}
+
+impl Knob {
+    /// Creates a split knob over an axis of `extent` with `num_outputs`
+    /// parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extent == 0` or `num_outputs == 0`.
+    #[must_use]
+    pub fn split(name: impl Into<String>, extent: usize, num_outputs: usize) -> Self {
+        Knob::Split {
+            name: name.into(),
+            extent,
+            num_outputs,
+            candidates: ordered_factorizations(extent, num_outputs),
+        }
+    }
+
+    /// Creates a categorical knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn choice(name: impl Into<String>, values: Vec<i64>) -> Self {
+        assert!(!values.is_empty(), "choice knob needs at least one value");
+        Knob::Choice { name: name.into(), values }
+    }
+
+    /// Knob name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Knob::Split { name, .. } | Knob::Choice { name, .. } => name,
+        }
+    }
+
+    /// Number of candidate values.
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Knob::Split { candidates, .. } => candidates.len(),
+            Knob::Choice { values, .. } => values.len(),
+        }
+    }
+
+    /// The concrete value at candidate position `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.cardinality()`.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> KnobValue {
+        match self {
+            Knob::Split { candidates, .. } => KnobValue::Split(candidates[idx].clone()),
+            Knob::Choice { values, .. } => KnobValue::Choice(values[idx]),
+        }
+    }
+}
+
+impl fmt::Display for Knob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Knob::Split { name, extent, num_outputs, candidates } => write!(
+                f,
+                "{name}: split({extent} -> {num_outputs} parts, {} candidates)",
+                candidates.len()
+            ),
+            Knob::Choice { name, values } => write!(f, "{name}: choice{values:?}"),
+        }
+    }
+}
+
+/// A concrete value taken by one knob inside a configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KnobValue {
+    /// Chosen split factors (length = the knob's `num_outputs`).
+    Split(Vec<usize>),
+    /// Chosen categorical value.
+    Choice(i64),
+}
+
+impl KnobValue {
+    /// The split factors, if this is a split value.
+    #[must_use]
+    pub fn as_split(&self) -> Option<&[usize]> {
+        match self {
+            KnobValue::Split(fs) => Some(fs),
+            KnobValue::Choice(_) => None,
+        }
+    }
+
+    /// The categorical value, if this is a choice value.
+    #[must_use]
+    pub fn as_choice(&self) -> Option<i64> {
+        match self {
+            KnobValue::Choice(v) => Some(*v),
+            KnobValue::Split(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_knob_enumerates_factorizations() {
+        let k = Knob::split("tile_f", 8, 2);
+        assert_eq!(k.cardinality(), 4); // (1,8) (2,4) (4,2) (8,1)
+        assert_eq!(k.value(1), KnobValue::Split(vec![2, 4]));
+    }
+
+    #[test]
+    fn choice_knob_values() {
+        let k = Knob::choice("unroll", vec![0, 512, 1500]);
+        assert_eq!(k.cardinality(), 3);
+        assert_eq!(k.value(2).as_choice(), Some(1500));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(Knob::split("a", 4, 2).name(), "a");
+        assert_eq!(Knob::choice("b", vec![1]).name(), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_choice_panics() {
+        let _ = Knob::choice("bad", vec![]);
+    }
+}

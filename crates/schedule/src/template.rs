@@ -1,0 +1,153 @@
+//! Schedule templates: task → configuration space.
+//!
+//! Mirrors TVM v0.6's CUDA templates:
+//!
+//! * **direct conv2d** — 4-way splits of the output channel (`tile_f`) and
+//!   spatial axes (`tile_y`, `tile_x`) into block / virtual-thread / thread /
+//!   inner parts, 2-way splits of the reduction axes (`tile_rc`, `tile_ry`,
+//!   `tile_rx`), `auto_unroll_max_step ∈ {0, 512, 1500}` and
+//!   `unroll_explicit ∈ {0, 1}`.
+//! * **depth-wise conv2d** — same spatial structure with the channel axis as
+//!   `tile_c` and only `tile_ry`/`tile_rx` reductions.
+//! * **dense** — 2-way batch and 4-way output-feature splits plus a 2-way
+//!   reduction split.
+
+use crate::knob::Knob;
+use crate::space::ConfigSpace;
+use dnn_graph::task::{TuningTask, Workload};
+
+/// Unroll-step candidates used by TVM's CUDA conv templates.
+pub const UNROLL_STEPS: [i64; 3] = [0, 512, 1500];
+
+/// Builds the direct conv2d space.
+fn conv2d_space(task: &TuningTask) -> ConfigSpace {
+    let Workload::Conv2d { out_channels, in_channels, kernel, groups, .. } = task.workload
+    else {
+        unreachable!("conv2d template requires a conv workload")
+    };
+    let (oh, ow) = task.workload.out_hw().expect("conv has spatial output");
+    let rc = in_channels / groups;
+    ConfigSpace::new(
+        task.name.clone(),
+        vec![
+            Knob::split("tile_f", out_channels, 4),
+            Knob::split("tile_y", oh, 4),
+            Knob::split("tile_x", ow, 4),
+            Knob::split("tile_rc", rc, 2),
+            Knob::split("tile_ry", kernel.0, 2),
+            Knob::split("tile_rx", kernel.1, 2),
+            Knob::choice("auto_unroll_max_step", UNROLL_STEPS.to_vec()),
+            Knob::choice("unroll_explicit", vec![0, 1]),
+        ],
+    )
+}
+
+/// Builds the depth-wise conv2d space.
+fn depthwise_space(task: &TuningTask) -> ConfigSpace {
+    let Workload::Conv2d { out_channels, kernel, .. } = task.workload else {
+        unreachable!("depthwise template requires a conv workload")
+    };
+    let (oh, ow) = task.workload.out_hw().expect("conv has spatial output");
+    ConfigSpace::new(
+        task.name.clone(),
+        vec![
+            Knob::split("tile_c", out_channels, 4),
+            Knob::split("tile_y", oh, 4),
+            Knob::split("tile_x", ow, 4),
+            Knob::split("tile_ry", kernel.0, 2),
+            Knob::split("tile_rx", kernel.1, 2),
+            Knob::choice("auto_unroll_max_step", UNROLL_STEPS.to_vec()),
+            Knob::choice("unroll_explicit", vec![0, 1]),
+        ],
+    )
+}
+
+/// Builds the dense space.
+fn dense_space(task: &TuningTask) -> ConfigSpace {
+    let Workload::Dense { batch, in_features, out_features } = task.workload else {
+        unreachable!("dense template requires a dense workload")
+    };
+    ConfigSpace::new(
+        task.name.clone(),
+        vec![
+            Knob::split("tile_y", batch, 2),
+            Knob::split("tile_x", out_features, 4),
+            Knob::split("tile_k", in_features, 2),
+            Knob::choice("auto_unroll_max_step", UNROLL_STEPS.to_vec()),
+            Knob::choice("unroll_explicit", vec![0, 1]),
+        ],
+    )
+}
+
+/// Builds the configuration space of a tuning task.
+///
+/// # Example
+///
+/// ```
+/// use dnn_graph::{models, task::extract_tasks};
+/// use schedule::template::space_for_task;
+///
+/// let tasks = extract_tasks(&models::mobilenet_v1(1));
+/// let space = space_for_task(&tasks[0]);
+/// assert!(space.len() > 1_000_000);
+/// ```
+#[must_use]
+pub fn space_for_task(task: &TuningTask) -> ConfigSpace {
+    match task.kind {
+        dnn_graph::TaskKind::Conv2d => conv2d_space(task),
+        dnn_graph::TaskKind::DepthwiseConv2d => depthwise_space(task),
+        dnn_graph::TaskKind::Dense => dense_space(task),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{models, task::extract_tasks};
+
+    #[test]
+    fn vgg_first_node_is_point_two_billion() {
+        // Section I: "the first optimization node in VGG-16 has approximately
+        // 0.2 billion configuration points". Our template reproduces it.
+        let task = extract_tasks(&models::vgg16(1)).remove(0);
+        let space = space_for_task(&task);
+        assert_eq!(space.len(), 202_309_632);
+    }
+
+    #[test]
+    fn average_mobilenet_node_exceeds_fifty_million() {
+        // Section V: "on average, each node has more than 50 million
+        // configuration points".
+        let tasks = extract_tasks(&models::mobilenet_v1(1));
+        let mean = tasks
+            .iter()
+            .map(|t| space_for_task(t).len() as f64)
+            .sum::<f64>()
+            / tasks.len() as f64;
+        assert!(mean > 5e6, "mean space size {mean}");
+    }
+
+    #[test]
+    fn every_paper_task_has_a_space() {
+        for model in models::paper_models(1) {
+            for task in extract_tasks(&model) {
+                let space = space_for_task(&task);
+                assert!(space.len() > 1, "{}", task.name);
+                // Spot-check the codec at the extremes.
+                let last = space.len() - 1;
+                let cfg = space.config(last).unwrap();
+                assert_eq!(space.index_of(&cfg.choices), last);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_template_builds() {
+        let tasks =
+            dnn_graph::task::extract_tasks_with_dense(&models::alexnet(1));
+        let dense = tasks.iter().find(|t| t.kind == dnn_graph::TaskKind::Dense).unwrap();
+        let space = space_for_task(dense);
+        assert!(space.len() > 100);
+        assert_eq!(space.knobs()[0].name(), "tile_y");
+    }
+}

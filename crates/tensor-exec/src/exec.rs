@@ -1,0 +1,161 @@
+//! Graph interpreter: runs a whole model functionally.
+
+use crate::reference;
+use crate::tensor::Tensor;
+use dnn_graph::ops::Op;
+use dnn_graph::{Graph, Shape};
+
+/// Executes a [`Graph`] with deterministic pseudo-random weights and input.
+///
+/// Used to validate model wiring end-to-end: shape inference is checked
+/// against the tensors actually produced, and the functional output feeds
+/// the schedule-correctness tests in [`crate::tiled`].
+pub struct Executor<'g> {
+    graph: &'g Graph,
+    seed: u64,
+}
+
+impl<'g> Executor<'g> {
+    /// Creates an executor; `seed` determines weights and inputs.
+    #[must_use]
+    pub fn new(graph: &'g Graph, seed: u64) -> Self {
+        Executor { graph, seed }
+    }
+
+    /// Deterministic weight tensor for node `id` (keyed by node id and the
+    /// executor seed).
+    fn weight(&self, id: usize, shape: Shape) -> Tensor {
+        Tensor::random(shape, self.seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Runs the graph and returns the (single) output tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no output or a node produces a tensor whose
+    /// shape disagrees with shape inference (that would be a library bug).
+    #[must_use]
+    pub fn run(&self) -> Tensor {
+        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.len()];
+        for node in self.graph.nodes() {
+            let get = |i: usize| values[i].as_ref().expect("topological order");
+            let out = match &node.op {
+                Op::Input(shape) => Tensor::random(shape.clone(), self.seed),
+                Op::Conv2d(a) => {
+                    let w = self.weight(
+                        node.id,
+                        Shape::new(vec![
+                            a.out_channels,
+                            a.in_channels / a.groups,
+                            a.kernel.0,
+                            a.kernel.1,
+                        ]),
+                    );
+                    let bias: Vec<f32> = if a.bias {
+                        self.weight(node.id + 1_000_000, Shape::new(vec![a.out_channels])).data
+                    } else {
+                        Vec::new()
+                    };
+                    reference::conv2d(get(node.inputs[0]), &w, &bias, a)
+                }
+                Op::Dense(a) => {
+                    let w = self
+                        .weight(node.id, Shape::new(vec![a.out_features, a.in_features]));
+                    let bias: Vec<f32> = if a.bias {
+                        self.weight(node.id + 1_000_000, Shape::new(vec![a.out_features])).data
+                    } else {
+                        Vec::new()
+                    };
+                    reference::dense(get(node.inputs[0]), &w, &bias, a)
+                }
+                Op::Pool2d(a) => reference::pool2d(get(node.inputs[0]), a),
+                Op::GlobalAvgPool => reference::global_avg_pool(get(node.inputs[0])),
+                Op::Relu => reference::relu(get(node.inputs[0])),
+                Op::BatchNorm => {
+                    let c = get(node.inputs[0]).shape.dim(1);
+                    // Mild, deterministic per-channel affine.
+                    let scale: Vec<f32> =
+                        (0..c).map(|i| 0.9 + 0.2 * ((i % 7) as f32 / 7.0)).collect();
+                    let shift: Vec<f32> =
+                        (0..c).map(|i| -0.05 + 0.1 * ((i % 5) as f32 / 5.0)).collect();
+                    reference::batch_norm(get(node.inputs[0]), &scale, &shift)
+                }
+                Op::Add => reference::add(get(node.inputs[0]), get(node.inputs[1])),
+                Op::Concat => {
+                    let ins: Vec<&Tensor> = node.inputs.iter().map(|&i| get(i)).collect();
+                    reference::concat(&ins)
+                }
+                Op::Flatten => reference::flatten(get(node.inputs[0])),
+                Op::Softmax => reference::softmax(get(node.inputs[0])),
+                Op::Dropout => get(node.inputs[0]).clone(),
+                Op::Lrn => reference::lrn(get(node.inputs[0])),
+            };
+            assert_eq!(
+                out.shape, node.output,
+                "node {} ({}) produced a shape disagreeing with inference",
+                node.id, node.op
+            );
+            values[node.id] = Some(out);
+        }
+        let outs = self.graph.output_ids();
+        assert_eq!(outs.len(), 1, "executor expects a single-output graph");
+        values[outs[0]].take().expect("output was computed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::models;
+
+    #[test]
+    fn tiny_graph_runs_and_checks_shapes() {
+        let mut g = Graph::new("tiny");
+        let x = g.add_input(Shape::nchw(1, 3, 8, 8));
+        let c = g.add_conv2d(x, 3, 4, 3, 1, 1, 1, true).unwrap();
+        let r = g.add_relu(c);
+        let f = g.add_flatten(r).unwrap();
+        let d = g.add_dense(f, 4 * 64, 10, true).unwrap();
+        let _s = g.add_softmax(d);
+        let out = Executor::new(&g, 1).run();
+        assert_eq!(out.shape.dims(), &[1, 10]);
+        let sum: f32 = out.data.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn executor_is_deterministic_per_seed() {
+        let g = {
+            let mut g = Graph::new("t");
+            let x = g.add_input(Shape::nchw(1, 2, 6, 6));
+            let c = g.add_conv2d(x, 2, 4, 3, 1, 1, 1, false).unwrap();
+            let _ = g.add_relu(c);
+            g
+        };
+        let a = Executor::new(&g, 7).run();
+        let b = Executor::new(&g, 7).run();
+        let c = Executor::new(&g, 8).run();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mobilenet_runs_functionally() {
+        // Executes all 27 convs + separable structure on a real input.
+        let g = models::mobilenet_v1(1);
+        let out = Executor::new(&g, 3).run();
+        assert_eq!(out.shape.dims(), &[1, 1000]);
+        let sum: f32 = out.data.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "softmax sum {sum}");
+        assert!(out.data.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    #[ignore = "full ResNet-18 inference (~1.8 GMACs) is slow without --release"]
+    fn resnet_shortcuts_execute() {
+        let g = models::resnet18(1);
+        let out = Executor::new(&g, 4).run();
+        assert_eq!(out.shape.dims(), &[1, 1000]);
+        assert!(out.data.iter().all(|v| v.is_finite()));
+    }
+}

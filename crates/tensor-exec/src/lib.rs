@@ -1,0 +1,44 @@
+//! Functional execution of DNN graphs, on the CPU.
+//!
+//! The paper's flow compiles each tuned configuration to CUDA and runs it;
+//! TVM validates that every schedule computes the *same function* as the
+//! un-scheduled operator. This crate provides that correctness substrate:
+//!
+//! * [`tensor::Tensor`] — a dense `f32` NCHW tensor;
+//! * [`mod@reference`] — straightforward reference implementations of every
+//!   operator in the graph IR;
+//! * [`exec`] — a graph interpreter with deterministic pseudo-random
+//!   weights, used to validate whole-model wiring (shapes *and* values);
+//! * [`tiled`] — an interpreter that executes a convolution through the
+//!   exact loop decomposition a schedule configuration induces (block /
+//!   virtual-thread / thread / inner splits and reduction splits), proving
+//!   lowered schedules are semantics-preserving.
+//!
+//! # Example
+//!
+//! ```
+//! use dnn_graph::{Graph, Shape};
+//! use tensor_exec::exec::Executor;
+//!
+//! let mut g = Graph::new("tiny");
+//! let x = g.add_input(Shape::nchw(1, 3, 16, 16));
+//! let c = g.add_conv2d(x, 3, 8, 3, 1, 1, 1, true)?;
+//! let r = g.add_relu(c);
+//! let f = g.add_flatten(r)?;
+//! let d = g.add_dense(f, 8 * 256, 10, true)?;
+//! let _ = g.add_softmax(d);
+//! let out = Executor::new(&g, 0).run();
+//! assert_eq!(out.shape.dims(), &[1, 10]);
+//! // Softmax output sums to 1.
+//! let sum: f32 = out.data.iter().sum();
+//! assert!((sum - 1.0).abs() < 1e-3);
+//! # Ok::<(), dnn_graph::GraphError>(())
+//! ```
+
+pub mod exec;
+pub mod reference;
+pub mod tensor;
+pub mod tiled;
+
+pub use exec::Executor;
+pub use tensor::Tensor;

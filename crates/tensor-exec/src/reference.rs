@@ -1,0 +1,440 @@
+//! Reference (unscheduled) implementations of every operator.
+//!
+//! These are the semantic ground truth: straightforward loop nests with no
+//! tiling, the way TVM's `topi.testing` numpy kernels define correctness.
+
+use crate::tensor::Tensor;
+use dnn_graph::ops::{Conv2dAttrs, DenseAttrs, Pool2dAttrs, PoolKind};
+use dnn_graph::Shape;
+
+/// 2-D convolution (supports grouped / depth-wise via `attrs.groups`).
+///
+/// `weight` is `[out_c, in_c/groups, kh, kw]`; `bias` is `[out_c]` or empty.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `attrs`.
+#[must_use]
+pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &[f32], attrs: &Conv2dAttrs) -> Tensor {
+    let (n, ic, h, w) = (x.shape.dim(0), x.shape.dim(1), x.shape.dim(2), x.shape.dim(3));
+    assert_eq!(ic, attrs.in_channels, "input channel mismatch");
+    assert_eq!(
+        weight.shape.dims(),
+        &[attrs.out_channels, ic / attrs.groups, attrs.kernel.0, attrs.kernel.1],
+        "weight shape mismatch"
+    );
+    let (oh, ow) = attrs.out_hw(h, w);
+    let mut out = Tensor::zeros(Shape::nchw(n, attrs.out_channels, oh, ow));
+    let icg = ic / attrs.groups;
+    let ocg = attrs.out_channels / attrs.groups;
+    for b in 0..n {
+        for oc in 0..attrs.out_channels {
+            let g = oc / ocg;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = if bias.is_empty() { 0.0 } else { bias[oc] };
+                    for rc in 0..icg {
+                        for ry in 0..attrs.kernel.0 {
+                            for rx in 0..attrs.kernel.1 {
+                                let iy = (oy * attrs.stride.0 + ry) as isize
+                                    - attrs.padding.h as isize;
+                                let ix = (ox * attrs.stride.1 + rx) as isize
+                                    - attrs.padding.w as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += x.at4(b, g * icg + rc, iy as usize, ix as usize)
+                                    * weight.at4(oc, rc, ry, rx);
+                            }
+                        }
+                    }
+                    *out.at4_mut(b, oc, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Dense layer: `y = x · Wᵀ + b` with `W` of shape `[out, in]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `attrs`.
+#[must_use]
+pub fn dense(x: &Tensor, weight: &Tensor, bias: &[f32], attrs: &DenseAttrs) -> Tensor {
+    let (n, d) = (x.shape.dim(0), x.shape.dim(1));
+    assert_eq!(d, attrs.in_features, "feature mismatch");
+    assert_eq!(weight.shape.dims(), &[attrs.out_features, attrs.in_features]);
+    let mut out = Tensor::zeros(Shape::new(vec![n, attrs.out_features]));
+    for b in 0..n {
+        for o in 0..attrs.out_features {
+            let mut acc = if bias.is_empty() { 0.0 } else { bias[o] };
+            for k in 0..d {
+                acc += x.data[b * d + k] * weight.data[o * d + k];
+            }
+            out.data[b * attrs.out_features + o] = acc;
+        }
+    }
+    out
+}
+
+/// 2-D max/average pooling.
+#[must_use]
+pub fn pool2d(x: &Tensor, attrs: &Pool2dAttrs) -> Tensor {
+    let (n, c, h, w) = (x.shape.dim(0), x.shape.dim(1), x.shape.dim(2), x.shape.dim(3));
+    let (oh, ow) = attrs.out_hw(h, w);
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    for b in 0..n {
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc: Option<f32> = None;
+                    let mut count = 0usize;
+                    for ky in 0..attrs.kernel.0 {
+                        for kx in 0..attrs.kernel.1 {
+                            let iy = (oy * attrs.stride.0 + ky) as isize
+                                - attrs.padding.h as isize;
+                            let ix = (ox * attrs.stride.1 + kx) as isize
+                                - attrs.padding.w as isize;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            let v = x.at4(b, ch, iy as usize, ix as usize);
+                            count += 1;
+                            acc = Some(match (attrs.kind, acc) {
+                                (PoolKind::Max, None) => v,
+                                (PoolKind::Max, Some(a)) => a.max(v),
+                                (PoolKind::Avg, None) => v,
+                                (PoolKind::Avg, Some(a)) => a + v,
+                            });
+                        }
+                    }
+                    let v = match (attrs.kind, acc) {
+                        (_, None) => 0.0,
+                        (PoolKind::Max, Some(a)) => a,
+                        (PoolKind::Avg, Some(a)) => a / count as f32,
+                    };
+                    *out.at4_mut(b, ch, oy, ox) = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Global average pool to `n × c × 1 × 1`.
+#[must_use]
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = (x.shape.dim(0), x.shape.dim(1), x.shape.dim(2), x.shape.dim(3));
+    let mut out = Tensor::zeros(Shape::nchw(n, c, 1, 1));
+    for b in 0..n {
+        for ch in 0..c {
+            let mut acc = 0.0;
+            for y in 0..h {
+                for xx in 0..w {
+                    acc += x.at4(b, ch, y, xx);
+                }
+            }
+            *out.at4_mut(b, ch, 0, 0) = acc / (h * w) as f32;
+        }
+    }
+    out
+}
+
+/// ReLU.
+#[must_use]
+pub fn relu(x: &Tensor) -> Tensor {
+    Tensor {
+        shape: x.shape.clone(),
+        data: x.data.iter().map(|v| v.max(0.0)).collect(),
+    }
+}
+
+/// Inference-mode batch normalization with per-channel scale/shift.
+///
+/// # Panics
+///
+/// Panics if `scale`/`shift` are not `channels` long.
+#[must_use]
+pub fn batch_norm(x: &Tensor, scale: &[f32], shift: &[f32]) -> Tensor {
+    let c = x.shape.dim(1);
+    assert_eq!(scale.len(), c, "scale length mismatch");
+    assert_eq!(shift.len(), c, "shift length mismatch");
+    let chw = x.shape.num_elements() / x.shape.dim(0);
+    let hw = chw / c;
+    let data = x
+        .data
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let ch = (i % chw) / hw;
+            v * scale[ch] + shift[ch]
+        })
+        .collect();
+    Tensor { shape: x.shape.clone(), data }
+}
+
+/// Element-wise addition.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+#[must_use]
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape, b.shape, "shape mismatch");
+    Tensor {
+        shape: a.shape.clone(),
+        data: a.data.iter().zip(&b.data).map(|(x, y)| x + y).collect(),
+    }
+}
+
+/// Channel-wise concat of rank-4 tensors.
+///
+/// # Panics
+///
+/// Panics if non-channel extents differ or `xs` is empty.
+#[must_use]
+pub fn concat(xs: &[&Tensor]) -> Tensor {
+    assert!(!xs.is_empty(), "concat of nothing");
+    let first = xs[0];
+    let (n, h, w) = (first.shape.dim(0), first.shape.dim(2), first.shape.dim(3));
+    let total_c: usize = xs.iter().map(|t| t.shape.dim(1)).sum();
+    let mut out = Tensor::zeros(Shape::nchw(n, total_c, h, w));
+    for b in 0..n {
+        let mut c_off = 0;
+        for t in xs {
+            let c = t.shape.dim(1);
+            for ch in 0..c {
+                for y in 0..h {
+                    for xx in 0..w {
+                        *out.at4_mut(b, c_off + ch, y, xx) = t.at4(b, ch, y, xx);
+                    }
+                }
+            }
+            c_off += c;
+        }
+    }
+    out
+}
+
+/// Flatten NCHW → N×(CHW).
+#[must_use]
+pub fn flatten(x: &Tensor) -> Tensor {
+    let n = x.shape.dim(0);
+    let rest = x.shape.num_elements() / n;
+    Tensor { shape: Shape::new(vec![n, rest]), data: x.data.clone() }
+}
+
+/// Numerically-stable softmax over the last dimension of a rank-2 tensor.
+#[must_use]
+pub fn softmax(x: &Tensor) -> Tensor {
+    let (n, d) = (x.shape.dim(0), x.shape.dim(1));
+    let mut out = Tensor::zeros(x.shape.clone());
+    for b in 0..n {
+        let row = &x.data[b * d..(b + 1) * d];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (o, e) in out.data[b * d..(b + 1) * d].iter_mut().zip(exps) {
+            *o = e / sum;
+        }
+    }
+    out
+}
+
+/// Local response normalization (AlexNet), across channels with the
+/// standard size-5 window.
+#[must_use]
+pub fn lrn(x: &Tensor) -> Tensor {
+    const SIZE: isize = 5;
+    const ALPHA: f32 = 1e-4;
+    const BETA: f32 = 0.75;
+    const K: f32 = 2.0;
+    let (n, c, h, w) = (x.shape.dim(0), x.shape.dim(1), x.shape.dim(2), x.shape.dim(3));
+    let mut out = Tensor::zeros(x.shape.clone());
+    for b in 0..n {
+        for ch in 0..c {
+            for y in 0..h {
+                for xx in 0..w {
+                    let mut sq = 0.0;
+                    for d in -(SIZE / 2)..=(SIZE / 2) {
+                        let cc = ch as isize + d;
+                        if cc < 0 || cc >= c as isize {
+                            continue;
+                        }
+                        let v = x.at4(b, cc as usize, y, xx);
+                        sq += v * v;
+                    }
+                    let denom = (K + ALPHA * sq).powf(BETA);
+                    *out.at4_mut(b, ch, y, xx) = x.at4(b, ch, y, xx) / denom;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::ops::Padding;
+
+    fn conv_attrs(ic: usize, oc: usize, k: usize, s: usize, p: usize, g: usize) -> Conv2dAttrs {
+        Conv2dAttrs {
+            in_channels: ic,
+            out_channels: oc,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: Padding::same(p),
+            groups: g,
+            bias: false,
+        }
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 conv with weight 1.0 copies the input.
+        let x = Tensor::random(Shape::nchw(1, 1, 4, 4), 1);
+        let w = Tensor::from_vec(Shape::new(vec![1, 1, 1, 1]), vec![1.0]);
+        let y = conv2d(&x, &w, &[], &conv_attrs(1, 1, 1, 1, 0, 1));
+        assert_eq!(y.data, x.data);
+    }
+
+    #[test]
+    fn conv_sums_window() {
+        // 3x3 all-ones kernel over an all-ones 3x3 input, no padding: 9.
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 3, 3), vec![1.0; 9]);
+        let w = Tensor::from_vec(Shape::new(vec![1, 1, 3, 3]), vec![1.0; 9]);
+        let y = conv2d(&x, &w, &[], &conv_attrs(1, 1, 3, 1, 0, 1));
+        assert_eq!(y.shape.dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data[0], 9.0);
+    }
+
+    #[test]
+    fn conv_padding_zeros_border() {
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![2.0]);
+        let w = Tensor::from_vec(Shape::new(vec![1, 1, 3, 3]), vec![1.0; 9]);
+        let y = conv2d(&x, &w, &[], &conv_attrs(1, 1, 3, 1, 1, 1));
+        // Only the center tap sees the value.
+        assert_eq!(y.shape.dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data[0], 2.0);
+    }
+
+    #[test]
+    fn depthwise_conv_keeps_channels_separate() {
+        // Two channels; kernel scales ch0 by 1 and ch1 by 10.
+        let x = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![3.0, 4.0]);
+        let w = Tensor::from_vec(Shape::new(vec![2, 1, 1, 1]), vec![1.0, 10.0]);
+        let y = conv2d(&x, &w, &[], &conv_attrs(2, 2, 1, 1, 0, 2));
+        assert_eq!(y.data, vec![3.0, 40.0]);
+    }
+
+    #[test]
+    fn conv_bias_added() {
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![1.0]);
+        let w = Tensor::from_vec(Shape::new(vec![1, 1, 1, 1]), vec![2.0]);
+        let y = conv2d(&x, &w, &[0.5], &conv_attrs(1, 1, 1, 1, 0, 1));
+        assert_eq!(y.data[0], 2.5);
+    }
+
+    #[test]
+    fn dense_matches_manual() {
+        let x = Tensor::from_vec(Shape::new(vec![1, 3]), vec![1.0, 2.0, 3.0]);
+        let w = Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        let y = dense(
+            &x,
+            &w,
+            &[10.0, 20.0],
+            &DenseAttrs { in_features: 3, out_features: 2, bias: true },
+        );
+        assert_eq!(y.data, vec![11.0, 25.0]);
+    }
+
+    #[test]
+    fn max_and_avg_pool() {
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let attrs = Pool2dAttrs {
+            kind: PoolKind::Max,
+            kernel: (2, 2),
+            stride: (2, 2),
+            padding: Padding::same(0),
+            ceil_mode: false,
+        };
+        assert_eq!(pool2d(&x, &attrs).data, vec![4.0]);
+        let avg = Pool2dAttrs { kind: PoolKind::Avg, ..attrs };
+        assert_eq!(pool2d(&x, &avg).data, vec![2.5]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(Shape::new(vec![2, 3]), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let y = softmax(&x);
+        for b in 0..2 {
+            let s: f32 = y.data[b * 3..(b + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone: larger logits, larger probabilities.
+        assert!(y.data[2] > y.data[1] && y.data[1] > y.data[0]);
+    }
+
+    #[test]
+    fn batch_norm_scales_per_channel() {
+        let x = Tensor::from_vec(Shape::nchw(1, 2, 1, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let y = batch_norm(&x, &[2.0, 0.5], &[0.0, 1.0]);
+        assert_eq!(y.data, vec![2.0, 4.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::from_vec(Shape::nchw(1, 1, 1, 2), vec![1.0, 2.0]);
+        let b = Tensor::from_vec(Shape::nchw(1, 2, 1, 2), vec![3.0, 4.0, 5.0, 6.0]);
+        let y = concat(&[&a, &b]);
+        assert_eq!(y.shape.dims(), &[1, 3, 1, 2]);
+        assert_eq!(y.data, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn relu_and_add() {
+        let a = Tensor::from_vec(Shape::new(vec![1, 3]), vec![-1.0, 0.5, 2.0]);
+        assert_eq!(relu(&a).data, vec![0.0, 0.5, 2.0]);
+        let b = add(&a, &a);
+        assert_eq!(b.data, vec![-2.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn lrn_shrinks_but_preserves_sign() {
+        let x = Tensor::from_vec(Shape::nchw(1, 3, 1, 1), vec![1.0, -2.0, 3.0]);
+        let y = lrn(&x);
+        for (a, b) in x.data.iter().zip(&y.data) {
+            assert!(b.abs() < a.abs());
+            assert_eq!(a.signum(), b.signum());
+        }
+    }
+
+    #[test]
+    fn grouped_conv_matches_two_half_convs() {
+        // groups=2 conv == two independent convs on channel halves.
+        let x = Tensor::random(Shape::nchw(1, 4, 5, 5), 2);
+        let w = Tensor::random(Shape::new(vec![6, 2, 3, 3]), 3);
+        let grouped = conv2d(&x, &w, &[], &conv_attrs(4, 6, 3, 1, 1, 2));
+
+        // Manual split.
+        let mut x0 = Tensor::zeros(Shape::nchw(1, 2, 5, 5));
+        let mut x1 = Tensor::zeros(Shape::nchw(1, 2, 5, 5));
+        for c in 0..2 {
+            for y in 0..5 {
+                for xx in 0..5 {
+                    *x0.at4_mut(0, c, y, xx) = x.at4(0, c, y, xx);
+                    *x1.at4_mut(0, c, y, xx) = x.at4(0, c + 2, y, xx);
+                }
+            }
+        }
+        let w0 = Tensor::from_vec(Shape::new(vec![3, 2, 3, 3]), w.data[..54].to_vec());
+        let w1 = Tensor::from_vec(Shape::new(vec![3, 2, 3, 3]), w.data[54..].to_vec());
+        let y0 = conv2d(&x0, &w0, &[], &conv_attrs(2, 3, 3, 1, 1, 1));
+        let y1 = conv2d(&x1, &w1, &[], &conv_attrs(2, 3, 3, 1, 1, 1));
+        let manual = concat(&[&y0, &y1]);
+        assert!(grouped.max_abs_diff(&manual) < 1e-5);
+    }
+}

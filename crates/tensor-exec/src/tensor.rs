@@ -1,0 +1,118 @@
+//! Dense `f32` tensors.
+
+use dnn_graph::Shape;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A dense row-major `f32` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Logical shape.
+    pub shape: Shape,
+    /// Row-major values (`shape.num_elements()` long).
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zero tensor.
+    #[must_use]
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.num_elements();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// A tensor of deterministic pseudo-random values in `[-0.5, 0.5)`,
+    /// seeded so weights are reproducible across runs and platforms.
+    #[must_use]
+    pub fn random(shape: Shape, seed: u64) -> Self {
+        let n = shape.num_elements();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let data = (0..n).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Builds a tensor from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.num_elements()`.
+    #[must_use]
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), shape.num_elements(), "value count mismatch");
+        Tensor { shape, data }
+    }
+
+    /// Flat offset of an NCHW coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 (debug) or the coordinate is out
+    /// of range.
+    #[inline]
+    #[must_use]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.shape.rank(), 4);
+        let (cs, hs, ws) =
+            (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        self.data[((n * cs + c) * hs + h) * ws + w]
+    }
+
+    /// Mutable NCHW accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.rank(), 4);
+        let (cs, hs, ws) =
+            (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        &mut self.data[((n * cs + c) * hs + h) * ws + w]
+    }
+
+    /// Maximum absolute difference to another tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut t = Tensor::zeros(Shape::nchw(1, 2, 3, 4));
+        *t.at4_mut(0, 1, 2, 3) = 7.0;
+        assert_eq!(t.at4(0, 1, 2, 3), 7.0);
+        assert_eq!(t.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(t.data.len(), 24);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Tensor::random(Shape::nchw(1, 3, 4, 4), 5);
+        let b = Tensor::random(Shape::nchw(1, 3, 4, 4), 5);
+        assert_eq!(a, b);
+        assert!(a.data.iter().all(|v| (-0.5..0.5).contains(v)));
+        let c = Tensor::random(Shape::nchw(1, 3, 4, 4), 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Tensor::from_vec(Shape::new(vec![3]), vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(Shape::new(vec![3]), vec![1.0, 2.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Tiled-schedule interpretation: executes a convolution through the exact
+//! loop decomposition a configuration induces.
+//!
+//! A schedule is only usable if, for *every* point of the configuration
+//! space, the tiled loop nest enumerates exactly the same (output, reduction)
+//! index pairs as the reference operator. This module walks the decomposed
+//! loops — block / virtual-thread / thread / inner for each output axis and
+//! outer / inner for each reduction axis — and computes the convolution that
+//! way, so equality with [`crate::reference::conv2d`] proves the lowering's
+//! index arithmetic is semantics-preserving.
+
+use crate::reference;
+use crate::tensor::Tensor;
+use dnn_graph::ops::{Conv2dAttrs, Padding};
+use dnn_graph::task::{TuningTask, Workload};
+use dnn_graph::Shape;
+use schedule::knob::KnobValue;
+use schedule::{Config, ConfigSpace};
+
+/// One axis decomposed into ordered parts (outermost first): iterating all
+/// part indices reconstructs `0..extent` exactly once.
+#[derive(Debug, Clone)]
+struct AxisSplit {
+    parts: Vec<usize>,
+}
+
+impl AxisSplit {
+    fn from_value(v: &KnobValue) -> Self {
+        let KnobValue::Split(parts) = v else {
+            unreachable!("axis splits come from split knobs")
+        };
+        AxisSplit { parts: parts.clone() }
+    }
+
+    fn extent(&self) -> usize {
+        self.parts.iter().product()
+    }
+
+    /// Reconstructs the flat axis coordinate from per-part indices.
+    fn flat(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.parts.len());
+        let mut acc = 0;
+        for (i, &p) in idx.iter().zip(&self.parts) {
+            acc = acc * p + i;
+        }
+        acc
+    }
+
+    /// Iterates every per-part index combination, invoking `f` with the
+    /// flattened coordinate.
+    fn for_each(&self, f: &mut impl FnMut(usize)) {
+        let mut idx = vec![0usize; self.parts.len()];
+        loop {
+            f(self.flat(&idx));
+            // Odometer increment.
+            let mut d = idx.len();
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < self.parts[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
+fn conv_attrs_of(task: &TuningTask) -> Conv2dAttrs {
+    let Workload::Conv2d {
+        in_channels,
+        out_channels,
+        kernel,
+        stride,
+        padding,
+        groups,
+        ..
+    } = task.workload
+    else {
+        panic!("tiled conv execution requires a conv task")
+    };
+    Conv2dAttrs {
+        in_channels,
+        out_channels,
+        kernel,
+        stride,
+        padding: Padding { h: padding.0, w: padding.1 },
+        groups,
+        bias: false,
+    }
+}
+
+/// Executes `task`'s convolution with the loop structure of `config`.
+///
+/// `x` is the input activation, `weight` the `[oc, ic/groups, kh, kw]`
+/// kernel. The output is bit-identical in shape to the reference operator;
+/// values match up to f32 summation-order differences.
+///
+/// # Panics
+///
+/// Panics if `task` is not a convolution or shapes mismatch the workload.
+#[must_use]
+pub fn conv2d_tiled(
+    task: &TuningTask,
+    space: &ConfigSpace,
+    config: &Config,
+    x: &Tensor,
+    weight: &Tensor,
+) -> Tensor {
+    let attrs = conv_attrs_of(task);
+    let depthwise = attrs.is_depthwise();
+    let (n, h, w) = (x.shape.dim(0), x.shape.dim(2), x.shape.dim(3));
+    assert_eq!(x.shape.dim(1), attrs.in_channels, "input channels mismatch");
+    let (oh, ow) = attrs.out_hw(h, w);
+
+    let split = |name: &str| {
+        AxisSplit::from_value(
+            &space.value_of(config, name).unwrap_or_else(|| panic!("knob `{name}` exists")),
+        )
+    };
+
+    let f_axis = if depthwise { split("tile_c") } else { split("tile_f") };
+    let y_axis = split("tile_y");
+    let x_axis = split("tile_x");
+    let ry_axis = split("tile_ry");
+    let rx_axis = split("tile_rx");
+    let rc_axis = if depthwise {
+        AxisSplit { parts: vec![1, 1] }
+    } else {
+        split("tile_rc")
+    };
+    assert_eq!(f_axis.extent(), attrs.out_channels, "channel split covers the axis");
+    assert_eq!(y_axis.extent(), oh, "y split covers the axis");
+    assert_eq!(x_axis.extent(), ow, "x split covers the axis");
+
+    let mut out = Tensor::zeros(Shape::nchw(n, attrs.out_channels, oh, ow));
+    let icg = attrs.in_channels / attrs.groups;
+    let ocg = attrs.out_channels / attrs.groups;
+
+    for b in 0..n {
+        // The decomposed spatial/channel loops (block, vthread, thread,
+        // inner — flattened by AxisSplit in exactly that nesting order).
+        f_axis.for_each(&mut |oc| {
+            y_axis.for_each(&mut |oy| {
+                x_axis.for_each(&mut |ox| {
+                    let g = oc / ocg;
+                    let mut acc = 0.0f32;
+                    rc_axis.for_each(&mut |rc| {
+                        ry_axis.for_each(&mut |ry| {
+                            rx_axis.for_each(&mut |rx| {
+                                let iy = (oy * attrs.stride.0 + ry) as isize
+                                    - attrs.padding.h as isize;
+                                let ix = (ox * attrs.stride.1 + rx) as isize
+                                    - attrs.padding.w as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy >= h as isize
+                                    || ix >= w as isize
+                                {
+                                    return;
+                                }
+                                let (ic, wc) = if depthwise { (oc, 0) } else { (g * icg + rc, rc) };
+                                acc += x.at4(b, ic, iy as usize, ix as usize)
+                                    * weight.at4(oc, wc, ry, rx);
+                            });
+                        });
+                    });
+                    *out.at4_mut(b, oc, oy, ox) = acc;
+                });
+            });
+        });
+    }
+    out
+}
+
+/// Convenience check: executes `config` through the tiled interpreter and
+/// compares against the reference operator on random data, returning the
+/// max absolute difference.
+///
+/// # Panics
+///
+/// Panics if `task` is not a convolution.
+#[must_use]
+pub fn verify_conv_config(
+    task: &TuningTask,
+    space: &ConfigSpace,
+    config: &Config,
+    seed: u64,
+) -> f32 {
+    let attrs = conv_attrs_of(task);
+    let Workload::Conv2d { batch, height, width, .. } = task.workload else {
+        unreachable!("conv task checked above")
+    };
+    let x = Tensor::random(Shape::nchw(batch, attrs.in_channels, height, width), seed);
+    let weight = Tensor::random(
+        Shape::new(vec![
+            attrs.out_channels,
+            attrs.in_channels / attrs.groups,
+            attrs.kernel.0,
+            attrs.kernel.1,
+        ]),
+        seed ^ 0xF00D,
+    );
+    let tiled = conv2d_tiled(task, space, config, &x, &weight);
+    let reference = reference::conv2d(&x, &weight, &[], &attrs);
+    tiled.max_abs_diff(&reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::task::TaskKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use schedule::template::space_for_task;
+
+    fn small_conv_task() -> TuningTask {
+        TuningTask {
+            kind: TaskKind::Conv2d,
+            name: "tiled.conv".to_string(),
+            workload: Workload::Conv2d {
+                batch: 1,
+                in_channels: 4,
+                out_channels: 8,
+                height: 10,
+                width: 10,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+                groups: 1,
+            },
+            occurrences: 1,
+        }
+    }
+
+    fn small_depthwise_task() -> TuningTask {
+        TuningTask {
+            kind: TaskKind::DepthwiseConv2d,
+            name: "tiled.dw".to_string(),
+            workload: Workload::Conv2d {
+                batch: 1,
+                in_channels: 8,
+                out_channels: 8,
+                height: 9,
+                width: 9,
+                kernel: (3, 3),
+                stride: (2, 2),
+                padding: (1, 1),
+                groups: 8,
+            },
+            occurrences: 1,
+        }
+    }
+
+    #[test]
+    fn axis_split_reconstructs_every_coordinate_once() {
+        let s = AxisSplit { parts: vec![2, 3, 4] };
+        let mut seen = [0usize; 24];
+        s.for_each(&mut |i| seen[i] += 1);
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn random_conv_configs_match_reference() {
+        let task = small_conv_task();
+        let space = space_for_task(&task);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for i in 0..25 {
+            let cfg = space.sample(&mut rng);
+            let diff = verify_conv_config(&task, &space, &cfg, i);
+            assert!(diff < 1e-4, "config {} diverges by {diff}", cfg.index);
+        }
+    }
+
+    #[test]
+    fn random_depthwise_configs_match_reference() {
+        let task = small_depthwise_task();
+        let space = space_for_task(&task);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for i in 0..25 {
+            let cfg = space.sample(&mut rng);
+            let diff = verify_conv_config(&task, &space, &cfg, 100 + i);
+            assert!(diff < 1e-4, "config {} diverges by {diff}", cfg.index);
+        }
+    }
+
+    #[test]
+    fn extreme_corner_configs_match_reference() {
+        // First and last point of the space exercise the most skewed splits.
+        let task = small_conv_task();
+        let space = space_for_task(&task);
+        for idx in [0, space.len() - 1, space.len() / 2] {
+            let cfg = space.config(idx).unwrap();
+            let diff = verify_conv_config(&task, &space, &cfg, 7);
+            assert!(diff < 1e-4, "config {idx} diverges by {diff}");
+        }
+    }
+
+    #[test]
+    fn strided_padded_conv_matches() {
+        let task = TuningTask {
+            kind: TaskKind::Conv2d,
+            name: "tiled.strided".to_string(),
+            workload: Workload::Conv2d {
+                batch: 2,
+                in_channels: 3,
+                out_channels: 6,
+                height: 11,
+                width: 7,
+                kernel: (5, 3),
+                stride: (2, 2),
+                padding: (2, 1),
+                groups: 1,
+            },
+            occurrences: 1,
+        };
+        let space = space_for_task(&task);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for i in 0..10 {
+            let cfg = space.sample(&mut rng);
+            let diff = verify_conv_config(&task, &space, &cfg, 200 + i);
+            assert!(diff < 1e-4, "config {} diverges by {diff}", cfg.index);
+        }
+    }
+}

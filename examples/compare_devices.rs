@@ -1,0 +1,37 @@
+//! The same layer tuned for three different GPUs: the best configuration is
+//! device-specific, which is the whole reason auto-tuning (rather than a
+//! fixed schedule) exists. This exercises the simulator's device presets —
+//! the paper's "foreseeable development trend" of ever more hardware
+//! platforms.
+//!
+//! ```text
+//! cargo run --release --example compare_devices
+//! ```
+
+use aaltune::active_learning::{tune_task, Method, TuneOptions};
+use aaltune::dnn_graph::{models, task::extract_tasks};
+use aaltune::gpu_sim::{GpuDevice, SimMeasurer};
+use aaltune::schedule::template::space_for_task;
+
+fn main() {
+    let task = extract_tasks(&models::resnet18(1)).remove(1); // 3x3 conv, 64ch @ 56x56
+    let space = space_for_task(&task);
+    println!("task: {task}");
+    println!("space: {} configurations", space.len());
+
+    let opts =
+        TuneOptions { n_trial: 256, early_stopping: 256, seed: 11, ..TuneOptions::default() };
+    for device in [GpuDevice::gtx_1080_ti(), GpuDevice::tesla_v100(), GpuDevice::jetson_tx2()] {
+        let name = device.name.clone();
+        let measurer = SimMeasurer::new(device);
+        let r = tune_task(&task, &measurer, Method::BtedBao, &opts);
+        let cfg = r.best_config.expect("tuning found a valid configuration");
+        let knobs: Vec<String> = space
+            .values(&cfg)
+            .iter()
+            .zip(space.knobs())
+            .map(|(v, k)| format!("{}={v:?}", k.name()))
+            .collect();
+        println!("{name:<14} {:8.1} GFLOPS  best: {}", r.best_gflops, knobs.join(" "));
+    }
+}

@@ -1,0 +1,44 @@
+//! The framework is "independent of the specific forms of evaluation
+//! functions" (Section IV). This example swaps the paper's XGBoost-style
+//! evaluation function for closed-form ridge regression inside BAO and
+//! compares both under the same budget.
+//!
+//! ```text
+//! cargo run --release --example custom_evaluator
+//! ```
+
+use aaltune::active_learning::bao::BaoTuner;
+use aaltune::active_learning::bted::bted;
+use aaltune::active_learning::task_tuning::drive_loop;
+use aaltune::active_learning::{Method, RidgeEvaluator, TuneOptions};
+use aaltune::dnn_graph::{models, task::extract_tasks};
+use aaltune::gpu_sim::{GpuDevice, SimMeasurer};
+use aaltune::schedule::template::space_for_task;
+
+fn main() {
+    let task = extract_tasks(&models::squeezenet_v1_1(1)).remove(2);
+    let space = space_for_task(&task);
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts =
+        TuneOptions { n_trial: 224, early_stopping: 224, seed: 3, ..TuneOptions::default() };
+
+    println!("task: {task}");
+
+    // Paper configuration: BTED init + BAO with the GBT evaluation function.
+    let init = bted(&space, &opts.bted, opts.seed);
+    let mut gbt_bao = BaoTuner::new(&space, init.clone(), opts.bao, opts.gbt, opts.seed);
+    let r = drive_loop(&task, &space, &mut gbt_bao, &measurer, Method::BtedBao, &opts);
+    println!(
+        "BAO + GBT evaluator:   {:7.1} GFLOPS in {} measurements",
+        r.best_gflops, r.num_measured
+    );
+
+    // Same loop, ridge-regression evaluation function.
+    let mut ridge_bao =
+        BaoTuner::with_evaluator(&space, init, opts.bao, || RidgeEvaluator::new(1.0), opts.seed);
+    let r = drive_loop(&task, &space, &mut ridge_bao, &measurer, Method::BtedBao, &opts);
+    println!(
+        "BAO + ridge evaluator: {:7.1} GFLOPS in {} measurements",
+        r.best_gflops, r.num_measured
+    );
+}

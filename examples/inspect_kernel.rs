@@ -1,0 +1,42 @@
+//! Tune a layer, then inspect *why* the winning configuration performs the
+//! way it does: occupancy, binding resource, launch geometry, and a tuning
+//! hint — the post-mortem a deployment engineer runs on a tuned kernel.
+//!
+//! ```text
+//! cargo run --release --example inspect_kernel
+//! ```
+
+use aaltune::active_learning::{tune_task, Method, TuneOptions};
+use aaltune::dnn_graph::{models, task::extract_tasks};
+use aaltune::gpu_sim::{analyze, GpuDevice, SimMeasurer};
+use aaltune::schedule::kernel::lower;
+use aaltune::schedule::template::space_for_task;
+
+fn main() {
+    let task = extract_tasks(&models::vgg16(1)).remove(4); // 128->256 @ 56x56
+    let space = space_for_task(&task);
+    let device = GpuDevice::gtx_1080_ti();
+    let measurer = SimMeasurer::new(device.clone());
+
+    println!("task:  {task}");
+    println!("space: {} configurations\n", space.len());
+
+    let opts =
+        TuneOptions { n_trial: 256, early_stopping: 256, seed: 9, ..TuneOptions::default() };
+    let result = tune_task(&task, &measurer, Method::BtedBao, &opts);
+    let best = result.best_config.expect("tuning found a valid configuration");
+
+    println!(
+        "tuned to {:.1} GFLOPS in {} measurements; best configuration #{}:",
+        result.best_gflops, result.num_measured, best.index
+    );
+    for (knob, value) in space.knobs().iter().zip(space.values(&best)) {
+        println!("  {:<22} = {value:?}", knob.name());
+    }
+    println!();
+
+    let spec = lower(&task, &space, &best).expect("best config is valid");
+    let analysis = analyze(&spec, &device, best.index);
+    print!("{}", analysis.report());
+    println!("  hint: {}", analysis.hint());
+}

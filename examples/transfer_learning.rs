@@ -1,0 +1,60 @@
+//! Transfer learning across similar tasks ([17] in the paper): seed a new
+//! task's initial set with the best configurations from an already-tuned
+//! task of the same template family, then compare cold vs warm tuning.
+//!
+//! ```text
+//! cargo run --release --example transfer_learning
+//! ```
+
+use aaltune::active_learning::task_tuning::drive_loop;
+use aaltune::active_learning::transfer::warm_start_configs;
+use aaltune::active_learning::tuner::XgbTuner;
+use aaltune::active_learning::{tune_task, Method, TuneOptions};
+use aaltune::dnn_graph::{models, task::extract_tasks};
+use aaltune::gpu_sim::{GpuDevice, SimMeasurer};
+use aaltune::schedule::template::space_for_task;
+
+fn main() {
+    let tasks = extract_tasks(&models::vgg16(1));
+    // Two 3x3 conv workloads with 512 channels at different resolutions —
+    // similar enough for configurations to transfer.
+    let prior_task = &tasks[7]; // 512 -> 512 @ 28x28
+    let new_task = &tasks[8]; // 512 -> 512 @ 14x14
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts =
+        TuneOptions { n_trial: 256, early_stopping: 256, seed: 5, ..TuneOptions::default() };
+
+    println!("prior task: {prior_task}");
+    let prior = tune_task(prior_task, &measurer, Method::AutoTvm, &opts);
+    println!(
+        "  tuned to {:.1} GFLOPS in {} measurements",
+        prior.best_gflops, prior.num_measured
+    );
+
+    println!("new task:   {new_task}");
+    let cold = tune_task(new_task, &measurer, Method::AutoTvm, &opts);
+
+    // Warm start: map the prior task's top configurations into the new
+    // task's space and use them as (part of) the initial set.
+    let new_space = space_for_task(new_task);
+    let prior_space = space_for_task(prior_task);
+    let warm = warm_start_configs(&new_space, &prior_space, &prior.log, 32);
+    println!("  transferred {} warm-start configurations", warm.len());
+    let mut tuner = XgbTuner::new(
+        &new_space,
+        warm,
+        opts.gbt,
+        opts.sa,
+        opts.plan_size,
+        opts.epsilon,
+        opts.seed,
+    );
+    let warm_run =
+        drive_loop(new_task, &new_space, &mut tuner, &measurer, Method::AutoTvm, &opts);
+
+    println!("  cold: {:7.1} GFLOPS in {} measurements", cold.best_gflops, cold.num_measured);
+    println!(
+        "  warm: {:7.1} GFLOPS in {} measurements",
+        warm_run.best_gflops, warm_run.num_measured
+    );
+}

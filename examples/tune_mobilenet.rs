@@ -1,0 +1,41 @@
+//! End-to-end model deployment: tune every MobileNet-v1 task, deploy the
+//! best configurations, and report the 600-run latency statistics — the
+//! per-model protocol behind the paper's Table I.
+//!
+//! ```text
+//! cargo run --release --example tune_mobilenet
+//! ```
+//!
+//! (Uses a reduced per-task budget so the example finishes in about a
+//! minute; the `table1` bench binary runs the full protocol.)
+
+use aaltune::active_learning::{tune_model, Method, TuneOptions};
+use aaltune::dnn_graph::models;
+use aaltune::gpu_sim::{GpuDevice, SimMeasurer};
+
+fn main() {
+    let model = models::mobilenet_v1(1);
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts = TuneOptions { n_trial: 192, early_stopping: 192, seed: 7, ..TuneOptions::default() };
+
+    println!("tuning {} ({} conv nodes) with two methods...", model.name, 27);
+    for method in [Method::AutoTvm, Method::BtedBao] {
+        let r = tune_model(&model, &measurer, method, &opts, 600);
+        println!(
+            "{:<9} latency = {:.4} ms  variance = {:.4}  ({} measurements total)",
+            method.to_string(),
+            r.latency.mean_ms,
+            r.latency.variance,
+            r.total_measurements
+        );
+        // Show the three biggest per-task wins/losses for context.
+        let mut tasks: Vec<_> = r.tasks.iter().collect();
+        tasks.sort_by(|a, b| b.best_gflops.total_cmp(&a.best_gflops));
+        for t in tasks.iter().take(3) {
+            println!(
+                "    {:<18} {:8.1} GFLOPS in {} configs",
+                t.task_name, t.best_gflops, t.num_measured
+            );
+        }
+    }
+}

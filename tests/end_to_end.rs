@@ -1,0 +1,79 @@
+//! Cross-crate integration: model → tasks → spaces → tuning → deployment.
+
+use aaltune::active_learning::{tune_model, tune_task, Method, TuneOptions};
+use aaltune::dnn_graph::{models, task::extract_tasks};
+use aaltune::gpu_sim::{GpuDevice, SimMeasurer};
+
+fn smoke_opts(seed: u64) -> TuneOptions {
+    TuneOptions { seed, ..TuneOptions::smoke() }
+}
+
+#[test]
+fn every_paper_task_is_tunable_by_the_full_framework() {
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    for model in models::paper_models(1) {
+        for task in extract_tasks(&model).iter().step_by(4) {
+            let opts = TuneOptions { n_trial: 48, early_stopping: 48, ..smoke_opts(1) };
+            let r = tune_task(task, &measurer, Method::BtedBao, &opts);
+            assert!(
+                r.best_gflops > 0.0,
+                "{} found no valid configuration",
+                task.name
+            );
+        }
+    }
+}
+
+#[test]
+fn model_tuning_beats_pure_random_search() {
+    let g = models::squeezenet_v1_1(1);
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts = TuneOptions { n_trial: 64, early_stopping: 64, ..smoke_opts(3) };
+    let random = tune_model(&g, &measurer, Method::Random, &opts, 200);
+    let ours = tune_model(&g, &measurer, Method::BtedBao, &opts, 200);
+    assert!(
+        ours.latency.mean_ms < random.latency.mean_ms * 1.05,
+        "bted+bao {} ms should be at least on par with random {} ms",
+        ours.latency.mean_ms,
+        random.latency.mean_ms
+    );
+}
+
+#[test]
+fn tuning_is_reproducible_across_processes_given_a_seed() {
+    // Guards against nondeterminism from HashMap iteration or thread
+    // scheduling leaking into results.
+    let task = extract_tasks(&models::alexnet(1)).remove(2);
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts = smoke_opts(99);
+    let a = tune_task(&task, &measurer, Method::BtedBao, &opts);
+    let b = tune_task(&task, &measurer, Method::BtedBao, &opts);
+    assert_eq!(a.log, b.log);
+    let c = tune_task(&task, &measurer, Method::AutoTvm, &opts);
+    let d = tune_task(&task, &measurer, Method::AutoTvm, &opts);
+    assert_eq!(c.log, d.log);
+}
+
+#[test]
+fn different_trial_seeds_give_different_runs() {
+    let task = extract_tasks(&models::alexnet(1)).remove(0);
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let a = tune_task(&task, &measurer, Method::BtedBao, &smoke_opts(1));
+    let b = tune_task(&task, &measurer, Method::BtedBao, &smoke_opts(2));
+    assert_ne!(a.log, b.log);
+}
+
+#[test]
+fn deployment_latency_scales_with_model_flops() {
+    // VGG-16 (~15.5 GFLOPs) must deploy slower than SqueezeNet (~0.7).
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts = TuneOptions { n_trial: 48, early_stopping: 48, ..smoke_opts(5) };
+    let vgg = tune_model(&models::vgg16(1), &measurer, Method::AutoTvm, &opts, 100);
+    let sq = tune_model(&models::squeezenet_v1_1(1), &measurer, Method::AutoTvm, &opts, 100);
+    assert!(
+        vgg.latency.mean_ms > 2.0 * sq.latency.mean_ms,
+        "vgg {} ms vs squeezenet {} ms",
+        vgg.latency.mean_ms,
+        sq.latency.mean_ms
+    );
+}

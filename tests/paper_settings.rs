@@ -1,0 +1,67 @@
+//! Locks the quantitative claims the paper makes about the *setup* (not the
+//! results): task counts, space sizes, and default hyper-parameters.
+
+use aaltune::active_learning::TuneOptions;
+use aaltune::dnn_graph::{models, task::extract_tasks};
+use aaltune::schedule::template::space_for_task;
+
+#[test]
+fn mobilenet_has_19_tasks_like_fig5() {
+    assert_eq!(extract_tasks(&models::mobilenet_v1(1)).len(), 19);
+}
+
+#[test]
+fn five_models_yield_sixty_two_tasks() {
+    // The paper reports 58 nodes; our Relay-free extraction yields 62
+    // (the delta is in SqueezeNet/VGG dedup details of TVM v0.6). Locked
+    // here so changes are deliberate; EXPERIMENTS.md documents the gap.
+    let total: usize =
+        models::paper_models(1).iter().map(|m| extract_tasks(m).len()).sum();
+    assert_eq!(total, 62);
+}
+
+#[test]
+fn vgg_first_node_has_about_point_two_billion_points() {
+    let task = extract_tasks(&models::vgg16(1)).remove(0);
+    assert_eq!(space_for_task(&task).len(), 202_309_632);
+}
+
+#[test]
+fn every_space_is_huge_but_indexable() {
+    for model in models::paper_models(1) {
+        for task in extract_tasks(&model) {
+            let space = space_for_task(&task);
+            assert!(space.len() >= 1000, "{} suspiciously small", task.name);
+            let mid = space.len() / 2;
+            let cfg = space.config(mid).unwrap();
+            assert_eq!(space.index_of(&cfg.choices), mid);
+        }
+    }
+}
+
+#[test]
+fn default_options_match_section_v() {
+    let o = TuneOptions::default();
+    // "by default, 64 points are sampled ... as the initialization set"
+    assert_eq!(o.init_points, 64);
+    // "the stopping threshold is set as 400"
+    assert_eq!(o.early_stopping, 400);
+    // "(V = D, mu = 0.1, M = 500, m = 64, B = 10)"
+    assert!((o.bted.mu - 0.1).abs() < 1e-12);
+    assert_eq!(o.bted.batch_candidates, 500);
+    assert_eq!(o.bted.num_batches, 10);
+    // "eta is set as 0.05, Gamma is 2, tau is set as 1.5 ... radius R ... 3"
+    assert!((o.bao.eta - 0.05).abs() < 1e-12);
+    assert_eq!(o.bao.gamma, 2);
+    assert!((o.bao.tau - 1.5).abs() < 1e-12);
+    assert!((o.bao.radius - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn average_mobilenet_space_size_matches_claim_order() {
+    // "On average, each node has more than 50 million configuration points."
+    let tasks = extract_tasks(&models::mobilenet_v1(1));
+    let mean: f64 =
+        tasks.iter().map(|t| space_for_task(t).len() as f64).sum::<f64>() / tasks.len() as f64;
+    assert!(mean > 5e6, "mean space size {mean:.3e}");
+}

@@ -1,0 +1,189 @@
+//! Property-based invariants spanning the workspace crates.
+
+use aaltune::dnn_graph::task::{TuningTask, Workload};
+use aaltune::dnn_graph::TaskKind;
+use aaltune::gpu_sim::{GpuDevice, Measurer, SimMeasurer};
+use aaltune::schedule::feature::{feature_len, features};
+use aaltune::schedule::neighborhood::{distance, sample_neighborhood};
+use aaltune::schedule::template::space_for_task;
+use aaltune::schedule::{ConfigSpace, Knob};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// An arbitrary small-but-varied configuration space.
+fn arb_space() -> impl Strategy<Value = ConfigSpace> {
+    let split = (2usize..=256, 2usize..=4)
+        .prop_map(|(extent, outs)| Knob::split(format!("s{extent}_{outs}"), extent, outs));
+    let choice = proptest::collection::vec(-4i64..100, 1..5)
+        .prop_map(|vs| Knob::choice(format!("c{}", vs.len()), vs));
+    proptest::collection::vec(prop_oneof![split, choice], 1..5)
+        .prop_map(|knobs| ConfigSpace::new("prop", knobs))
+}
+
+/// An arbitrary conv workload that the templates accept.
+fn arb_conv_task() -> impl Strategy<Value = TuningTask> {
+    (
+        1usize..=2,             // batch
+        prop_oneof![Just(3usize), Just(16), Just(32), Just(64)],
+        prop_oneof![Just(16usize), Just(32), Just(64), Just(96)],
+        prop_oneof![Just(7usize), Just(14), Just(28), Just(56)],
+        prop_oneof![Just(1usize), Just(3), Just(5)],
+        1usize..=2,             // stride
+    )
+        .prop_map(|(batch, ic, oc, hw, k, s)| {
+            let workload = Workload::Conv2d {
+                batch,
+                in_channels: ic,
+                out_channels: oc,
+                height: hw,
+                width: hw,
+                kernel: (k, k),
+                stride: (s, s),
+                padding: (k / 2, k / 2),
+                groups: 1,
+            };
+            TuningTask {
+                kind: TaskKind::Conv2d,
+                name: format!("prop.conv{ic}_{oc}_{hw}_{k}_{s}"),
+                workload,
+                occurrences: 1,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_is_bijective(space in arb_space(), salt in 0u64..1000) {
+        let idx = salt % space.len();
+        let cfg = space.config(idx).unwrap();
+        prop_assert_eq!(space.index_of(&cfg.choices), idx);
+        // Choices are always within each knob's cardinality.
+        for (&c, k) in cfg.choices.iter().zip(space.knobs()) {
+            prop_assert!(c < k.cardinality());
+        }
+    }
+
+    #[test]
+    fn features_have_stable_length_and_are_finite(
+        space in arb_space(),
+        salt in 0u64..1000,
+    ) {
+        let idx = salt % space.len();
+        let cfg = space.config(idx).unwrap();
+        let f = features(&space, &cfg);
+        prop_assert_eq!(f.len(), feature_len(&space));
+        prop_assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn neighborhood_sampling_respects_radius_and_bounds(
+        space in arb_space(),
+        salt in 0u64..1000,
+        radius in 1.0f64..6.0,
+    ) {
+        let idx = salt % space.len();
+        let center = space.config(idx).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(salt);
+        for cfg in sample_neighborhood(&space, &center, radius, 64, &mut rng) {
+            prop_assert!(distance(&center, &cfg) <= radius + 1e-9);
+            prop_assert_ne!(cfg.index, center.index);
+            for (&c, k) in cfg.choices.iter().zip(space.knobs()) {
+                prop_assert!(c < k.cardinality());
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_measurement_is_deterministic_and_sane(
+        task in arb_conv_task(),
+        salt in 0u64..5000,
+    ) {
+        let space = space_for_task(&task);
+        let idx = salt % space.len();
+        let cfg = space.config(idx).unwrap();
+        let m = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+        let a = m.measure(&task, &space, &cfg);
+        let b = m.measure(&task, &space, &cfg);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.gflops >= 0.0);
+        prop_assert!(a.latency_s > 0.0);
+        if a.is_valid() {
+            // Valid measurements never exceed the device peak.
+            prop_assert!(a.gflops * 1e9 < GpuDevice::gtx_1080_ti().peak_flops());
+        } else {
+            prop_assert_eq!(a.gflops, 0.0);
+        }
+    }
+
+    #[test]
+    fn lowering_respects_architectural_limits(
+        task in arb_conv_task(),
+        salt in 0u64..5000,
+    ) {
+        use aaltune::schedule::kernel::{limits, lower};
+        let space = space_for_task(&task);
+        let idx = salt % space.len();
+        let cfg = space.config(idx).unwrap();
+        if let Ok(spec) = lower(&task, &space, &cfg) {
+            prop_assert!(spec.threads_per_block >= 1);
+            prop_assert!(spec.threads_per_block <= limits::MAX_THREADS_PER_BLOCK);
+            prop_assert!(spec.smem_bytes_per_block <= limits::MAX_SMEM_PER_BLOCK);
+            prop_assert!(spec.regs_per_thread <= limits::MAX_REGS_PER_THREAD);
+            prop_assert!(spec.grid_blocks >= 1);
+            // Output is written exactly once.
+            let Workload::Conv2d { batch, out_channels, .. } = task.workload else {
+                unreachable!()
+            };
+            let (oh, ow) = task.workload.out_hw().unwrap();
+            let out_bytes = (batch * out_channels * oh * ow) as u64 * 4;
+            prop_assert_eq!(spec.gmem_write_bytes, out_bytes);
+            // Reads at least cover the weights once.
+            prop_assert!(spec.gmem_read_bytes >= out_bytes / (oh * ow).max(1) as u64);
+            prop_assert!(spec.read_coalesce_eff > 0.0 && spec.read_coalesce_eff <= 1.0);
+            prop_assert!(spec.write_coalesce_eff > 0.0 && spec.write_coalesce_eff <= 1.0);
+            prop_assert!(spec.bank_conflict_factor >= 1.0);
+        }
+    }
+
+    #[test]
+    fn tiled_execution_matches_reference_for_any_valid_config(
+        salt in 0u64..2000,
+    ) {
+        use aaltune::dnn_graph::task::TaskKind;
+        use tensor_exec::tiled::verify_conv_config;
+        // Fixed small workload, arbitrary configuration point.
+        let task = TuningTask {
+            kind: TaskKind::Conv2d,
+            name: "prop.tiled".to_string(),
+            workload: Workload::Conv2d {
+                batch: 1,
+                in_channels: 4,
+                out_channels: 8,
+                height: 6,
+                width: 6,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+                groups: 1,
+            },
+            occurrences: 1,
+        };
+        let space = space_for_task(&task);
+        let cfg = space.config(salt % space.len()).unwrap();
+        let diff = verify_conv_config(&task, &space, &cfg, salt);
+        prop_assert!(diff < 1e-4, "config {} diverges by {diff}", cfg.index);
+    }
+
+    #[test]
+    fn workload_flops_are_consistent_with_shapes(task in arb_conv_task()) {
+        let Workload::Conv2d { batch, out_channels, in_channels, kernel, .. } =
+            task.workload else { unreachable!() };
+        let (oh, ow) = task.workload.out_hw().unwrap();
+        let expected =
+            2 * (batch * out_channels * oh * ow * in_channels * kernel.0 * kernel.1) as u64;
+        prop_assert_eq!(task.flops(), expected);
+    }
+}

@@ -1,0 +1,59 @@
+//! Persistence and reuse: tuning logs on disk, transfer warm starts.
+
+use aaltune::active_learning::records::TuningLog;
+use aaltune::active_learning::transfer::warm_start_configs;
+use aaltune::active_learning::{tune_task, Method, TuneOptions};
+use aaltune::dnn_graph::{models, task::extract_tasks};
+use aaltune::gpu_sim::{GpuDevice, SimMeasurer};
+use aaltune::schedule::template::space_for_task;
+use std::io::BufReader;
+
+#[test]
+fn tuning_log_survives_a_disk_round_trip() {
+    let task = extract_tasks(&models::mobilenet_v1(1)).remove(4);
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts = TuneOptions { seed: 17, ..TuneOptions::smoke() };
+    let r = tune_task(&task, &measurer, Method::Bted, &opts);
+
+    let dir = std::env::temp_dir().join("aaltune-it-records");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("log.jsonl");
+    let file = std::fs::File::create(&path).unwrap();
+    r.log.write_jsonl(file).unwrap();
+
+    let back = TuningLog::read_jsonl(BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+    assert_eq!(back, r.log);
+    assert_eq!(back.best_gflops(), r.best_gflops);
+}
+
+#[test]
+fn warm_start_from_a_real_log_lands_in_the_new_space() {
+    let tasks = extract_tasks(&models::vgg16(1));
+    let prior_task = &tasks[7];
+    let new_task = &tasks[8];
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts = TuneOptions { seed: 23, ..TuneOptions::smoke() };
+    let prior = tune_task(prior_task, &measurer, Method::AutoTvm, &opts);
+
+    let prior_space = space_for_task(prior_task);
+    let new_space = space_for_task(new_task);
+    let warm = warm_start_configs(&new_space, &prior_space, &prior.log, 16);
+    assert!(!warm.is_empty(), "same-family tasks must transfer");
+    for cfg in &warm {
+        // Every transferred config decodes consistently in the new space.
+        let decoded = new_space.config(cfg.index).unwrap();
+        assert_eq!(decoded.choices, cfg.choices);
+    }
+}
+
+#[test]
+fn logs_from_different_methods_are_distinguishable() {
+    let task = extract_tasks(&models::alexnet(1)).remove(1);
+    let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let opts = TuneOptions { seed: 29, ..TuneOptions::smoke() };
+    let a = tune_task(&task, &measurer, Method::AutoTvm, &opts);
+    let b = tune_task(&task, &measurer, Method::BtedBao, &opts);
+    assert_eq!(a.log.method, "autotvm");
+    assert_eq!(b.log.method, "bted+bao");
+    assert_eq!(a.log.task_name, b.log.task_name);
+}

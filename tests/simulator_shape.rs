@@ -1,0 +1,99 @@
+//! Statistical shape of the simulated landscape — the properties that make
+//! the paper's comparison meaningful must hold for the substrate itself.
+
+use aaltune::dnn_graph::{models, task::extract_tasks};
+use aaltune::gpu_sim::{GpuDevice, Measurer, SimMeasurer};
+use aaltune::schedule::template::space_for_task;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn best_of_n_improves_with_n() {
+    // A meaningful tuning landscape: more search finds better configs.
+    let task = extract_tasks(&models::vgg16(1)).remove(3);
+    let space = space_for_task(&task);
+    let m = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let samples: Vec<f64> = (0..400)
+        .map(|_| m.measure(&task, &space, &space.sample(&mut rng)).gflops)
+        .collect();
+    let best = |n: usize| samples[..n].iter().cloned().fold(0.0, f64::max);
+    assert!(best(400) > best(40), "400 samples must beat 40");
+    assert!(best(40) > 0.0, "40 samples find something valid");
+}
+
+#[test]
+fn every_task_has_a_reachable_valid_region() {
+    // No task may be all-invalid (tuning would be impossible), and few may
+    // be all-valid (validity cliffs are part of the paper's problem).
+    let m = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let mut any_invalid = false;
+    for model in models::paper_models(1) {
+        for task in extract_tasks(&model).iter().step_by(3) {
+            let space = space_for_task(task);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut valid = 0;
+            let total = 80;
+            for _ in 0..total {
+                let r = m.measure(task, &space, &space.sample(&mut rng));
+                if r.is_valid() {
+                    valid += 1;
+                } else {
+                    any_invalid = true;
+                }
+            }
+            assert!(valid > 0, "{} has no valid config in {total} samples", task.name);
+        }
+    }
+    assert!(any_invalid, "some invalid configurations must exist somewhere");
+}
+
+#[test]
+fn depthwise_layers_are_memory_bound_and_slower_per_flop() {
+    // MobileNet's motivation: depth-wise convs run at far lower GFLOPS than
+    // dense convs. The substrate must reproduce that or Fig. 4/5 are
+    // meaningless.
+    let tasks = extract_tasks(&models::mobilenet_v1(1));
+    let m = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let best_gflops = |idx: usize| {
+        let space = space_for_task(&tasks[idx]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        (0..300)
+            .map(|_| m.measure(&tasks[idx], &space, &space.sample(&mut rng)).gflops)
+            .fold(0.0, f64::max)
+    };
+    // Task 3 (index 2 is pw 32->64; index 1 is dw 32@112): compare a
+    // point-wise (dense matmul-like) conv against its depth-wise sibling.
+    let dw = best_gflops(1);
+    let pw = best_gflops(2);
+    assert!(
+        pw > dw,
+        "point-wise conv ({pw:.0} GFLOPS) should outrun depth-wise ({dw:.0})"
+    );
+}
+
+#[test]
+fn the_jetson_is_much_slower_than_the_1080ti() {
+    let task = extract_tasks(&models::resnet18(1)).remove(1);
+    let space = space_for_task(&task);
+    let big = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+    let small = SimMeasurer::new(GpuDevice::jetson_tx2());
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut ratio_sum = 0.0;
+    let mut n = 0;
+    for _ in 0..60 {
+        let cfg = space.sample(&mut rng);
+        let a = big.measure(&task, &space, &cfg);
+        let b = small.measure(&task, &space, &cfg);
+        if a.is_valid() && b.is_valid() {
+            ratio_sum += a.gflops / b.gflops;
+            n += 1;
+        }
+    }
+    assert!(n > 0);
+    let mean_ratio = ratio_sum / f64::from(n);
+    assert!(
+        mean_ratio > 3.0,
+        "1080 Ti should be several times faster, got {mean_ratio:.1}x"
+    );
+}
