@@ -102,13 +102,7 @@ impl<'s> BaoTuner<'s> {
         gbt: GbtParams,
         seed: u64,
     ) -> Self {
-        BaoTuner::with_evaluator(
-            space,
-            init,
-            opts,
-            Box::new(move || GbtEvaluator::new(gbt)),
-            seed,
-        )
+        BaoTuner::with_evaluator(space, init, opts, Box::new(move || GbtEvaluator::new(gbt)), seed)
     }
 }
 
@@ -170,7 +164,8 @@ where
     /// The current search scope C_t (Algorithm 4 lines 3-9). Consecutive
     /// sub-η steps compound the widening: radius = min(τ^k · R, max).
     fn scope(&mut self, center: &Config) -> Vec<Config> {
-        let widen = self.relative_improvement().is_some_and(|r| r < self.opts.eta);
+        let r_t = self.relative_improvement();
+        let widen = r_t.is_some_and(|r| r < self.opts.eta);
         if widen {
             self.stall_widenings = self.stall_widenings.saturating_add(1);
         } else {
@@ -178,6 +173,20 @@ where
         }
         let radius = (self.opts.radius * self.opts.tau.powi(self.stall_widenings as i32))
             .min(self.opts.max_radius);
+        let tel = telemetry::global();
+        tel.event("bao.radius", || {
+            telemetry::json!({
+                "step": self.step,
+                "r_t": r_t,
+                "eta": self.opts.eta,
+                "radius": radius,
+                "widened": widen,
+                "stall_widenings": u64::from(self.stall_widenings),
+            })
+        });
+        if widen {
+            tel.count("bao.widenings", 1);
+        }
         let mut c = sample_feature_neighborhood(
             self.space,
             center,
@@ -285,10 +294,7 @@ mod tests {
     use schedule::Knob;
 
     fn toy_space() -> ConfigSpace {
-        ConfigSpace::new(
-            "toy",
-            vec![Knob::split("a", 4096, 2), Knob::split("b", 4096, 2)],
-        )
+        ConfigSpace::new("toy", vec![Knob::split("a", 4096, 2), Knob::split("b", 4096, 2)])
     }
 
     /// Smooth peaked truth, maximum at choices (9, 4).
@@ -305,11 +311,13 @@ mod tests {
             if batch.is_empty() {
                 break;
             }
-            let results: Vec<(Config, f64)> =
-                batch.into_iter().map(|c| {
+            let results: Vec<(Config, f64)> = batch
+                .into_iter()
+                .map(|c| {
                     let y = truth(&c);
                     (c, y)
-                }).collect();
+                })
+                .collect();
             tuner.update(&results);
             all.extend(results);
         }
@@ -320,7 +328,8 @@ mod tests {
     fn init_set_is_measured_first() {
         let space = toy_space();
         let init: Vec<Config> = (0..8).map(|i| space.config(i).unwrap()).collect();
-        let mut t = BaoTuner::new(&space, init.clone(), BaoOptions::default(), GbtParams::default(), 0);
+        let mut t =
+            BaoTuner::new(&space, init.clone(), BaoOptions::default(), GbtParams::default(), 0);
         let batch = t.next_batch(t.preferred_batch());
         assert_eq!(batch.len(), 8);
         assert_eq!(batch[0].index, init[0].index);
@@ -329,7 +338,8 @@ mod tests {
     #[test]
     fn climbs_toward_the_peak() {
         let space = toy_space();
-        let init: Vec<Config> = (0..12).map(|i| space.config((i * 7) % space.len()).unwrap()).collect();
+        let init: Vec<Config> =
+            (0..12).map(|i| space.config((i * 7) % space.len()).unwrap()).collect();
         let opts = BaoOptions { scope_size: 64, ..BaoOptions::default() };
         let gbt = GbtParams { n_rounds: 15, ..GbtParams::default() };
         let mut t = BaoTuner::new(&space, init, opts, gbt, 1);
@@ -344,8 +354,13 @@ mod tests {
     fn never_revisits_a_configuration() {
         let space = toy_space();
         let init: Vec<Config> = (0..6).map(|i| space.config(i).unwrap()).collect();
-        let mut t =
-            BaoTuner::new(&space, init, BaoOptions::default(), GbtParams { n_rounds: 10, ..GbtParams::default() }, 2);
+        let mut t = BaoTuner::new(
+            &space,
+            init,
+            BaoOptions::default(),
+            GbtParams { n_rounds: 10, ..GbtParams::default() },
+            2,
+        );
         let all = drive(&mut t, 30);
         let mut seen = HashSet::new();
         for (c, _) in &all {
@@ -357,8 +372,13 @@ mod tests {
     fn invalid_measurement_recenter_does_not_crash() {
         let space = toy_space();
         let init: Vec<Config> = (0..4).map(|i| space.config(i).unwrap()).collect();
-        let mut t =
-            BaoTuner::new(&space, init, BaoOptions::default(), GbtParams { n_rounds: 5, ..GbtParams::default() }, 3);
+        let mut t = BaoTuner::new(
+            &space,
+            init,
+            BaoOptions::default(),
+            GbtParams { n_rounds: 5, ..GbtParams::default() },
+            3,
+        );
         let batch = t.next_batch(t.preferred_batch());
         let results: Vec<(Config, f64)> = batch.into_iter().map(|c| (c, 0.0)).collect();
         t.update(&results); // all invalid
@@ -369,13 +389,7 @@ mod tests {
     #[test]
     fn relative_improvement_tracks_last_two() {
         let space = toy_space();
-        let mut t = BaoTuner::new(
-            &space,
-            vec![],
-            BaoOptions::default(),
-            GbtParams::default(),
-            4,
-        );
+        let mut t = BaoTuner::new(&space, vec![], BaoOptions::default(), GbtParams::default(), 4);
         assert!(t.relative_improvement().is_none());
         t.update(&[(space.config(0).unwrap(), 10.0)]);
         assert!(t.relative_improvement().is_none());

@@ -68,6 +68,15 @@ where
     let ys: Vec<f64> = measured.iter().map(|&(_, y)| y).collect();
     let cand_rows: Vec<Vec<f64>> = candidates.iter().map(|c| features(space, c)).collect();
 
+    let tel = telemetry::global();
+    let _span = tel.span("bs.select");
+    tel.event("bs.start", || {
+        telemetry::json!({
+            "measured": n as u64,
+            "candidates": candidates.len() as u64,
+            "gamma": gamma as u64,
+        })
+    });
     let mut rng = StdRng::seed_from_u64(seed);
     let mut scores = vec![0.0f64; candidates.len()];
     for g in 0..gamma {
@@ -78,8 +87,12 @@ where
         let yg: Vec<f64> = indices.iter().map(|&i| ys[i]).collect();
         // Line 4: build the evaluation function f_γ.
         let mut eval = make_evaluator();
-        eval.fit(&xg, &yg, seed.wrapping_add(g as u64));
+        {
+            let _fit = tel.span("bs.fit");
+            eval.fit(&xg, &yg, seed.wrapping_add(g as u64));
+        }
         // Line 6 accumulation: Σ_γ f_γ(x).
+        let _predict = tel.span("bs.predict");
         for (s, row) in scores.iter_mut().zip(&cand_rows) {
             *s += eval.predict_row(row);
         }
@@ -104,10 +117,8 @@ mod tests {
     /// A space whose "performance" is a simple function of the choices, so
     /// BS should find the candidate with the highest value.
     fn toy() -> (ConfigSpace, impl Fn(&Config) -> f64) {
-        let space = ConfigSpace::new(
-            "toy",
-            vec![Knob::split("a", 256, 2), Knob::split("b", 256, 2)],
-        );
+        let space =
+            ConfigSpace::new("toy", vec![Knob::split("a", 256, 2), Knob::split("b", 256, 2)]);
         let f = |c: &Config| (c.choices[0] as f64) - 0.5 * (c.choices[1] as f64);
         (space, f)
     }
@@ -134,17 +145,9 @@ mod tests {
         let measured = measured_set(&space, &truth, 60);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let candidates = space.sample_distinct(&mut rng, 40);
-        let chosen = bootstrap_select(
-            &space,
-            &measured,
-            &candidates,
-            2,
-            GbtEvaluator::default,
-            7,
-        )
-        .expect("candidates non-empty");
-        let best_truth =
-            candidates.iter().map(&truth).fold(f64::NEG_INFINITY, f64::max);
+        let chosen = bootstrap_select(&space, &measured, &candidates, 2, GbtEvaluator::default, 7)
+            .expect("candidates non-empty");
+        let best_truth = candidates.iter().map(&truth).fold(f64::NEG_INFINITY, f64::max);
         // The chosen candidate should be near the top of the candidate set.
         assert!(truth(&chosen) > 0.6 * best_truth, "chose {}", truth(&chosen));
     }
@@ -163,18 +166,11 @@ mod tests {
         let measured = measured_set(&space, &truth, 60);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let candidates = space.sample_distinct(&mut rng, 30);
-        let chosen = bootstrap_select(
-            &space,
-            &measured,
-            &candidates,
-            3,
-            || RidgeEvaluator::new(0.1),
-            7,
-        )
-        .expect("candidates non-empty");
+        let chosen =
+            bootstrap_select(&space, &measured, &candidates, 3, || RidgeEvaluator::new(0.1), 7)
+                .expect("candidates non-empty");
         // Linear truth, linear model: should pick (nearly) the argmax.
-        let best_truth =
-            candidates.iter().map(&truth).fold(f64::NEG_INFINITY, f64::max);
+        let best_truth = candidates.iter().map(&truth).fold(f64::NEG_INFINITY, f64::max);
         assert!(truth(&chosen) > 0.8 * best_truth);
     }
 

@@ -43,8 +43,11 @@ impl Default for BtedOptions {
 
 /// Runs one TED batch: sample `M` configs, keep the `m` most informative.
 fn ted_batch(space: &ConfigSpace, opts: &BtedOptions, seed: u64) -> Vec<Config> {
+    let tel = telemetry::global();
+    let _span = tel.span("bted.batch");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let candidates = space.sample_distinct(&mut rng, opts.batch_candidates);
+    tel.observe("bted.batch_size", candidates.len() as f64);
     let feats: Vec<Vec<f64>> = candidates.iter().map(|c| features(space, c)).collect();
     ted(&feats, opts.mu, opts.num_selected, opts.kernel)
         .into_iter()
@@ -73,6 +76,15 @@ fn ted_batch(space: &ConfigSpace, opts: &BtedOptions, seed: u64) -> Vec<Config> 
 /// ```
 #[must_use]
 pub fn bted(space: &ConfigSpace, opts: &BtedOptions, seed: u64) -> Vec<Config> {
+    let tel = telemetry::global();
+    let _span = tel.span("bted");
+    tel.event("bted.start", || {
+        telemetry::json!({
+            "num_batches": opts.num_batches as u64,
+            "batch_candidates": opts.batch_candidates as u64,
+            "num_selected": opts.num_selected as u64,
+        })
+    });
     let union: Vec<Config> = if opts.num_batches > 1 && num_cpus() > 1 {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..opts.num_batches)
@@ -90,10 +102,16 @@ pub fn bted(space: &ConfigSpace, opts: &BtedOptions, seed: u64) -> Vec<Config> {
     };
 
     // Line 5: the union may contain duplicates across batches.
+    let raw_union = union.len();
     let mut seen = std::collections::HashSet::new();
     let union: Vec<Config> = union.into_iter().filter(|c| seen.insert(c.index)).collect();
+    tel.event(
+        "bted.union",
+        || telemetry::json!({ "raw": raw_union as u64, "distinct": union.len() as u64 }),
+    );
 
     // Line 6: final TED over the union.
+    let _final_span = tel.span("bted.final_ted");
     let feats: Vec<Vec<f64>> = union.iter().map(|c| features(space, c)).collect();
     ted(&feats, opts.mu, opts.num_selected, opts.kernel)
         .into_iter()
@@ -172,7 +190,10 @@ mod tests {
     fn small_space_is_exhausted_gracefully() {
         let s = ConfigSpace::new(
             "tiny",
-            vec![schedule::Knob::choice("a", vec![0, 1, 2]), schedule::Knob::choice("b", vec![0, 1])],
+            vec![
+                schedule::Knob::choice("a", vec![0, 1, 2]),
+                schedule::Knob::choice("b", vec![0, 1]),
+            ],
         );
         let opts = BtedOptions {
             batch_candidates: 100,

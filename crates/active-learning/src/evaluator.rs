@@ -41,11 +41,22 @@ impl GbtEvaluator {
 
 impl Evaluator for GbtEvaluator {
     fn fit(&mut self, x: &Matrix, y: &[f64], seed: u64) {
+        let tel = telemetry::global();
+        let _span = tel.span("gbt.fit");
+        let t0 = std::time::Instant::now();
         self.model = Some(Gbt::fit(&self.params, x, y, seed));
+        tel.observe("gbt.fit_ms", t0.elapsed().as_secs_f64() * 1e3);
+        tel.observe("gbt.fit_rows", x.rows() as f64);
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         self.model.as_ref().map_or(0.0, |m| m.predict_row(row))
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let tel = telemetry::global();
+        let _span = tel.span("gbt.predict");
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
     }
 }
 

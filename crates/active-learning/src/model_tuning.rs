@@ -55,31 +55,35 @@ pub fn tune_model(
     opts: &TuneOptions,
     runs: usize,
 ) -> ModelTuneResult {
+    let tel = telemetry::global();
+    let _span = tel.span("tune_model");
     let tasks = extract_tasks(graph);
+    let n_tasks = tasks.len();
     let mut results = Vec::with_capacity(tasks.len());
     let mut tuned: Vec<(TuningTask, KernelPerf)> = Vec::with_capacity(tasks.len());
     let mut total = 0usize;
 
     for (i, task) in tasks.into_iter().enumerate() {
+        tel.report(|| format!("{} ({method}): task {}/{n_tasks} {}", graph.name, i + 1, task.name));
         // Derive a per-task seed so tasks explore independently.
-        let topts = TuneOptions {
-            seed: opts.seed.wrapping_add((i as u64 + 1) * 0x9E37_79B9),
-            ..*opts
-        };
+        let topts =
+            TuneOptions { seed: opts.seed.wrapping_add((i as u64 + 1) * 0x9E37_79B9), ..*opts };
         let r = tune_task(&task, measurer, method, &topts);
         total += r.num_measured;
         if let Some(cfg) = &r.best_config {
             let space = space_for_task(&task);
-            let perf = measurer
-                .true_perf(&task, &space, cfg)
-                .expect("best config was measured as valid");
+            let perf =
+                measurer.true_perf(&task, &space, cfg).expect("best config was measured as valid");
             tuned.push((task.clone(), perf));
         }
         results.push(r);
     }
 
     let deployment = ModelDeployment::assemble(graph, &tuned, measurer.device());
-    let latency = measure_model(&deployment, runs, opts.seed);
+    let latency = {
+        let _deploy = tel.span("deploy_measure");
+        measure_model(&deployment, runs, opts.seed)
+    };
     ModelTuneResult {
         model_name: graph.name.clone(),
         method,

@@ -52,11 +52,7 @@ impl Default for TuneOptions {
             plan_size: 64,
             epsilon: 0.05,
             gbt: GbtParams::default(),
-            bao_gbt: GbtParams {
-                n_rounds: 35,
-                colsample: 0.6,
-                ..GbtParams::default()
-            },
+            bao_gbt: GbtParams { n_rounds: 35, colsample: 0.6, ..GbtParams::default() },
             sa: SaOptions::default(),
             bted: BtedOptions::default(),
             bao: BaoOptions::default(),

@@ -1,9 +1,12 @@
 //! Tuning records — the JSONL log format (AutoTVM keeps an equivalent log
-//! for transfer learning and post-hoc analysis).
+//! for transfer learning and post-hoc analysis) and the self-describing
+//! per-run results directory.
 
+use crate::options::TuneOptions;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 
 /// One measured configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,6 +101,98 @@ impl TuningLog {
     }
 }
 
+/// What produced a run — serialized as `manifest.json` so every results
+/// directory is self-describing and reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Model name (or a task label when tuning a single task).
+    pub model: String,
+    /// Method label (e.g. `"bted+bao"`).
+    pub method: String,
+    /// Names of the tasks tuned in this run.
+    pub tasks: Vec<String>,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// The full option set, so the run can be replayed exactly.
+    pub options: TuneOptions,
+}
+
+/// A per-run results directory:
+///
+/// ```text
+/// <root>/
+///   manifest.json      what produced the run (RunManifest)
+///   logs/<task>.jsonl  one TuningLog per tuned task
+///   trace.jsonl        telemetry trace (written by the caller)
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunDir {
+    root: PathBuf,
+}
+
+impl RunDir {
+    /// Creates `root` (and its `logs/` subdirectory), reusing it if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn create(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("logs"))?;
+        Ok(RunDir { root })
+    }
+
+    /// The directory itself.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Default location for the run's telemetry trace.
+    #[must_use]
+    pub fn trace_path(&self) -> PathBuf {
+        self.root.join("trace.jsonl")
+    }
+
+    /// Writes `manifest.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write failures.
+    pub fn write_manifest(&self, manifest: &RunManifest) -> std::io::Result<()> {
+        let body = serde_json::to_string_pretty(manifest).expect("manifest serializes");
+        std::fs::write(self.root.join("manifest.json"), body)
+    }
+
+    /// Writes one task's log as `logs/<task>.jsonl`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write failures.
+    pub fn write_log(&self, log: &TuningLog) -> std::io::Result<PathBuf> {
+        // Task names may contain path-hostile characters; keep it flat.
+        let stem: String = log
+            .task_name
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
+            .collect();
+        let path = self.root.join("logs").join(format!("{stem}.jsonl"));
+        let f = std::fs::File::create(&path)?;
+        log.write_jsonl(std::io::BufWriter::new(f))?;
+        Ok(path)
+    }
+
+    /// Reads back `manifest.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures or a parse error for a malformed manifest.
+    pub fn read_manifest(&self) -> Result<RunManifest, ReadLogError> {
+        let body = std::fs::read_to_string(self.root.join("manifest.json"))?;
+        Ok(serde_json::from_str(&body)?)
+    }
+}
+
 /// Errors from [`TuningLog::read_jsonl`].
 #[derive(Debug)]
 pub enum ReadLogError {
@@ -171,18 +266,37 @@ mod tests {
 
     #[test]
     fn empty_stream_is_an_error() {
-        assert!(matches!(
-            TuningLog::read_jsonl(&b""[..]),
-            Err(ReadLogError::Empty)
-        ));
+        assert!(matches!(TuningLog::read_jsonl(&b""[..]), Err(ReadLogError::Empty)));
+    }
+
+    #[test]
+    fn run_dir_round_trips_manifest_and_logs() {
+        let root = std::env::temp_dir().join(format!("aaltune-rundir-{}", std::process::id()));
+        let dir = RunDir::create(&root).unwrap();
+        let manifest = RunManifest {
+            model: "mobilenet_v1".into(),
+            method: "bted+bao".into(),
+            tasks: vec!["m.T1".into()],
+            seed: 7,
+            options: TuneOptions::smoke(),
+        };
+        dir.write_manifest(&manifest).unwrap();
+        assert_eq!(dir.read_manifest().unwrap(), manifest);
+
+        let log = sample_log();
+        let path = dir.write_log(&log).unwrap();
+        assert!(path.starts_with(dir.path().join("logs")));
+        let back =
+            TuningLog::read_jsonl(std::io::BufReader::new(std::fs::File::open(&path).unwrap()))
+                .unwrap();
+        assert_eq!(back, log);
+        assert_eq!(dir.trace_path(), root.join("trace.jsonl"));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
     fn malformed_line_is_an_error() {
         let data = b"{\"task_name\":\"t\",\"method\":\"m\"}\nnot json\n";
-        assert!(matches!(
-            TuningLog::read_jsonl(&data[..]),
-            Err(ReadLogError::Parse(_))
-        ));
+        assert!(matches!(TuningLog::read_jsonl(&data[..]), Err(ReadLogError::Parse(_))));
     }
 }

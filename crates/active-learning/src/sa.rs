@@ -116,8 +116,7 @@ where
     S: Fn(&[Config]) -> Vec<f64>,
 {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut points: Vec<Config> =
-        (0..opts.parallel_size).map(|_| space.sample(&mut rng)).collect();
+    let mut points: Vec<Config> = (0..opts.parallel_size).map(|_| space.sample(&mut rng)).collect();
     let mut scores = score(&points);
 
     // Top-k tracker over every point SA visits.
@@ -126,10 +125,10 @@ where
     let mut configs_by_index: std::collections::HashMap<u64, Config> =
         std::collections::HashMap::new();
     let offer = |heap: &mut BinaryHeap<HeapItem>,
-                     in_heap: &mut HashSet<u64>,
-                     configs_by_index: &mut std::collections::HashMap<u64, Config>,
-                     cfg: &Config,
-                     s: f64| {
+                 in_heap: &mut HashSet<u64>,
+                 configs_by_index: &mut std::collections::HashMap<u64, Config>,
+                 cfg: &Config,
+                 s: f64| {
         if exclude.contains(&cfg.index) || in_heap.contains(&cfg.index) {
             return;
         }
@@ -153,22 +152,32 @@ where
         offer(&mut heap, &mut in_heap, &mut configs_by_index, p, s);
     }
 
+    let tel = telemetry::global();
+    let _span = tel.span("sa.search");
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
     for iter in 0..opts.n_iter {
         let t = opts.temp_start
             + (opts.temp_end - opts.temp_start) * (iter as f64 / opts.n_iter.max(1) as f64);
-        let proposals: Vec<Config> =
-            points.iter().map(|p| mutate(space, p, &mut rng)).collect();
+        let proposals: Vec<Config> = points.iter().map(|p| mutate(space, p, &mut rng)).collect();
         let new_scores = score(&proposals);
         for i in 0..points.len() {
             offer(&mut heap, &mut in_heap, &mut configs_by_index, &proposals[i], new_scores[i]);
             let accept = new_scores[i] > scores[i]
                 || (t > 0.0 && rng.gen::<f64>() < ((new_scores[i] - scores[i]) / t).exp());
             if accept {
+                accepted += 1;
                 points[i] = proposals[i].clone();
                 scores[i] = new_scores[i];
+            } else {
+                rejected += 1;
             }
         }
     }
+    // One counter update per SA run, not per proposal: the inner loop stays
+    // free of locks even when telemetry is enabled.
+    tel.count("sa.proposals.accepted", accepted);
+    tel.count("sa.proposals.rejected", rejected);
 
     let mut plan: Vec<HeapItem> = heap.into_vec();
     plan.sort_by(|a, b| b.score.total_cmp(&a.score));
@@ -183,10 +192,7 @@ mod tests {
     use schedule::Knob;
 
     fn toy_space() -> ConfigSpace {
-        ConfigSpace::new(
-            "toy",
-            vec![Knob::split("a", 1024, 2), Knob::split("b", 1024, 2)],
-        )
+        ConfigSpace::new("toy", vec![Knob::split("a", 1024, 2), Knob::split("b", 1024, 2)])
     }
 
     /// Score peaked at a specific knob combination.
@@ -204,14 +210,8 @@ mod tests {
     #[test]
     fn finds_the_peak_region() {
         let space = toy_space();
-        let plan = simulated_annealing(
-            &space,
-            peaked_score,
-            &SaOptions::default(),
-            8,
-            &HashSet::new(),
-            1,
-        );
+        let plan =
+            simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &HashSet::new(), 1);
         assert!(!plan.is_empty());
         // Best plan entry should be at/near the peak (7, 3).
         let best = &plan[0];
@@ -248,14 +248,7 @@ mod tests {
         let peak_index = space.index_of(&peak_choices);
         let mut exclude = HashSet::new();
         exclude.insert(peak_index);
-        let plan = simulated_annealing(
-            &space,
-            peaked_score,
-            &SaOptions::default(),
-            8,
-            &exclude,
-            3,
-        );
+        let plan = simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &exclude, 3);
         assert!(plan.iter().all(|c| c.index != peak_index));
     }
 
@@ -266,12 +259,7 @@ mod tests {
         let base = space.config(100).unwrap();
         for _ in 0..50 {
             let m = mutate(&space, &base, &mut rng);
-            let diffs = base
-                .choices
-                .iter()
-                .zip(&m.choices)
-                .filter(|(a, b)| a != b)
-                .count();
+            let diffs = base.choices.iter().zip(&m.choices).filter(|(a, b)| a != b).count();
             assert_eq!(diffs, 1);
         }
     }
@@ -279,28 +267,16 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let space = toy_space();
-        let a: Vec<u64> = simulated_annealing(
-            &space,
-            peaked_score,
-            &SaOptions::default(),
-            8,
-            &HashSet::new(),
-            9,
-        )
-        .iter()
-        .map(|c| c.index)
-        .collect();
-        let b: Vec<u64> = simulated_annealing(
-            &space,
-            peaked_score,
-            &SaOptions::default(),
-            8,
-            &HashSet::new(),
-            9,
-        )
-        .iter()
-        .map(|c| c.index)
-        .collect();
+        let a: Vec<u64> =
+            simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &HashSet::new(), 9)
+                .iter()
+                .map(|c| c.index)
+                .collect();
+        let b: Vec<u64> =
+            simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &HashSet::new(), 9)
+                .iter()
+                .map(|c| c.index)
+                .collect();
         assert_eq!(a, b);
     }
 }

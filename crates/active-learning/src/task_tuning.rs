@@ -68,12 +68,11 @@ pub struct TaskTuneResult {
 /// Builds the initial configuration set for `method`.
 fn initial_set(space: &ConfigSpace, method: Method, opts: &TuneOptions) -> Vec<Config> {
     use rand::SeedableRng;
+    let tel = telemetry::global();
+    let _span = tel.span("init_select");
     match method {
         Method::Bted | Method::BtedBao => {
-            let bopts = crate::bted::BtedOptions {
-                num_selected: opts.init_points,
-                ..opts.bted
-            };
+            let bopts = crate::bted::BtedOptions { num_selected: opts.init_points, ..opts.bted };
             bted(space, &bopts, opts.seed ^ 0xB7ED)
         }
         Method::AutoTvm => {
@@ -96,8 +95,22 @@ pub fn tune_task<M: Measurer>(
     method: Method,
     opts: &TuneOptions,
 ) -> TaskTuneResult {
+    let tel = telemetry::global();
+    let _span = tel.span("tune_task");
+    tel.event("tune.start", || {
+        telemetry::json!({
+            "task": task.name.clone(),
+            "method": method.label(),
+            "seed": opts.seed,
+            "n_trial": opts.n_trial as u64,
+        })
+    });
     let space = space_for_task(task);
     let init = initial_set(&space, method, opts);
+    tel.event(
+        "init_select.done",
+        || telemetry::json!({ "method": method.label(), "init_size": init.len() as u64 }),
+    );
     let mut tuner: Box<dyn Tuner> = match method {
         Method::Random => Box::new(RandomTuner::new(&space, opts.seed)),
         Method::AutoTvm | Method::Bted => Box::new(XgbTuner::new(
@@ -109,9 +122,7 @@ pub fn tune_task<M: Measurer>(
             opts.epsilon,
             opts.seed,
         )),
-        Method::BtedBao => {
-            Box::new(BaoTuner::new(&space, init, opts.bao, opts.bao_gbt, opts.seed))
-        }
+        Method::BtedBao => Box::new(BaoTuner::new(&space, init, opts.bao, opts.bao_gbt, opts.seed)),
     };
     drive_loop(task, &space, tuner.as_mut(), measurer, method, opts)
 }
@@ -126,17 +137,15 @@ pub fn drive_loop<M: Measurer>(
     method: Method,
     opts: &TuneOptions,
 ) -> TaskTuneResult {
+    let tel = telemetry::global();
+    let _span = tel.span("drive_loop");
     let mut log = TuningLog::new(task.name.clone(), method.label());
     let mut best: Option<(Config, f64)> = None;
     let mut since_best = 0usize;
     let mut measured = 0usize;
 
     while measured < opts.n_trial && since_best < opts.early_stopping {
-        let want = tuner
-            .preferred_batch()
-            .min(opts.batch_size)
-            .min(opts.n_trial - measured)
-            .max(1);
+        let want = tuner.preferred_batch().min(opts.batch_size).min(opts.n_trial - measured).max(1);
         let batch = tuner.next_batch(want);
         if batch.is_empty() {
             break;
@@ -151,17 +160,31 @@ pub fn drive_loop<M: Measurer>(
             } else {
                 since_best += 1;
             }
+            let best_now = best.as_ref().map_or(0.0, |(_, g)| *g);
+            tel.event("trial", || {
+                telemetry::json!({
+                    "trial": measured as u64,
+                    "config_index": cfg.index,
+                    "gflops": r.gflops,
+                    "best_gflops": best_now,
+                    "improved": improved && r.gflops > 0.0,
+                })
+            });
+            tel.observe("trial.gflops", r.gflops);
             log.records.push(TrialRecord {
                 trial: measured,
                 config_index: cfg.index,
                 gflops: r.gflops,
                 latency_s: r.latency_s,
-                best_gflops: best.as_ref().map_or(0.0, |(_, g)| *g),
+                best_gflops: best_now,
             });
             measured += 1;
             results.push((cfg, r.gflops));
         }
-        tuner.update(&results);
+        {
+            let _update = tel.span("tuner.update");
+            tuner.update(&results);
+        }
     }
 
     let (best_config, best_gflops) = match best {
@@ -219,11 +242,7 @@ mod tests {
     #[test]
     fn early_stopping_caps_measurements() {
         let t = task(0);
-        let opts = TuneOptions {
-            n_trial: 10_000,
-            early_stopping: 24,
-            ..TuneOptions::smoke()
-        };
+        let opts = TuneOptions { n_trial: 10_000, early_stopping: 24, ..TuneOptions::smoke() };
         let r = tune_task(&t, &measurer(), Method::Random, &opts);
         assert!(r.num_measured < 10_000, "early stopping must trigger");
     }

@@ -35,19 +35,14 @@ pub enum TedKernel {
     },
 }
 
-
-
 fn kernel_matrix(features: &[Vec<f64>], kernel: TedKernel) -> Vec<f64> {
     let n = features.len();
     let mut d = vec![0.0; n * n];
     let mut sum = 0.0;
     for i in 0..n {
         for j in i + 1..n {
-            let d2: f64 = features[i]
-                .iter()
-                .zip(&features[j])
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d2: f64 =
+                features[i].iter().zip(&features[j]).map(|(a, b)| (a - b) * (a - b)).sum();
             d[i * n + j] = d2;
             d[j * n + i] = d2;
             sum += d2.sqrt();
@@ -102,7 +97,13 @@ pub fn ted(features: &[Vec<f64>], mu: f64, m: usize, kernel: TedKernel) -> Vec<u
         return (0..n).collect();
     }
 
-    let mut k = kernel_matrix(features, kernel);
+    let tel = telemetry::global();
+    let mut k = {
+        let _span = tel.span("ted.kernel_matrix");
+        kernel_matrix(features, kernel)
+    };
+    tel.observe("ted.candidates", n as f64);
+    let _span = tel.span("ted.greedy_select");
     let mut selected = Vec::with_capacity(m);
     let mut taken = vec![false; n];
 
@@ -153,11 +154,8 @@ pub fn dispersion(features: &[Vec<f64>], indices: &[usize]) -> f64 {
     let mut count = 0usize;
     for (a, &i) in indices.iter().enumerate() {
         for &j in &indices[a + 1..] {
-            let d2: f64 = features[i]
-                .iter()
-                .zip(&features[j])
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum();
+            let d2: f64 =
+                features[i].iter().zip(&features[j]).map(|(x, y)| (x - y) * (x - y)).sum();
             total += d2.sqrt();
             count += 1;
         }
@@ -195,21 +193,55 @@ mod tests {
         assert_eq!(ted(&f, 0.1, 99, TedKernel::Euclidean).len(), 10);
     }
 
+    /// Tight clusters with well-separated centers: dispersion differences
+    /// are structural (between-cluster coverage), not sampling luck.
+    fn clustered_cloud(
+        per_cluster: usize,
+        clusters: usize,
+        dim: usize,
+        seed: u64,
+    ) -> Vec<Vec<f64>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(per_cluster * clusters);
+        for c in 0..clusters {
+            for _ in 0..per_cluster {
+                out.push(
+                    (0..dim)
+                        .map(|d| {
+                            let center = if d == c % dim { 20.0 * (1.0 + c as f64) } else { 0.0 };
+                            center + rng.gen_range(-0.5..0.5)
+                        })
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
     #[test]
     fn ted_beats_random_dispersion() {
         // The whole point of TED: selected points scatter across the space.
-        let f = cloud(300, 6, 3);
-        let sel = ted(&f, 0.1, 20, TedKernel::Euclidean);
+        // On clustered data a random subset over-samples some clusters and
+        // misses others, while TED's deflation spreads its picks, so TED's
+        // mean pairwise distance must come out ahead of the random average.
+        let clusters = 6;
+        let f = clustered_cloud(50, clusters, 6, 3);
+        let n = f.len();
+        let m = 12;
+        let sel = ted(&f, 0.1, m, TedKernel::Euclidean);
+        let covered: std::collections::HashSet<usize> = sel.iter().map(|&i| i / 50).collect();
+        assert_eq!(covered.len(), clusters, "TED must cover every cluster: {sel:?}");
+
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let mut random_disp = 0.0;
         let reps = 30;
         for _ in 0..reps {
-            let mut idx: Vec<usize> = (0..300).collect();
-            for i in 0..20 {
-                let j = rng.gen_range(i..300);
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..m {
+                let j = rng.gen_range(i..n);
                 idx.swap(i, j);
             }
-            random_disp += dispersion(&f, &idx[..20]);
+            random_disp += dispersion(&f, &idx[..m]);
         }
         random_disp /= f64::from(reps);
         let ted_disp = dispersion(&f, &sel);

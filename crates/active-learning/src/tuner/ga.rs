@@ -74,15 +74,16 @@ impl<'s> GaTuner<'s> {
         let pb = self.select_parent();
         let k = self.space.num_knobs();
         let cut = self.rng.gen_range(0..=k);
-        let mut choices: Vec<usize> = (0..k)
-            .map(|i| {
-                if i < cut {
-                    self.scored[pa].0.choices[i]
-                } else {
-                    self.scored[pb].0.choices[i]
-                }
-            })
-            .collect();
+        let mut choices: Vec<usize> =
+            (0..k)
+                .map(|i| {
+                    if i < cut {
+                        self.scored[pa].0.choices[i]
+                    } else {
+                        self.scored[pb].0.choices[i]
+                    }
+                })
+                .collect();
         for (i, c) in choices.iter_mut().enumerate() {
             if self.rng.gen::<f64>() < self.opts.mutation_prob {
                 let card = self.space.knobs()[i].cardinality();
@@ -132,10 +133,7 @@ mod tests {
     fn toy_space() -> ConfigSpace {
         // Two 4-way splits of 2^12: 455 candidates each, ~207k configs —
         // big enough that six 64-child generations cannot exhaust it.
-        ConfigSpace::new(
-            "toy",
-            vec![Knob::split("a", 4096, 4), Knob::split("b", 4096, 4)],
-        )
+        ConfigSpace::new("toy", vec![Knob::split("a", 4096, 4), Knob::split("b", 4096, 4)])
     }
 
     fn truth(c: &Config) -> f64 {
@@ -152,13 +150,14 @@ mod tests {
         let mut best = f64::NEG_INFINITY;
         for _ in 0..6 {
             let batch = t.next_batch(t.preferred_batch());
-            let results: Vec<(Config, f64)> =
-                batch.into_iter().map(|c| {
+            let results: Vec<(Config, f64)> = batch
+                .into_iter()
+                .map(|c| {
                     let y = truth(&c);
                     (c, y)
-                }).collect();
-            let mean: f64 =
-                results.iter().map(|(_, y)| *y).sum::<f64>() / results.len() as f64;
+                })
+                .collect();
+            let mean: f64 = results.iter().map(|(_, y)| *y).sum::<f64>() / results.len() as f64;
             best = results.iter().map(|(_, y)| *y).fold(best, f64::max);
             gen_means.push(mean);
             t.update(&results);
@@ -180,11 +179,13 @@ mod tests {
             for c in &batch {
                 assert!(seen.insert(c.index));
             }
-            let results: Vec<(Config, f64)> =
-                batch.into_iter().map(|c| {
+            let results: Vec<(Config, f64)> = batch
+                .into_iter()
+                .map(|c| {
                     let y = truth(&c);
                     (c, y)
-                }).collect();
+                })
+                .collect();
             t.update(&results);
         }
     }

@@ -84,9 +84,10 @@ impl<'s> XgbTuner<'s> {
     /// Refits the cost model on everything measured and rebuilds the plan
     /// via simulated annealing on the model score.
     fn replan(&mut self) {
+        let tel = telemetry::global();
+        let _span = tel.span("xgb.replan");
         self.refits += 1;
-        let valid: Vec<&(Config, f64)> =
-            self.measured.iter().filter(|(_, y)| *y > 0.0).collect();
+        let valid: Vec<&(Config, f64)> = self.measured.iter().filter(|(_, y)| *y > 0.0).collect();
         if valid.len() < 4 {
             // Not enough signal to train: plan random configs.
             self.plan = (0..self.plan_size)
@@ -99,23 +100,23 @@ impl<'s> XgbTuner<'s> {
         // cliffs), normalizing scores so SA temperatures are comparable.
         let rows: Vec<Vec<f64>> =
             self.measured.iter().map(|(c, _)| features(self.space, c)).collect();
-        let y_max = self
-            .measured
-            .iter()
-            .map(|&(_, y)| y)
-            .fold(f64::NEG_INFINITY, f64::max)
-            .max(1e-9);
+        let y_max =
+            self.measured.iter().map(|&(_, y)| y).fold(f64::NEG_INFINITY, f64::max).max(1e-9);
         let ys: Vec<f64> = self.measured.iter().map(|&(_, y)| y / y_max).collect();
         let x = Matrix::from_rows(&rows);
         let mut model = GbtEvaluator::new(self.gbt);
-        model.fit(&x, &ys, self.refits);
+        {
+            let _fit = tel.span("xgb.fit");
+            model.fit(&x, &ys, self.refits);
+        }
+        tel.event(
+            "xgb.refit",
+            || telemetry::json!({ "refit": self.refits, "rows": rows.len() as u64 }),
+        );
 
         let space = self.space;
         let score = |cands: &[Config]| -> Vec<f64> {
-            cands
-                .iter()
-                .map(|c| model.predict_row(&features(space, c)))
-                .collect()
+            cands.iter().map(|c| model.predict_row(&features(space, c))).collect()
         };
         self.plan = simulated_annealing(
             self.space,
@@ -148,11 +149,7 @@ impl Tuner for XgbTuner<'_> {
                 }
             }
             let explore = self.rng.gen::<f64>() < self.epsilon;
-            let cfg = if explore {
-                self.space.sample(&mut self.rng)
-            } else {
-                self.plan.remove(0)
-            };
+            let cfg = if explore { self.space.sample(&mut self.rng) } else { self.plan.remove(0) };
             if self.visited.insert(cfg.index) {
                 out.push(cfg);
             } else if !explore {
@@ -177,10 +174,7 @@ mod tests {
     use schedule::Knob;
 
     fn toy_space() -> ConfigSpace {
-        ConfigSpace::new(
-            "toy",
-            vec![Knob::split("a", 4096, 2), Knob::split("b", 4096, 2)],
-        )
+        ConfigSpace::new("toy", vec![Knob::split("a", 4096, 2), Knob::split("b", 4096, 2)])
     }
 
     fn truth(c: &Config) -> f64 {
@@ -220,11 +214,13 @@ mod tests {
             if batch.is_empty() {
                 break;
             }
-            let results: Vec<(Config, f64)> =
-                batch.into_iter().map(|c| {
+            let results: Vec<(Config, f64)> = batch
+                .into_iter()
+                .map(|c| {
                     let y = truth(&c);
                     (c, y)
-                }).collect();
+                })
+                .collect();
             for (_, y) in &results {
                 if round == 0 {
                     best_init = best_init.max(*y);
@@ -249,11 +245,13 @@ mod tests {
         let mut seen = HashSet::new();
         for _ in 0..5 {
             let batch = t.next_batch(8);
-            let results: Vec<(Config, f64)> =
-                batch.into_iter().map(|c| {
+            let results: Vec<(Config, f64)> = batch
+                .into_iter()
+                .map(|c| {
                     let y = truth(&c);
                     (c, y)
-                }).collect();
+                })
+                .collect();
             for (c, _) in &results {
                 assert!(seen.insert(c.index), "duplicate {}", c.index);
             }

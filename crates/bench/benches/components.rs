@@ -38,22 +38,15 @@ fn bench_components(c: &mut Criterion) {
     });
 
     // GBT fit at a typical mid-tuning dataset size.
-    let rows: Vec<Vec<f64>> = space
-        .sample_distinct(&mut rng, 512)
-        .iter()
-        .map(|cfg| features(&space, cfg))
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        space.sample_distinct(&mut rng, 512).iter().map(|cfg| features(&space, cfg)).collect();
     let ys: Vec<f64> = (0..rows.len()).map(|i| (i % 97) as f64).collect();
     let x = Matrix::from_rows(&rows);
     for n_rounds in [30usize, 60] {
-        c.bench_with_input(
-            BenchmarkId::new("gbt_fit_512x22", n_rounds),
-            &n_rounds,
-            |b, &n| {
-                let p = GbtParams { n_rounds: n, ..GbtParams::default() };
-                b.iter(|| black_box(Gbt::fit(&p, &x, &ys, 0)));
-            },
-        );
+        c.bench_with_input(BenchmarkId::new("gbt_fit_512x22", n_rounds), &n_rounds, |b, &n| {
+            let p = GbtParams { n_rounds: n, ..GbtParams::default() };
+            b.iter(|| black_box(Gbt::fit(&p, &x, &ys, 0)));
+        });
     }
 
     // One BS step (Algorithm 3) at the default scope size.
@@ -66,14 +59,7 @@ fn bench_components(c: &mut Criterion) {
     let scope = space.sample_distinct(&mut rng, 384);
     c.bench_function("bs_step_gamma2", |b| {
         b.iter(|| {
-            black_box(bootstrap_select(
-                &space,
-                &measured,
-                &scope,
-                2,
-                GbtEvaluator::default,
-                9,
-            ))
+            black_box(bootstrap_select(&space, &measured, &scope, 2, GbtEvaluator::default, 9))
         });
     });
 

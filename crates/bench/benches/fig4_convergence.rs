@@ -11,11 +11,7 @@ use gpu_sim::{GpuDevice, SimMeasurer};
 fn bench_fig4(c: &mut Criterion) {
     let task = extract_tasks(&models::mobilenet_v1(1)).remove(0);
     let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
-    let opts = TuneOptions {
-        n_trial: 128,
-        early_stopping: usize::MAX,
-        ..TuneOptions::smoke()
-    };
+    let opts = TuneOptions { n_trial: 128, early_stopping: usize::MAX, ..TuneOptions::smoke() };
     let mut group = c.benchmark_group("fig4_convergence");
     group.sample_size(10);
     for method in Method::PAPER_ARMS {

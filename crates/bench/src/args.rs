@@ -3,6 +3,10 @@
 
 use std::collections::HashMap;
 
+/// Flags that are switches (present or absent) rather than `--key value`
+/// pairs.
+const BOOL_FLAGS: &[&str] = &["quiet", "json"];
+
 /// Parsed `--key value` pairs.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -32,12 +36,26 @@ impl Args {
             let Some(name) = key.strip_prefix("--") else {
                 panic!("unexpected argument `{key}` (expected --key value)");
             };
-            let value = it
-                .next()
-                .unwrap_or_else(|| panic!("missing value for --{name}"));
+            if BOOL_FLAGS.contains(&name) {
+                values.insert(name.to_string(), "true".to_string());
+                continue;
+            }
+            let value = it.next().unwrap_or_else(|| panic!("missing value for --{name}"));
             values.insert(name.to_string(), value);
         }
         Args { values }
+    }
+
+    /// True if the switch `name` (one of [`BOOL_FLAGS`]) was given.
+    #[must_use]
+    pub fn present(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Optional string lookup (no default).
+    #[must_use]
+    pub fn get_opt(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
     }
 
     /// Typed lookup with a default.
@@ -51,8 +69,7 @@ impl Args {
         T::Err: std::fmt::Debug,
     {
         self.values.get(name).map_or(default, |v| {
-            v.parse()
-                .unwrap_or_else(|e| panic!("invalid value for --{name}: {v} ({e:?})"))
+            v.parse().unwrap_or_else(|e| panic!("invalid value for --{name}: {v} ({e:?})"))
         })
     }
 
@@ -83,6 +100,16 @@ mod tests {
     #[should_panic(expected = "missing value")]
     fn missing_value_panics() {
         let _ = of(&["--trials"]);
+    }
+
+    #[test]
+    fn bool_flags_take_no_value() {
+        let a = of(&["--quiet", "--trials", "2", "--json"]);
+        assert!(a.present("quiet"));
+        assert!(a.present("json"));
+        assert!(!a.present("verbose"));
+        assert_eq!(a.get::<usize>("trials", 1), 2);
+        assert_eq!(a.get_opt("trace"), None);
     }
 
     #[test]

@@ -6,17 +6,19 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin ablation -- [--n-trial 512] \
-//!     [--trials 2] [--seed 0] [--tasks 0,3,6] [--out results]
+//!     [--trials 2] [--seed 0] [--tasks 0,3,6] [--out results] \
+//!     [--trace FILE] [--quiet] [--json]
 //! ```
 
 use bench::args::Args;
 use bench::experiments::{run_ablation_gamma, run_ablation_init, run_ablation_scope};
 use bench::report::write_json;
-use bench::scaled_options;
+use bench::{init_telemetry, scaled_options};
 use std::path::PathBuf;
 
 fn main() {
     let args = Args::from_env();
+    let tel = init_telemetry(&args);
     let n_trial: usize = args.get("n-trial", 512);
     let trials: usize = args.get("trials", 2);
     let seed: u64 = args.get("seed", 0);
@@ -27,7 +29,9 @@ fn main() {
         .map(|s| s.trim().parse().expect("task index"))
         .collect();
 
-    eprintln!("ablation: n_trial={n_trial} trials={trials} tasks={tasks:?} seed={seed}");
+    tel.report(|| {
+        format!("ablation: n_trial={n_trial} trials={trials} tasks={tasks:?} seed={seed}")
+    });
     let opts = scaled_options(n_trial, seed);
 
     let gamma = run_ablation_gamma(&[1, 2, 4, 8], &opts, &tasks, trials);
@@ -60,5 +64,6 @@ fn main() {
     }
 
     write_json(&out, "ablation.json", &(gamma, scope, init)).expect("write results");
-    eprintln!("wrote {}", out.join("ablation.json").display());
+    tel.report(|| format!("wrote {}", out.join("ablation.json").display()));
+    tel.flush();
 }

@@ -2,23 +2,25 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig4 -- [--n-trial 1024] [--trials 3] \
-//!     [--seed 0] [--out results]
+//!     [--seed 0] [--out results] [--trace FILE] [--quiet] [--json]
 //! ```
 
 use bench::args::Args;
 use bench::experiments::run_fig4;
+use bench::init_telemetry;
 use bench::plot::ascii_chart;
 use bench::report::{render_fig4, write_json};
 use std::path::PathBuf;
 
 fn main() {
     let args = Args::from_env();
+    let tel = init_telemetry(&args);
     let n_trial: usize = args.get("n-trial", 1024);
     let trials: usize = args.get("trials", 3);
     let seed: u64 = args.get("seed", 0);
     let out: PathBuf = PathBuf::from(args.get_str("out", "results"));
 
-    eprintln!("fig4: n_trial={n_trial} trials={trials} seed={seed}");
+    tel.report(|| format!("fig4: n_trial={n_trial} trials={trials} seed={seed}"));
     let data = run_fig4(n_trial, trials, seed);
     print!("{}", render_fig4(&data));
     for layer in 0..2 {
@@ -32,5 +34,6 @@ fn main() {
         print!("{}", ascii_chart(&series, 72, 14));
     }
     write_json(&out, "fig4.json", &data).expect("write results");
-    eprintln!("wrote {}", out.join("fig4.json").display());
+    tel.report(|| format!("wrote {}", out.join("fig4.json").display()));
+    tel.flush();
 }

@@ -3,26 +3,28 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig5 -- [--n-trial 1024] [--trials 3] \
-//!     [--seed 0] [--out results]
+//!     [--seed 0] [--out results] [--trace FILE] [--quiet] [--json]
 //! ```
 
 use bench::args::Args;
 use bench::experiments::run_fig5;
 use bench::report::{render_fig5, write_json};
-use bench::scaled_options;
+use bench::{init_telemetry, scaled_options};
 use std::path::PathBuf;
 
 fn main() {
     let args = Args::from_env();
+    let tel = init_telemetry(&args);
     let n_trial: usize = args.get("n-trial", 1024);
     let trials: usize = args.get("trials", 3);
     let seed: u64 = args.get("seed", 0);
     let out: PathBuf = PathBuf::from(args.get_str("out", "results"));
 
-    eprintln!("fig5: n_trial={n_trial} trials={trials} seed={seed}");
+    tel.report(|| format!("fig5: n_trial={n_trial} trials={trials} seed={seed}"));
     let opts = scaled_options(n_trial, seed);
     let data = run_fig5(&opts, trials);
     print!("{}", render_fig5(&data));
     write_json(&out, "fig5.json", &data).expect("write results");
-    eprintln!("wrote {}", out.join("fig5.json").display());
+    tel.report(|| format!("wrote {}", out.join("fig5.json").display()));
+    tel.flush();
 }

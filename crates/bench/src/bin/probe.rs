@@ -12,12 +12,8 @@ fn main() {
     let args = Args::from_env();
     let n_trial: usize = args.get("n-trial", 768);
     let seed: u64 = args.get("seed", 0);
-    let opts = TuneOptions {
-        n_trial,
-        early_stopping: 400.min(n_trial),
-        seed,
-        ..TuneOptions::default()
-    };
+    let opts =
+        TuneOptions { n_trial, early_stopping: 400.min(n_trial), seed, ..TuneOptions::default() };
 
     let model_name = args.get_str("model", "");
     if !model_name.is_empty() {

@@ -50,7 +50,9 @@ fn main() {
         println!(
             "| model | AutoTVM ms (var) | BTED ms (Δ%) var (Δ%) | BTED+BAO ms (Δ%) var (Δ%) |"
         );
-        println!("|-------|------------------|------------------------|----------------------------|");
+        println!(
+            "|-------|------------------|------------------------|----------------------------|"
+        );
         for row in &t1.rows {
             let a = &row.cells[0];
             let b = &row.cells[1];

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin table1 -- [--n-trial 768] [--trials 3] \
-//!     [--runs 600] [--seed 0] [--out results] [--models all|fast]
+//!     [--runs 600] [--seed 0] [--out results] [--models all|fast] \
+//!     [--trace FILE] [--quiet] [--json]
 //! ```
 //!
 //! `--models fast` restricts to the two cheapest models for a quick pass.
@@ -11,12 +12,13 @@
 use bench::args::Args;
 use bench::experiments::run_table1_models;
 use bench::report::{render_table1, write_json};
-use bench::scaled_options;
+use bench::{init_telemetry, scaled_options};
 use dnn_graph::models;
 use std::path::PathBuf;
 
 fn main() {
     let args = Args::from_env();
+    let tel = init_telemetry(&args);
     let n_trial: usize = args.get("n-trial", 768);
     let trials: usize = args.get("trials", 3);
     let runs: usize = args.get("runs", 600);
@@ -30,10 +32,13 @@ fn main() {
         other => panic!("unknown --models `{other}` (use all|fast)"),
     };
 
-    eprintln!("table1: n_trial={n_trial} trials={trials} runs={runs} seed={seed} models={which}");
+    tel.report(|| {
+        format!("table1: n_trial={n_trial} trials={trials} runs={runs} seed={seed} models={which}")
+    });
     let opts = scaled_options(n_trial, seed);
     let data = run_table1_models(&graphs, &opts, trials, runs);
     print!("{}", render_table1(&data));
     write_json(&out, "table1.json", &data).expect("write results");
-    eprintln!("wrote {}", out.join("table1.json").display());
+    tel.report(|| format!("wrote {}", out.join("table1.json").display()));
+    tel.flush();
 }

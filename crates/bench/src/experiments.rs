@@ -53,15 +53,12 @@ pub struct Fig4Data {
 #[must_use]
 pub fn run_fig4(n_trial: usize, trials: usize, seed: u64) -> Fig4Data {
     let tasks = extract_tasks(&models::mobilenet_v1(1));
-    let base = TuneOptions {
-        n_trial,
-        early_stopping: usize::MAX,
-        seed,
-        ..TuneOptions::default()
-    };
+    let base = TuneOptions { n_trial, early_stopping: usize::MAX, seed, ..TuneOptions::default() };
+    let tel = telemetry::global();
     let mut curves = Vec::new();
     for (layer, task) in tasks.iter().enumerate().take(2) {
         for method in Method::PAPER_ARMS {
+            tel.report(|| format!("fig4: layer {} {method}", layer + 1));
             let mut sum = vec![0.0f64; n_trial];
             for t in 0..trials {
                 let opts = trial_options(&base, t as u64);
@@ -125,8 +122,10 @@ pub fn run_fig5(base: &TuneOptions, trials: usize) -> Fig5Data {
 /// Fig. 5 over an arbitrary task list (used by the criterion smoke bench).
 #[must_use]
 pub fn run_fig5_tasks(tasks: &[TuningTask], base: &TuneOptions, trials: usize) -> Fig5Data {
+    let tel = telemetry::global();
     let mut rows = Vec::with_capacity(tasks.len() + 1);
     for (ti, task) in tasks.iter().enumerate() {
+        tel.report(|| format!("fig5: task T{} of {}", ti + 1, tasks.len()));
         let mut cells = Vec::new();
         for method in Method::PAPER_ARMS {
             let mut configs = Vec::new();
@@ -217,10 +216,12 @@ pub fn run_table1_models(
     trials: usize,
     runs: usize,
 ) -> Table1Data {
+    let tel = telemetry::global();
     let mut rows = Vec::with_capacity(graphs.len() + 1);
     for graph in graphs {
         let mut cells = Vec::new();
         for method in Method::PAPER_ARMS {
+            tel.report(|| format!("table1: {} {method}", graph.name));
             let mut lat = Vec::new();
             let mut var = Vec::new();
             for t in 0..trials {
@@ -302,10 +303,8 @@ pub fn run_ablation_gamma(
     gammas
         .iter()
         .map(|&g| {
-            let opts = TuneOptions {
-                bao: active_learning::BaoOptions { gamma: g, ..base.bao },
-                ..*base
-            };
+            let opts =
+                TuneOptions { bao: active_learning::BaoOptions { gamma: g, ..base.bao }, ..*base };
             sweep_point(format!("gamma={g}"), &tasks, task_indices, &opts, trials)
         })
         .collect()
@@ -358,10 +357,8 @@ pub fn run_ablation_init(
         trials,
     ));
     // TED with a single batch.
-    let ted_opts = TuneOptions {
-        bted: active_learning::BtedOptions { num_batches: 1, ..base.bted },
-        ..*base
-    };
+    let ted_opts =
+        TuneOptions { bted: active_learning::BtedOptions { num_batches: 1, ..base.bted }, ..*base };
     out.push(sweep_point_method(
         "init=ted(B=1)".to_string(),
         Method::Bted,
@@ -400,6 +397,7 @@ fn sweep_point_method(
     opts: &TuneOptions,
     trials: usize,
 ) -> AblationPoint {
+    telemetry::global().report(|| format!("ablation: {setting}"));
     let mut gflops = Vec::new();
     let mut configs = Vec::new();
     for &ti in task_indices {

@@ -19,6 +19,23 @@ pub mod plot;
 pub mod report;
 pub mod stats;
 
+/// Installs the global telemetry pipeline for an experiment binary from its
+/// `--trace FILE`, `--quiet`, and `--json` flags. Returns the handle so the
+/// binary can flush counters and histograms into the trace before exiting.
+///
+/// # Panics
+///
+/// Panics if the trace file cannot be created.
+#[must_use]
+pub fn init_telemetry(args: &args::Args) -> telemetry::Telemetry {
+    telemetry::install_pipeline(
+        args.get_opt("trace").map(std::path::Path::new),
+        args.present("quiet"),
+        args.present("json"),
+    )
+    .expect("create trace file")
+}
+
 /// Scales a [`active_learning::TuneOptions`] budget for quick runs.
 #[must_use]
 pub fn scaled_options(n_trial: usize, seed: u64) -> active_learning::TuneOptions {

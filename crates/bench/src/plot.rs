@@ -11,16 +11,9 @@
 pub fn ascii_chart(series: &[(String, Vec<f64>)], width: usize, height: usize) -> String {
     assert!(!series.is_empty(), "nothing to plot");
     assert!(series.iter().all(|(_, ys)| !ys.is_empty()), "empty series");
-    let y_min = series
-        .iter()
-        .flat_map(|(_, ys)| ys.iter())
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
-    let y_max = series
-        .iter()
-        .flat_map(|(_, ys)| ys.iter())
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let y_min = series.iter().flat_map(|(_, ys)| ys.iter()).cloned().fold(f64::INFINITY, f64::min);
+    let y_max =
+        series.iter().flat_map(|(_, ys)| ys.iter()).cloned().fold(f64::NEG_INFINITY, f64::max);
     let span = (y_max - y_min).max(1e-12);
     let marks = ['*', '+', 'o', 'x', '#', '@'];
 
@@ -86,10 +79,7 @@ mod tests {
 
     #[test]
     fn multiple_series_use_distinct_marks() {
-        let s = vec![
-            ("a".to_string(), vec![0.0, 1.0]),
-            ("b".to_string(), vec![1.0, 0.0]),
-        ];
+        let s = vec![("a".to_string(), vec![0.0, 1.0]), ("b".to_string(), vec![1.0, 0.0])];
         let chart = ascii_chart(&s, 8, 4);
         assert!(chart.contains('*'));
         assert!(chart.contains('+'));

@@ -10,11 +10,7 @@ use std::path::Path;
 /// # Errors
 ///
 /// Propagates directory-creation and file-write failures.
-pub fn write_json<T: serde::Serialize>(
-    dir: &Path,
-    name: &str,
-    value: &T,
-) -> std::io::Result<()> {
+pub fn write_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let body = serde_json::to_string_pretty(value).expect("experiment data serializes");
     std::fs::write(dir.join(name), body)
@@ -54,13 +50,8 @@ pub fn render_fig4(d: &Fig4Data) -> String {
 #[must_use]
 pub fn render_fig5(d: &Fig5Data) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Fig. 5 — MobileNet-v1 per-task results ({} trials averaged)",
-        d.trials
-    );
-    let methods: Vec<String> =
-        d.rows[0].cells.iter().map(|c| c.method.to_string()).collect();
+    let _ = writeln!(out, "Fig. 5 — MobileNet-v1 per-task results ({} trials averaged)", d.trials);
+    let methods: Vec<String> = d.rows[0].cells.iter().map(|c| c.method.to_string()).collect();
     let _ = writeln!(out, "(a) number of sampled configurations");
     let mut header = format!("{:>5}", "task");
     for m in &methods {

@@ -1,10 +1,11 @@
 //! CLI subcommands.
 
 use crate::opts::{device_by_name, method_by_name, model_by_name, Cli};
-use active_learning::{tune_model, tune_task, TuneOptions};
+use active_learning::{tune_model, tune_task, RunDir, RunManifest, TuneOptions};
 use dnn_graph::task::extract_tasks;
 use gpu_sim::SimMeasurer;
 use schedule::template::space_for_task;
+use std::path::{Path, PathBuf};
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
@@ -13,12 +14,17 @@ usage:
   aaltune dot     <model> [--fused true]
   aaltune devices
   aaltune tune    <model> [--task N] [--method M] [--n-trial N] [--seed S]
-                          [--device D] [--log FILE]
+                          [--device D] [--log FILE] [--out DIR]
+                          [--trace FILE] [--quiet] [--json]
   aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
-                          [--device D]
+                          [--device D] [--trace FILE] [--quiet] [--json]
+  aaltune trace   <trace.jsonl>
 models:  alexnet resnet18 resnet34 vgg16 vgg19 mobilenet_v1 squeezenet_v1.1
 methods: random autotvm bted bted+bao (default)
-devices: gtx1080ti (default) v100 jetson";
+devices: gtx1080ti (default) v100 jetson
+tracing: --trace writes a JSONL telemetry trace (`aaltune trace` summarizes
+         it); --out creates a per-run results dir with manifest, logs, and
+         trace; --quiet silences progress; --json emits progress as JSON";
 
 /// Parses and runs one invocation.
 ///
@@ -36,9 +42,29 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         }
         Some("tune") => tune(&cli),
         Some("deploy") => deploy(&cli),
+        Some("trace") => trace(&cli),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_string()),
     }
+}
+
+/// Installs the global telemetry pipeline from `--trace`/`--quiet`/`--json`,
+/// preferring an explicit `--trace` path over the run directory's default.
+fn install_telemetry(cli: &Cli, run_dir: Option<&RunDir>) -> Result<telemetry::Telemetry, String> {
+    let trace: Option<PathBuf> =
+        cli.flag_str("trace").map(PathBuf::from).or_else(|| run_dir.map(RunDir::trace_path));
+    telemetry::install_pipeline(
+        trace.as_deref(),
+        cli.flag_present("quiet"),
+        cli.flag_present("json"),
+    )
+    .map_err(|e| format!("cannot create trace file: {e}"))
+}
+
+/// Flushes counters/histograms into the trace and uninstalls the pipeline.
+fn finish_telemetry(tel: &telemetry::Telemetry) {
+    tel.flush();
+    telemetry::set_global(telemetry::Telemetry::disabled());
 }
 
 fn model_arg(cli: &Cli) -> Result<dnn_graph::Graph, String> {
@@ -105,12 +131,24 @@ fn tune(cli: &Cli) -> Result<(), String> {
     let method = method_by_name(cli.flag_str("method").unwrap_or("bted+bao"))?;
     let opts = options(cli)?;
     let m = measurer(cli)?;
+
+    // --out DIR: self-describing per-run results directory.
+    let run_dir = cli
+        .flag_str("out")
+        .map(|base| {
+            let name = format!("{}-{method}-seed{}", model.name, opts.seed);
+            RunDir::create(Path::new(base).join(name))
+                .map_err(|e| format!("cannot create run directory: {e}"))
+        })
+        .transpose()?;
+    let tel = install_telemetry(cli, run_dir.as_ref())?;
+
     let tasks = extract_tasks(&model);
     let selected: Vec<usize> = match cli.flag_str("task") {
         Some(s) => {
-            let i: usize =
-                s.parse().map_err(|_| format!("invalid --task index `{s}`"))?;
+            let i: usize = s.parse().map_err(|_| format!("invalid --task index `{s}`"))?;
             if i >= tasks.len() {
+                finish_telemetry(&tel);
                 return Err(format!("--task {i} out of range (model has {})", tasks.len()));
             }
             vec![i]
@@ -120,19 +158,38 @@ fn tune(cli: &Cli) -> Result<(), String> {
     let mut logs = Vec::new();
     for i in selected {
         let r = tune_task(&tasks[i], &m, method, &opts);
-        println!(
-            "{:<18} {:>9.1} GFLOPS in {:>4} measurements ({method})",
-            r.task_name, r.best_gflops, r.num_measured
-        );
+        tel.report(|| {
+            format!(
+                "{:<18} {:>9.1} GFLOPS in {:>4} measurements ({method})",
+                r.task_name, r.best_gflops, r.num_measured
+            )
+        });
         logs.push(r.log);
     }
+
+    if let Some(dir) = &run_dir {
+        let manifest = RunManifest {
+            model: model.name.clone(),
+            method: method.to_string(),
+            tasks: logs.iter().map(|l| l.task_name.clone()).collect(),
+            seed: opts.seed,
+            options: opts,
+        };
+        dir.write_manifest(&manifest).map_err(|e| format!("cannot write manifest: {e}"))?;
+        for log in &logs {
+            dir.write_log(log).map_err(|e| format!("cannot write log: {e}"))?;
+        }
+        tel.report(|| format!("wrote run artifacts to {}", dir.path().display()));
+    }
     if let Some(path) = cli.flag_str("log") {
-        let mut f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut f =
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         for log in &logs {
             log.write_jsonl(&mut f).map_err(|e| format!("write failed: {e}"))?;
         }
-        println!("wrote {} logs to {path}", logs.len());
+        tel.report(|| format!("wrote {} logs to {path}", logs.len()));
     }
+    finish_telemetry(&tel);
     Ok(())
 }
 
@@ -142,16 +199,30 @@ fn deploy(cli: &Cli) -> Result<(), String> {
     let opts = options(cli)?;
     let runs: usize = cli.flag("runs", 600)?;
     let m = measurer(cli)?;
+    let tel = install_telemetry(cli, None)?;
     let r = tune_model(&model, &m, method, &opts, runs);
-    println!(
-        "{} ({method}): latency {:.4} ms  variance {:.4}  min {:.4}  max {:.4}  ({} measurements)",
-        r.model_name,
-        r.latency.mean_ms,
-        r.latency.variance,
-        r.latency.min_ms,
-        r.latency.max_ms,
-        r.total_measurements
-    );
+    tel.report(|| {
+        format!(
+            "{} ({method}): latency {:.4} ms  variance {:.4}  min {:.4}  max {:.4}  \
+             ({} measurements)",
+            r.model_name,
+            r.latency.mean_ms,
+            r.latency.variance,
+            r.latency.min_ms,
+            r.latency.max_ms,
+            r.total_measurements
+        )
+    });
+    finish_telemetry(&tel);
+    Ok(())
+}
+
+fn trace(cli: &Cli) -> Result<(), String> {
+    let path = cli.positional.get(1).ok_or("missing <trace.jsonl> argument")?;
+    let f = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let summary = telemetry::TraceSummary::from_reader(std::io::BufReader::new(f))
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    print!("{}", summary.render());
     Ok(())
 }
 
@@ -204,5 +275,37 @@ mod tests {
     fn tune_task_out_of_range_errors() {
         let e = dispatch(&sv(&["tune", "alexnet", "--task", "99"])).unwrap_err();
         assert!(e.contains("out of range"));
+    }
+
+    #[test]
+    fn tune_writes_run_dir_and_trace_summarizes() {
+        let base = std::env::temp_dir().join(format!("aaltune-cli-run-{}", std::process::id()));
+        dispatch(&sv(&[
+            "tune",
+            "squeezenet",
+            "--task",
+            "0",
+            "--n-trial",
+            "40",
+            "--method",
+            "autotvm",
+            "--quiet",
+            "--out",
+            base.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let run = base.join("squeezenet_v1.1-autotvm-seed0");
+        assert!(run.join("manifest.json").is_file());
+        assert!(run.join("trace.jsonl").is_file());
+        let logs: Vec<_> = std::fs::read_dir(run.join("logs")).unwrap().collect();
+        assert_eq!(logs.len(), 1);
+        // The recorded trace must summarize via the `trace` subcommand.
+        dispatch(&sv(&["trace", run.join("trace.jsonl").to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn trace_on_missing_file_errors() {
+        assert!(dispatch(&sv(&["trace", "/nonexistent/trace.jsonl"])).is_err());
     }
 }

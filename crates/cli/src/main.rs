@@ -5,11 +5,18 @@
 //! aaltune devices
 //! aaltune tune    <model> [--task N] [--method autotvm|bted|bted+bao|random]
 //!                         [--n-trial N] [--seed S] [--device NAME] [--log FILE]
+//!                         [--out DIR] [--trace FILE] [--quiet] [--json]
 //! aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
-//!                         [--device NAME]
+//!                         [--device NAME] [--trace FILE] [--quiet] [--json]
+//! aaltune trace   <trace.jsonl>
 //! ```
 //!
 //! Models: `alexnet`, `resnet18`, `vgg16`, `mobilenet_v1`, `squeezenet_v1.1`.
+//!
+//! `--trace` records a JSONL telemetry trace of the whole tuning loop;
+//! `aaltune trace` prints its per-phase time breakdown, counters, and
+//! histogram quantiles. `--out` collects manifest + logs + trace in a
+//! per-run directory.
 
 mod commands;
 mod opts;

@@ -5,6 +5,10 @@ use dnn_graph::{models, Graph};
 use gpu_sim::GpuDevice;
 use std::collections::HashMap;
 
+/// Flags that are switches (present or absent) rather than `--key value`
+/// pairs.
+const BOOL_FLAGS: &[&str] = &["quiet", "json"];
+
 /// Parsed command line: a positional list plus `--key value` flags.
 #[derive(Debug, Default)]
 pub struct Cli {
@@ -24,14 +28,23 @@ impl Cli {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value =
-                    it.next().ok_or_else(|| format!("missing value for --{name}"))?;
+                if BOOL_FLAGS.contains(&name) {
+                    cli.flags.insert(name.to_string(), "true".to_string());
+                    continue;
+                }
+                let value = it.next().ok_or_else(|| format!("missing value for --{name}"))?;
                 cli.flags.insert(name.to_string(), value.clone());
             } else {
                 cli.positional.push(a.clone());
             }
         }
         Ok(cli)
+    }
+
+    /// True if the switch `name` (one of [`BOOL_FLAGS`]) was given.
+    #[must_use]
+    pub fn flag_present(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// Typed flag lookup with default.
@@ -42,9 +55,7 @@ impl Cli {
     pub fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| format!("invalid value for --{name}: `{v}`"))
-            }
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: `{v}`")),
         }
     }
 
@@ -87,9 +98,7 @@ pub fn method_by_name(name: &str) -> Result<Method, String> {
         "autotvm" => Ok(Method::AutoTvm),
         "bted" => Ok(Method::Bted),
         "bted+bao" | "bao" | "ours" => Ok(Method::BtedBao),
-        other => {
-            Err(format!("unknown method `{other}` (random, autotvm, bted, bted+bao)"))
-        }
+        other => Err(format!("unknown method `{other}` (random, autotvm, bted, bted+bao)")),
     }
 }
 
@@ -126,6 +135,15 @@ mod tests {
     #[test]
     fn missing_flag_value_is_an_error() {
         assert!(Cli::parse(&sv(&["tune", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn bool_flags_take_no_value() {
+        let cli = Cli::parse(&sv(&["tune", "mobilenet", "--quiet", "--seed", "3"])).unwrap();
+        assert!(cli.flag_present("quiet"));
+        assert!(!cli.flag_present("json"));
+        assert_eq!(cli.flag::<u64>("seed", 0).unwrap(), 3);
+        assert_eq!(cli.positional, vec!["tune", "mobilenet"]);
     }
 
     #[test]

@@ -23,11 +23,8 @@ pub fn to_dot(graph: &Graph) -> String {
             Op::Conv2d(_) | Op::Dense(_) => "style=bold",
             _ => "",
         };
-        let _ = writeln!(
-            s,
-            "  n{} [label=\"{}\\n{}\" {}];",
-            node.id, node.op, node.output, shape_attr
-        );
+        let _ =
+            writeln!(s, "  n{} [label=\"{}\\n{}\" {}];", node.id, node.op, node.output, shape_attr);
         for &input in &node.inputs {
             let _ = writeln!(s, "  n{input} -> n{};", node.id);
         }
@@ -44,9 +41,7 @@ pub fn to_dot_fused(graph: &Graph, fused: &FusedGraph) -> String {
     let _ = writeln!(s, "  rankdir=TB; compound=true;");
     for (gi, group) in fused.groups.iter().enumerate() {
         let _ = writeln!(s, "  subgraph cluster_{gi} {{");
-        let label = group
-            .anchor
-            .map_or("aux".to_string(), |a| graph.node(a).op.name().to_string());
+        let label = group.anchor.map_or("aux".to_string(), |a| graph.node(a).op.name().to_string());
         let _ = writeln!(s, "    label=\"{label}\";");
         for &m in &group.members {
             let node = graph.node(m);

@@ -268,7 +268,7 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::{PoolKind, Padding};
+    use crate::ops::{Padding, PoolKind};
 
     fn pool(k: usize, s: usize) -> Pool2dAttrs {
         Pool2dAttrs {

@@ -43,10 +43,7 @@ pub fn infer_shape(op: &Op, inputs: &[&Shape]) -> Result<Shape, GraphError> {
                     format!("input has {} channels, attrs expect {}", x.dim(1), a.in_channels),
                 ));
             }
-            if a.groups == 0
-                || a.in_channels % a.groups != 0
-                || a.out_channels % a.groups != 0
-            {
+            if a.groups == 0 || a.in_channels % a.groups != 0 || a.out_channels % a.groups != 0 {
                 return Err(mismatch(op, format!("invalid groups {}", a.groups)));
             }
             let (oh, ow) = a.out_hw(x.dim(2), x.dim(3));
@@ -168,10 +165,7 @@ mod tests {
     #[test]
     fn arity_errors() {
         let x = Shape::nchw(1, 3, 8, 8);
-        assert!(matches!(
-            infer_shape(&Op::Relu, &[&x, &x]),
-            Err(GraphError::ArityMismatch { .. })
-        ));
+        assert!(matches!(infer_shape(&Op::Relu, &[&x, &x]), Err(GraphError::ArityMismatch { .. })));
         assert!(matches!(infer_shape(&Op::Add, &[&x]), Err(GraphError::ArityMismatch { .. })));
     }
 

@@ -28,13 +28,7 @@ use crate::ops::{Padding, Pool2dAttrs, PoolKind};
 /// All five paper models, in Table I order.
 #[must_use]
 pub fn paper_models(batch: usize) -> Vec<Graph> {
-    vec![
-        alexnet(batch),
-        resnet18(batch),
-        vgg16(batch),
-        mobilenet_v1(batch),
-        squeezenet_v1_1(batch),
-    ]
+    vec![alexnet(batch), resnet18(batch), vgg16(batch), mobilenet_v1(batch), squeezenet_v1_1(batch)]
 }
 
 /// conv → batch-norm → ReLU, the ubiquitous fused block.
@@ -105,10 +99,8 @@ mod tests {
         // all five models (Section V). Our Relay-free extraction reproduces
         // the per-model MobileNet count exactly; the totals per model are
         // locked here so any graph change is caught.
-        let counts: Vec<(String, usize)> = paper_models(1)
-            .iter()
-            .map(|m| (m.name.clone(), extract_tasks(m).len()))
-            .collect();
+        let counts: Vec<(String, usize)> =
+            paper_models(1).iter().map(|m| (m.name.clone(), extract_tasks(m).len())).collect();
         assert_eq!(
             counts,
             vec![

@@ -71,11 +71,8 @@ mod tests {
     #[test]
     fn fire_concat_doubles_expand_channels() {
         let g = squeezenet_v1_1(1);
-        let first_concat = g
-            .nodes()
-            .iter()
-            .find(|n| matches!(n.op, Op::Concat))
-            .expect("fire modules concat");
+        let first_concat =
+            g.nodes().iter().find(|n| matches!(n.op, Op::Concat)).expect("fire modules concat");
         assert_eq!(first_concat.output.dim(1), 128);
     }
 }

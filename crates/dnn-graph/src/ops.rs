@@ -114,10 +114,7 @@ impl Pool2dAttrs {
         let num_h = h + 2 * self.padding.h - self.kernel.0;
         let num_w = w + 2 * self.padding.w - self.kernel.1;
         if self.ceil_mode {
-            (
-                num_h.div_ceil(self.stride.0) + 1,
-                num_w.div_ceil(self.stride.1) + 1,
-            )
+            (num_h.div_ceil(self.stride.0) + 1, num_w.div_ceil(self.stride.1) + 1)
         } else {
             (num_h / self.stride.0 + 1, num_w / self.stride.1 + 1)
         }

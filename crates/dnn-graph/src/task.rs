@@ -89,9 +89,7 @@ impl Workload {
     #[must_use]
     pub fn macs(&self) -> u64 {
         match *self {
-            Workload::Conv2d {
-                batch, in_channels, out_channels, kernel, groups, ..
-            } => {
+            Workload::Conv2d { batch, in_channels, out_channels, kernel, groups, .. } => {
                 let (oh, ow) = self.out_hw().expect("conv has spatial output");
                 let per_out = in_channels / groups * kernel.0 * kernel.1;
                 (batch * out_channels * oh * ow) as u64 * per_out as u64
@@ -195,11 +193,8 @@ fn extract(graph: &Graph, include_dense: bool) -> Vec<TuningTask> {
         let anchor = group.anchor.expect("anchored() yields anchored groups");
         let (kind, workload) = match &graph.node(anchor).op {
             Op::Conv2d(a) => {
-                let kind = if a.is_depthwise() {
-                    TaskKind::DepthwiseConv2d
-                } else {
-                    TaskKind::Conv2d
-                };
+                let kind =
+                    if a.is_depthwise() { TaskKind::DepthwiseConv2d } else { TaskKind::Conv2d };
                 (kind, conv_workload(graph, anchor, a))
             }
             Op::Dense(a) => {
@@ -289,8 +284,7 @@ mod tests {
     fn workload_flops_match_graph_macs() {
         let g = two_identical_convs();
         let tasks = extract_tasks(&g);
-        let task_macs: u64 =
-            tasks.iter().map(|t| t.workload.macs() * t.occurrences as u64).sum();
+        let task_macs: u64 = tasks.iter().map(|t| t.workload.macs() * t.occurrences as u64).sum();
         assert_eq!(task_macs, g.total_macs());
     }
 

@@ -96,9 +96,7 @@ mod tests {
         let (x, y) = data();
         let b = BaggedGbt::fit(&GbtParams::default(), &x, &y, 3, 0);
         let row = [5.0, 2.0];
-        assert!(
-            (b.predict_sum_row(&row) - 3.0 * b.predict_mean_row(&row)).abs() < 1e-9
-        );
+        assert!((b.predict_sum_row(&row) - 3.0 * b.predict_mean_row(&row)).abs() < 1e-9);
     }
 
     #[test]
@@ -113,8 +111,7 @@ mod tests {
     fn bag_members_disagree_somewhere() {
         let (x, y) = data();
         let b = BaggedGbt::fit(&GbtParams::default(), &x, &y, 4, 0);
-        let any_disagreement =
-            (0..x.rows()).any(|i| b.predict_std_row(x.row(i)) > 1e-6);
+        let any_disagreement = (0..x.rows()).any(|i| b.predict_std_row(x.row(i)) > 1e-6);
         assert!(any_disagreement, "resampled models should differ");
     }
 

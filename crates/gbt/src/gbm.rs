@@ -118,8 +118,7 @@ impl Gbt {
     /// Predicts one feature row.
     #[must_use]
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        self.base_score
-            + self.eta * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+        self.base_score + self.eta * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     /// Predicts every row of `x`.
@@ -151,9 +150,8 @@ mod tests {
     use crate::metrics::{r2, rmse};
 
     fn grid_xy(f: impl Fn(f64, f64) -> f64) -> (Matrix, Vec<f64>) {
-        let rows: Vec<Vec<f64>> = (0..400)
-            .map(|i| vec![(i % 20) as f64, (i / 20) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..400).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
         let ys: Vec<f64> = rows.iter().map(|r| f(r[0], r[1])).collect();
         (Matrix::from_rows(&rows), ys)
     }
@@ -202,9 +200,8 @@ mod tests {
 
     #[test]
     fn importance_finds_informative_feature() {
-        let rows: Vec<Vec<f64>> = (0..300)
-            .map(|i| vec![(i % 17) as f64, ((i * 7) % 5) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..300).map(|i| vec![(i % 17) as f64, ((i * 7) % 5) as f64]).collect();
         let ys: Vec<f64> = rows.iter().map(|r| r[0] * 2.0).collect();
         let x = Matrix::from_rows(&rows);
         let m = Gbt::fit(&GbtParams::default(), &x, &ys, 0);

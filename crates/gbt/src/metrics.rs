@@ -9,12 +9,8 @@
 pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "length mismatch");
     assert!(!truth.is_empty(), "empty inputs");
-    let mse = truth
-        .iter()
-        .zip(pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum::<f64>()
-        / truth.len() as f64;
+    let mse =
+        truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>() / truth.len() as f64;
     mse.sqrt()
 }
 

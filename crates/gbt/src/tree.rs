@@ -59,9 +59,7 @@ impl FeatureOrder {
         let per_feature = (0..x.cols())
             .map(|f| {
                 let mut idx: Vec<u32> = (0..x.rows() as u32).collect();
-                idx.sort_by(|&a, &b| {
-                    x.get(a as usize, f).total_cmp(&x.get(b as usize, f))
-                });
+                idx.sort_by(|&a, &b| x.get(a as usize, f).total_cmp(&x.get(b as usize, f)));
                 idx
             })
             .collect();
@@ -178,8 +176,7 @@ impl RegressionTree {
         // Reserve this node's slot before the children claim indices.
         let id = self.nodes.len();
         self.nodes.push(Node::Leaf { weight: 0.0 });
-        let left =
-            self.grow(params, x, grad, hess, columns, order, left_mask, n_left, depth + 1);
+        let left = self.grow(params, x, grad, hess, columns, order, left_mask, n_left, depth + 1);
         let right =
             self.grow(params, x, grad, hess, columns, order, right_mask, n_right, depth + 1);
         self.nodes[id] =
@@ -220,8 +217,7 @@ impl RegressionTree {
                     if v > pv {
                         let hr = h_total - hl;
                         if hl >= params.min_child_weight && hr >= params.min_child_weight {
-                            let gain = 0.5
-                                * (score(gl, hl) + score(g_total - gl, hr) - parent)
+                            let gain = 0.5 * (score(gl, hl) + score(g_total - gl, hr) - parent)
                                 - params.gamma;
                             if gain > 0.0 && best.as_ref().is_none_or(|b| gain > b.gain) {
                                 best = Some(SplitCandidate {
@@ -322,8 +318,7 @@ mod tests {
     #[test]
     fn column_subset_ignores_other_features() {
         // Feature 0 is informative, feature 1 is allowed: tree must not use 0.
-        let rows: Vec<Vec<f64>> =
-            (0..30).map(|i| vec![i as f64, 0.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 0.0]).collect();
         let ys: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let x = Matrix::from_rows(&rows);
         let (g, h) = stats(&ys);

@@ -6,10 +6,8 @@ use proptest::prelude::*;
 /// An arbitrary small regression dataset with finite values.
 fn arb_dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
     (2usize..6, 5usize..60).prop_flat_map(|(d, n)| {
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, d..=d),
-            n..=n,
-        );
+        let rows =
+            proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, d..=d), n..=n);
         let ys = proptest::collection::vec(-1000.0f64..1000.0, n..=n);
         (rows, ys)
     })

@@ -104,12 +104,11 @@ impl SimMeasurer {
 
 impl Measurer for SimMeasurer {
     fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult {
-        match self.true_perf(task, space, config) {
-            Err(e) => MeasureResult {
-                gflops: 0.0,
-                latency_s: 3600.0,
-                error: Some(e.to_string()),
-            },
+        let tel = telemetry::global();
+        let _span = tel.span("measure");
+        let wall = std::time::Instant::now();
+        let result = match self.true_perf(task, space, config) {
+            Err(e) => MeasureResult { gflops: 0.0, latency_s: 3600.0, error: Some(e.to_string()) },
             Ok(perf) => {
                 let profile = perf.noise_profile();
                 let seed = seed_for(&task.name, config.index ^ self.trial_seed.rotate_left(17));
@@ -123,7 +122,15 @@ impl Measurer for SimMeasurer {
                     error: None,
                 }
             }
+        };
+        tel.count("measure.total", 1);
+        if result.is_valid() {
+            tel.observe("measure.device_us", result.latency_s * 1e6);
+        } else {
+            tel.count("measure.invalid", 1);
         }
+        tel.observe("measure.wall_us", wall.elapsed().as_secs_f64() * 1e6);
+        result
     }
 
     fn repeats(&self) -> usize {
@@ -201,8 +208,10 @@ mod tests {
                 break c;
             }
         };
+        // 200 trial seeds: enough that the averaging effect dominates the
+        // sampling error of the scatter estimate itself (30 was borderline).
         let scatter = |reps: usize| {
-            let xs: Vec<f64> = (0..30)
+            let xs: Vec<f64> = (0..200)
                 .map(|t| {
                     SimMeasurer::new(GpuDevice::gtx_1080_ti())
                         .with_repeats(reps)

@@ -52,11 +52,8 @@ pub struct ModelLatency {
 /// at DRAM bandwidth plus launch overhead. `None` if the op emits no kernel.
 fn aux_latency(graph: &Graph, node: &dnn_graph::Node, device: &GpuDevice) -> Option<f64> {
     let out_bytes = node.output.num_elements() as f64 * 4.0;
-    let in_bytes: f64 = node
-        .inputs
-        .iter()
-        .map(|&i| graph.node(i).output.num_elements() as f64 * 4.0)
-        .sum();
+    let in_bytes: f64 =
+        node.inputs.iter().map(|&i| graph.node(i).output.num_elements() as f64 * 4.0).sum();
     let traffic = match node.op {
         // No kernel: layout-only or inference-time identity.
         Op::Input(_) | Op::Flatten | Op::Dropout => return None,
@@ -80,11 +77,7 @@ impl ModelDeployment {
     /// the vendor library) get a fixed library-schedule estimate; every
     /// auxiliary group contributes a bandwidth-model kernel.
     #[must_use]
-    pub fn assemble(
-        graph: &Graph,
-        tuned: &[(TuningTask, KernelPerf)],
-        device: &GpuDevice,
-    ) -> Self {
+    pub fn assemble(graph: &Graph, tuned: &[(TuningTask, KernelPerf)], device: &GpuDevice) -> Self {
         let fused = fuse(graph);
         let mut kernels = Vec::new();
         for group in &fused.groups {
@@ -133,8 +126,7 @@ fn library_kernel(
 ) -> DeployedKernel {
     let flops = workload.flops() as f64;
     let bytes = node.output.num_elements() as f64 * 4.0 * 3.0;
-    let latency = (flops / (device.peak_flops() * 0.35))
-        .max(bytes / (device.dram_bw_gbps * 1e9))
+    let latency = (flops / (device.peak_flops() * 0.35)).max(bytes / (device.dram_bw_gbps * 1e9))
         + device.launch_overhead_s;
     DeployedKernel {
         name: format!("lib.{}", node.op.name()),

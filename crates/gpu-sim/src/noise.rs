@@ -71,7 +71,8 @@ impl NoiseProfile {
     /// mechanism behind the paper's variance reductions.
     #[must_use]
     pub fn from_quality(occupancy: f64, tail_fraction: f64) -> Self {
-        let fragility = (1.0 - occupancy).clamp(0.0, 1.0) * 0.7 + tail_fraction.clamp(0.0, 1.0) * 0.3;
+        let fragility =
+            (1.0 - occupancy).clamp(0.0, 1.0) * 0.7 + tail_fraction.clamp(0.0, 1.0) * 0.3;
         NoiseProfile {
             sigma: 0.012 + 0.22 * fragility * fragility,
             spike_prob: 0.004 + 0.12 * fragility * fragility,
@@ -87,8 +88,8 @@ impl NoiseProfile {
         let u1 = unit(s);
         let u2 = unit(splitmix64(s));
         // Box-Muller body.
-        let z = (-2.0 * (1.0 - u1).max(1e-12).ln()).sqrt()
-            * (2.0 * std::f64::consts::PI * u2).cos();
+        let z =
+            (-2.0 * (1.0 - u1).max(1e-12).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let mut lat = base_latency * (1.0 + self.sigma * z).max(0.2);
         let u3 = unit(splitmix64(s ^ 0xDEAD_BEEF));
         if u3 < self.spike_prob {
@@ -138,8 +139,7 @@ mod tests {
     fn samples_are_positive_and_mean_is_close() {
         let p = NoiseProfile::from_quality(0.7, 0.1);
         let n = 5000;
-        let mean: f64 =
-            (0..n).map(|i| p.sample(1.0, 12345, i)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|i| p.sample(1.0, 12345, i)).sum::<f64>() / n as f64;
         assert!(mean > 0.95 && mean < 1.1, "mean {mean}");
         for i in 0..n {
             assert!(p.sample(1.0, 12345, i) > 0.0);

@@ -43,14 +43,9 @@ pub fn occupancy(spec: &KernelSpec, device: &GpuDevice) -> Occupancy {
     let alloc_threads = warps_per_block * device.warp_size;
 
     let by_threads = device.max_threads_per_sm / alloc_threads;
-    let by_regs = device
-        .regs_per_sm
-        .checked_div(spec.regs_per_thread * alloc_threads)
-        .unwrap_or(usize::MAX);
-    let by_smem = device
-        .smem_per_sm
-        .checked_div(spec.smem_bytes_per_block)
-        .unwrap_or(usize::MAX);
+    let by_regs =
+        device.regs_per_sm.checked_div(spec.regs_per_thread * alloc_threads).unwrap_or(usize::MAX);
+    let by_smem = device.smem_per_sm.checked_div(spec.smem_bytes_per_block).unwrap_or(usize::MAX);
     let by_slots = device.max_blocks_per_sm;
 
     let (blocks, limiter) = [

@@ -105,8 +105,7 @@ pub fn predict(spec: &KernelSpec, device: &GpuDevice, config_index: u64) -> Kern
     // Warp-granularity slack: threads that don't fill whole warps burn lanes.
     let warp_slack = {
         let t = spec.threads_per_block as f64;
-        let alloc =
-            (spec.threads_per_block.div_ceil(device.warp_size) * device.warp_size) as f64;
+        let alloc = (spec.threads_per_block.div_ceil(device.warp_size) * device.warp_size) as f64;
         t / alloc
     };
     let compute_rate = device.peak_flops() * latency_hiding * warp_slack;
@@ -132,10 +131,8 @@ pub fn predict(spec: &KernelSpec, device: &GpuDevice, config_index: u64) -> Kern
         let c = (compute_time, Bottleneck::Compute);
         let m = (mem_time, Bottleneck::Memory);
         let s = (smem_time, Bottleneck::SharedMem);
-        let max = [c, m, s]
-            .into_iter()
-            .max_by(|a, b| a.0.total_cmp(&b.0))
-            .expect("three candidates");
+        let max =
+            [c, m, s].into_iter().max_by(|a, b| a.0.total_cmp(&b.0)).expect("three candidates");
         // Imperfect overlap between the pipes.
         let sum = compute_time + mem_time + smem_time;
         (max.0 + 0.15 * (sum - max.0), max.1)

@@ -66,10 +66,7 @@ mod tests {
     use super::*;
 
     fn space() -> ConfigSpace {
-        ConfigSpace::new(
-            "t",
-            vec![Knob::split("a", 8, 2), Knob::choice("u", vec![0, 512])],
-        )
+        ConfigSpace::new("t", vec![Knob::split("a", 8, 2), Knob::choice("u", vec![0, 512])])
     }
 
     #[test]

@@ -153,11 +153,7 @@ fn choice(space: &ConfigSpace, cfg: &Config, name: &str) -> i64 {
     }
 }
 
-fn validate(
-    threads: usize,
-    smem: usize,
-    regs: usize,
-) -> Result<(), ScheduleError> {
+fn validate(threads: usize, smem: usize, regs: usize) -> Result<(), ScheduleError> {
     if threads > limits::MAX_THREADS_PER_BLOCK {
         return Err(ScheduleError::InvalidThreadCount {
             threads,
@@ -185,15 +181,8 @@ fn lower_conv2d(
     space: &ConfigSpace,
     cfg: &Config,
 ) -> Result<KernelSpec, ScheduleError> {
-    let Workload::Conv2d {
-        batch,
-        in_channels,
-        out_channels,
-        kernel,
-        stride,
-        groups,
-        ..
-    } = task.workload
+    let Workload::Conv2d { batch, in_channels, out_channels, kernel, stride, groups, .. } =
+        task.workload
     else {
         unreachable!("conv lowering requires a conv workload")
     };
@@ -312,10 +301,8 @@ fn lower_depthwise(
     let full_span_x = (x_t - 1) * stride.1 + kernel.1;
     // Every block reads the halo'd tile for each of its c_t channels:
     // blocks (batch*bc*by*bx) x per-block (c_t * span_y * span_x).
-    let input_reads =
-        (batch * by * bx * out_channels) as u64 * (full_span_y * full_span_x) as u64;
-    let weight_reads =
-        (out_channels * kernel.0 * kernel.1) as u64 * (batch * by * bx) as u64;
+    let input_reads = (batch * by * bx * out_channels) as u64 * (full_span_y * full_span_x) as u64;
+    let weight_reads = (out_channels * kernel.0 * kernel.1) as u64 * (batch * by * bx) as u64;
     let gmem_read_bytes = (input_reads + weight_reads) * BYTES;
     let gmem_write_bytes = (batch * out_channels * oh * ow) as u64 * BYTES;
 

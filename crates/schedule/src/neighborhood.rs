@@ -266,8 +266,8 @@ mod tests {
         ConfigSpace::new(
             "t",
             vec![
-                Knob::split("a", 64, 2),   // 7 candidates
-                Knob::split("b", 64, 2),   // 7 candidates
+                Knob::split("a", 64, 2), // 7 candidates
+                Knob::split("b", 64, 2), // 7 candidates
                 Knob::choice("c", vec![0, 1, 2, 3, 4]),
             ],
         )

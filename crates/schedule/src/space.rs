@@ -59,9 +59,7 @@ impl ConfigSpace {
         let mut len: u64 = 1;
         for k in &knobs {
             strides.push(len);
-            len = len
-                .checked_mul(k.cardinality() as u64)
-                .expect("config space size overflows u64");
+            len = len.checked_mul(k.cardinality() as u64).expect("config space size overflows u64");
         }
         ConfigSpace { task_name: task_name.into(), knobs, strides, len }
     }
@@ -187,9 +185,9 @@ mod tests {
         ConfigSpace::new(
             "t",
             vec![
-                Knob::split("a", 4, 2),  // 3 candidates
+                Knob::split("a", 4, 2), // 3 candidates
                 Knob::choice("b", vec![0, 1]),
-                Knob::split("c", 6, 2),  // 4 candidates
+                Knob::split("c", 6, 2), // 4 candidates
             ],
         )
     }
@@ -211,10 +209,7 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let s = small_space();
-        assert!(matches!(
-            s.config(s.len()),
-            Err(ScheduleError::IndexOutOfRange { .. })
-        ));
+        assert!(matches!(s.config(s.len()), Err(ScheduleError::IndexOutOfRange { .. })));
     }
 
     #[test]

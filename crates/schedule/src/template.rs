@@ -21,8 +21,7 @@ pub const UNROLL_STEPS: [i64; 3] = [0, 512, 1500];
 
 /// Builds the direct conv2d space.
 fn conv2d_space(task: &TuningTask) -> ConfigSpace {
-    let Workload::Conv2d { out_channels, in_channels, kernel, groups, .. } = task.workload
-    else {
+    let Workload::Conv2d { out_channels, in_channels, kernel, groups, .. } = task.workload else {
         unreachable!("conv2d template requires a conv workload")
     };
     let (oh, ow) = task.workload.out_hw().expect("conv has spatial output");
@@ -119,11 +118,8 @@ mod tests {
         // Section V: "on average, each node has more than 50 million
         // configuration points".
         let tasks = extract_tasks(&models::mobilenet_v1(1));
-        let mean = tasks
-            .iter()
-            .map(|t| space_for_task(t).len() as f64)
-            .sum::<f64>()
-            / tasks.len() as f64;
+        let mean =
+            tasks.iter().map(|t| space_for_task(t).len() as f64).sum::<f64>() / tasks.len() as f64;
         assert!(mean > 5e6, "mean space size {mean}");
     }
 
@@ -143,8 +139,7 @@ mod tests {
 
     #[test]
     fn dense_template_builds() {
-        let tasks =
-            dnn_graph::task::extract_tasks_with_dense(&models::alexnet(1));
+        let tasks = dnn_graph::task::extract_tasks_with_dense(&models::alexnet(1));
         let dense = tasks.iter().find(|t| t.kind == dnn_graph::TaskKind::Dense).unwrap();
         let space = space_for_task(dense);
         assert!(space.len() > 100);

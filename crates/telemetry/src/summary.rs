@@ -1,0 +1,260 @@
+//! Turning a JSONL trace back into numbers: per-phase time breakdown,
+//! counter and histogram tables. Powers the CLI `trace` subcommand.
+
+use crate::metrics::Histogram;
+use crate::record::Record;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+/// Aggregated view of one trace.
+#[derive(Debug, Default, Clone)]
+pub struct TraceSummary {
+    /// Per span name: aggregated timing.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Per event name: how many were emitted (report events included).
+    pub events: BTreeMap<String, u64>,
+    /// Final value of each counter (snapshots are cumulative; last wins).
+    pub counters: BTreeMap<String, u64>,
+    /// Final snapshot of each histogram (last wins).
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Lines that failed to parse as records.
+    pub malformed_lines: u64,
+    /// Spans that started but never ended (crashed or truncated trace).
+    pub unclosed_spans: u64,
+}
+
+/// Timing for every span sharing one name.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpanStats {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Summed wall time, µs.
+    pub total_us: u64,
+    /// Summed wall time minus time attributed to child spans, µs. This is
+    /// the per-phase breakdown: self time answers "where did the run
+    /// actually spend its wall clock".
+    pub self_us: u64,
+}
+
+impl TraceSummary {
+    /// Parses a JSONL trace. Malformed lines are counted, not fatal — a
+    /// trace truncated by a crash should still summarize.
+    pub fn from_reader(reader: impl BufRead) -> std::io::Result<TraceSummary> {
+        let mut records = Vec::new();
+        let mut malformed = 0u64;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<Record>(&line) {
+                Ok(r) => records.push(r),
+                Err(_) => malformed += 1,
+            }
+        }
+        let mut s = TraceSummary::from_records(&records);
+        s.malformed_lines = malformed;
+        Ok(s)
+    }
+
+    /// Aggregates in-memory records (e.g. from a [`crate::VecSink`]).
+    #[must_use]
+    pub fn from_records(records: &[Record]) -> TraceSummary {
+        let mut out = TraceSummary::default();
+        // id → (name, parent) from starts; on end, attribute duration to the
+        // span's own name and subtract from the parent's self time.
+        let mut open: BTreeMap<u64, (String, Option<u64>)> = BTreeMap::new();
+        // id → child time accumulated so far (children end before parents).
+        let mut child_time: BTreeMap<u64, u64> = BTreeMap::new();
+        for rec in records {
+            match rec {
+                Record::SpanStart { id, parent, name, .. } => {
+                    open.insert(*id, (name.clone(), *parent));
+                }
+                Record::SpanEnd { id, name, dur_us, .. } => {
+                    let (name, parent) = open.remove(id).unwrap_or_else(|| (name.clone(), None));
+                    let children = child_time.remove(id).unwrap_or(0);
+                    let stats = out.spans.entry(name).or_default();
+                    stats.count += 1;
+                    stats.total_us += dur_us;
+                    stats.self_us += dur_us.saturating_sub(children);
+                    if let Some(p) = parent {
+                        *child_time.entry(p).or_insert(0) += dur_us;
+                    }
+                }
+                Record::Event { name, .. } => {
+                    *out.events.entry(name.clone()).or_insert(0) += 1;
+                }
+                Record::Counter { name, value } => {
+                    out.counters.insert(name.clone(), *value);
+                }
+                Record::Histogram { name, hist } => {
+                    out.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+        out.unclosed_spans = open.len() as u64;
+        out
+    }
+
+    /// Renders the summary as aligned text tables.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        if !self.spans.is_empty() {
+            let total: u64 = self.spans.values().map(|v| v.self_us).sum();
+            let _ = writeln!(s, "== Per-phase time breakdown (self time) ==");
+            let _ = writeln!(
+                s,
+                "{:<28} {:>7} {:>12} {:>12} {:>6}",
+                "span", "count", "total", "self", "self%"
+            );
+            let mut rows: Vec<(&String, &SpanStats)> = self.spans.iter().collect();
+            rows.sort_by_key(|&(_, st)| std::cmp::Reverse(st.self_us));
+            for (name, st) in rows {
+                #[allow(clippy::cast_precision_loss)]
+                let pct = if total == 0 { 0.0 } else { 100.0 * st.self_us as f64 / total as f64 };
+                let _ = writeln!(
+                    s,
+                    "{:<28} {:>7} {:>12} {:>12} {:>5.1}%",
+                    name,
+                    st.count,
+                    fmt_us(st.total_us),
+                    fmt_us(st.self_us),
+                    pct
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(s, "\n== Counters ==");
+            for (name, value) in &self.counters {
+                let _ = writeln!(s, "{name:<40} {value:>10}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(s, "\n== Histograms ==");
+            let _ = writeln!(
+                s,
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "histogram", "count", "mean", "p50", "p90", "p99"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    s,
+                    "{:<28} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.9),
+                    h.quantile(0.99)
+                );
+            }
+        }
+        if !self.events.is_empty() {
+            let _ = writeln!(s, "\n== Events ==");
+            for (name, n) in &self.events {
+                let _ = writeln!(s, "{name:<40} {n:>10}");
+            }
+        }
+        if self.malformed_lines > 0 {
+            let _ = writeln!(s, "\n({} malformed line(s) skipped)", self.malformed_lines);
+        }
+        if self.unclosed_spans > 0 {
+            let _ =
+                writeln!(s, "({} span(s) never closed — truncated trace?)", self.unclosed_spans);
+        }
+        if s.is_empty() {
+            s.push_str("(empty trace)\n");
+        }
+        s
+    }
+}
+
+/// Renders microseconds with an adaptive unit.
+fn fmt_us(us: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let us_f = us as f64;
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us_f / 1e3)
+    } else {
+        format!("{:.2}s", us_f / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, t0: u64, dur: u64) -> [Record; 2] {
+        [
+            Record::SpanStart { id, parent, name: name.into(), t_us: t0 },
+            Record::SpanEnd { id, name: name.into(), t_us: t0 + dur, dur_us: dur },
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        // parent (100µs) wraps child (60µs): parent self = 40µs.
+        let [p0, p1] = span(1, None, "parent", 0, 100);
+        let [c0, c1] = span(2, Some(1), "child", 10, 60);
+        let s = TraceSummary::from_records(&[p0, c0, c1, p1]);
+        assert_eq!(s.spans["parent"].total_us, 100);
+        assert_eq!(s.spans["parent"].self_us, 40);
+        assert_eq!(s.spans["child"].self_us, 60);
+        assert_eq!(s.unclosed_spans, 0);
+    }
+
+    #[test]
+    fn counters_keep_last_snapshot() {
+        let recs = [
+            Record::Counter { name: "c".into(), value: 5 },
+            Record::Counter { name: "c".into(), value: 9 },
+        ];
+        let s = TraceSummary::from_records(&recs);
+        assert_eq!(s.counters["c"], 9);
+    }
+
+    #[test]
+    fn jsonl_round_trip_summarizes() {
+        let mut h = Histogram::new();
+        h.observe(10.0);
+        let records: Vec<Record> = span(1, None, "tune", 0, 500)
+            .into_iter()
+            .chain([
+                Record::Event {
+                    name: "trial".into(),
+                    span: Some(1),
+                    t_us: 5,
+                    fields: json!({"gflops": 10.0}),
+                },
+                Record::Counter { name: "sa.accepted".into(), value: 7 },
+                Record::Histogram { name: "measure.us".into(), hist: h },
+            ])
+            .collect();
+        let jsonl: String =
+            records.iter().map(|r| serde_json::to_string(r).unwrap() + "\n").collect();
+        let s = TraceSummary::from_reader(jsonl.as_bytes()).unwrap();
+        assert_eq!(s.spans["tune"].count, 1);
+        assert_eq!(s.events["trial"], 1);
+        assert_eq!(s.counters["sa.accepted"], 7);
+        assert_eq!(s.histograms["measure.us"].count(), 1);
+        let rendered = s.render();
+        assert!(rendered.contains("tune"), "{rendered}");
+        assert!(rendered.contains("sa.accepted"), "{rendered}");
+    }
+
+    #[test]
+    fn malformed_and_truncated_traces_still_summarize() {
+        let jsonl =
+            "not json\n{\"SpanStart\":{\"id\":1,\"parent\":null,\"name\":\"x\",\"t_us\":0}}\n";
+        let s = TraceSummary::from_reader(jsonl.as_bytes()).unwrap();
+        assert_eq!(s.malformed_lines, 1);
+        assert_eq!(s.unclosed_spans, 1);
+        assert!(s.render().contains("truncated"));
+    }
+}

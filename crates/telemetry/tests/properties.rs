@@ -1,0 +1,105 @@
+//! Property-based invariants for the telemetry metrics layer: histogram
+//! merge must behave like multiset union so per-thread aggregation can
+//! combine partial histograms in any grouping and order.
+
+use proptest::prelude::*;
+use telemetry::Histogram;
+
+/// Observations spanning many buckets, including underflow cases.
+fn arb_obs() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            1e-6f64..1e9,   // positive range across ~50 doublings
+            Just(0.0),      // underflow bucket
+            Just(-1.0),     // underflow bucket
+            Just(f64::NAN), // underflow bucket
+        ],
+        0..40,
+    )
+}
+
+fn hist_of(obs: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in obs {
+        h.observe(v);
+    }
+    h
+}
+
+/// Everything quantiles and tables are computed from.
+fn fingerprint(h: &Histogram) -> (Vec<(i32, u64)>, u64, f64) {
+    (h.buckets().to_vec(), h.count(), h.sum())
+}
+
+fn close(a: &Histogram, b: &Histogram) -> bool {
+    let (ab, ac, asum) = fingerprint(a);
+    let (bb, bc, bsum) = fingerprint(b);
+    ab == bb && ac == bc && (asum - bsum).abs() <= 1e-9 * asum.abs().max(1.0)
+}
+
+proptest! {
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c)
+    #[test]
+    fn merge_is_associative(xs in arb_obs(), ys in arb_obs(), zs in arb_obs()) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert!(close(&left, &right));
+    }
+
+    /// a ∪ b == b ∪ a
+    #[test]
+    fn merge_is_commutative(xs in arb_obs(), ys in arb_obs()) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert!(close(&ab, &ba));
+    }
+
+    /// Observing a stream in any order, or splitting it into per-thread
+    /// shards and merging, lands on the same distribution.
+    #[test]
+    fn merge_is_order_and_sharding_independent(xs in arb_obs(), split in 0usize..40) {
+        let whole = hist_of(&xs);
+
+        let cut = split.min(xs.len());
+        let mut sharded = hist_of(&xs[..cut]);
+        sharded.merge(&hist_of(&xs[cut..]));
+        prop_assert!(close(&whole, &sharded));
+
+        let mut rev: Vec<f64> = xs.clone();
+        rev.reverse();
+        prop_assert!(close(&whole, &hist_of(&rev)));
+    }
+
+    /// The empty histogram is the merge identity.
+    #[test]
+    fn empty_is_identity(xs in arb_obs()) {
+        let a = hist_of(&xs);
+        let mut merged = a.clone();
+        merged.merge(&Histogram::new());
+        prop_assert!(close(&a, &merged));
+    }
+
+    /// Merge never loses observations and quantiles stay inside [min-bucket,
+    /// max-bucket] representatives.
+    #[test]
+    fn merged_quantiles_are_sane(xs in arb_obs(), ys in arb_obs()) {
+        let mut m = hist_of(&xs);
+        m.merge(&hist_of(&ys));
+        prop_assert_eq!(m.count(), (xs.len() + ys.len()) as u64);
+        let p50 = m.quantile(0.5);
+        let p99 = m.quantile(0.99);
+        prop_assert!(p50 <= p99 || (p50 - p99).abs() < 1e-12);
+    }
+}

@@ -59,8 +59,7 @@ impl<'g> Executor<'g> {
                     reference::conv2d(get(node.inputs[0]), &w, &bias, a)
                 }
                 Op::Dense(a) => {
-                    let w = self
-                        .weight(node.id, Shape::new(vec![a.out_features, a.in_features]));
+                    let w = self.weight(node.id, Shape::new(vec![a.out_features, a.in_features]));
                     let bias: Vec<f32> = if a.bias {
                         self.weight(node.id + 1_000_000, Shape::new(vec![a.out_features])).data
                     } else {

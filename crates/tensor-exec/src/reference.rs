@@ -36,10 +36,10 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: &[f32], attrs: &Conv2dAttrs) ->
                     for rc in 0..icg {
                         for ry in 0..attrs.kernel.0 {
                             for rx in 0..attrs.kernel.1 {
-                                let iy = (oy * attrs.stride.0 + ry) as isize
-                                    - attrs.padding.h as isize;
-                                let ix = (ox * attrs.stride.1 + rx) as isize
-                                    - attrs.padding.w as isize;
+                                let iy =
+                                    (oy * attrs.stride.0 + ry) as isize - attrs.padding.h as isize;
+                                let ix =
+                                    (ox * attrs.stride.1 + rx) as isize - attrs.padding.w as isize;
                                 if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                     continue;
                                 }
@@ -93,10 +93,8 @@ pub fn pool2d(x: &Tensor, attrs: &Pool2dAttrs) -> Tensor {
                     let mut count = 0usize;
                     for ky in 0..attrs.kernel.0 {
                         for kx in 0..attrs.kernel.1 {
-                            let iy = (oy * attrs.stride.0 + ky) as isize
-                                - attrs.padding.h as isize;
-                            let ix = (ox * attrs.stride.1 + kx) as isize
-                                - attrs.padding.w as isize;
+                            let iy = (oy * attrs.stride.0 + ky) as isize - attrs.padding.h as isize;
+                            let ix = (ox * attrs.stride.1 + kx) as isize - attrs.padding.w as isize;
                             if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                 continue;
                             }
@@ -145,10 +143,7 @@ pub fn global_avg_pool(x: &Tensor) -> Tensor {
 /// ReLU.
 #[must_use]
 pub fn relu(x: &Tensor) -> Tensor {
-    Tensor {
-        shape: x.shape.clone(),
-        data: x.data.iter().map(|v| v.max(0.0)).collect(),
-    }
+    Tensor { shape: x.shape.clone(), data: x.data.iter().map(|v| v.max(0.0)).collect() }
 }
 
 /// Inference-mode batch normalization with per-channel scale/shift.

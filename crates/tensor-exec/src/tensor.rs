@@ -52,8 +52,7 @@ impl Tensor {
     #[must_use]
     pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
         debug_assert_eq!(self.shape.rank(), 4);
-        let (cs, hs, ws) =
-            (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        let (cs, hs, ws) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
         self.data[((n * cs + c) * hs + h) * ws + w]
     }
 
@@ -65,8 +64,7 @@ impl Tensor {
     #[inline]
     pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
         debug_assert_eq!(self.shape.rank(), 4);
-        let (cs, hs, ws) =
-            (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        let (cs, hs, ws) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
         &mut self.data[((n * cs + c) * hs + h) * ws + w]
     }
 
@@ -78,11 +76,7 @@ impl Tensor {
     #[must_use]
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

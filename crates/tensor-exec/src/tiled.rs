@@ -26,9 +26,7 @@ struct AxisSplit {
 
 impl AxisSplit {
     fn from_value(v: &KnobValue) -> Self {
-        let KnobValue::Split(parts) = v else {
-            unreachable!("axis splits come from split knobs")
-        };
+        let KnobValue::Split(parts) = v else { unreachable!("axis splits come from split knobs") };
         AxisSplit { parts: parts.clone() }
     }
 
@@ -70,15 +68,8 @@ impl AxisSplit {
 }
 
 fn conv_attrs_of(task: &TuningTask) -> Conv2dAttrs {
-    let Workload::Conv2d {
-        in_channels,
-        out_channels,
-        kernel,
-        stride,
-        padding,
-        groups,
-        ..
-    } = task.workload
+    let Workload::Conv2d { in_channels, out_channels, kernel, stride, padding, groups, .. } =
+        task.workload
     else {
         panic!("tiled conv execution requires a conv task")
     };
@@ -127,11 +118,7 @@ pub fn conv2d_tiled(
     let x_axis = split("tile_x");
     let ry_axis = split("tile_ry");
     let rx_axis = split("tile_rx");
-    let rc_axis = if depthwise {
-        AxisSplit { parts: vec![1, 1] }
-    } else {
-        split("tile_rc")
-    };
+    let rc_axis = if depthwise { AxisSplit { parts: vec![1, 1] } } else { split("tile_rc") };
     assert_eq!(f_axis.extent(), attrs.out_channels, "channel split covers the axis");
     assert_eq!(y_axis.extent(), oh, "y split covers the axis");
     assert_eq!(x_axis.extent(), ow, "x split covers the axis");
@@ -151,15 +138,11 @@ pub fn conv2d_tiled(
                     rc_axis.for_each(&mut |rc| {
                         ry_axis.for_each(&mut |ry| {
                             rx_axis.for_each(&mut |rx| {
-                                let iy = (oy * attrs.stride.0 + ry) as isize
-                                    - attrs.padding.h as isize;
-                                let ix = (ox * attrs.stride.1 + rx) as isize
-                                    - attrs.padding.w as isize;
-                                if iy < 0
-                                    || ix < 0
-                                    || iy >= h as isize
-                                    || ix >= w as isize
-                                {
+                                let iy =
+                                    (oy * attrs.stride.0 + ry) as isize - attrs.padding.h as isize;
+                                let ix =
+                                    (ox * attrs.stride.1 + rx) as isize - attrs.padding.w as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                     return;
                                 }
                                 let (ic, wc) = if depthwise { (oc, 0) } else { (g * icg + rc, rc) };

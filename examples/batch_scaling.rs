@@ -35,10 +35,7 @@ fn main() {
     let opts =
         TuneOptions { n_trial: 224, early_stopping: 224, seed: 21, ..TuneOptions::default() };
     println!("conv2d 128->128 3x3 @ 28x28, tuned per batch size:\n");
-    println!(
-        "{:>6} | {:>10} | {:>12} | {:>12}",
-        "batch", "GFLOPS", "latency (us)", "GFLOPS/img"
-    );
+    println!("{:>6} | {:>10} | {:>12} | {:>12}", "batch", "GFLOPS", "latency (us)", "GFLOPS/img");
     for batch in [1usize, 4, 16] {
         let task = conv_task(batch);
         let r = tune_task(&task, &measurer, Method::BtedBao, &opts);

@@ -19,8 +19,7 @@ fn main() {
     let task = extract_tasks(&models::squeezenet_v1_1(1)).remove(2);
     let space = space_for_task(&task);
     let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
-    let opts =
-        TuneOptions { n_trial: 224, early_stopping: 224, seed: 3, ..TuneOptions::default() };
+    let opts = TuneOptions { n_trial: 224, early_stopping: 224, seed: 3, ..TuneOptions::default() };
 
     println!("task: {task}");
 

@@ -21,8 +21,7 @@ fn main() {
     println!("task:  {task}");
     println!("space: {} configurations\n", space.len());
 
-    let opts =
-        TuneOptions { n_trial: 256, early_stopping: 256, seed: 9, ..TuneOptions::default() };
+    let opts = TuneOptions { n_trial: 256, early_stopping: 256, seed: 9, ..TuneOptions::default() };
     let result = tune_task(&task, &measurer, Method::BtedBao, &opts);
     let best = result.best_config.expect("tuning found a valid configuration");
 

@@ -23,7 +23,8 @@ fn main() {
     let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
 
     // 3. Tune with both methods under the same budget.
-    let opts = TuneOptions { n_trial: 256, early_stopping: 256, seed: 42, ..TuneOptions::default() };
+    let opts =
+        TuneOptions { n_trial: 256, early_stopping: 256, seed: 42, ..TuneOptions::default() };
     for method in [Method::AutoTvm, Method::BtedBao] {
         let result = tune_task(&tasks[0], &measurer, method, &opts);
         println!(

@@ -21,15 +21,11 @@ fn main() {
     let prior_task = &tasks[7]; // 512 -> 512 @ 28x28
     let new_task = &tasks[8]; // 512 -> 512 @ 14x14
     let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
-    let opts =
-        TuneOptions { n_trial: 256, early_stopping: 256, seed: 5, ..TuneOptions::default() };
+    let opts = TuneOptions { n_trial: 256, early_stopping: 256, seed: 5, ..TuneOptions::default() };
 
     println!("prior task: {prior_task}");
     let prior = tune_task(prior_task, &measurer, Method::AutoTvm, &opts);
-    println!(
-        "  tuned to {:.1} GFLOPS in {} measurements",
-        prior.best_gflops, prior.num_measured
-    );
+    println!("  tuned to {:.1} GFLOPS in {} measurements", prior.best_gflops, prior.num_measured);
 
     println!("new task:   {new_task}");
     let cold = tune_task(new_task, &measurer, Method::AutoTvm, &opts);
@@ -40,17 +36,9 @@ fn main() {
     let prior_space = space_for_task(prior_task);
     let warm = warm_start_configs(&new_space, &prior_space, &prior.log, 32);
     println!("  transferred {} warm-start configurations", warm.len());
-    let mut tuner = XgbTuner::new(
-        &new_space,
-        warm,
-        opts.gbt,
-        opts.sa,
-        opts.plan_size,
-        opts.epsilon,
-        opts.seed,
-    );
-    let warm_run =
-        drive_loop(new_task, &new_space, &mut tuner, &measurer, Method::AutoTvm, &opts);
+    let mut tuner =
+        XgbTuner::new(&new_space, warm, opts.gbt, opts.sa, opts.plan_size, opts.epsilon, opts.seed);
+    let warm_run = drive_loop(new_task, &new_space, &mut tuner, &measurer, Method::AutoTvm, &opts);
 
     println!("  cold: {:7.1} GFLOPS in {} measurements", cold.best_gflops, cold.num_measured);
     println!(

@@ -15,27 +15,28 @@ fn every_paper_task_is_tunable_by_the_full_framework() {
         for task in extract_tasks(&model).iter().step_by(4) {
             let opts = TuneOptions { n_trial: 48, early_stopping: 48, ..smoke_opts(1) };
             let r = tune_task(task, &measurer, Method::BtedBao, &opts);
-            assert!(
-                r.best_gflops > 0.0,
-                "{} found no valid configuration",
-                task.name
-            );
+            assert!(r.best_gflops > 0.0, "{} found no valid configuration", task.name);
         }
     }
 }
 
 #[test]
 fn model_tuning_beats_pure_random_search() {
+    // Any single seed can go either way at a 64-trial smoke budget, so
+    // compare seed-averaged deployed latency: the model-guided arm must be
+    // at least on par with random search overall.
     let g = models::squeezenet_v1_1(1);
     let measurer = SimMeasurer::new(GpuDevice::gtx_1080_ti());
-    let opts = TuneOptions { n_trial: 64, early_stopping: 64, ..smoke_opts(3) };
-    let random = tune_model(&g, &measurer, Method::Random, &opts, 200);
-    let ours = tune_model(&g, &measurer, Method::BtedBao, &opts, 200);
+    let mut random_ms = 0.0;
+    let mut ours_ms = 0.0;
+    for seed in 0..3 {
+        let opts = TuneOptions { n_trial: 64, early_stopping: 64, ..smoke_opts(seed) };
+        random_ms += tune_model(&g, &measurer, Method::Random, &opts, 200).latency.mean_ms;
+        ours_ms += tune_model(&g, &measurer, Method::BtedBao, &opts, 200).latency.mean_ms;
+    }
     assert!(
-        ours.latency.mean_ms < random.latency.mean_ms * 1.05,
-        "bted+bao {} ms should be at least on par with random {} ms",
-        ours.latency.mean_ms,
-        random.latency.mean_ms
+        ours_ms < random_ms * 1.05,
+        "bted+bao {ours_ms} ms (3-seed total) should be at least on par with random {random_ms} ms"
     );
 }
 

@@ -15,8 +15,7 @@ fn five_models_yield_sixty_two_tasks() {
     // The paper reports 58 nodes; our Relay-free extraction yields 62
     // (the delta is in SqueezeNet/VGG dedup details of TVM v0.6). Locked
     // here so changes are deliberate; EXPERIMENTS.md documents the gap.
-    let total: usize =
-        models::paper_models(1).iter().map(|m| extract_tasks(m).len()).sum();
+    let total: usize = models::paper_models(1).iter().map(|m| extract_tasks(m).len()).sum();
     assert_eq!(total, 62);
 }
 

@@ -24,12 +24,12 @@ fn arb_space() -> impl Strategy<Value = ConfigSpace> {
 /// An arbitrary conv workload that the templates accept.
 fn arb_conv_task() -> impl Strategy<Value = TuningTask> {
     (
-        1usize..=2,             // batch
+        1usize..=2, // batch
         prop_oneof![Just(3usize), Just(16), Just(32), Just(64)],
         prop_oneof![Just(16usize), Just(32), Just(64), Just(96)],
         prop_oneof![Just(7usize), Just(14), Just(28), Just(56)],
         prop_oneof![Just(1usize), Just(3), Just(5)],
-        1usize..=2,             // stride
+        1usize..=2, // stride
     )
         .prop_map(|(batch, ic, oc, hw, k, s)| {
             let workload = Workload::Conv2d {

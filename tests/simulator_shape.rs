@@ -14,9 +14,8 @@ fn best_of_n_improves_with_n() {
     let space = space_for_task(&task);
     let m = SimMeasurer::new(GpuDevice::gtx_1080_ti());
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let samples: Vec<f64> = (0..400)
-        .map(|_| m.measure(&task, &space, &space.sample(&mut rng)).gflops)
-        .collect();
+    let samples: Vec<f64> =
+        (0..400).map(|_| m.measure(&task, &space, &space.sample(&mut rng)).gflops).collect();
     let best = |n: usize| samples[..n].iter().cloned().fold(0.0, f64::max);
     assert!(best(400) > best(40), "400 samples must beat 40");
     assert!(best(40) > 0.0, "40 samples find something valid");
@@ -66,10 +65,7 @@ fn depthwise_layers_are_memory_bound_and_slower_per_flop() {
     // point-wise (dense matmul-like) conv against its depth-wise sibling.
     let dw = best_gflops(1);
     let pw = best_gflops(2);
-    assert!(
-        pw > dw,
-        "point-wise conv ({pw:.0} GFLOPS) should outrun depth-wise ({dw:.0})"
-    );
+    assert!(pw > dw, "point-wise conv ({pw:.0} GFLOPS) should outrun depth-wise ({dw:.0})");
 }
 
 #[test]
@@ -92,8 +88,5 @@ fn the_jetson_is_much_slower_than_the_1080ti() {
     }
     assert!(n > 0);
     let mean_ratio = ratio_sum / f64::from(n);
-    assert!(
-        mean_ratio > 3.0,
-        "1080 Ti should be several times faster, got {mean_ratio:.1}x"
-    );
+    assert!(mean_ratio > 3.0, "1080 Ti should be several times faster, got {mean_ratio:.1}x");
 }

@@ -1,0 +1,171 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! Implements the API slice the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!` — with a simple warm-up +
+//! fixed-sample wall-clock measurement and plain-text reporting instead of
+//! the real crate's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter label, rendered as `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Times closures.
+pub struct Bencher {
+    samples: u32,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        std::hint::black_box(f());
+        let mut total = Duration::ZERO;
+        let mut n = 0u32;
+        let budget = Duration::from_secs(3);
+        while n < self.samples && total < budget {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            total += start.elapsed();
+            n += 1;
+        }
+        let mean = total / n.max(1);
+        println!("    {n} iterations, mean {mean:?}");
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration target.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = u32::try_from(n).unwrap_or(u32::MAX);
+        self
+    }
+
+    /// Accepted for API compatibility; the measurement budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        println!("  {}/{}", self.name, id.name);
+        let mut b = Bencher { samples: self.sample_size };
+        f(&mut b);
+        self.criterion.ran += 1;
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        println!("  {}/{}", self.name, id.name);
+        let mut b = Bencher { samples: self.sample_size };
+        f(&mut b, input);
+        self.criterion.ran += 1;
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name, criterion: self, sample_size: 10 }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        println!("  {name}");
+        let mut b = Bencher { samples: 10 };
+        f(&mut b);
+        self.ran += 1;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        println!("  {}", id.name);
+        let mut b = Bencher { samples: 10 };
+        f(&mut b, input);
+        self.ran += 1;
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the workspace already uses).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

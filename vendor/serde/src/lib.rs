@@ -1,0 +1,372 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real `serde` cannot be fetched. This crate provides the small slice of its
+//! API that the workspace actually uses, built on a simplified data model:
+//! serialization goes through an owned JSON-like [`Value`] tree instead of
+//! serde's streaming `Serializer`/`Deserializer` visitors.
+//!
+//! What is supported:
+//!
+//! - `#[derive(Serialize, Deserialize)]` on structs (named, tuple, unit) and
+//!   enums (unit, newtype, tuple, and struct variants) without generics,
+//!   via the companion `serde_derive` proc-macro crate (re-exported under the
+//!   `derive` feature exactly like the real crate).
+//! - Externally-tagged enum representation, matching serde's default.
+//! - `serde::de::DeserializeOwned` as a bound alias.
+//!
+//! `serde_json` (the sibling stub) supplies `to_string`, `from_str`, the
+//! `json!` macro, and `Value` re-exports on top of this data model.
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A (de)serialization error: a message plus an optional path breadcrumb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y" helper used by derive output.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error { msg: format!("expected {what} while deserializing {ty}") }
+    }
+
+    /// Prefixes the error with a field/variant breadcrumb.
+    #[must_use]
+    pub fn context(self, path: &str) -> Self {
+        Error { msg: format!("{path}: {}", self.msg) }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a JSON-like value.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON-like value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match `Self`.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Bound-alias module mirroring `serde::de`.
+pub mod de {
+    /// Owned deserialization — with this crate's owned data model every
+    /// [`Deserialize`](crate::Deserialize) is `DeserializeOwned`.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser` for path compatibility.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserializes a struct field: missing keys surface as `Null` (so `Option`
+/// fields default to `None`, as with real serde) and errors are annotated
+/// with the field name. Used by derive-generated code.
+///
+/// # Errors
+///
+/// Propagates the field's [`Deserialize`] error, annotated with `name`.
+pub fn field<T: Deserialize>(obj: &Map, name: &str) -> Result<T, Error> {
+    let v = obj.get(name).unwrap_or(&Value::Null);
+    T::deserialize(v).map_err(|e| e.context(name))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut m = Map::new();
+        for k in keys {
+            m.insert(k.clone(), self[k].serialize());
+        }
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", "bool"))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", "char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-char string", "char")),
+        }
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|x| x as f32).ok_or_else(|| Error::expected("number", "f32"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::expected("array", "Vec"))?;
+        arr.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::expected("array", "array"))?;
+        if arr.len() != N {
+            return Err(Error::expected(&format!("array of length {N}"), "array"));
+        }
+        let items: Result<Vec<T>, Error> = arr.iter().map(T::deserialize).collect();
+        items.map(|v| v.try_into().map_err(|_| ()).expect("length checked"))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::expected("array", "tuple"))?;
+                if arr.len() != $len {
+                    return Err(Error::expected(concat!("array of length ", stringify!($len)), "tuple"));
+                }
+                Ok(($($t::deserialize(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", "BTreeMap"))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", "HashMap"))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+    }
+}

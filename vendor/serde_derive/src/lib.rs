@@ -1,0 +1,422 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate (and its `syn`/`quote` dependencies) cannot be fetched in
+//! this build environment, so the derive input is parsed directly from the
+//! `proc_macro` token stream and the generated impls are emitted as source
+//! strings. Supported input shapes — which cover everything this workspace
+//! derives — are:
+//!
+//! - structs with named fields, tuple structs (newtype and general), unit
+//!   structs;
+//! - enums with unit, newtype, tuple, and struct variants (externally-tagged
+//!   representation, serde's default);
+//! - no generic parameters and no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour; see the `serde` stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive generated invalid Rust for Serialize")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour; see the `serde` stub).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive generated invalid Rust for Deserialize")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal AST of the derive input
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (we only need the arity).
+    Tuple(usize),
+    /// No fields at all.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// Skips leading attributes (`#[...]`) starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Body::Struct(Fields::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: `{other}` items are not supported"),
+    };
+
+    Item { name, body }
+}
+
+/// Parses `name: Type, ...` — returns field names. Commas nested inside
+/// groups are invisible (they live in sub-streams); commas inside angle
+/// brackets (`HashMap<String, u64>`) are skipped via a `<`/`>` depth count.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after `{fname}`, found {other}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma: `(A, B,)` has two fields, not three.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' && depth == 0 {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            // Newtype struct: transparent, like serde.
+            "::serde::Serialize::serialize(&self.0)".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(x0) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(\"{vname}\".to_string(), ::serde::Serialize::serialize(x0));\n\
+                         ::serde::Value::Object(m)\n}}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\".to_string(), ::serde::Serialize::serialize({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vname}\".to_string(), ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!("{f}: ::serde::field(obj, \"{f}\")?,\n"));
+            }
+            s.push_str("})");
+            s
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let mut s = format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::expected(\"array of length {n}\", \"{name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::deserialize(&arr[{i}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        // Also accept the `{"Variant": null}` form.
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize(inner).map_err(|e| e.context(\"{vname}\"))?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::expected(\"array of length {n}\", \"{name}::{vname}\"));\n}}\n\
+                             return ::std::result::Result::Ok({name}::{vname}(\n"
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::deserialize(&arr[{i}])?,\n"
+                            ));
+                        }
+                        arm.push_str("));\n}\n");
+                        keyed_arms.push_str(&arm);
+                    }
+                    Fields::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let fobj = inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                             return ::std::result::Result::Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!("{f}: ::serde::field(fobj, \"{f}\")?,\n"));
+                        }
+                        arm.push_str("});\n}\n");
+                        keyed_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                 match s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let ::std::option::Option::Some(obj) = v.as_object() {{\n\
+                 if obj.len() == 1 {{\n\
+                 let (key, inner) = obj.iter().next().expect(\"len checked\");\n\
+                 match key.as_str() {{\n{keyed_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::expected(\"a variant of\", \"{name}\"))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

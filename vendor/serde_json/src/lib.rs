@@ -1,0 +1,428 @@
+//! Offline stand-in for [`serde_json`], built on the `serde` stub's owned
+//! [`Value`] tree. Provides `to_string`, `to_string_pretty`, `to_writer`,
+//! `from_str`, `from_reader`, `from_value`/`to_value`, and the [`json!`]
+//! macro — the slice of the real API this workspace uses.
+
+pub use serde::{Map, Number, Value};
+
+use serde::{de::DeserializeOwned, Serialize};
+use std::fmt;
+
+/// A serialization/deserialization error (parse errors and shape mismatches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for this workspace's types; the `Result` mirrors the real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize().to_string())
+}
+
+/// Serializes `value` to pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails for this workspace's types; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.serialize(), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer
+        .write_all(value.serialize().to_string().as_bytes())
+        .map_err(|e| Error::new(format!("i/o error: {e}")))
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Reconstructs `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the value's shape does not match `T`.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T> {
+    T::deserialize(value).map_err(Error::from)
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::deserialize(&value).map_err(Error::from)
+}
+
+/// Reads all of `reader` and parses it as JSON into `T`.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, malformed JSON, or a shape mismatch.
+pub fn from_reader<R: std::io::Read, T: DeserializeOwned>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf).map_err(|e| Error::new(format!("i/o error: {e}")))?;
+    from_str(&buf)
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&"  ".repeat(indent + 1));
+                out.push_str(&Value::String(k.clone()).to_string());
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parses a complete JSON document (rejecting trailing garbage).
+fn parse_value(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(Error::new("unexpected end of input"));
+    };
+    match c {
+        b'n' => expect_lit(b, pos, "null", Value::Null),
+        b't' => expect_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => expect_lit(b, pos, "false", Value::Bool(false)),
+        b'"' => parse_string(b, pos).map(Value::String),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error::new(format!("expected `:` at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_at(b, pos)?;
+                map.insert(key, value);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        other => Err(Error::new(format!("unexpected character `{}` at byte {pos}", other as char))),
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(Error::new("unterminated string"));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = b.get(*pos) else {
+                    return Err(Error::new("unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{08}'),
+                    b'f' => out.push('\u{0c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        *pos += 4;
+                        let hs = std::str::from_utf8(hex)
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                        let mut cp = u32::from_str_radix(hs, 16)
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                        // Surrogate pair?
+                        if (0xD800..0xDC00).contains(&cp)
+                            && b.get(*pos) == Some(&b'\\')
+                            && b.get(*pos + 1) == Some(&b'u')
+                        {
+                            if let Some(lo_hex) = b.get(*pos + 2..*pos + 6) {
+                                if let Ok(lo) = u32::from_str_radix(
+                                    std::str::from_utf8(lo_hex).unwrap_or(""),
+                                    16,
+                                ) {
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                        *pos += 6;
+                                    }
+                                }
+                            }
+                        }
+                        out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                    }
+                    other => {
+                        return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                    }
+                }
+            }
+            // Multi-byte UTF-8: copy the raw bytes of the code point.
+            _ if c >= 0x80 => {
+                let start = *pos - 1;
+                let len = utf8_len(c);
+                let end = start + len;
+                let chunk =
+                    b.get(start..end).ok_or_else(|| Error::new("truncated utf-8 sequence"))?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| Error::new("invalid utf-8"))?);
+                *pos = end;
+            }
+            _ if c < 0x20 => return Err(Error::new("control character in string")),
+            _ => out.push(c as char),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if b.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(&b'e') | Some(&b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(b.get(*pos), Some(&b'+') | Some(&b'-')) {
+            *pos += 1;
+        }
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii digits");
+    if !is_float {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::from_u64(n)));
+        }
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::from_i64(n)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|x| Value::Number(Number::from_f64(x)))
+        .map_err(|_| Error::new(format!("invalid number `{text}`")))
+}
+
+/// Builds a [`Value`] from JSON-like literal syntax, e.g.
+/// `json!({"key": expr, "list": [1, 2]})`.
+///
+/// Unlike the real `serde_json::json!`, values are Rust expressions: write
+/// nested objects as nested `json!({...})` calls. Any `T: Serialize`
+/// expression works as a value.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key.to_string(), ::serde::Serialize::serialize(&$value)); )*
+        $crate::Value::Object(m)
+    }};
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( ::serde::Serialize::serialize(&$item) ),* ])
+    };
+    ($other:expr) => {
+        ::serde::Serialize::serialize(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_document() {
+        let src =
+            r#"{"a": 1, "b": [true, null, -2.5], "c": {"s": "x\ny"}, "d": 18446744073709551615}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][0].as_bool(), Some(true));
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["b"][2].as_f64(), Some(-2.5));
+        assert_eq!(v["c"]["s"].as_str(), Some("x\ny"));
+        assert_eq!(v["d"].as_u64(), Some(u64::MAX));
+        let back: Value = from_str(&v.to_string()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        for x in [0.1, 1.0, -3.5e-9, 123456.789, f64::MAX] {
+            let s = Value::from(x).to_string();
+            let v: Value = from_str(&s).unwrap();
+            assert_eq!(v.as_f64(), Some(x), "{s}");
+        }
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "abc".to_string();
+        let v = json!({"name": name, "n": 3, "nested": json!({"ok": true}), "xs": [1, 2]});
+        assert_eq!(v["name"].as_str(), Some("abc"));
+        assert_eq!(v["n"].as_u64(), Some(3));
+        assert_eq!(v["nested"]["ok"].as_bool(), Some(true));
+        assert_eq!(v["xs"][1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
