@@ -174,7 +174,7 @@ where
         let radius = (self.opts.radius * self.opts.tau.powi(self.stall_widenings as i32))
             .min(self.opts.max_radius);
         let tel = telemetry::global();
-        tel.event("bao.radius", || {
+        tel.event(telemetry::events::RADIUS_EVENT, || {
             telemetry::json!({
                 "step": self.step,
                 "r_t": r_t,

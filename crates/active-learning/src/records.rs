@@ -101,8 +101,18 @@ impl TuningLog {
     }
 }
 
+/// Version of the run-directory layout and manifest format.
+///
+/// Consumers (`aaltune runs` / `compare` / `report`) warn when a manifest
+/// declares a newer version instead of silently misreading it. Manifests
+/// with no `schema_version` field predate versioning and read as version 1.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
 /// What produced a run — serialized as `manifest.json` so every results
 /// directory is self-describing and reproducible.
+///
+/// The provenance fields (`schema_version`, `git_describe`, `wall_time_s`)
+/// are optional so manifests written before they existed still parse.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
     /// Model name (or a task label when tuning a single task).
@@ -115,6 +125,34 @@ pub struct RunManifest {
     pub seed: u64,
     /// The full option set, so the run can be replayed exactly.
     pub options: TuneOptions,
+    /// Manifest format version ([`MANIFEST_SCHEMA_VERSION`] at write time).
+    pub schema_version: Option<u32>,
+    /// `git describe --always --dirty` of the tree that produced the run.
+    pub git_describe: Option<String>,
+    /// Wall-clock duration of the whole run in seconds.
+    pub wall_time_s: Option<f64>,
+}
+
+impl RunManifest {
+    /// The declared format version, defaulting pre-versioning manifests
+    /// to 1.
+    #[must_use]
+    pub fn schema_version(&self) -> u32 {
+        self.schema_version.unwrap_or(1)
+    }
+
+    /// A warning when this manifest was written by a newer format than this
+    /// crate understands, `None` otherwise.
+    #[must_use]
+    pub fn schema_warning(&self) -> Option<String> {
+        let v = self.schema_version();
+        (v > MANIFEST_SCHEMA_VERSION).then(|| {
+            format!(
+                "manifest declares schema version {v}, newer than the supported \
+                 {MANIFEST_SCHEMA_VERSION} — fields may be misread"
+            )
+        })
+    }
 }
 
 /// A per-run results directory:
@@ -190,6 +228,27 @@ impl RunDir {
     pub fn read_manifest(&self) -> Result<RunManifest, ReadLogError> {
         let body = std::fs::read_to_string(self.root.join("manifest.json"))?;
         Ok(serde_json::from_str(&body)?)
+    }
+
+    /// Reads every task log under `logs/`, sorted by file name so the order
+    /// is stable across platforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures or the first malformed log encountered.
+    pub fn read_logs(&self) -> Result<Vec<TuningLog>, ReadLogError> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(self.root.join("logs"))?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<std::io::Result<_>>()?;
+        paths.sort();
+        paths
+            .into_iter()
+            .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .map(|p| {
+                let f = std::fs::File::open(&p)?;
+                TuningLog::read_jsonl(std::io::BufReader::new(f))
+            })
+            .collect()
     }
 }
 
@@ -279,9 +338,13 @@ mod tests {
             tasks: vec!["m.T1".into()],
             seed: 7,
             options: TuneOptions::smoke(),
+            schema_version: Some(MANIFEST_SCHEMA_VERSION),
+            git_describe: Some("v0-test".into()),
+            wall_time_s: Some(1.25),
         };
         dir.write_manifest(&manifest).unwrap();
         assert_eq!(dir.read_manifest().unwrap(), manifest);
+        assert!(manifest.schema_warning().is_none());
 
         let log = sample_log();
         let path = dir.write_log(&log).unwrap();
@@ -291,6 +354,47 @@ mod tests {
                 .unwrap();
         assert_eq!(back, log);
         assert_eq!(dir.trace_path(), root.join("trace.jsonl"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn pre_versioned_manifest_parses_and_future_versions_warn() {
+        // A manifest written before the provenance fields existed.
+        let legacy = serde_json::json!({
+            "model": "alexnet",
+            "method": "autotvm",
+            "tasks": ["a.T1"],
+            "seed": 3u64,
+            "options": TuneOptions::smoke(),
+        });
+        let m: RunManifest = serde_json::from_str(&legacy.to_string()).unwrap();
+        assert_eq!(m.schema_version(), 1);
+        assert!(m.schema_warning().is_none());
+        assert_eq!(m.git_describe, None);
+
+        let future = RunManifest {
+            schema_version: Some(MANIFEST_SCHEMA_VERSION + 1),
+            git_describe: None,
+            wall_time_s: None,
+            ..m
+        };
+        assert!(future.schema_warning().unwrap().contains("newer"));
+    }
+
+    #[test]
+    fn read_logs_returns_all_tasks_sorted() {
+        let root = std::env::temp_dir().join(format!("aaltune-readlogs-{}", std::process::id()));
+        let dir = RunDir::create(&root).unwrap();
+        let mut a = sample_log();
+        a.task_name = "m.T1".into();
+        let mut b = sample_log();
+        b.task_name = "m.T2".into();
+        dir.write_log(&b).unwrap();
+        dir.write_log(&a).unwrap();
+        let logs = dir.read_logs().unwrap();
+        assert_eq!(logs.len(), 2);
+        assert_eq!(logs[0].task_name, "m.T1");
+        assert_eq!(logs[1].task_name, "m.T2");
         std::fs::remove_dir_all(&root).unwrap();
     }
 

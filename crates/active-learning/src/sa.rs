@@ -175,9 +175,15 @@ where
         }
     }
     // One counter update per SA run, not per proposal: the inner loop stays
-    // free of locks even when telemetry is enabled.
+    // free of locks even when telemetry is enabled. The `sa.done` event
+    // carries the same totals per invocation, so traces can reconstruct the
+    // accept rate over time rather than only its end-of-run aggregate.
     tel.count("sa.proposals.accepted", accepted);
     tel.count("sa.proposals.rejected", rejected);
+    tel.event(
+        telemetry::events::SA_DONE_EVENT,
+        || telemetry::json!({ "accepted": accepted, "rejected": rejected }),
+    );
 
     let mut plan: Vec<HeapItem> = heap.into_vec();
     plan.sort_by(|a, b| b.score.total_cmp(&a.score));

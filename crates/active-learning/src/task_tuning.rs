@@ -97,7 +97,7 @@ pub fn tune_task<M: Measurer>(
 ) -> TaskTuneResult {
     let tel = telemetry::global();
     let _span = tel.span("tune_task");
-    tel.event("tune.start", || {
+    tel.event(telemetry::events::TUNE_START_EVENT, || {
         telemetry::json!({
             "task": task.name.clone(),
             "method": method.label(),
@@ -161,7 +161,7 @@ pub fn drive_loop<M: Measurer>(
                 since_best += 1;
             }
             let best_now = best.as_ref().map_or(0.0, |(_, g)| *g);
-            tel.event("trial", || {
+            tel.event(telemetry::events::TRIAL_EVENT, || {
                 telemetry::json!({
                     "trial": measured as u64,
                     "config_index": cfg.index,

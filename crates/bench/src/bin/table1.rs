@@ -11,12 +11,14 @@
 
 use bench::args::Args;
 use bench::experiments::run_table1_models;
+use bench::registry::register_table1;
 use bench::report::{render_table1, write_json};
 use bench::{init_telemetry, scaled_options};
 use dnn_graph::models;
 use std::path::PathBuf;
 
 fn main() {
+    let started = std::time::Instant::now();
     let args = Args::from_env();
     let tel = init_telemetry(&args);
     let n_trial: usize = args.get("n-trial", 768);
@@ -39,6 +41,10 @@ fn main() {
     let data = run_table1_models(&graphs, &opts, trials, runs);
     print!("{}", render_table1(&data));
     write_json(&out, "table1.json", &data).expect("write results");
-    tel.report(|| format!("wrote {}", out.join("table1.json").display()));
+    register_table1(&out, &data, n_trial, seed, started.elapsed().as_secs_f64())
+        .expect("update run registry");
+    tel.report(|| {
+        format!("wrote {} (registered in index.jsonl)", out.join("table1.json").display())
+    });
     tel.flush();
 }

@@ -16,6 +16,7 @@
 pub mod args;
 pub mod experiments;
 pub mod plot;
+pub mod registry;
 pub mod report;
 pub mod stats;
 

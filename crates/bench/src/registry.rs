@@ -1,0 +1,161 @@
+//! Registering experiment runs in the shared run registry.
+//!
+//! `aaltune tune --out` records its runs in `<out>/index.jsonl`; the paper
+//! experiment binaries (`fig4`, `table1`) append entries to the same index,
+//! so `aaltune runs <out>` lists ad-hoc tunes and paper regenerations side
+//! by side and `compare` can gate either kind.
+
+use crate::experiments::{Fig4Data, Table1Data};
+use std::collections::BTreeMap;
+use std::path::Path;
+use trace_analysis::{git_describe, Registry, RunEntry, REGISTRY_SCHEMA_VERSION};
+
+fn base_entry(run_id: String, kind: &str, model: &str, method: String) -> RunEntry {
+    RunEntry {
+        schema_version: Some(REGISTRY_SCHEMA_VERSION),
+        run_id,
+        path: None,
+        kind: kind.to_string(),
+        model: model.to_string(),
+        method,
+        seed: 0,
+        n_trial: 0,
+        git_describe: git_describe(Path::new(".")),
+        wall_time_s: None,
+        task_best_gflops: BTreeMap::new(),
+        latency_mean_ms: None,
+        latency_variance: None,
+    }
+}
+
+/// Appends one registry entry per Fig. 4 method arm: the per-layer final
+/// best GFLOPS become the entry's headline metrics.
+///
+/// # Errors
+///
+/// Propagates index-write failures.
+pub fn register_fig4(
+    out: &Path,
+    data: &Fig4Data,
+    seed: u64,
+    wall_time_s: f64,
+) -> std::io::Result<()> {
+    let reg = Registry::at(out);
+    let mut by_method: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    for c in &data.curves {
+        let final_best = c.curve.last().copied().unwrap_or(0.0);
+        by_method
+            .entry(c.method.to_string())
+            .or_default()
+            .insert(format!("mobilenet_v1.L{}", c.layer + 1), final_best);
+    }
+    for (method, task_best_gflops) in by_method {
+        let mut e = base_entry(format!("fig4-{method}-seed{seed}"), "fig4", "mobilenet_v1", method);
+        e.seed = seed;
+        e.n_trial = data.n_trial as u64;
+        e.wall_time_s = Some(wall_time_s);
+        e.task_best_gflops = task_best_gflops;
+        reg.append(&e)?;
+    }
+    Ok(())
+}
+
+/// Appends one registry entry per (model, method) cell of Table I, carrying
+/// the end-to-end latency mean and variance. The synthetic `Average` row is
+/// not registered — it is derivable from the others.
+///
+/// # Errors
+///
+/// Propagates index-write failures.
+pub fn register_table1(
+    out: &Path,
+    data: &Table1Data,
+    n_trial: usize,
+    seed: u64,
+    wall_time_s: f64,
+) -> std::io::Result<()> {
+    let reg = Registry::at(out);
+    for row in data.rows.iter().filter(|r| r.model != "Average") {
+        for cell in &row.cells {
+            let method = cell.method.to_string();
+            let mut e = base_entry(
+                format!("table1-{}-{method}-seed{seed}", row.model),
+                "table1",
+                &row.model,
+                method,
+            );
+            e.seed = seed;
+            e.n_trial = n_trial as u64;
+            e.wall_time_s = Some(wall_time_s);
+            e.latency_mean_ms = Some(cell.latency_ms);
+            e.latency_variance = Some(cell.variance);
+            reg.append(&e)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{Fig4Curve, Table1Cell, Table1Row};
+    use active_learning::Method;
+
+    fn temp_out(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("aaltune-bench-reg-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn fig4_registers_one_entry_per_method() {
+        let out = temp_out("fig4");
+        let _ = std::fs::remove_dir_all(&out);
+        let data = Fig4Data {
+            curves: vec![
+                Fig4Curve { method: Method::AutoTvm, layer: 0, curve: vec![1.0, 5.0] },
+                Fig4Curve { method: Method::AutoTvm, layer: 1, curve: vec![2.0, 6.0] },
+                Fig4Curve { method: Method::BtedBao, layer: 0, curve: vec![1.0, 9.0] },
+            ],
+            n_trial: 2,
+            trials: 1,
+        };
+        register_fig4(&out, &data, 7, 1.5).unwrap();
+        let idx = Registry::at(&out).load().unwrap();
+        assert_eq!(idx.entries.len(), 2);
+        let autotvm = idx.entries.iter().find(|e| e.method == "autotvm").unwrap();
+        assert_eq!(autotvm.kind, "fig4");
+        assert_eq!(autotvm.seed, 7);
+        assert_eq!(autotvm.task_best_gflops["mobilenet_v1.L1"], 5.0);
+        assert_eq!(autotvm.task_best_gflops["mobilenet_v1.L2"], 6.0);
+        std::fs::remove_dir_all(&out).unwrap();
+    }
+
+    #[test]
+    fn table1_registers_cells_but_not_the_average_row() {
+        let out = temp_out("table1");
+        let _ = std::fs::remove_dir_all(&out);
+        let cell = |method, latency_ms| Table1Cell {
+            method,
+            latency_ms,
+            variance: 0.01,
+            latency_delta_pct: 0.0,
+            variance_delta_pct: 0.0,
+        };
+        let data = Table1Data {
+            rows: vec![
+                Table1Row {
+                    model: "alexnet".into(),
+                    cells: vec![cell(Method::AutoTvm, 2.0), cell(Method::BtedBao, 1.8)],
+                },
+                Table1Row { model: "Average".into(), cells: vec![cell(Method::AutoTvm, 2.0)] },
+            ],
+            trials: 1,
+            runs: 10,
+        };
+        register_table1(&out, &data, 64, 0, 3.0).unwrap();
+        let idx = Registry::at(&out).load().unwrap();
+        assert_eq!(idx.entries.len(), 2, "Average row must not be registered");
+        assert!(idx.entries.iter().all(|e| e.model == "alexnet"));
+        assert_eq!(idx.entries[0].latency_mean_ms, Some(2.0));
+        std::fs::remove_dir_all(&out).unwrap();
+    }
+}

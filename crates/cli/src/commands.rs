@@ -1,11 +1,21 @@
 //! CLI subcommands.
 
 use crate::opts::{device_by_name, method_by_name, model_by_name, Cli};
-use active_learning::{tune_model, tune_task, RunDir, RunManifest, TuneOptions};
+use active_learning::{
+    tune_model, tune_task, RunDir, RunManifest, TuneOptions, MANIFEST_SCHEMA_VERSION,
+};
 use dnn_graph::task::extract_tasks;
 use gpu_sim::SimMeasurer;
 use schedule::template::space_for_task;
 use std::path::{Path, PathBuf};
+use trace_analysis::{
+    compare_logs, compare_run_dirs, render_report, CompareOptions, LoadedRun, Registry, RunEntry,
+    Verdict,
+};
+
+/// Exit code for a gated regression (`compare --fail-on-regress`): distinct
+/// from 1, which `main` uses for usage/runtime errors.
+pub const EXIT_REGRESSED: u8 = 2;
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
@@ -19,30 +29,42 @@ usage:
   aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
                           [--device D] [--trace FILE] [--quiet] [--json]
   aaltune trace   <trace.jsonl>
+  aaltune runs    [DIR] [--model M] [--method M] [--kind K]
+  aaltune compare <BASE_RUN> <CAND_RUN> [--alpha A] [--resamples N]
+                          [--min-effect PCT] [--boot-seed S] [--fail-on-regress]
+  aaltune report  <RUN> [BASELINE] [--html FILE] [--alpha A] [--resamples N]
+                          [--min-effect PCT] [--boot-seed S]
 models:  alexnet resnet18 resnet34 vgg16 vgg19 mobilenet_v1 squeezenet_v1.1
 methods: random autotvm bted bted+bao (default)
 devices: gtx1080ti (default) v100 jetson
 tracing: --trace writes a JSONL telemetry trace (`aaltune trace` summarizes
          it); --out creates a per-run results dir with manifest, logs, and
-         trace; --quiet silences progress; --json emits progress as JSON";
+         trace, and registers the run in DIR/index.jsonl
+analysis: `runs` lists the registry (DIR defaults to ./runs); `compare`
+         bootstraps per-task deltas between two run dirs and exits 2 on a
+         gated regression; `report` writes a self-contained HTML report";
 
-/// Parses and runs one invocation.
+/// Parses and runs one invocation, returning the process exit code
+/// (0 = success, [`EXIT_REGRESSED`] = gated regression).
 ///
 /// # Errors
 ///
 /// Returns a human-readable message for unknown commands, names, or values.
-pub fn dispatch(args: &[String]) -> Result<(), String> {
+pub fn dispatch(args: &[String]) -> Result<u8, String> {
     let cli = Cli::parse(args)?;
     match cli.positional.first().map(String::as_str) {
-        Some("tasks") => tasks(&cli),
-        Some("dot") => dot(&cli),
+        Some("tasks") => tasks(&cli).map(|()| 0),
+        Some("dot") => dot(&cli).map(|()| 0),
         Some("devices") => {
             devices();
-            Ok(())
+            Ok(0)
         }
-        Some("tune") => tune(&cli),
-        Some("deploy") => deploy(&cli),
-        Some("trace") => trace(&cli),
+        Some("tune") => tune(&cli).map(|()| 0),
+        Some("deploy") => deploy(&cli).map(|()| 0),
+        Some("trace") => trace(&cli).map(|()| 0),
+        Some("runs") => runs(&cli).map(|()| 0),
+        Some("compare") => compare(&cli),
+        Some("report") => report(&cli).map(|()| 0),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_string()),
     }
@@ -127,6 +149,7 @@ fn devices() {
 }
 
 fn tune(cli: &Cli) -> Result<(), String> {
+    let started = std::time::Instant::now();
     let model = model_arg(cli)?;
     let method = method_by_name(cli.flag_str("method").unwrap_or("bted+bao"))?;
     let opts = options(cli)?;
@@ -174,11 +197,21 @@ fn tune(cli: &Cli) -> Result<(), String> {
             tasks: logs.iter().map(|l| l.task_name.clone()).collect(),
             seed: opts.seed,
             options: opts,
+            schema_version: Some(MANIFEST_SCHEMA_VERSION),
+            git_describe: trace_analysis::git_describe(Path::new(".")),
+            wall_time_s: Some(started.elapsed().as_secs_f64()),
         };
         dir.write_manifest(&manifest).map_err(|e| format!("cannot write manifest: {e}"))?;
         for log in &logs {
             dir.write_log(log).map_err(|e| format!("cannot write log: {e}"))?;
         }
+        // Register the run in the shared index so `aaltune runs` /
+        // `compare` / `report` can find it later.
+        let base = cli.flag_str("out").expect("run_dir implies --out");
+        let entry = RunEntry::from_run_dir(dir.path())?;
+        Registry::at(base)
+            .append(&entry)
+            .map_err(|e| format!("cannot update run registry: {e}"))?;
         tel.report(|| format!("wrote run artifacts to {}", dir.path().display()));
     }
     if let Some(path) = cli.flag_str("log") {
@@ -223,6 +256,67 @@ fn trace(cli: &Cli) -> Result<(), String> {
     let summary = telemetry::TraceSummary::from_reader(std::io::BufReader::new(f))
         .map_err(|e| format!("cannot read {path}: {e}"))?;
     print!("{}", summary.render());
+    Ok(())
+}
+
+fn runs(cli: &Cli) -> Result<(), String> {
+    let root = cli.positional.get(1).map_or("runs", String::as_str);
+    let reg = Registry::at(root);
+    let idx = reg.load().map_err(|e| format!("cannot read {}: {e}", reg.index_path().display()))?;
+    let filtered =
+        idx.filtered(cli.flag_str("model"), cli.flag_str("method"), cli.flag_str("kind"));
+    if filtered.is_empty() {
+        println!("no matching runs in {}", reg.index_path().display());
+    } else {
+        print!("{}", idx.render(&filtered));
+    }
+    Ok(())
+}
+
+fn compare_options(cli: &Cli) -> Result<CompareOptions, String> {
+    let defaults = CompareOptions::default();
+    Ok(CompareOptions {
+        alpha: cli.flag("alpha", defaults.alpha)?,
+        resamples: cli.flag("resamples", defaults.resamples)?,
+        min_effect_pct: cli.flag("min-effect", defaults.min_effect_pct)?,
+        seed: cli.flag("boot-seed", defaults.seed)?,
+    })
+}
+
+fn compare(cli: &Cli) -> Result<u8, String> {
+    let base = cli.positional.get(1).ok_or("missing <BASE_RUN> directory")?;
+    let cand = cli.positional.get(2).ok_or("missing <CAND_RUN> directory")?;
+    let cmp = compare_run_dirs(Path::new(base), Path::new(cand), compare_options(cli)?)?;
+    print!("{}", cmp.render());
+    if cli.flag_present("fail-on-regress") && cmp.has_regressions() {
+        eprintln!("FAIL: {} task(s) regressed", cmp.count(Verdict::Regressed));
+        return Ok(EXIT_REGRESSED);
+    }
+    Ok(0)
+}
+
+fn report(cli: &Cli) -> Result<(), String> {
+    let run_path = cli.positional.get(1).ok_or("missing <RUN> directory")?;
+    let run = LoadedRun::load(Path::new(run_path))?;
+    let baseline = cli.positional.get(2).map(|p| LoadedRun::load(Path::new(p))).transpose()?;
+    let comparison = baseline
+        .as_ref()
+        .map(|b| -> Result<_, String> {
+            Ok(compare_logs(
+                b.id.clone(),
+                run.id.clone(),
+                &b.logs,
+                &run.logs,
+                compare_options(cli)?,
+                Vec::new(),
+            ))
+        })
+        .transpose()?;
+    let html = render_report(&run, baseline.as_ref(), comparison.as_ref());
+    let out =
+        cli.flag_str("html").map_or_else(|| Path::new(run_path).join("report.html"), PathBuf::from);
+    std::fs::write(&out, html).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
     Ok(())
 }
 
@@ -297,15 +391,104 @@ mod tests {
         let run = base.join("squeezenet_v1.1-autotvm-seed0");
         assert!(run.join("manifest.json").is_file());
         assert!(run.join("trace.jsonl").is_file());
+        assert!(base.join("index.jsonl").is_file(), "tune --out must register the run");
         let logs: Vec<_> = std::fs::read_dir(run.join("logs")).unwrap().collect();
         assert_eq!(logs.len(), 1);
         // The recorded trace must summarize via the `trace` subcommand.
         dispatch(&sv(&["trace", run.join("trace.jsonl").to_str().unwrap()])).unwrap();
+        // The registry must list it.
+        dispatch(&sv(&["runs", base.to_str().unwrap()])).unwrap();
+        dispatch(&sv(&["runs", base.to_str().unwrap(), "--model", "squeezenet"])).unwrap();
         std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]
     fn trace_on_missing_file_errors() {
         assert!(dispatch(&sv(&["trace", "/nonexistent/trace.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn compare_and_report_on_identical_seeds_pass_the_gate() {
+        let base = std::env::temp_dir().join(format!("aaltune-cli-compare-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        for sub in ["a", "b"] {
+            dispatch(&sv(&[
+                "tune",
+                "squeezenet",
+                "--task",
+                "0",
+                "--n-trial",
+                "30",
+                "--method",
+                "autotvm",
+                "--quiet",
+                "--out",
+                base.join(sub).to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let run_a = base.join("a/squeezenet_v1.1-autotvm-seed0");
+        let run_b = base.join("b/squeezenet_v1.1-autotvm-seed0");
+        // Same seed + same config ⇒ identical trials ⇒ noise everywhere,
+        // and the gate must not fire.
+        let code = dispatch(&sv(&[
+            "compare",
+            run_a.to_str().unwrap(),
+            run_b.to_str().unwrap(),
+            "--fail-on-regress",
+            "--resamples",
+            "300",
+        ]))
+        .unwrap();
+        assert_eq!(code, 0, "identical runs must not be flagged as regressions");
+        // The report (with baseline) must land as one self-contained file.
+        dispatch(&sv(&[
+            "report",
+            run_b.to_str().unwrap(),
+            run_a.to_str().unwrap(),
+            "--resamples",
+            "300",
+        ]))
+        .unwrap();
+        let html = std::fs::read_to_string(run_b.join("report.html")).unwrap();
+        assert!(html.contains("<svg"));
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn compare_on_missing_dirs_errors() {
+        assert!(dispatch(&sv(&["compare", "/nonexistent/a"])).is_err());
+        assert!(dispatch(&sv(&["report"])).is_err());
+    }
+
+    #[test]
+    fn fail_on_regress_gates_with_exit_code_2() {
+        // Pinned against the committed golden fixtures (regenerate with
+        // `cargo run -p trace-analysis --example gen_fixtures`).
+        let fixtures =
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../trace-analysis/tests/fixtures");
+        let base = fixtures.join("base");
+        let regressed = fixtures.join("regressed");
+        let gated = dispatch(&sv(&[
+            "compare",
+            base.to_str().unwrap(),
+            regressed.to_str().unwrap(),
+            "--fail-on-regress",
+            "--resamples",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(gated, EXIT_REGRESSED);
+        // Without the gate the regression is still reported, but exits 0.
+        let ungated = dispatch(&sv(&[
+            "compare",
+            base.to_str().unwrap(),
+            regressed.to_str().unwrap(),
+            "--resamples",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(ungated, 0);
     }
 }

@@ -9,6 +9,10 @@
 //! aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
 //!                         [--device NAME] [--trace FILE] [--quiet] [--json]
 //! aaltune trace   <trace.jsonl>
+//! aaltune runs    [DIR] [--model M] [--method M] [--kind K]
+//! aaltune compare <BASE_RUN> <CAND_RUN> [--fail-on-regress] [--alpha A]
+//!                         [--resamples N] [--min-effect PCT] [--boot-seed S]
+//! aaltune report  <RUN> [BASELINE] [--html FILE]
 //! ```
 //!
 //! Models: `alexnet`, `resnet18`, `vgg16`, `mobilenet_v1`, `squeezenet_v1.1`.
@@ -16,7 +20,10 @@
 //! `--trace` records a JSONL telemetry trace of the whole tuning loop;
 //! `aaltune trace` prints its per-phase time breakdown, counters, and
 //! histogram quantiles. `--out` collects manifest + logs + trace in a
-//! per-run directory.
+//! per-run directory and registers it in `DIR/index.jsonl`; `runs` lists
+//! that registry, `compare` bootstraps per-task GFLOPS deltas between two
+//! run directories (exit code 2 on a gated regression), and `report`
+//! renders a self-contained HTML tuning report.
 
 mod commands;
 mod opts;
@@ -26,7 +33,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();

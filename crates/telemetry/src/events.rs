@@ -1,0 +1,259 @@
+//! Typed views of the domain events the tuning stack emits.
+//!
+//! Trace consumers used to poke at `Record::Event` payloads with ad-hoc
+//! JSON indexing, which silently yields zeros when a field is renamed.
+//! This module is the single place that knows each event's payload shape:
+//! every accessor returns `None` for a record that is not that event or
+//! whose payload is missing a required field, so misparses are visible to
+//! the caller instead of becoming fabricated data.
+
+use crate::record::Record;
+use serde_json::Value;
+
+/// Name of the per-measurement event emitted by the tuning loop.
+pub const TRIAL_EVENT: &str = "trial";
+/// Name of the BAO scope-radius adaptation event.
+pub const RADIUS_EVENT: &str = "bao.radius";
+/// Name of the per-invocation SA search summary event.
+pub const SA_DONE_EVENT: &str = "sa.done";
+/// Name of the task-tuning start event.
+pub const TUNE_START_EVENT: &str = "tune.start";
+
+fn event_parts<'a>(rec: &'a Record, expect: &str) -> Option<(Option<u64>, u64, &'a Value)> {
+    match rec {
+        Record::Event { name, span, t_us, fields } if name == expect => {
+            Some((*span, *t_us, fields))
+        }
+        _ => None,
+    }
+}
+
+/// One `trial` event: a single measured configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialEvent {
+    /// 0-based measurement counter within the task.
+    pub trial: u64,
+    /// Flat configuration index in the task's space.
+    pub config_index: u64,
+    /// Measured GFLOPS (0.0 for a failed launch).
+    pub gflops: f64,
+    /// Best GFLOPS seen up to and including this trial.
+    pub best_gflops: f64,
+    /// Whether this trial improved on the best so far.
+    pub improved: bool,
+    /// Innermost open span at emission time.
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl TrialEvent {
+    /// Parses a [`Record`] as a trial event; `None` for anything else.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<TrialEvent> {
+        let (span, t_us, fields) = event_parts(rec, TRIAL_EVENT)?;
+        Some(TrialEvent {
+            trial: fields["trial"].as_u64()?,
+            config_index: fields["config_index"].as_u64()?,
+            gflops: fields["gflops"].as_f64()?,
+            best_gflops: fields["best_gflops"].as_f64()?,
+            improved: fields["improved"].as_bool().unwrap_or(false),
+            span,
+            t_us,
+        })
+    }
+}
+
+/// One `bao.radius` event: the adaptive-neighborhood state at one BAO step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadiusEvent {
+    /// BAO iteration counter.
+    pub step: u64,
+    /// Relative improvement r_t that drove the decision (`None` on the
+    /// first step, before any improvement is defined).
+    pub r_t: Option<f64>,
+    /// Current scope radius after widening.
+    pub radius: f64,
+    /// Whether this step widened the radius.
+    pub widened: bool,
+    /// Consecutive sub-η steps so far.
+    pub stall_widenings: u64,
+    /// Innermost open span at emission time.
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl RadiusEvent {
+    /// Parses a [`Record`] as a radius event; `None` for anything else.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<RadiusEvent> {
+        let (span, t_us, fields) = event_parts(rec, RADIUS_EVENT)?;
+        Some(RadiusEvent {
+            step: fields["step"].as_u64()?,
+            r_t: fields["r_t"].as_f64(),
+            radius: fields["radius"].as_f64()?,
+            widened: fields["widened"].as_bool().unwrap_or(false),
+            stall_widenings: fields["stall_widenings"].as_u64().unwrap_or(0),
+            span,
+            t_us,
+        })
+    }
+}
+
+/// One `sa.done` event: the outcome of one simulated-annealing search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaDoneEvent {
+    /// Proposals accepted across the whole search.
+    pub accepted: u64,
+    /// Proposals rejected across the whole search.
+    pub rejected: u64,
+    /// Innermost open span at emission time.
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl SaDoneEvent {
+    /// Parses a [`Record`] as an SA summary event; `None` for anything else.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<SaDoneEvent> {
+        let (span, t_us, fields) = event_parts(rec, SA_DONE_EVENT)?;
+        Some(SaDoneEvent {
+            accepted: fields["accepted"].as_u64()?,
+            rejected: fields["rejected"].as_u64()?,
+            span,
+            t_us,
+        })
+    }
+
+    /// Fraction of proposals accepted (0.0 when the search made none).
+    #[must_use]
+    pub fn accept_rate(&self) -> f64 {
+        let total = self.accepted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let rate = self.accepted as f64 / total as f64;
+            rate
+        }
+    }
+}
+
+/// One `tune.start` event: a task-tuning run beginning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneStartEvent {
+    /// Task name.
+    pub task: String,
+    /// Method label.
+    pub method: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Trial budget.
+    pub n_trial: u64,
+    /// Innermost open span at emission time (the `tune_task` span).
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl TuneStartEvent {
+    /// Parses a [`Record`] as a tune-start event; `None` for anything else.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<TuneStartEvent> {
+        let (span, t_us, fields) = event_parts(rec, TUNE_START_EVENT)?;
+        Some(TuneStartEvent {
+            task: fields["task"].as_str()?.to_string(),
+            method: fields["method"].as_str()?.to_string(),
+            seed: fields["seed"].as_u64()?,
+            n_trial: fields["n_trial"].as_u64()?,
+            span,
+            t_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn ev(name: &str, fields: Value) -> Record {
+        Record::Event { name: name.into(), span: Some(7), t_us: 42, fields }
+    }
+
+    #[test]
+    fn trial_event_round_trips() {
+        let rec = ev(
+            TRIAL_EVENT,
+            json!({
+                "trial": 3u64,
+                "config_index": 99u64,
+                "gflops": 120.5,
+                "best_gflops": 130.0,
+                "improved": false,
+            }),
+        );
+        let t = TrialEvent::from_record(&rec).unwrap();
+        assert_eq!(t.trial, 3);
+        assert_eq!(t.config_index, 99);
+        assert!((t.gflops - 120.5).abs() < 1e-12);
+        assert!((t.best_gflops - 130.0).abs() < 1e-12);
+        assert!(!t.improved);
+        assert_eq!(t.span, Some(7));
+        assert_eq!(t.t_us, 42);
+    }
+
+    #[test]
+    fn wrong_name_or_missing_field_is_none() {
+        let other = ev("not.a.trial", json!({"trial": 1u64}));
+        assert!(TrialEvent::from_record(&other).is_none());
+        let missing = ev(TRIAL_EVENT, json!({"trial": 1u64}));
+        assert!(TrialEvent::from_record(&missing).is_none());
+        let non_event = Record::Counter { name: TRIAL_EVENT.into(), value: 1 };
+        assert!(TrialEvent::from_record(&non_event).is_none());
+    }
+
+    #[test]
+    fn radius_event_tolerates_null_rt() {
+        let rec = ev(
+            RADIUS_EVENT,
+            json!({
+                "step": 5u64,
+                "r_t": Value::Null,
+                "eta": 0.02,
+                "radius": 2.5,
+                "widened": true,
+                "stall_widenings": 2u64,
+            }),
+        );
+        let r = RadiusEvent::from_record(&rec).unwrap();
+        assert_eq!(r.step, 5);
+        assert_eq!(r.r_t, None);
+        assert!(r.widened);
+        assert_eq!(r.stall_widenings, 2);
+    }
+
+    #[test]
+    fn sa_done_accept_rate() {
+        let rec = ev(SA_DONE_EVENT, json!({"accepted": 30u64, "rejected": 10u64}));
+        let s = SaDoneEvent::from_record(&rec).unwrap();
+        assert!((s.accept_rate() - 0.75).abs() < 1e-12);
+        let empty = ev(SA_DONE_EVENT, json!({"accepted": 0u64, "rejected": 0u64}));
+        assert_eq!(SaDoneEvent::from_record(&empty).unwrap().accept_rate(), 0.0);
+    }
+
+    #[test]
+    fn tune_start_extracts_task_and_method() {
+        let rec = ev(
+            TUNE_START_EVENT,
+            json!({"task": "m.T1", "method": "bted+bao", "seed": 9u64, "n_trial": 512u64}),
+        );
+        let t = TuneStartEvent::from_record(&rec).unwrap();
+        assert_eq!(t.task, "m.T1");
+        assert_eq!(t.method, "bted+bao");
+        assert_eq!(t.seed, 9);
+        assert_eq!(t.n_trial, 512);
+    }
+}

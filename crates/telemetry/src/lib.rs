@@ -44,11 +44,13 @@
 //! # set_global(Telemetry::disabled());
 //! ```
 
+pub mod events;
 pub mod metrics;
 pub mod record;
 pub mod sink;
 pub mod summary;
 
+pub use events::{RadiusEvent, SaDoneEvent, TrialEvent, TuneStartEvent};
 pub use metrics::Histogram;
 pub use record::Record;
 /// Re-exported so instrumentation sites can build event payloads without
@@ -69,6 +71,14 @@ use std::time::Instant;
 /// `println!` progress output; domain events use their own names and stay
 /// machine-oriented.
 pub const REPORT_EVENT: &str = "report";
+
+/// Version of the trace wire format this crate writes.
+///
+/// Every enabled [`Telemetry`] handle emits a [`Record::Schema`] record
+/// first, so consumers (`trace`, `compare`, `report`) can warn on traces
+/// written by a newer crate instead of silently misparsing them. Bump when
+/// a record variant or event payload changes incompatibly.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
 
 struct Inner {
     sink: Box<dyn Sink>,
@@ -103,7 +113,7 @@ impl Telemetry {
     /// Creates a handle that emits every record to `sink`. Timestamps are
     /// microseconds since this call.
     pub fn new(sink: impl Sink + 'static) -> Self {
-        Telemetry {
+        let tel = Telemetry {
             inner: Some(Arc::new(Inner {
                 sink: Box::new(sink),
                 start: Instant::now(),
@@ -111,7 +121,11 @@ impl Telemetry {
                 counters: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
             })),
+        };
+        if let Some(inner) = &tel.inner {
+            inner.sink.record(&Record::Schema { version: TRACE_SCHEMA_VERSION });
         }
+        tel
     }
 
     /// Creates a handle whose probes all short-circuit. This is the true

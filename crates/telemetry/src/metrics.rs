@@ -94,15 +94,17 @@ impl Histogram {
         }
     }
 
-    /// Approximate `q`-quantile (`q` in `[0, 1]`): the representative value
-    /// of the bucket where the cumulative count crosses `q · count`.
+    /// Approximate `q`-quantile: the representative value of the bucket
+    /// where the cumulative count crosses `q · count`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// `q` is clamped to `[0, 1]` (a NaN `q` clamps to 0), so callers
+    /// computing quantile positions arithmetically cannot panic on a value
+    /// that lands epsilon outside the range. An empty histogram returns 0.0
+    /// for every `q`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q };
         if self.count == 0 {
             return 0.0;
         }
@@ -194,6 +196,48 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.0), 0.0);
         assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.observe(f64::from(i));
+        }
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+        // And clamping still returns data-bracketed values.
+        assert!(h.quantile(1.5) >= h.quantile(-0.5));
+        assert!(h.quantile(1.0) <= 100.0 * 1.1);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_keeps_both_tails() {
+        // a's values live around 1e-3, b's around 1e6: no shared buckets.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 1..=50 {
+            a.observe(1e-3 * f64::from(i) / 50.0);
+            b.observe(1e6 * f64::from(i) / 50.0);
+        }
+        assert!(a.buckets().iter().all(|(i, _)| !b.buckets().iter().any(|(j, _)| i == j)));
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), 100);
+        assert!((m.sum() - (a.sum() + b.sum())).abs() < 1e-6);
+        // Low quantiles come from a's range, high ones from b's, with the
+        // bucket list still sorted so the cumulative walk is correct.
+        assert!(m.buckets().windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(m.quantile(0.25) <= 1e-3 * 1.1);
+        assert!(m.quantile(0.75) >= 1e4);
+        // Merging into an empty histogram is the identity.
+        let mut e = Histogram::new();
+        e.merge(&b);
+        assert_eq!(e.count(), b.count());
+        assert_eq!(e.quantile(0.5), b.quantile(0.5));
     }
 }

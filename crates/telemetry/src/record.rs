@@ -12,6 +12,16 @@ use serde_json::Value;
 /// processes without wall-clock coupling.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Record {
+    /// Trace header: the wire-format version the rest of the stream uses.
+    ///
+    /// Emitted once, first, by every [`crate::Telemetry`] handle. Consumers
+    /// compare `version` against [`crate::TRACE_SCHEMA_VERSION`] and warn on
+    /// newer streams instead of silently misparsing them.
+    Schema {
+        /// Wire-format version ([`crate::TRACE_SCHEMA_VERSION`] at write
+        /// time).
+        version: u32,
+    },
     /// A span opened: a named region of wall time, possibly nested.
     SpanStart {
         /// Span id, unique within the trace.
@@ -66,6 +76,7 @@ impl Record {
     #[must_use]
     pub fn name(&self) -> &str {
         match self {
+            Record::Schema { .. } => "schema",
             Record::SpanStart { name, .. }
             | Record::SpanEnd { name, .. }
             | Record::Event { name, .. }
@@ -86,6 +97,7 @@ mod tests {
         h.observe(3.5);
         h.observe(900.0);
         let records = vec![
+            Record::Schema { version: 1 },
             Record::SpanStart { id: 1, parent: None, name: "a".into(), t_us: 10 },
             Record::SpanStart { id: 2, parent: Some(1), name: "b".into(), t_us: 12 },
             Record::Event {

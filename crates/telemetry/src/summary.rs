@@ -22,6 +22,9 @@ pub struct TraceSummary {
     pub malformed_lines: u64,
     /// Spans that started but never ended (crashed or truncated trace).
     pub unclosed_spans: u64,
+    /// Wire-format version declared by the trace's [`Record::Schema`]
+    /// header (`None` for traces predating the header).
+    pub schema_version: Option<u32>,
 }
 
 /// Timing for every span sharing one name.
@@ -38,23 +41,43 @@ pub struct SpanStats {
 }
 
 impl TraceSummary {
-    /// Parses a JSONL trace. Malformed lines are counted, not fatal — a
-    /// trace truncated by a crash should still summarize.
-    pub fn from_reader(reader: impl BufRead) -> std::io::Result<TraceSummary> {
+    /// Parses a JSONL trace. Corrupt, truncated, or non-UTF-8 lines are
+    /// counted and skipped, not fatal — a trace cut short by a crash (or a
+    /// partially flushed final line) should still summarize. Only the very
+    /// first read failing surfaces as an error.
+    pub fn from_reader(mut reader: impl BufRead) -> std::io::Result<TraceSummary> {
         let mut records = Vec::new();
         let mut malformed = 0u64;
-        for line in reader.lines() {
-            let line = line?;
+        let mut buf = Vec::new();
+        let mut first_read = true;
+        loop {
+            buf.clear();
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => break,
+                Ok(_) => {}
+                // An unreadable tail (e.g. a bad sector or a stream error
+                // mid-file) is truncation, not a reason to drop the prefix.
+                Err(_) if !first_read => {
+                    malformed += 1;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+            first_read = false;
+            let Ok(line) = std::str::from_utf8(&buf) else {
+                malformed += 1;
+                continue;
+            };
             if line.trim().is_empty() {
                 continue;
             }
-            match serde_json::from_str::<Record>(&line) {
+            match serde_json::from_str::<Record>(line) {
                 Ok(r) => records.push(r),
                 Err(_) => malformed += 1,
             }
         }
         let mut s = TraceSummary::from_records(&records);
-        s.malformed_lines = malformed;
+        s.malformed_lines += malformed;
         Ok(s)
     }
 
@@ -69,6 +92,9 @@ impl TraceSummary {
         let mut child_time: BTreeMap<u64, u64> = BTreeMap::new();
         for rec in records {
             match rec {
+                Record::Schema { version } => {
+                    out.schema_version = Some(*version);
+                }
                 Record::SpanStart { id, parent, name, .. } => {
                     open.insert(*id, (name.clone(), *parent));
                 }
@@ -161,6 +187,9 @@ impl TraceSummary {
         if self.malformed_lines > 0 {
             let _ = writeln!(s, "\n({} malformed line(s) skipped)", self.malformed_lines);
         }
+        if let Some(warning) = self.schema_warning() {
+            let _ = writeln!(s, "warning: {warning}");
+        }
         if self.unclosed_spans > 0 {
             let _ =
                 writeln!(s, "({} span(s) never closed — truncated trace?)", self.unclosed_spans);
@@ -169,6 +198,21 @@ impl TraceSummary {
             s.push_str("(empty trace)\n");
         }
         s
+    }
+
+    /// A human-readable warning when the trace's declared wire-format
+    /// version is newer than this crate understands, `None` otherwise.
+    /// Traces with no header predate versioning and parse as version 1.
+    #[must_use]
+    pub fn schema_warning(&self) -> Option<String> {
+        match self.schema_version {
+            Some(v) if v > crate::TRACE_SCHEMA_VERSION => Some(format!(
+                "trace declares schema version {v}, newer than the supported {} — \
+                 fields may be misread",
+                crate::TRACE_SCHEMA_VERSION
+            )),
+            _ => None,
+        }
     }
 }
 
@@ -256,5 +300,35 @@ mod tests {
         assert_eq!(s.malformed_lines, 1);
         assert_eq!(s.unclosed_spans, 1);
         assert!(s.render().contains("truncated"));
+    }
+
+    #[test]
+    fn non_utf8_lines_count_as_malformed() {
+        let mut bytes = b"{\"Counter\":{\"name\":\"c\",\"value\":3}}\n".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, 0xFD, b'\n']);
+        bytes.extend_from_slice(b"{\"Counter\":{\"name\":\"d\",\"value\":4}}\n");
+        let s = TraceSummary::from_reader(bytes.as_slice()).unwrap();
+        assert_eq!(s.malformed_lines, 1);
+        assert_eq!(s.counters["c"], 3);
+        assert_eq!(s.counters["d"], 4, "lines after a corrupt one must still parse");
+    }
+
+    #[test]
+    fn schema_version_is_tracked_and_newer_versions_warn() {
+        let current =
+            TraceSummary::from_records(&[Record::Schema { version: crate::TRACE_SCHEMA_VERSION }]);
+        assert_eq!(current.schema_version, Some(crate::TRACE_SCHEMA_VERSION));
+        assert!(current.schema_warning().is_none());
+
+        let legacy = TraceSummary::from_records(&[Record::Counter { name: "c".into(), value: 1 }]);
+        assert_eq!(legacy.schema_version, None);
+        assert!(legacy.schema_warning().is_none());
+
+        let future = TraceSummary::from_records(&[Record::Schema {
+            version: crate::TRACE_SCHEMA_VERSION + 1,
+        }]);
+        let warning = future.schema_warning().unwrap();
+        assert!(warning.contains("newer"), "{warning}");
+        assert!(future.render().contains("warning:"));
     }
 }

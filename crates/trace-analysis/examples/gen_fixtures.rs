@@ -1,0 +1,86 @@
+//! Regenerates the committed miniature run directories under
+//! `tests/fixtures/` that the golden `compare` tests pin against:
+//!
+//! ```text
+//! cargo run -p trace-analysis --example gen_fixtures
+//! ```
+//!
+//! Three runs over the same two tasks, fully deterministic:
+//! - `base`      — the reference run.
+//! - `noise`     — the same per-task measurement multisets, reordered:
+//!   identical means, so every task must classify as noise.
+//! - `regressed` — `m.T1` slowed down by 20%, `m.T2` untouched: `m.T1`
+//!   must classify as regressed (and gate the exit code), `m.T2` as noise.
+
+use active_learning::{
+    RunDir, RunManifest, TrialRecord, TuneOptions, TuningLog, MANIFEST_SCHEMA_VERSION,
+};
+use std::path::Path;
+
+const N: usize = 24;
+
+fn base_gflops(task: usize, i: usize) -> f64 {
+    let level = if task == 0 { 100.0 } else { 50.0 };
+    level + ((i * 13 + task * 5) % 7) as f64
+}
+
+fn log_from(task: usize, name: &str, f: impl Fn(usize) -> f64) -> TuningLog {
+    let mut log = TuningLog::new(name, "bted+bao");
+    let mut best: f64 = 0.0;
+    for i in 0..N {
+        let g = f(i);
+        best = best.max(g);
+        log.records.push(TrialRecord {
+            trial: i,
+            config_index: (task * 1000 + i * 17) as u64,
+            gflops: g,
+            latency_s: 1e-4,
+            best_gflops: best,
+        });
+    }
+    log
+}
+
+fn write_run(root: &Path, name: &str, logs: &[TuningLog]) {
+    let dir = RunDir::create(root.join(name)).expect("create fixture dir");
+    dir.write_manifest(&RunManifest {
+        model: "mobilenet_v1".into(),
+        method: "bted+bao".into(),
+        tasks: logs.iter().map(|l| l.task_name.clone()).collect(),
+        seed: 0,
+        options: TuneOptions { n_trial: N, ..TuneOptions::smoke() },
+        schema_version: Some(MANIFEST_SCHEMA_VERSION),
+        git_describe: None,
+        wall_time_s: Some(0.5),
+    })
+    .expect("write manifest");
+    for log in logs {
+        dir.write_log(log).expect("write log");
+    }
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    write_run(
+        &root,
+        "base",
+        &[log_from(0, "m.T1", |i| base_gflops(0, i)), log_from(1, "m.T2", |i| base_gflops(1, i))],
+    );
+    write_run(
+        &root,
+        "noise",
+        &[
+            log_from(0, "m.T1", |i| base_gflops(0, (i + 7) % N)),
+            log_from(1, "m.T2", |i| base_gflops(1, (i + 11) % N)),
+        ],
+    );
+    write_run(
+        &root,
+        "regressed",
+        &[
+            log_from(0, "m.T1", |i| 0.8 * base_gflops(0, i)),
+            log_from(1, "m.T2", |i| base_gflops(1, i)),
+        ],
+    );
+    println!("wrote fixtures under {}", root.display());
+}

@@ -1,0 +1,444 @@
+//! Statistical comparison of two run directories.
+//!
+//! Aligns the runs task-by-task, bootstraps a confidence interval for the
+//! mean GFLOPS delta of each task from the *recorded trial outcomes* (not
+//! just the headline means), and classifies every task as improved,
+//! regressed, or noise. `aaltune compare --fail-on-regress` turns the
+//! verdict into an exit code, which is what makes tuning changes CI-gatable.
+
+use crate::stats::{bootstrap_mean_delta_ci, mean, BootstrapCi};
+use active_learning::{RunDir, RunManifest, TuningLog};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Knobs for a comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareOptions {
+    /// Significance level: a task needs its `1 − alpha` CI clear of zero to
+    /// leave the noise verdict.
+    pub alpha: f64,
+    /// Bootstrap resamples per task.
+    pub resamples: usize,
+    /// Minimum |mean delta| as a percentage of the baseline mean to call a
+    /// task improved/regressed — statistically significant but tiny shifts
+    /// stay noise.
+    pub min_effect_pct: f64,
+    /// Seed for the bootstrap RNG (comparisons are reproducible).
+    pub seed: u64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions { alpha: 0.05, resamples: 2000, min_effect_pct: 1.0, seed: 0 }
+    }
+}
+
+/// Classification of one task's delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// CI above zero and the effect size clears the threshold.
+    Improved,
+    /// CI below zero and the effect size clears the threshold.
+    Regressed,
+    /// Everything else: the delta is indistinguishable from seed noise.
+    Noise,
+}
+
+impl Verdict {
+    /// Stable lowercase label (used in text output and the HTML report).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "regressed",
+            Verdict::Noise => "noise",
+        }
+    }
+}
+
+/// One aligned task.
+#[derive(Debug, Clone)]
+pub struct TaskComparison {
+    /// Task name.
+    pub task: String,
+    /// Mean trial GFLOPS in the baseline run.
+    pub base_mean: f64,
+    /// Mean trial GFLOPS in the candidate run.
+    pub cand_mean: f64,
+    /// Final best GFLOPS in the baseline run.
+    pub base_best: f64,
+    /// Final best GFLOPS in the candidate run.
+    pub cand_best: f64,
+    /// Bootstrap CI for the mean delta (candidate − base).
+    pub ci: BootstrapCi,
+    /// Delta as a percentage of the baseline mean.
+    pub delta_pct: f64,
+    /// The classification.
+    pub verdict: Verdict,
+}
+
+/// The full result of comparing two runs.
+#[derive(Debug, Clone)]
+pub struct RunComparison {
+    /// Baseline run id (directory name).
+    pub base_id: String,
+    /// Candidate run id (directory name).
+    pub cand_id: String,
+    /// Aligned tasks, in task-name order.
+    pub tasks: Vec<TaskComparison>,
+    /// Tasks present only in the baseline run.
+    pub only_in_base: Vec<String>,
+    /// Tasks present only in the candidate run.
+    pub only_in_cand: Vec<String>,
+    /// CI over the per-task *best*-GFLOPS deltas — the aggregate answer to
+    /// "did the candidate change end-of-budget quality".
+    pub aggregate: BootstrapCi,
+    /// Options the comparison ran with.
+    pub options: CompareOptions,
+    /// Non-fatal issues: schema-version skew, mismatched configurations,
+    /// skipped corrupt lines.
+    pub warnings: Vec<String>,
+}
+
+impl RunComparison {
+    /// True when any task regressed.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        self.tasks.iter().any(|t| t.verdict == Verdict::Regressed)
+    }
+
+    /// Count of tasks with the given verdict.
+    #[must_use]
+    pub fn count(&self, v: Verdict) -> usize {
+        self.tasks.iter().filter(|t| t.verdict == v).count()
+    }
+
+    /// Renders the comparison as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "base:      {}", self.base_id);
+        let _ = writeln!(s, "candidate: {}", self.cand_id);
+        let _ = writeln!(
+            s,
+            "confidence {:.0}%, {} resamples, min effect {:.1}%\n",
+            100.0 * (1.0 - self.options.alpha),
+            self.options.resamples,
+            self.options.min_effect_pct
+        );
+        let _ = writeln!(
+            s,
+            "{:<28} {:>10} {:>10} {:>8} {:>22} {:<9}",
+            "task", "base", "cand", "Δ%", "CI (GFLOPS)", "verdict"
+        );
+        for t in &self.tasks {
+            let _ = writeln!(
+                s,
+                "{:<28} {:>10.2} {:>10.2} {:>7.2}% [{:>8.2}, {:>8.2}] {:<9}",
+                t.task,
+                t.base_mean,
+                t.cand_mean,
+                t.delta_pct,
+                t.ci.lo,
+                t.ci.hi,
+                t.verdict.label()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "\naggregate best-GFLOPS delta: {:+.2} [{:+.2}, {:+.2}]",
+            self.aggregate.delta, self.aggregate.lo, self.aggregate.hi
+        );
+        let _ = writeln!(
+            s,
+            "verdicts: {} improved, {} regressed, {} noise",
+            self.count(Verdict::Improved),
+            self.count(Verdict::Regressed),
+            self.count(Verdict::Noise)
+        );
+        for task in &self.only_in_base {
+            let _ = writeln!(s, "note: task {task} only in baseline — not compared");
+        }
+        for task in &self.only_in_cand {
+            let _ = writeln!(s, "note: task {task} only in candidate — not compared");
+        }
+        for w in &self.warnings {
+            let _ = writeln!(s, "warning: {w}");
+        }
+        s
+    }
+}
+
+/// Loads both run directories and compares them.
+///
+/// # Errors
+///
+/// Returns a message when either directory's manifest or logs cannot be
+/// read.
+pub fn compare_run_dirs(
+    base: &Path,
+    cand: &Path,
+    options: CompareOptions,
+) -> Result<RunComparison, String> {
+    let (base_manifest, base_logs) = read_run(base)?;
+    let (cand_manifest, cand_logs) = read_run(cand)?;
+    let mut warnings = Vec::new();
+    for (label, m) in [("baseline", &base_manifest), ("candidate", &cand_manifest)] {
+        if let Some(w) = m.schema_warning() {
+            warnings.push(format!("{label}: {w}"));
+        }
+    }
+    if base_manifest.options != cand_manifest.options {
+        warnings.push(
+            "runs used different tuning options — deltas mix configuration and code effects"
+                .to_string(),
+        );
+    }
+    if base_manifest.seed == cand_manifest.seed
+        && base_manifest.model == cand_manifest.model
+        && base_manifest.method != cand_manifest.method
+    {
+        warnings.push(format!(
+            "comparing methods {} vs {} (same model and seed)",
+            base_manifest.method, cand_manifest.method
+        ));
+    }
+    Ok(compare_logs(run_id(base), run_id(cand), &base_logs, &cand_logs, options, warnings))
+}
+
+/// Core comparison over already-loaded logs (exposed for tests and the
+/// report, which has the logs in hand anyway).
+#[must_use]
+pub fn compare_logs(
+    base_id: String,
+    cand_id: String,
+    base_logs: &[TuningLog],
+    cand_logs: &[TuningLog],
+    options: CompareOptions,
+    mut warnings: Vec<String>,
+) -> RunComparison {
+    let base_by_task: BTreeMap<&str, &TuningLog> =
+        base_logs.iter().map(|l| (l.task_name.as_str(), l)).collect();
+    let cand_by_task: BTreeMap<&str, &TuningLog> =
+        cand_logs.iter().map(|l| (l.task_name.as_str(), l)).collect();
+
+    let mut tasks = Vec::new();
+    let mut best_base = Vec::new();
+    let mut best_cand = Vec::new();
+    for (i, (task, b)) in base_by_task.iter().enumerate() {
+        let Some(c) = cand_by_task.get(task) else { continue };
+        let bx: Vec<f64> = b.records.iter().map(|r| r.gflops).collect();
+        let cx: Vec<f64> = c.records.iter().map(|r| r.gflops).collect();
+        if bx.len() != cx.len() {
+            warnings.push(format!(
+                "task {task}: trial counts differ ({} vs {}) — using the unpaired estimator",
+                bx.len(),
+                cx.len()
+            ));
+        }
+        let ci = bootstrap_mean_delta_ci(
+            &bx,
+            &cx,
+            options.resamples,
+            options.alpha,
+            options.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let base_mean = mean(&bx);
+        let delta_pct =
+            if base_mean.abs() > f64::EPSILON { 100.0 * ci.delta / base_mean } else { 0.0 };
+        let verdict = if ci.lo > 0.0 && delta_pct >= options.min_effect_pct {
+            Verdict::Improved
+        } else if ci.hi < 0.0 && delta_pct <= -options.min_effect_pct {
+            Verdict::Regressed
+        } else {
+            Verdict::Noise
+        };
+        best_base.push(b.best_gflops());
+        best_cand.push(c.best_gflops());
+        tasks.push(TaskComparison {
+            task: (*task).to_string(),
+            base_mean,
+            cand_mean: mean(&cx),
+            base_best: b.best_gflops(),
+            cand_best: c.best_gflops(),
+            ci,
+            delta_pct,
+            verdict,
+        });
+    }
+    let aggregate = bootstrap_mean_delta_ci(
+        &best_base,
+        &best_cand,
+        options.resamples,
+        options.alpha,
+        options.seed,
+    );
+    RunComparison {
+        base_id,
+        cand_id,
+        tasks,
+        only_in_base: base_by_task
+            .keys()
+            .filter(|t| !cand_by_task.contains_key(**t))
+            .map(ToString::to_string)
+            .collect(),
+        only_in_cand: cand_by_task
+            .keys()
+            .filter(|t| !base_by_task.contains_key(**t))
+            .map(ToString::to_string)
+            .collect(),
+        aggregate,
+        options,
+        warnings,
+    }
+}
+
+fn read_run(path: &Path) -> Result<(RunManifest, Vec<TuningLog>), String> {
+    if !path.is_dir() {
+        return Err(format!("{} is not a run directory", path.display()));
+    }
+    // `RunDir::create` reuses an existing directory; the guard above keeps
+    // a typo from silently materializing an empty one.
+    let dir = RunDir::create(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let manifest =
+        dir.read_manifest().map_err(|e| format!("bad manifest in {}: {e}", path.display()))?;
+    let logs = dir.read_logs().map_err(|e| format!("bad logs in {}: {e}", path.display()))?;
+    Ok((manifest, logs))
+}
+
+fn run_id(path: &Path) -> String {
+    path.file_name()
+        .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use active_learning::TrialRecord;
+
+    fn log(task: &str, gflops: impl IntoIterator<Item = f64>) -> TuningLog {
+        let mut l = TuningLog::new(task, "bted+bao");
+        let mut best: f64 = 0.0;
+        for (i, g) in gflops.into_iter().enumerate() {
+            best = best.max(g);
+            l.records.push(TrialRecord {
+                trial: i,
+                config_index: i as u64,
+                gflops: g,
+                latency_s: 1e-4,
+                best_gflops: best,
+            });
+        }
+        l
+    }
+
+    fn wavy(n: usize, level: f64) -> Vec<f64> {
+        (0..n).map(|i| level + ((i * 13) % 7) as f64).collect()
+    }
+
+    #[test]
+    fn identical_runs_are_all_noise() {
+        let logs = vec![log("m.T1", wavy(40, 100.0)), log("m.T2", wavy(40, 50.0))];
+        let cmp = compare_logs(
+            "a".into(),
+            "b".into(),
+            &logs,
+            &logs,
+            CompareOptions::default(),
+            Vec::new(),
+        );
+        assert_eq!(cmp.count(Verdict::Noise), 2);
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.aggregate.delta, 0.0);
+    }
+
+    #[test]
+    fn a_clear_slowdown_is_flagged_as_regression() {
+        let base = vec![log("m.T1", wavy(40, 100.0)), log("m.T2", wavy(40, 50.0))];
+        let cand = vec![log("m.T1", wavy(40, 80.0)), log("m.T2", wavy(40, 50.0))];
+        let cmp = compare_logs(
+            "a".into(),
+            "b".into(),
+            &base,
+            &cand,
+            CompareOptions::default(),
+            Vec::new(),
+        );
+        assert!(cmp.has_regressions());
+        let t1 = cmp.tasks.iter().find(|t| t.task == "m.T1").unwrap();
+        assert_eq!(t1.verdict, Verdict::Regressed);
+        assert!(t1.delta_pct < -15.0, "{}", t1.delta_pct);
+        let t2 = cmp.tasks.iter().find(|t| t.task == "m.T2").unwrap();
+        assert_eq!(t2.verdict, Verdict::Noise);
+        let text = cmp.render();
+        assert!(text.contains("regressed"), "{text}");
+    }
+
+    #[test]
+    fn a_clear_speedup_is_flagged_as_improvement() {
+        let base = vec![log("m.T1", wavy(40, 100.0))];
+        let cand = vec![log("m.T1", wavy(40, 130.0))];
+        let cmp = compare_logs(
+            "a".into(),
+            "b".into(),
+            &base,
+            &cand,
+            CompareOptions::default(),
+            Vec::new(),
+        );
+        assert_eq!(cmp.tasks[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn significant_but_tiny_shifts_stay_noise() {
+        // A constant +0.2% shift: every bootstrap resample is positive, so
+        // the CI excludes zero — but the effect floor keeps it noise.
+        let base = vec![log("m.T1", vec![100.0; 50])];
+        let cand = vec![log("m.T1", vec![100.2; 50])];
+        let cmp = compare_logs(
+            "a".into(),
+            "b".into(),
+            &base,
+            &cand,
+            CompareOptions::default(),
+            Vec::new(),
+        );
+        assert!(cmp.tasks[0].ci.excludes_zero());
+        assert_eq!(cmp.tasks[0].verdict, Verdict::Noise);
+    }
+
+    #[test]
+    fn unmatched_tasks_are_reported_not_compared() {
+        let base = vec![log("m.T1", wavy(10, 10.0)), log("m.T9", wavy(10, 10.0))];
+        let cand = vec![log("m.T1", wavy(10, 10.0)), log("m.T5", wavy(10, 10.0))];
+        let cmp = compare_logs(
+            "a".into(),
+            "b".into(),
+            &base,
+            &cand,
+            CompareOptions::default(),
+            Vec::new(),
+        );
+        assert_eq!(cmp.tasks.len(), 1);
+        assert_eq!(cmp.only_in_base, vec!["m.T9".to_string()]);
+        assert_eq!(cmp.only_in_cand, vec!["m.T5".to_string()]);
+        assert!(cmp.render().contains("only in baseline"));
+    }
+
+    #[test]
+    fn differing_trial_counts_warn_and_use_unpaired() {
+        let base = vec![log("m.T1", wavy(30, 100.0))];
+        let cand = vec![log("m.T1", wavy(45, 100.0))];
+        let cmp = compare_logs(
+            "a".into(),
+            "b".into(),
+            &base,
+            &cand,
+            CompareOptions::default(),
+            Vec::new(),
+        );
+        assert!(!cmp.tasks[0].ci.paired);
+        assert!(cmp.warnings.iter().any(|w| w.contains("trial counts differ")));
+    }
+}

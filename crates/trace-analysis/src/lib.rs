@@ -1,0 +1,34 @@
+//! Cross-run analysis for aaltune: the run registry, statistical
+//! regression detection, and self-contained HTML tuning reports.
+//!
+//! The telemetry crate records what *one* run did; this crate answers
+//! questions that span runs:
+//!
+//! - **Registry** ([`registry`]): every `tune --out` / experiment run
+//!   appends a [`registry::RunEntry`] to an `index.jsonl`, so `aaltune
+//!   runs` can list and filter the history of tuning runs on a machine.
+//! - **Comparison** ([`compare`]): `aaltune compare A B` aligns two run
+//!   directories task-by-task and bootstraps confidence intervals over the
+//!   recorded trial outcomes ([`stats`]), classifying each task as
+//!   improved, regressed, or noise — the basis for CI gating via
+//!   `--fail-on-regress`.
+//! - **Reports** ([`report`]): `aaltune report RUN [BASELINE]` renders one
+//!   self-contained HTML file with convergence curves, a per-phase
+//!   flamegraph, and the BAO/SA adaptation panels, reconstructed from the
+//!   trace by [`trace`].
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod registry;
+pub mod report;
+pub mod stats;
+pub mod trace;
+
+pub use compare::{
+    compare_logs, compare_run_dirs, CompareOptions, RunComparison, TaskComparison, Verdict,
+};
+pub use registry::{git_describe, Registry, RegistryIndex, RunEntry, REGISTRY_SCHEMA_VERSION};
+pub use report::{render_report, LoadedRun};
+pub use stats::{bootstrap_mean_delta_ci, mean, variance, BootstrapCi};
+pub use trace::{FlameNode, TraceData};

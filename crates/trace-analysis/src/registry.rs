@@ -1,0 +1,407 @@
+//! The run registry: an append-only `index.jsonl` over run directories.
+//!
+//! Every producer of tuning results — `aaltune tune --out`, the `fig4` /
+//! `table1` experiment binaries — appends one [`RunEntry`] per run, so ad-hoc
+//! runs and paper experiments live in one queryable index. Entries carry the
+//! manifest facts (model, arm, seed, budget, git-describe, wall time) plus
+//! the headline metrics extracted from the run's logs, which makes listing
+//! and filtering possible without re-reading every run directory.
+//!
+//! The index is *append-only*: re-running a configuration appends a fresh
+//! entry, and [`Registry::load`] keeps the last entry per run id, so the
+//! index doubles as a history while reads see current state.
+
+use crate::stats::mean;
+use active_learning::{RunDir, TuningLog};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Version of the registry entry format. Readers warn on newer entries
+/// instead of silently misreading them; entries with no version read as 1.
+pub const REGISTRY_SCHEMA_VERSION: u32 = 1;
+
+/// One run in the registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunEntry {
+    /// Entry format version ([`REGISTRY_SCHEMA_VERSION`] at write time).
+    pub schema_version: Option<u32>,
+    /// Registry key. Later entries with the same id shadow earlier ones.
+    pub run_id: String,
+    /// Run directory (relative to the registry root when possible); `None`
+    /// for experiment entries that only produced aggregate JSON.
+    pub path: Option<String>,
+    /// Producer: `"tune"`, `"fig4"`, `"table1"`, ...
+    pub kind: String,
+    /// Model name.
+    pub model: String,
+    /// Method / experiment arm label.
+    pub method: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Trial budget per task.
+    pub n_trial: u64,
+    /// `git describe --always --dirty` at run time, when available.
+    pub git_describe: Option<String>,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time_s: Option<f64>,
+    /// Final best GFLOPS per task.
+    pub task_best_gflops: BTreeMap<String, f64>,
+    /// End-to-end mean latency (ms), for runs that deployed a model.
+    pub latency_mean_ms: Option<f64>,
+    /// End-to-end latency variance, for runs that deployed a model.
+    pub latency_variance: Option<f64>,
+}
+
+impl RunEntry {
+    /// The declared format version, defaulting pre-versioning entries to 1.
+    #[must_use]
+    pub fn schema_version(&self) -> u32 {
+        self.schema_version.unwrap_or(1)
+    }
+
+    /// Mean of the per-task best GFLOPS (0.0 with no tasks).
+    #[must_use]
+    pub fn mean_best_gflops(&self) -> f64 {
+        let xs: Vec<f64> = self.task_best_gflops.values().copied().collect();
+        mean(&xs)
+    }
+
+    /// Builds an entry from a `tune --out` run directory: manifest facts
+    /// plus per-task best GFLOPS from the logs. `run_id` is the directory
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the manifest or a log cannot be read.
+    pub fn from_run_dir(path: &Path) -> Result<RunEntry, String> {
+        if !path.is_dir() {
+            return Err(format!("{} is not a run directory", path.display()));
+        }
+        let dir =
+            RunDir::create(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        let manifest =
+            dir.read_manifest().map_err(|e| format!("bad manifest in {}: {e}", path.display()))?;
+        let logs: Vec<TuningLog> =
+            dir.read_logs().map_err(|e| format!("bad logs in {}: {e}", path.display()))?;
+        let run_id = path
+            .file_name()
+            .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+        Ok(RunEntry {
+            schema_version: Some(REGISTRY_SCHEMA_VERSION),
+            run_id,
+            path: Some(path.display().to_string()),
+            kind: "tune".to_string(),
+            model: manifest.model.clone(),
+            method: manifest.method.clone(),
+            seed: manifest.seed,
+            n_trial: manifest.options.n_trial as u64,
+            git_describe: manifest.git_describe.clone(),
+            wall_time_s: manifest.wall_time_s,
+            task_best_gflops: logs.iter().map(|l| (l.task_name.clone(), l.best_gflops())).collect(),
+            latency_mean_ms: None,
+            latency_variance: None,
+        })
+    }
+}
+
+/// Handle on one registry index file.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    index: PathBuf,
+}
+
+/// Result of reading an index: current entries plus hygiene counters.
+#[derive(Debug, Default)]
+pub struct RegistryIndex {
+    /// Last entry per run id, in first-seen order.
+    pub entries: Vec<RunEntry>,
+    /// Lines that failed to parse (corrupt or truncated appends).
+    pub malformed_lines: u64,
+    /// Entries declaring a schema version newer than supported.
+    pub newer_schema_entries: u64,
+}
+
+impl Registry {
+    /// The registry rooted at `root`: its index is `<root>/index.jsonl`.
+    #[must_use]
+    pub fn at(root: impl Into<PathBuf>) -> Registry {
+        Registry { index: root.into().join("index.jsonl") }
+    }
+
+    /// Path of the index file.
+    #[must_use]
+    pub fn index_path(&self) -> &Path {
+        &self.index
+    }
+
+    /// Appends one entry (creating the root directory and index on first
+    /// use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures.
+    pub fn append(&self, entry: &RunEntry) -> std::io::Result<()> {
+        if let Some(parent) = self.index.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&self.index)?;
+        writeln!(f, "{}", serde_json::to_string(entry).expect("entry serializes"))
+    }
+
+    /// Reads the index. Corrupt lines are counted, not fatal; duplicate run
+    /// ids keep the last (newest) entry. A missing index reads as empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than the index not existing.
+    pub fn load(&self) -> std::io::Result<RegistryIndex> {
+        let f = match std::fs::File::open(&self.index) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(RegistryIndex::default())
+            }
+            Err(e) => return Err(e),
+        };
+        let mut out = RegistryIndex::default();
+        let mut by_id: BTreeMap<String, usize> = BTreeMap::new();
+        for line in std::io::BufReader::new(f).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<RunEntry>(&line) {
+                Ok(e) => {
+                    if e.schema_version() > REGISTRY_SCHEMA_VERSION {
+                        out.newer_schema_entries += 1;
+                    }
+                    match by_id.get(&e.run_id) {
+                        Some(&i) => out.entries[i] = e,
+                        None => {
+                            by_id.insert(e.run_id.clone(), out.entries.len());
+                            out.entries.push(e);
+                        }
+                    }
+                }
+                Err(_) => out.malformed_lines += 1,
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl RegistryIndex {
+    /// Entries whose model/method/kind match the given filters (substring
+    /// match on model so `--model mobilenet` finds `mobilenet_v1`).
+    #[must_use]
+    pub fn filtered(
+        &self,
+        model: Option<&str>,
+        method: Option<&str>,
+        kind: Option<&str>,
+    ) -> Vec<&RunEntry> {
+        self.entries
+            .iter()
+            .filter(|e| model.is_none_or(|m| e.model.contains(m)))
+            .filter(|e| method.is_none_or(|m| e.method == m))
+            .filter(|e| kind.is_none_or(|k| e.kind == k))
+            .collect()
+    }
+
+    /// Renders entries as an aligned text table.
+    #[must_use]
+    pub fn render(&self, entries: &[&RunEntry]) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10} {:>12} {:>10}",
+            "run",
+            "kind",
+            "model",
+            "method",
+            "seed",
+            "n-trial",
+            "tasks",
+            "GFLOPS",
+            "latency(ms)",
+            "wall(s)"
+        );
+        for e in entries {
+            let _ = writeln!(
+                s,
+                "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10.1} {:>12} {:>10}",
+                e.run_id,
+                e.kind,
+                e.model,
+                e.method,
+                e.seed,
+                e.n_trial,
+                e.task_best_gflops.len(),
+                e.mean_best_gflops(),
+                e.latency_mean_ms.map_or_else(|| "-".to_string(), |l| format!("{l:.4}")),
+                e.wall_time_s.map_or_else(|| "-".to_string(), |w| format!("{w:.1}")),
+            );
+        }
+        if self.malformed_lines > 0 {
+            let _ = writeln!(s, "({} corrupt index line(s) skipped)", self.malformed_lines);
+        }
+        if self.newer_schema_entries > 0 {
+            let _ = writeln!(
+                s,
+                "warning: {} entr(ies) declare a registry schema newer than {} — \
+                 fields may be misread",
+                self.newer_schema_entries, REGISTRY_SCHEMA_VERSION
+            );
+        }
+        s
+    }
+}
+
+/// `git describe --always --dirty` of the working tree at `dir`, when git
+/// and a repository are available. Best-effort: failures yield `None`.
+#[must_use]
+pub fn git_describe(dir: &Path) -> Option<String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(dir)
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!s.is_empty()).then_some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, seed: u64) -> RunEntry {
+        RunEntry {
+            schema_version: Some(REGISTRY_SCHEMA_VERSION),
+            run_id: id.to_string(),
+            path: None,
+            kind: "tune".to_string(),
+            model: "mobilenet_v1".to_string(),
+            method: "bted+bao".to_string(),
+            seed,
+            n_trial: 64,
+            git_describe: Some("abc123".to_string()),
+            wall_time_s: Some(2.0),
+            task_best_gflops: [("m.T1".to_string(), 100.0), ("m.T2".to_string(), 200.0)]
+                .into_iter()
+                .collect(),
+            latency_mean_ms: None,
+            latency_variance: None,
+        }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("aaltune-registry-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let root = temp_root("rt");
+        let _ = std::fs::remove_dir_all(&root);
+        let reg = Registry::at(&root);
+        reg.append(&entry("run-a", 0)).unwrap();
+        reg.append(&entry("run-b", 1)).unwrap();
+        let idx = reg.load().unwrap();
+        assert_eq!(idx.entries.len(), 2);
+        assert_eq!(idx.entries[0].run_id, "run-a");
+        assert!((idx.entries[0].mean_best_gflops() - 150.0).abs() < 1e-9);
+        assert_eq!(idx.malformed_lines, 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn duplicate_run_ids_keep_the_newest() {
+        let root = temp_root("dup");
+        let _ = std::fs::remove_dir_all(&root);
+        let reg = Registry::at(&root);
+        reg.append(&entry("run-a", 0)).unwrap();
+        reg.append(&entry("run-a", 9)).unwrap();
+        let idx = reg.load().unwrap();
+        assert_eq!(idx.entries.len(), 1);
+        assert_eq!(idx.entries[0].seed, 9, "later append must shadow the earlier one");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_and_missing_index_are_tolerated() {
+        let root = temp_root("corrupt");
+        let _ = std::fs::remove_dir_all(&root);
+        let reg = Registry::at(&root);
+        assert!(reg.load().unwrap().entries.is_empty(), "missing index reads as empty");
+        reg.append(&entry("ok", 0)).unwrap();
+        std::fs::write(
+            reg.index_path(),
+            format!("{}\nnot json\n", serde_json::to_string(&entry("ok", 0)).unwrap()),
+        )
+        .unwrap();
+        let idx = reg.load().unwrap();
+        assert_eq!(idx.entries.len(), 1);
+        assert_eq!(idx.malformed_lines, 1);
+        assert!(idx.render(&idx.filtered(None, None, None)).contains("corrupt"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn filters_match_model_method_kind() {
+        let root = temp_root("filter");
+        let _ = std::fs::remove_dir_all(&root);
+        let reg = Registry::at(&root);
+        reg.append(&entry("a", 0)).unwrap();
+        let mut other = entry("b", 0);
+        other.model = "resnet18".to_string();
+        other.method = "autotvm".to_string();
+        reg.append(&other).unwrap();
+        let idx = reg.load().unwrap();
+        assert_eq!(idx.filtered(Some("mobilenet"), None, None).len(), 1);
+        assert_eq!(idx.filtered(None, Some("autotvm"), None).len(), 1);
+        assert_eq!(idx.filtered(None, None, Some("tune")).len(), 2);
+        assert_eq!(idx.filtered(Some("vgg"), None, None).len(), 0);
+        let table = idx.render(&idx.filtered(None, None, None));
+        assert!(table.contains("resnet18"), "{table}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn entry_from_run_dir_extracts_headline_metrics() {
+        use active_learning::{RunManifest, TrialRecord, TuneOptions, MANIFEST_SCHEMA_VERSION};
+        let root = temp_root("fromdir").join("sq-autotvm-seed0");
+        let _ = std::fs::remove_dir_all(root.parent().unwrap());
+        let dir = RunDir::create(&root).unwrap();
+        dir.write_manifest(&RunManifest {
+            model: "squeezenet_v1.1".into(),
+            method: "autotvm".into(),
+            tasks: vec!["sq.T1".into()],
+            seed: 4,
+            options: TuneOptions::smoke(),
+            schema_version: Some(MANIFEST_SCHEMA_VERSION),
+            git_describe: None,
+            wall_time_s: Some(0.5),
+        })
+        .unwrap();
+        let mut log = TuningLog::new("sq.T1", "autotvm");
+        log.records.push(TrialRecord {
+            trial: 0,
+            config_index: 1,
+            gflops: 80.0,
+            latency_s: 1e-4,
+            best_gflops: 80.0,
+        });
+        dir.write_log(&log).unwrap();
+        let e = RunEntry::from_run_dir(&root).unwrap();
+        assert_eq!(e.run_id, "sq-autotvm-seed0");
+        assert_eq!(e.model, "squeezenet_v1.1");
+        assert_eq!(e.task_best_gflops["sq.T1"], 80.0);
+        assert_eq!(e.n_trial, TuneOptions::smoke().n_trial as u64);
+        std::fs::remove_dir_all(root.parent().unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! Golden-file tests: `compare` pinned against the committed miniature run
+//! directories under `tests/fixtures/` (regenerate with
+//! `cargo run -p trace-analysis --example gen_fixtures`).
+//!
+//! The CLI-level twin of these assertions (exit code 2 under
+//! `--fail-on-regress`) lives in `crates/cli/src/commands.rs`.
+
+use std::path::PathBuf;
+use trace_analysis::{compare_run_dirs, CompareOptions, LoadedRun, Verdict};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn opts() -> CompareOptions {
+    CompareOptions { resamples: 1000, ..CompareOptions::default() }
+}
+
+#[test]
+fn reordered_measurements_classify_as_noise() {
+    let cmp = compare_run_dirs(&fixture("base"), &fixture("noise"), opts()).unwrap();
+    assert_eq!(cmp.tasks.len(), 2);
+    for t in &cmp.tasks {
+        assert_eq!(t.verdict, Verdict::Noise, "task {} misclassified: {t:?}", t.task);
+    }
+    assert!(!cmp.has_regressions());
+    assert_eq!(cmp.aggregate.delta, 0.0, "same multisets ⇒ identical bests");
+}
+
+#[test]
+fn injected_slowdown_classifies_as_regression() {
+    let cmp = compare_run_dirs(&fixture("base"), &fixture("regressed"), opts()).unwrap();
+    assert!(cmp.has_regressions(), "the gate must fire on the injected 20% slowdown");
+    let t1 = cmp.tasks.iter().find(|t| t.task == "m.T1").unwrap();
+    assert_eq!(t1.verdict, Verdict::Regressed);
+    assert!(t1.delta_pct < -15.0, "expected ≈ −20%, got {}", t1.delta_pct);
+    assert!(t1.ci.hi < 0.0, "CI must sit entirely below zero: {:?}", t1.ci);
+    let t2 = cmp.tasks.iter().find(|t| t.task == "m.T2").unwrap();
+    assert_eq!(t2.verdict, Verdict::Noise, "the untouched task must stay noise");
+    let text = cmp.render();
+    assert!(text.contains("1 regressed"), "{text}");
+}
+
+#[test]
+fn comparison_is_deterministic() {
+    let a = compare_run_dirs(&fixture("base"), &fixture("regressed"), opts()).unwrap();
+    let b = compare_run_dirs(&fixture("base"), &fixture("regressed"), opts()).unwrap();
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn report_renders_fixture_run_with_baseline() {
+    let run = LoadedRun::load(&fixture("regressed")).unwrap();
+    let base = LoadedRun::load(&fixture("base")).unwrap();
+    let cmp = trace_analysis::compare_logs(
+        base.id.clone(),
+        run.id.clone(),
+        &base.logs,
+        &run.logs,
+        opts(),
+        Vec::new(),
+    );
+    let html = trace_analysis::render_report(&run, Some(&base), Some(&cmp));
+    assert!(html.contains("▼ regressed"));
+    assert!(html.contains("m.T1") && html.contains("m.T2"));
+    for banned in ["http://", "https://", "<link", "<script"] {
+        assert!(!html.contains(banned), "report must be self-contained; found {banned}");
+    }
+}

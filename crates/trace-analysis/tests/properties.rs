@@ -1,0 +1,66 @@
+//! Property-based invariants for the bootstrap comparison statistics.
+//!
+//! The regression gate is only trustworthy if its confidence intervals
+//! behave: they must bracket the empirical mean delta, be ordered, and not
+//! depend on anything but the inputs and the seed.
+
+use proptest::prelude::*;
+use trace_analysis::{bootstrap_mean_delta_ci, mean};
+
+/// Non-empty synthetic measurement vectors around a configurable level.
+fn arb_samples(level: f64) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(level * 0.5..level * 1.5, 3..40)
+}
+
+proptest! {
+    /// The percentile interval must contain the point estimate — the mean
+    /// delta between the actual samples — for any synthetic data: the
+    /// bootstrap distribution centers on the empirical statistic, so its
+    /// central 95% always brackets it.
+    #[test]
+    fn ci_contains_the_empirical_mean_delta(
+        base in arb_samples(100.0),
+        cand in arb_samples(120.0),
+        seed in 0u64..1000,
+    ) {
+        let true_delta = mean(&cand) - mean(&base);
+        let ci = bootstrap_mean_delta_ci(&base, &cand, 500, 0.05, seed);
+        prop_assert!((ci.delta - true_delta).abs() < 1e-9);
+        prop_assert!(ci.lo <= ci.hi, "interval must be ordered: {ci:?}");
+        prop_assert!(
+            ci.lo <= true_delta + 1e-9 && true_delta <= ci.hi + 1e-9,
+            "CI [{}, {}] must bracket the empirical delta {true_delta}",
+            ci.lo,
+            ci.hi
+        );
+    }
+
+    /// A constant shift applied to every candidate sample moves the whole
+    /// interval by that shift (bootstrap resampling is translation
+    /// equivariant given the same seed).
+    #[test]
+    fn ci_is_translation_equivariant(
+        base in arb_samples(50.0),
+        shift in -25.0f64..25.0,
+        seed in 0u64..1000,
+    ) {
+        let cand: Vec<f64> = base.iter().map(|x| x + shift).collect();
+        let zero = bootstrap_mean_delta_ci(&base, &base, 400, 0.05, seed);
+        let moved = bootstrap_mean_delta_ci(&base, &cand, 400, 0.05, seed);
+        prop_assert!((moved.delta - (zero.delta + shift)).abs() < 1e-9);
+        prop_assert!((moved.lo - (zero.lo + shift)).abs() < 1e-6);
+        prop_assert!((moved.hi - (zero.hi + shift)).abs() < 1e-6);
+    }
+
+    /// Tightening the significance level can only widen the interval.
+    #[test]
+    fn stricter_alpha_never_narrows_the_interval(
+        base in arb_samples(10.0),
+        cand in arb_samples(12.0),
+        seed in 0u64..1000,
+    ) {
+        let loose = bootstrap_mean_delta_ci(&base, &cand, 600, 0.2, seed);
+        let strict = bootstrap_mean_delta_ci(&base, &cand, 600, 0.01, seed);
+        prop_assert!(strict.hi - strict.lo >= loose.hi - loose.lo - 1e-12);
+    }
+}
