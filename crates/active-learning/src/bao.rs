@@ -286,6 +286,12 @@ where
             self.pending_init.len()
         }
     }
+
+    fn exclude(&mut self, indices: &[u64]) {
+        // `visited` filters the BAO scope, so quarantined configurations
+        // drop out of every future neighborhood.
+        self.visited.extend(indices.iter().copied());
+    }
 }
 
 #[cfg(test)]

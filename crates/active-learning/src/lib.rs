@@ -53,5 +53,8 @@ pub use bted::BtedOptions;
 pub use evaluator::{Evaluator, GbtEvaluator, RidgeEvaluator};
 pub use model_tuning::{tune_model, ModelTuneResult};
 pub use options::TuneOptions;
-pub use records::{RunDir, RunManifest, TrialRecord, TuningLog, MANIFEST_SCHEMA_VERSION};
-pub use task_tuning::{tune_task, Method, TaskTuneResult};
+pub use records::{
+    Checkpoint, LogWriter, RecoveredLog, RunDir, RunManifest, TrialRecord, TuningLog,
+    CHECKPOINT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
+};
+pub use task_tuning::{tune_task, tune_task_with, Method, TaskTuneResult, TuneHooks};

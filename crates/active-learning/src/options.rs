@@ -40,6 +40,18 @@ pub struct TuneOptions {
     pub bao: BaoOptions,
     /// Master seed; every stochastic component derives from it.
     pub seed: u64,
+    /// Retries allowed per transient measurement fault (`None` = the
+    /// robust layer's default of 2). Optional so pre-robustness
+    /// manifests still deserialize.
+    pub max_retries: Option<u32>,
+    /// Per-trial device-time budget in milliseconds (`None`/0 = no
+    /// timeout).
+    pub trial_timeout_ms: Option<f64>,
+    /// Abort a task with a diagnostic once more than this fraction of
+    /// its measured trials have failed (checked after
+    /// [`TuneOptions::FAIL_RATE_MIN_TRIALS`] trials). `None` or `1.0`
+    /// disables the cap: hard tasks naturally reject many configs.
+    pub fail_rate_cap: Option<f64>,
 }
 
 impl Default for TuneOptions {
@@ -57,11 +69,30 @@ impl Default for TuneOptions {
             bted: BtedOptions::default(),
             bao: BaoOptions::default(),
             seed: 0,
+            max_retries: None,
+            trial_timeout_ms: None,
+            fail_rate_cap: None,
         }
     }
 }
 
 impl TuneOptions {
+    /// Trials measured before the fail-rate cap is consulted, so a noisy
+    /// first batch cannot abort a task.
+    pub const FAIL_RATE_MIN_TRIALS: usize = 48;
+
+    /// The retry budget with the default applied.
+    #[must_use]
+    pub fn max_retries_or_default(&self) -> u32 {
+        self.max_retries.unwrap_or(2)
+    }
+
+    /// The effective fail-rate cap (1.0 when disabled).
+    #[must_use]
+    pub fn fail_rate_cap_or_default(&self) -> f64 {
+        self.fail_rate_cap.unwrap_or(1.0)
+    }
+
     /// A reduced-budget preset for unit tests and smoke benches.
     #[must_use]
     pub fn smoke() -> Self {

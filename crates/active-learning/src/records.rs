@@ -5,7 +5,7 @@
 use crate::options::TuneOptions;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Seek, Write};
 use std::path::{Path, PathBuf};
 
 /// One measured configuration.
@@ -77,6 +77,59 @@ impl TuningLog {
         Ok(())
     }
 
+    /// Recovers a log from raw bytes that may end mid-line (the writing
+    /// process was killed mid-append). Every complete, parsable,
+    /// newline-terminated line is kept; the first incomplete or
+    /// malformed line and everything after it is dropped.
+    /// `valid_bytes` is the byte offset of the recovered prefix, so the
+    /// caller can truncate the file there and append seamlessly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadLogError::Empty`] when no complete header line
+    /// exists, and a parse error when the header is malformed — with no
+    /// header nothing can be recovered.
+    pub fn recover_jsonl(data: &[u8]) -> Result<RecoveredLog, ReadLogError> {
+        let mut offset = 0usize;
+        let mut log: Option<TuningLog> = None;
+        let mut dropped_tail = false;
+        while offset < data.len() {
+            let Some(nl) = data[offset..].iter().position(|&b| b == b'\n') else {
+                dropped_tail = true; // incomplete final line
+                break;
+            };
+            let line_end = offset + nl + 1;
+            let line = &data[offset..line_end];
+            let Ok(text) = std::str::from_utf8(line) else {
+                dropped_tail = true;
+                break;
+            };
+            if text.trim().is_empty() {
+                offset = line_end;
+                continue;
+            }
+            match &mut log {
+                None => {
+                    let header: serde_json::Value = serde_json::from_str(text)?;
+                    log = Some(TuningLog::new(
+                        header["task_name"].as_str().unwrap_or_default(),
+                        header["method"].as_str().unwrap_or_default(),
+                    ));
+                }
+                Some(log) => match serde_json::from_str::<TrialRecord>(text) {
+                    Ok(rec) => log.records.push(rec),
+                    Err(_) => {
+                        dropped_tail = true;
+                        break;
+                    }
+                },
+            }
+            offset = line_end;
+        }
+        let log = log.ok_or(ReadLogError::Empty)?;
+        Ok(RecoveredLog { log, valid_bytes: offset as u64, dropped_tail })
+    }
+
     /// Reads a log written by [`TuningLog::write_jsonl`].
     ///
     /// # Errors
@@ -101,12 +154,83 @@ impl TuningLog {
     }
 }
 
+/// A log recovered from a possibly crash-truncated file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredLog {
+    /// The parsed prefix of the log.
+    pub log: TuningLog,
+    /// Length in bytes of the recovered prefix (truncate the file here
+    /// before appending).
+    pub valid_bytes: u64,
+    /// True when an incomplete or malformed tail was dropped.
+    pub dropped_tail: bool,
+}
+
+/// An open, crash-safe trial-log writer: the header is written on
+/// creation and every [`append`](LogWriter::append) flushes one complete
+/// line to the OS before returning, so a killed process loses at most
+/// the line it was mid-writing — which [`TuningLog::recover_jsonl`]
+/// drops cleanly.
+#[derive(Debug)]
+pub struct LogWriter {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl LogWriter {
+    /// Appends one trial record as a JSON line and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn append(&mut self, rec: &TrialRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(rec).expect("record serializes");
+        writeln!(self.file, "{line}")
+    }
+
+    /// Where this log lives.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Version of the `checkpoint.json` format.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Crash-recovery state written alongside the trial logs.
+///
+/// The checkpoint is advisory: correctness of `tune --resume` rests on
+/// the trial logs themselves (the loop state — step counters, BAO
+/// radius, RNG cursors — is a deterministic function of the replayed
+/// trials). The checkpoint carries what the logs cannot: which tasks
+/// already finished, and the measurement layer's quarantine set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_SCHEMA_VERSION`] at write time).
+    pub schema_version: Option<u32>,
+    /// Tasks whose logs are complete (their loops exited normally).
+    pub completed_tasks: Vec<String>,
+    /// The task that was mid-tuning when this checkpoint was written.
+    pub in_flight: Option<String>,
+    /// Trials logged so far for the in-flight task.
+    pub trials_logged: Option<u64>,
+    /// Crash-quarantined configurations, restored into the robust
+    /// measurer on resume.
+    pub quarantine: Option<gpu_sim::Quarantine>,
+}
+
 /// Version of the run-directory layout and manifest format.
 ///
 /// Consumers (`aaltune runs` / `compare` / `report`) warn when a manifest
 /// declares a newer version instead of silently misreading it. Manifests
 /// with no `schema_version` field predate versioning and read as version 1.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 adds the crash-safety fields (`device`, `fault`, `resumed`)
+/// and the convention that the manifest is written at run *start* (and
+/// rewritten with `wall_time_s` at the end), so a killed run leaves
+/// enough behind for `tune --resume`.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
 
 /// What produced a run — serialized as `manifest.json` so every results
 /// directory is self-describing and reproducible.
@@ -131,6 +255,13 @@ pub struct RunManifest {
     pub git_describe: Option<String>,
     /// Wall-clock duration of the whole run in seconds.
     pub wall_time_s: Option<f64>,
+    /// Simulated device name, needed to rebuild the measurer on resume.
+    pub device: Option<String>,
+    /// Fault-injection settings of the run (`None` = no injection); a
+    /// resumed run replays the identical fault stream from these.
+    pub fault: Option<gpu_sim::FaultConfig>,
+    /// Set when this run directory was continued by `tune --resume`.
+    pub resumed: Option<bool>,
 }
 
 impl RunManifest {
@@ -202,22 +333,102 @@ impl RunDir {
         std::fs::write(self.root.join("manifest.json"), body)
     }
 
+    /// Where the log of `task_name` lives (task names may contain
+    /// path-hostile characters; the file name is a flattened form).
+    #[must_use]
+    pub fn log_path(&self, task_name: &str) -> PathBuf {
+        let stem: String = task_name
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
+            .collect();
+        self.root.join("logs").join(format!("{stem}.jsonl"))
+    }
+
     /// Writes one task's log as `logs/<task>.jsonl`, returning the path.
     ///
     /// # Errors
     ///
     /// Propagates file-creation and write failures.
     pub fn write_log(&self, log: &TuningLog) -> std::io::Result<PathBuf> {
-        // Task names may contain path-hostile characters; keep it flat.
-        let stem: String = log
-            .task_name
-            .chars()
-            .map(|c| if c.is_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
-            .collect();
-        let path = self.root.join("logs").join(format!("{stem}.jsonl"));
+        let path = self.log_path(&log.task_name);
         let f = std::fs::File::create(&path)?;
         log.write_jsonl(std::io::BufWriter::new(f))?;
         Ok(path)
+    }
+
+    /// Opens a fresh crash-safe log for `task_name`: truncates any
+    /// existing file, writes the header line, and returns a
+    /// [`LogWriter`] for per-trial appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write failures.
+    pub fn create_log(&self, task_name: &str, method: &str) -> std::io::Result<LogWriter> {
+        let path = self.log_path(task_name);
+        let mut file = std::fs::File::create(&path)?;
+        let header = serde_json::json!({ "task_name": task_name, "method": method });
+        writeln!(file, "{header}")?;
+        Ok(LogWriter { file, path })
+    }
+
+    /// Recovers the crash-truncated log of `task_name` for resumption:
+    /// parses the valid prefix, truncates the file to exactly those
+    /// bytes (dropping a half-written final line), and reopens it for
+    /// appending. Returns `None` when no log file exists yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a file so damaged that not even the
+    /// header survives is a [`ReadLogError::Empty`]/parse error.
+    pub fn recover_log(
+        &self,
+        task_name: &str,
+    ) -> Result<Option<(RecoveredLog, LogWriter)>, ReadLogError> {
+        let path = self.log_path(task_name);
+        let data = match std::fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let recovered = TuningLog::recover_jsonl(&data)?;
+        let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+        file.set_len(recovered.valid_bytes)?;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(Some((recovered, LogWriter { file, path })))
+    }
+
+    /// Where the crash-recovery checkpoint lives.
+    #[must_use]
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.root.join("checkpoint.json")
+    }
+
+    /// Writes `checkpoint.json` atomically (write-then-rename), so a
+    /// crash mid-checkpoint leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write failures.
+    pub fn write_checkpoint(&self, checkpoint: &Checkpoint) -> std::io::Result<()> {
+        let body = serde_json::to_string_pretty(checkpoint).expect("checkpoint serializes");
+        let tmp = self.root.join("checkpoint.json.tmp");
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, self.checkpoint_path())
+    }
+
+    /// Reads back `checkpoint.json`; `None` when the run never wrote one.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures or a parse error for a malformed checkpoint.
+    pub fn read_checkpoint(&self) -> Result<Option<Checkpoint>, ReadLogError> {
+        let body = match std::fs::read_to_string(self.checkpoint_path()) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(serde_json::from_str(&body)?))
     }
 
     /// Reads back `manifest.json`.
@@ -341,6 +552,9 @@ mod tests {
             schema_version: Some(MANIFEST_SCHEMA_VERSION),
             git_describe: Some("v0-test".into()),
             wall_time_s: Some(1.25),
+            device: Some("gtx1080ti".into()),
+            fault: Some(gpu_sim::FaultConfig { rate: 0.1, seed: 3 }),
+            resumed: None,
         };
         dir.write_manifest(&manifest).unwrap();
         assert_eq!(dir.read_manifest().unwrap(), manifest);
@@ -379,6 +593,104 @@ mod tests {
             ..m
         };
         assert!(future.schema_warning().unwrap().contains("newer"));
+    }
+
+    #[test]
+    fn recover_drops_incomplete_and_malformed_tails() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        log.write_jsonl(&mut buf).unwrap();
+
+        // Intact bytes recover fully.
+        let whole = TuningLog::recover_jsonl(&buf).unwrap();
+        assert_eq!(whole.log, log);
+        assert_eq!(whole.valid_bytes, buf.len() as u64);
+        assert!(!whole.dropped_tail);
+
+        // Kill mid-line: the partial final line is dropped, the rest kept.
+        let cut = buf.len() - 7;
+        let r = TuningLog::recover_jsonl(&buf[..cut]).unwrap();
+        assert_eq!(r.log.records.len(), log.records.len() - 1);
+        assert!(r.dropped_tail);
+        assert!(r.valid_bytes < cut as u64);
+        assert_eq!(
+            &buf[..r.valid_bytes as usize],
+            {
+                let mut prefix = Vec::new();
+                let mut shorter = log.clone();
+                shorter.records.pop();
+                shorter.write_jsonl(&mut prefix).unwrap();
+                prefix
+            }
+            .as_slice()
+        );
+
+        // A malformed middle line also truncates from there.
+        let mut garbled = buf.clone();
+        let second_line = buf.iter().position(|&b| b == b'\n').unwrap() + 1;
+        garbled[second_line] = b'@';
+        let g = TuningLog::recover_jsonl(&garbled).unwrap();
+        assert_eq!(g.log.records.len(), 0);
+        assert!(g.dropped_tail);
+
+        // No complete header at all: nothing recoverable.
+        assert!(matches!(TuningLog::recover_jsonl(b"{\"task_na"), Err(ReadLogError::Empty)));
+    }
+
+    #[test]
+    fn crash_safe_writer_recovers_and_resumes_byte_identically() {
+        let root = std::env::temp_dir().join(format!("aaltune-logwriter-{}", std::process::id()));
+        let dir = RunDir::create(&root).unwrap();
+        let log = sample_log();
+
+        // Reference: the log written in one piece.
+        let mut reference = Vec::new();
+        log.write_jsonl(&mut reference).unwrap();
+
+        // Crash-safe path: append 3 records, simulate a kill by writing
+        // a partial line, then recover and append the rest.
+        let mut w = dir.create_log(&log.task_name, &log.method).unwrap();
+        for rec in &log.records[..3] {
+            w.append(rec).unwrap();
+        }
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.log_path(&log.task_name))
+                .unwrap();
+            write!(f, "{{\"trial\":3,\"conf").unwrap();
+        }
+        drop(w);
+        let (recovered, mut w) = dir.recover_log(&log.task_name).unwrap().unwrap();
+        assert_eq!(recovered.log.records, log.records[..3]);
+        assert!(recovered.dropped_tail);
+        for rec in &log.records[3..] {
+            w.append(rec).unwrap();
+        }
+        drop(w);
+        let final_bytes = std::fs::read(dir.log_path(&log.task_name)).unwrap();
+        assert_eq!(final_bytes, reference, "resumed log must be byte-identical");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_is_optional() {
+        let root = std::env::temp_dir().join(format!("aaltune-ckpt-{}", std::process::id()));
+        let dir = RunDir::create(&root).unwrap();
+        assert!(dir.read_checkpoint().unwrap().is_none());
+        let mut quarantine = gpu_sim::Quarantine::new();
+        quarantine.insert("m.T1", 42);
+        let ckpt = Checkpoint {
+            schema_version: Some(CHECKPOINT_SCHEMA_VERSION),
+            completed_tasks: vec!["m.T0".into()],
+            in_flight: Some("m.T1".into()),
+            trials_logged: Some(17),
+            quarantine: Some(quarantine),
+        };
+        dir.write_checkpoint(&ckpt).unwrap();
+        assert_eq!(dir.read_checkpoint().unwrap().unwrap(), ckpt);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -63,6 +63,28 @@ pub struct TaskTuneResult {
     pub num_measured: usize,
     /// Full per-trial log.
     pub log: TuningLog,
+    /// Diagnostic when the loop aborted early (fail-rate cap tripped)
+    /// instead of exhausting its budget; `None` for a clean run.
+    pub aborted: Option<String>,
+}
+
+/// Optional extension points for the measurement loop.
+///
+/// `tune_task` uses the defaults; the crash-safe CLI path threads a
+/// per-trial sink (append-to-log-before-consume) and a recovered log to
+/// replay through [`tune_task_with`].
+#[derive(Default)]
+pub struct TuneHooks<'a> {
+    /// Called after every *live* (non-replayed) trial, before the result
+    /// is fed to the tuner — the crash-safety contract is that a trial
+    /// reaches durable storage before anything consumes it.
+    pub on_trial: Option<&'a mut dyn FnMut(&TrialRecord)>,
+    /// Previously recorded trials to replay through the deterministic
+    /// loop before measuring anything. Replay feeds each recorded result
+    /// to the tuner without re-measuring, reconstructing the exact loop
+    /// state (step counters, model state, BAO radius, RNG cursors) the
+    /// recorded run had after its last durable trial.
+    pub replay: Option<&'a [TrialRecord]>,
 }
 
 /// Builds the initial configuration set for `method`.
@@ -95,6 +117,20 @@ pub fn tune_task<M: Measurer>(
     method: Method,
     opts: &TuneOptions,
 ) -> TaskTuneResult {
+    tune_task_with(task, measurer, method, opts, TuneHooks::default())
+}
+
+/// [`tune_task`] with explicit [`TuneHooks`] — the crash-safe resume
+/// entry point: pass the recovered trial records as `hooks.replay` and a
+/// durable-append sink as `hooks.on_trial`.
+#[must_use]
+pub fn tune_task_with<M: Measurer>(
+    task: &TuningTask,
+    measurer: &M,
+    method: Method,
+    opts: &TuneOptions,
+    hooks: TuneHooks<'_>,
+) -> TaskTuneResult {
     let tel = telemetry::global();
     let _span = tel.span("tune_task");
     tel.event(telemetry::events::TUNE_START_EVENT, || {
@@ -124,11 +160,12 @@ pub fn tune_task<M: Measurer>(
         )),
         Method::BtedBao => Box::new(BaoTuner::new(&space, init, opts.bao, opts.bao_gbt, opts.seed)),
     };
-    drive_loop(task, &space, tuner.as_mut(), measurer, method, opts)
+    drive_loop(task, &space, tuner.as_mut(), measurer, method, opts, hooks)
 }
 
 /// The measurement loop, shared by every method (and reusable with a custom
 /// [`Tuner`] implementation).
+#[allow(clippy::too_many_lines)]
 pub fn drive_loop<M: Measurer>(
     task: &TuningTask,
     space: &ConfigSpace,
@@ -136,6 +173,7 @@ pub fn drive_loop<M: Measurer>(
     measurer: &M,
     method: Method,
     opts: &TuneOptions,
+    mut hooks: TuneHooks<'_>,
 ) -> TaskTuneResult {
     let tel = telemetry::global();
     let _span = tel.span("drive_loop");
@@ -143,8 +181,47 @@ pub fn drive_loop<M: Measurer>(
     let mut best: Option<(Config, f64)> = None;
     let mut since_best = 0usize;
     let mut measured = 0usize;
+    let mut failed = 0usize;
+    let mut aborted: Option<String> = None;
+
+    let mut replay: &[TrialRecord] = hooks.replay.unwrap_or(&[]);
+    if !replay.is_empty() {
+        tel.count("tune.resume", 1);
+        let replayed = replay.len() as u64;
+        tel.event(
+            telemetry::events::TUNE_RESUME_EVENT,
+            || telemetry::json!({ "task": task.name.clone(), "replayed": replayed }),
+        );
+    }
+    // The quarantine is consulted once the replay phase is over. Never
+    // earlier: configurations quarantined mid-run were still *proposed*
+    // by the recorded run before their failure, so pre-excluding them
+    // would make the replayed proposal stream diverge from the log.
+    let mut quarantine_applied = false;
 
     while measured < opts.n_trial && since_best < opts.early_stopping {
+        let cap = opts.fail_rate_cap_or_default();
+        if cap < 1.0 && measured >= TuneOptions::FAIL_RATE_MIN_TRIALS {
+            #[allow(clippy::cast_precision_loss)]
+            let rate = failed as f64 / measured as f64;
+            if rate > cap {
+                let diag = format!(
+                    "fail-rate cap tripped: {failed}/{measured} trials failed \
+                     ({rate:.2} > {cap:.2}) — aborting task"
+                );
+                tel.count("tune.aborted", 1);
+                tel.report(|| format!("{}: {diag}", task.name));
+                aborted = Some(diag);
+                break;
+            }
+        }
+        if replay.is_empty() && !quarantine_applied {
+            let quarantined = measurer.quarantined(task);
+            if !quarantined.is_empty() {
+                tuner.exclude(&quarantined);
+            }
+            quarantine_applied = true;
+        }
         let want = tuner.preferred_batch().min(opts.batch_size).min(opts.n_trial - measured).max(1);
         let batch = tuner.next_batch(want);
         if batch.is_empty() {
@@ -152,34 +229,67 @@ pub fn drive_loop<M: Measurer>(
         }
         let mut results = Vec::with_capacity(batch.len());
         for cfg in batch {
-            let r = measurer.measure(task, space, &cfg);
-            let improved = best.as_ref().is_none_or(|(_, g)| r.gflops > *g);
-            if improved && r.gflops > 0.0 {
-                best = Some((cfg.clone(), r.gflops));
+            let (gflops, latency_s, live) = match replay.split_first() {
+                Some((rec, rest)) if rec.config_index == cfg.index => {
+                    replay = rest;
+                    (rec.gflops, rec.latency_s, false)
+                }
+                Some((rec, _)) => {
+                    // The proposal stream no longer matches the log
+                    // (different binary or options?). Degrade gracefully:
+                    // stop replaying and measure live from here.
+                    tel.report(|| {
+                        format!(
+                            "{}: resume replay diverged at trial {measured} (logged config {}, \
+                             proposed {}) — continuing with live measurements",
+                            task.name, rec.config_index, cfg.index
+                        )
+                    });
+                    replay = &[];
+                    let r = measurer.measure(task, space, &cfg);
+                    (r.gflops, r.latency_s, true)
+                }
+                None => {
+                    let r = measurer.measure(task, space, &cfg);
+                    (r.gflops, r.latency_s, true)
+                }
+            };
+            if gflops <= 0.0 {
+                failed += 1;
+            }
+            let improved = best.as_ref().is_none_or(|(_, g)| gflops > *g);
+            if improved && gflops > 0.0 {
+                best = Some((cfg.clone(), gflops));
                 since_best = 0;
             } else {
                 since_best += 1;
             }
             let best_now = best.as_ref().map_or(0.0, |(_, g)| *g);
-            tel.event(telemetry::events::TRIAL_EVENT, || {
-                telemetry::json!({
-                    "trial": measured as u64,
-                    "config_index": cfg.index,
-                    "gflops": r.gflops,
-                    "best_gflops": best_now,
-                    "improved": improved && r.gflops > 0.0,
-                })
-            });
-            tel.observe("trial.gflops", r.gflops);
-            log.records.push(TrialRecord {
+            let record = TrialRecord {
                 trial: measured,
                 config_index: cfg.index,
-                gflops: r.gflops,
-                latency_s: r.latency_s,
+                gflops,
+                latency_s,
                 best_gflops: best_now,
-            });
+            };
+            if live {
+                tel.event(telemetry::events::TRIAL_EVENT, || {
+                    telemetry::json!({
+                        "trial": measured as u64,
+                        "config_index": cfg.index,
+                        "gflops": gflops,
+                        "best_gflops": best_now,
+                        "improved": improved && gflops > 0.0,
+                    })
+                });
+                tel.observe("trial.gflops", gflops);
+                if let Some(sink) = hooks.on_trial.as_mut() {
+                    sink(&record);
+                }
+            }
+            log.records.push(record);
             measured += 1;
-            results.push((cfg, r.gflops));
+            results.push((cfg, gflops));
         }
         {
             let _update = tel.span("tuner.update");
@@ -198,6 +308,7 @@ pub fn drive_loop<M: Measurer>(
         best_gflops,
         num_measured: measured,
         log,
+        aborted,
     }
 }
 
@@ -256,6 +367,110 @@ mod tests {
         let b = tune_task(&t, &m, Method::BtedBao, &opts);
         assert_eq!(a.best_gflops, b.best_gflops);
         assert_eq!(a.log, b.log);
+    }
+
+    #[test]
+    fn replaying_a_prefix_reproduces_the_uninterrupted_run() {
+        let t = task(2);
+        let m = measurer();
+        let opts = TuneOptions::smoke();
+        let full = tune_task(&t, &m, Method::BtedBao, &opts);
+        assert!(full.log.records.len() > 10);
+
+        // Resume from a mid-run prefix: the continued log must equal the
+        // uninterrupted one exactly (same trials, same floats).
+        for cut in [1, full.log.records.len() / 2, full.log.records.len()] {
+            let prefix = &full.log.records[..cut];
+            let resumed = tune_task_with(
+                &t,
+                &m,
+                Method::BtedBao,
+                &opts,
+                TuneHooks { replay: Some(prefix), ..TuneHooks::default() },
+            );
+            assert_eq!(resumed.log, full.log, "cut at {cut} diverged");
+            assert_eq!(resumed.best_gflops, full.best_gflops);
+        }
+    }
+
+    #[test]
+    fn on_trial_sink_sees_only_live_trials() {
+        let t = task(0);
+        let m = measurer();
+        let opts = TuneOptions::smoke();
+        let full = tune_task(&t, &m, Method::Bted, &opts);
+        let cut = full.log.records.len() / 2;
+        let mut seen = Vec::new();
+        let mut sink = |r: &TrialRecord| seen.push(r.clone());
+        let resumed = tune_task_with(
+            &t,
+            &m,
+            Method::Bted,
+            &opts,
+            TuneHooks { on_trial: Some(&mut sink), replay: Some(&full.log.records[..cut]) },
+        );
+        assert_eq!(resumed.log, full.log);
+        assert_eq!(seen, full.log.records[cut..], "sink must see exactly the live tail");
+    }
+
+    #[test]
+    fn fail_rate_cap_aborts_with_a_diagnostic() {
+        struct AlwaysFails;
+        impl Measurer for AlwaysFails {
+            fn measure(
+                &self,
+                _t: &TuningTask,
+                _s: &ConfigSpace,
+                _c: &Config,
+            ) -> gpu_sim::MeasureResult {
+                gpu_sim::MeasureResult::failed(gpu_sim::MeasureError::new(
+                    gpu_sim::MeasureErrorKind::LaunchCrash,
+                    "boom",
+                ))
+            }
+        }
+        let t = task(0);
+        let opts = TuneOptions {
+            fail_rate_cap: Some(0.9),
+            n_trial: 4096,
+            early_stopping: 4096,
+            ..TuneOptions::smoke()
+        };
+        let r = tune_task(&t, &AlwaysFails, Method::Random, &opts);
+        let diag = r.aborted.expect("cap must trip when everything fails");
+        assert!(diag.contains("fail-rate cap"), "{diag}");
+        assert!(r.num_measured >= TuneOptions::FAIL_RATE_MIN_TRIALS);
+        assert!(r.num_measured < 4096, "must abort well before the budget");
+        assert!(r.best_config.is_none());
+
+        // Disabled cap (default): same measurer burns the early-stopping
+        // budget instead but completes without an abort diagnostic.
+        let opts = TuneOptions { n_trial: 128, early_stopping: 128, ..TuneOptions::smoke() };
+        let r = tune_task(&t, &AlwaysFails, Method::Random, &opts);
+        assert!(r.aborted.is_none());
+    }
+
+    #[test]
+    fn quarantined_configs_are_excluded_from_proposals() {
+        use gpu_sim::{FaultConfig, FaultInjectingMeasurer, RetryPolicy, RobustMeasurer};
+        let t = task(1);
+        let m = RobustMeasurer::new(
+            FaultInjectingMeasurer::new(measurer(), FaultConfig { rate: 0.3, seed: 5 }),
+            RetryPolicy::default(),
+        );
+        let opts = TuneOptions::smoke();
+        let r = tune_task(&t, &m, Method::Bted, &opts);
+        assert!(r.best_gflops > 0.0, "tuning must survive 30% faults");
+        let quarantined = m.quarantined(&t);
+        assert!(!quarantined.is_empty(), "expected persistent faults at 30%");
+        // A second task run against the same measurer starts with the
+        // quarantine pre-applied: none of those configs is re-measured.
+        let r2 = tune_task(&t, &m, Method::Bted, &opts);
+        let measured: std::collections::HashSet<u64> =
+            r2.log.records.iter().map(|rec| rec.config_index).collect();
+        for q in &quarantined {
+            assert!(!measured.contains(q), "quarantined config {q} was re-proposed");
+        }
     }
 
     #[test]

@@ -32,4 +32,11 @@ pub trait Tuner {
     fn preferred_batch(&self) -> usize {
         64
     }
+
+    /// Marks configuration indices as off-limits for future proposals —
+    /// the measurement layer's crash quarantine feeds known-bad configs
+    /// here so they are never re-proposed. Strategies without an
+    /// exclusion mechanism may ignore it (they will just re-measure a
+    /// zero-GFLOPS penalty).
+    fn exclude(&mut self, _indices: &[u64]) {}
 }

@@ -166,6 +166,12 @@ impl Tuner for XgbTuner<'_> {
         }
         self.dirty += results.len();
     }
+
+    fn exclude(&mut self, indices: &[u64]) {
+        // `visited` doubles as the SA proposer's exclusion set, so
+        // quarantined configurations are never planned again.
+        self.visited.extend(indices.iter().copied());
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,10 @@ fn base_entry(run_id: String, kind: &str, model: &str, method: String) -> RunEnt
         task_best_gflops: BTreeMap::new(),
         latency_mean_ms: None,
         latency_variance: None,
+        faults: None,
+        retries: None,
+        quarantined: None,
+        resumed: None,
     }
 }
 

@@ -2,10 +2,11 @@
 
 use crate::opts::{device_by_name, method_by_name, model_by_name, Cli};
 use active_learning::{
-    tune_model, tune_task, RunDir, RunManifest, TuneOptions, MANIFEST_SCHEMA_VERSION,
+    tune_model, tune_task_with, Checkpoint, Method, RunDir, RunManifest, TrialRecord, TuneHooks,
+    TuneOptions, TuningLog, CHECKPOINT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
 };
 use dnn_graph::task::extract_tasks;
-use gpu_sim::SimMeasurer;
+use gpu_sim::{FaultConfig, FaultInjectingMeasurer, RetryPolicy, RobustMeasurer, SimMeasurer};
 use schedule::template::space_for_task;
 use std::path::{Path, PathBuf};
 use trace_analysis::{
@@ -25,7 +26,10 @@ usage:
   aaltune devices
   aaltune tune    <model> [--task N] [--method M] [--n-trial N] [--seed S]
                           [--device D] [--log FILE] [--out DIR]
+                          [--fault-rate P] [--fault-seed S] [--max-retries R]
+                          [--trial-timeout-ms T] [--max-fail-rate F]
                           [--trace FILE] [--quiet] [--json]
+  aaltune tune    --resume RUN_DIR [--quiet] [--json]
   aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
                           [--device D] [--trace FILE] [--quiet] [--json]
   aaltune trace   <trace.jsonl>
@@ -40,6 +44,11 @@ devices: gtx1080ti (default) v100 jetson
 tracing: --trace writes a JSONL telemetry trace (`aaltune trace` summarizes
          it); --out creates a per-run results dir with manifest, logs, and
          trace, and registers the run in DIR/index.jsonl
+faults:  --fault-rate injects deterministic measurement faults (seeded by
+         --fault-seed); transient faults are retried up to --max-retries,
+         persistent crashers are quarantined, and a task aborts once more
+         than --max-fail-rate of its trials fail. Runs with --out are
+         crash-safe: kill the process and continue with `tune --resume`
 analysis: `runs` lists the registry (DIR defaults to ./runs); `compare`
          bootstraps per-task deltas between two run dirs and exits 2 on a
          gated regression; `report` writes a self-contained HTML report";
@@ -94,12 +103,22 @@ fn model_arg(cli: &Cli) -> Result<dnn_graph::Graph, String> {
     model_by_name(name)
 }
 
+/// Optional typed flag: absent flags stay `None` instead of defaulting.
+fn opt_flag<T: std::str::FromStr>(cli: &Cli, name: &str) -> Result<Option<T>, String> {
+    cli.flag_str(name)
+        .map(|v| v.parse().map_err(|_| format!("invalid value for --{name}: `{v}`")))
+        .transpose()
+}
+
 fn options(cli: &Cli) -> Result<TuneOptions, String> {
     let n_trial: usize = cli.flag("n-trial", 512)?;
     Ok(TuneOptions {
         n_trial,
         early_stopping: 400.min(n_trial),
         seed: cli.flag("seed", 0)?,
+        max_retries: opt_flag(cli, "max-retries")?,
+        trial_timeout_ms: opt_flag(cli, "trial-timeout-ms")?,
+        fail_rate_cap: opt_flag(cli, "max-fail-rate")?,
         ..TuneOptions::default()
     })
 }
@@ -148,39 +167,267 @@ fn devices() {
     }
 }
 
+/// Everything `tune` needs to run, resolved either from the command line
+/// (fresh run) or from a run directory's manifest (`--resume`).
+struct TunePlan {
+    model: dnn_graph::Graph,
+    method: Method,
+    opts: TuneOptions,
+    fault: FaultConfig,
+    device_name: String,
+    run_dir: Option<RunDir>,
+    /// Where the run registry lives (the parent of the run directory).
+    registry_base: Option<PathBuf>,
+    resume: bool,
+    /// Loop state recovered from `checkpoint.json` (default when fresh).
+    checkpoint: Checkpoint,
+    /// Exact task set pinned by the original manifest on resume.
+    task_names: Option<Vec<String>>,
+}
+
+impl TunePlan {
+    fn fresh(cli: &Cli) -> Result<TunePlan, String> {
+        let model = model_arg(cli)?;
+        let method = method_by_name(cli.flag_str("method").unwrap_or("bted+bao"))?;
+        let opts = options(cli)?;
+        let fault =
+            FaultConfig { rate: cli.flag("fault-rate", 0.0)?, seed: cli.flag("fault-seed", 0)? };
+        if !(0.0..=1.0).contains(&fault.rate) {
+            return Err(format!("--fault-rate {} out of range [0, 1]", fault.rate));
+        }
+        let run_dir = cli
+            .flag_str("out")
+            .map(|base| {
+                let name = format!("{}-{method}-seed{}", model.name, opts.seed);
+                RunDir::create(Path::new(base).join(name))
+                    .map_err(|e| format!("cannot create run directory: {e}"))
+            })
+            .transpose()?;
+        Ok(TunePlan {
+            model,
+            method,
+            opts,
+            fault,
+            device_name: cli.flag_str("device").unwrap_or("gtx1080ti").to_string(),
+            run_dir,
+            registry_base: cli.flag_str("out").map(PathBuf::from),
+            resume: false,
+            checkpoint: Checkpoint::default(),
+            task_names: None,
+        })
+    }
+
+    /// Rebuilds the plan of a killed run from its manifest: model, method,
+    /// options, device, and fault stream all come from the directory, so
+    /// the continued run is the same experiment.
+    fn resume(path: &Path) -> Result<TunePlan, String> {
+        if !path.is_dir() {
+            return Err(format!("{} is not a run directory", path.display()));
+        }
+        let dir =
+            RunDir::create(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        let manifest =
+            dir.read_manifest().map_err(|e| format!("cannot resume {}: {e}", path.display()))?;
+        if let Some(w) = manifest.schema_warning() {
+            return Err(format!("cannot resume {}: {w}", path.display()));
+        }
+        let checkpoint = dir
+            .read_checkpoint()
+            .map_err(|e| format!("bad checkpoint in {}: {e}", path.display()))?
+            .unwrap_or_default();
+        Ok(TunePlan {
+            model: model_by_name(&manifest.model)?,
+            method: method_by_name(&manifest.method)?,
+            opts: manifest.options,
+            fault: manifest.fault.unwrap_or_else(FaultConfig::off),
+            device_name: manifest.device.clone().unwrap_or_else(|| "gtx1080ti".to_string()),
+            registry_base: path.parent().map(Path::to_path_buf),
+            run_dir: Some(dir),
+            resume: true,
+            checkpoint,
+            task_names: Some(manifest.tasks),
+        })
+    }
+
+    fn manifest(&self, task_names: Vec<String>, wall_time_s: Option<f64>) -> RunManifest {
+        RunManifest {
+            model: self.model.name.clone(),
+            method: self.method.to_string(),
+            tasks: task_names,
+            seed: self.opts.seed,
+            options: self.opts,
+            schema_version: Some(MANIFEST_SCHEMA_VERSION),
+            git_describe: trace_analysis::git_describe(Path::new(".")),
+            wall_time_s,
+            device: Some(self.device_name.clone()),
+            fault: (!self.fault.is_off()).then_some(self.fault),
+            resumed: self.resume.then_some(true),
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn tune(cli: &Cli) -> Result<(), String> {
     let started = std::time::Instant::now();
-    let model = model_arg(cli)?;
-    let method = method_by_name(cli.flag_str("method").unwrap_or("bted+bao"))?;
-    let opts = options(cli)?;
-    let m = measurer(cli)?;
-
-    // --out DIR: self-describing per-run results directory.
-    let run_dir = cli
-        .flag_str("out")
-        .map(|base| {
-            let name = format!("{}-{method}-seed{}", model.name, opts.seed);
-            RunDir::create(Path::new(base).join(name))
-                .map_err(|e| format!("cannot create run directory: {e}"))
-        })
-        .transpose()?;
-    let tel = install_telemetry(cli, run_dir.as_ref())?;
-
-    let tasks = extract_tasks(&model);
-    let selected: Vec<usize> = match cli.flag_str("task") {
-        Some(s) => {
-            let i: usize = s.parse().map_err(|_| format!("invalid --task index `{s}`"))?;
-            if i >= tasks.len() {
-                finish_telemetry(&tel);
-                return Err(format!("--task {i} out of range (model has {})", tasks.len()));
-            }
-            vec![i]
-        }
-        None => (0..tasks.len()).collect(),
+    let plan = match cli.flag_str("resume") {
+        Some(p) => TunePlan::resume(Path::new(p))?,
+        None => TunePlan::fresh(cli)?,
     };
+
+    // The full measurement stack, always assembled the same way: fault
+    // injection (transparent at rate 0) under the retry/timeout/quarantine
+    // policy. A resumed run restores the checkpointed quarantine so
+    // known-crashing configs are never re-measured.
+    let policy = RetryPolicy {
+        max_retries: plan.opts.max_retries_or_default(),
+        trial_timeout_ms: plan.opts.trial_timeout_ms.unwrap_or(0.0),
+        ..RetryPolicy::default()
+    };
+    let device = device_by_name(&plan.device_name)?;
+    let m = RobustMeasurer::new(
+        FaultInjectingMeasurer::new(SimMeasurer::new(device), plan.fault),
+        policy,
+    );
+    if let Some(q) = plan.checkpoint.quarantine.clone() {
+        m.restore_quarantine(q);
+    }
+
+    // A resumed process appends to the existing trace; its fresh schema
+    // header marks the segment boundary for counter summing.
+    let trace: Option<PathBuf> = cli
+        .flag_str("trace")
+        .map(PathBuf::from)
+        .or_else(|| plan.run_dir.as_ref().map(RunDir::trace_path));
+    let tel = telemetry::install_pipeline_mode(
+        trace.as_deref(),
+        cli.flag_present("quiet"),
+        cli.flag_present("json"),
+        plan.resume,
+    )
+    .map_err(|e| format!("cannot create trace file: {e}"))?;
+
+    let tasks = extract_tasks(&plan.model);
+    let selected: Vec<usize> = if let Some(names) = &plan.task_names {
+        tasks.iter().enumerate().filter(|(_, t)| names.contains(&t.name)).map(|(i, _)| i).collect()
+    } else {
+        match cli.flag_str("task") {
+            Some(s) => {
+                let i: usize = s.parse().map_err(|_| format!("invalid --task index `{s}`"))?;
+                if i >= tasks.len() {
+                    finish_telemetry(&tel);
+                    return Err(format!("--task {i} out of range (model has {})", tasks.len()));
+                }
+                vec![i]
+            }
+            None => (0..tasks.len()).collect(),
+        }
+    };
+    let selected_names: Vec<String> = selected.iter().map(|&i| tasks[i].name.clone()).collect();
+
+    // Crash-safety contract: the manifest exists from the first moment a
+    // trial can be lost, so a killed run is always resumable.
+    if let Some(dir) = &plan.run_dir {
+        if !plan.resume {
+            dir.write_manifest(&plan.manifest(selected_names.clone(), None))
+                .map_err(|e| format!("cannot write manifest: {e}"))?;
+        }
+    }
+
+    let method = plan.method;
+    let mut completed: Vec<String> = plan.checkpoint.completed_tasks.clone();
     let mut logs = Vec::new();
     for i in selected {
-        let r = tune_task(&tasks[i], &m, method, &opts);
+        let task = &tasks[i];
+        let r = if let Some(dir) = &plan.run_dir {
+            if completed.contains(&task.name) {
+                // Finished before the kill: read the durable log back.
+                let f = std::fs::File::open(dir.log_path(&task.name))
+                    .map_err(|e| format!("cannot reopen log of {}: {e}", task.name))?;
+                let log = TuningLog::read_jsonl(std::io::BufReader::new(f))
+                    .map_err(|e| format!("bad log for completed task {}: {e}", task.name))?;
+                tel.report(|| {
+                    format!(
+                        "{:<18} already complete ({} trials) — skipped",
+                        log.task_name,
+                        log.records.len()
+                    )
+                });
+                logs.push(log);
+                continue;
+            }
+            // Durable path: recover any partial log, replay it through the
+            // deterministic loop, and append every live trial before the
+            // tuner consumes it.
+            let (replay, mut writer) = {
+                let recovered = if plan.resume {
+                    dir.recover_log(&task.name)
+                        .map_err(|e| format!("cannot recover log of {}: {e}", task.name))?
+                } else {
+                    None
+                };
+                match recovered {
+                    Some((rec, w)) => {
+                        if rec.dropped_tail {
+                            tel.report(|| {
+                                format!("{}: dropped a half-written trial line", task.name)
+                            });
+                        }
+                        (rec.log.records, w)
+                    }
+                    None => (
+                        Vec::new(),
+                        dir.create_log(&task.name, method.label())
+                            .map_err(|e| format!("cannot create log of {}: {e}", task.name))?,
+                    ),
+                }
+            };
+            let ckpt = |trials: u64| Checkpoint {
+                schema_version: Some(CHECKPOINT_SCHEMA_VERSION),
+                completed_tasks: completed.clone(),
+                in_flight: Some(task.name.clone()),
+                trials_logged: Some(trials),
+                quarantine: Some(m.quarantine_snapshot()),
+            };
+            dir.write_checkpoint(&ckpt(replay.len() as u64))
+                .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+            let trials_logged = std::cell::Cell::new(replay.len() as u64);
+            let write_err: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
+            let mut sink = |rec: &TrialRecord| {
+                if let Err(e) = writer.append(rec) {
+                    write_err.borrow_mut().get_or_insert(e.to_string());
+                }
+                trials_logged.set(trials_logged.get() + 1);
+                if trials_logged.get().is_multiple_of(16) {
+                    let _ = dir.write_checkpoint(&ckpt(trials_logged.get()));
+                }
+            };
+            let r = tune_task_with(
+                task,
+                &m,
+                method,
+                &plan.opts,
+                TuneHooks { on_trial: Some(&mut sink), replay: Some(&replay) },
+            );
+            if let Some(e) = write_err.into_inner() {
+                finish_telemetry(&tel);
+                return Err(format!("trial log of {} failed to write: {e}", task.name));
+            }
+            completed.push(task.name.clone());
+            dir.write_checkpoint(&Checkpoint {
+                schema_version: Some(CHECKPOINT_SCHEMA_VERSION),
+                completed_tasks: completed.clone(),
+                in_flight: None,
+                trials_logged: None,
+                quarantine: Some(m.quarantine_snapshot()),
+            })
+            .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+            r
+        } else {
+            tune_task_with(task, &m, method, &plan.opts, TuneHooks::default())
+        };
+        if let Some(diag) = &r.aborted {
+            tel.report(|| format!("{:<18} ABORTED: {diag}", r.task_name));
+        }
         tel.report(|| {
             format!(
                 "{:<18} {:>9.1} GFLOPS in {:>4} measurements ({method})",
@@ -190,28 +437,22 @@ fn tune(cli: &Cli) -> Result<(), String> {
         logs.push(r.log);
     }
 
-    if let Some(dir) = &run_dir {
-        let manifest = RunManifest {
-            model: model.name.clone(),
-            method: method.to_string(),
-            tasks: logs.iter().map(|l| l.task_name.clone()).collect(),
-            seed: opts.seed,
-            options: opts,
-            schema_version: Some(MANIFEST_SCHEMA_VERSION),
-            git_describe: trace_analysis::git_describe(Path::new(".")),
-            wall_time_s: Some(started.elapsed().as_secs_f64()),
-        };
-        dir.write_manifest(&manifest).map_err(|e| format!("cannot write manifest: {e}"))?;
-        for log in &logs {
-            dir.write_log(log).map_err(|e| format!("cannot write log: {e}"))?;
+    if let Some(dir) = &plan.run_dir {
+        // Rewrite the manifest with the final wall time (and the resumed
+        // marker) now that the run is complete.
+        dir.write_manifest(
+            &plan.manifest(selected_names.clone(), Some(started.elapsed().as_secs_f64())),
+        )
+        .map_err(|e| format!("cannot write manifest: {e}"))?;
+        // Flush counters into the trace before the registry reads it for
+        // the health columns.
+        tel.flush();
+        if let Some(base) = &plan.registry_base {
+            let entry = RunEntry::from_run_dir(dir.path())?;
+            Registry::at(base)
+                .append(&entry)
+                .map_err(|e| format!("cannot update run registry: {e}"))?;
         }
-        // Register the run in the shared index so `aaltune runs` /
-        // `compare` / `report` can find it later.
-        let base = cli.flag_str("out").expect("run_dir implies --out");
-        let entry = RunEntry::from_run_dir(dir.path())?;
-        Registry::at(base)
-            .append(&entry)
-            .map_err(|e| format!("cannot update run registry: {e}"))?;
         tel.report(|| format!("wrote run artifacts to {}", dir.path().display()));
     }
     if let Some(path) = cli.flag_str("log") {
@@ -400,6 +641,119 @@ mod tests {
         dispatch(&sv(&["runs", base.to_str().unwrap()])).unwrap();
         dispatch(&sv(&["runs", base.to_str().unwrap(), "--model", "squeezenet"])).unwrap();
         std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn truncated_chaos_run_resumes_to_the_identical_log() {
+        let base = std::env::temp_dir().join(format!("aaltune-cli-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let args = |out: &Path| {
+            sv(&[
+                "tune",
+                "squeezenet",
+                "--task",
+                "0",
+                "--n-trial",
+                "40",
+                "--method",
+                "autotvm",
+                "--quiet",
+                "--fault-rate",
+                "0.15",
+                "--fault-seed",
+                "7",
+                "--out",
+                out.to_str().unwrap(),
+            ])
+        };
+        dispatch(&args(&base.join("full"))).unwrap();
+        dispatch(&args(&base.join("cut"))).unwrap();
+        let run = "squeezenet_v1.1-autotvm-seed0";
+        let log_of = |sub: &str| {
+            std::fs::read_dir(base.join(sub).join(run).join("logs"))
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .find(|p| p.extension().is_some_and(|e| e == "jsonl"))
+                .expect("task log exists")
+        };
+        let full = std::fs::read(log_of("full")).unwrap();
+        assert_eq!(full, std::fs::read(log_of("cut")).unwrap(), "same seed ⇒ same log");
+
+        // Simulate a mid-task kill: keep the header plus 12 trials and a
+        // half-written 13th line, and forget the end-of-task checkpoint.
+        let cut_path = log_of("cut");
+        let keep = full
+            .split_inclusive(|&b| b == b'\n')
+            .take(13)
+            .flatten()
+            .copied()
+            .chain(*br#"{"trial":12,"config_ind"#)
+            .collect::<Vec<u8>>();
+        assert!(keep.len() < full.len(), "the cut must drop real trials");
+        std::fs::write(&cut_path, keep).unwrap();
+        let cut_run = base.join("cut").join(run);
+        let _ = std::fs::remove_file(cut_run.join("checkpoint.json"));
+
+        dispatch(&sv(&["tune", "--resume", cut_run.to_str().unwrap(), "--quiet"])).unwrap();
+        assert_eq!(
+            full,
+            std::fs::read(log_of("cut")).unwrap(),
+            "resumed log must be byte-identical to the uninterrupted run"
+        );
+        let manifest = std::fs::read_to_string(cut_run.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"resumed\""), "{manifest}");
+
+        // The two run dirs must also read as statistically identical.
+        let code = dispatch(&sv(&[
+            "compare",
+            base.join("full").join(run).to_str().unwrap(),
+            cut_run.to_str().unwrap(),
+            "--fail-on-regress",
+            "--resamples",
+            "200",
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn resume_on_a_directory_without_manifest_errors() {
+        let base =
+            std::env::temp_dir().join(format!("aaltune-cli-nomanifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let e = dispatch(&sv(&["tune", "--resume", base.to_str().unwrap()])).unwrap_err();
+        assert!(e.contains("cannot resume"), "{e}");
+        assert!(dispatch(&sv(&["tune", "--resume", "/nonexistent/run"])).is_err());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn fault_flags_parse_and_gate() {
+        let e =
+            dispatch(&sv(&["tune", "alexnet", "--task", "0", "--fault-rate", "1.5"])).unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+        // A high fault rate with a tight cap aborts the task but exits 0
+        // (the diagnostic is reported, not fatal).
+        dispatch(&sv(&[
+            "tune",
+            "squeezenet",
+            "--task",
+            "0",
+            "--n-trial",
+            "80",
+            "--method",
+            "random",
+            "--quiet",
+            "--fault-rate",
+            "0.9",
+            "--max-retries",
+            "0",
+            "--max-fail-rate",
+            "0.5",
+        ]))
+        .unwrap();
     }
 
     #[test]

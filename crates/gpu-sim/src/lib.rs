@@ -14,7 +14,13 @@
 //! * [`noise`] — config-dependent run-to-run measurement noise with a heavy
 //!   tail for fragile (low-occupancy, imbalanced) configurations;
 //! * [`measure`] — the [`measure::Measurer`] abstraction the tuners talk
-//!   to, plus [`measure::SimMeasurer`];
+//!   to, plus [`measure::SimMeasurer`] and the typed
+//!   [`measure::MeasureError`] fault taxonomy;
+//! * [`fault`] — deterministic seeded fault injection
+//!   ([`fault::FaultInjectingMeasurer`]) for chaos testing;
+//! * [`robust`] — the hardening policy layer
+//!   ([`robust::RobustMeasurer`]): timeout budgets, bounded retry with
+//!   backoff, and a crashing-config quarantine;
 //! * [`model_exec`] — end-to-end model latency: composes tuned kernels and
 //!   un-tuned auxiliary operators, sampling the 600-run latency
 //!   distribution the paper reports in Table I.
@@ -27,14 +33,18 @@
 
 pub mod analysis;
 pub mod device;
+pub mod fault;
 pub mod measure;
 pub mod model_exec;
 pub mod noise;
 pub mod occupancy;
 pub mod perf;
+pub mod robust;
 
 pub use analysis::{analyze, KernelAnalysis};
 pub use device::GpuDevice;
-pub use measure::{MeasureResult, Measurer, SimMeasurer};
+pub use fault::{FaultConfig, FaultInjectingMeasurer};
+pub use measure::{MeasureError, MeasureErrorKind, MeasureResult, Measurer, SimMeasurer};
 pub use model_exec::{measure_model, ModelDeployment, ModelLatency};
 pub use perf::{Bottleneck, KernelPerf};
+pub use robust::{Quarantine, RetryPolicy, RobustMeasurer};

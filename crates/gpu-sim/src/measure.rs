@@ -13,22 +13,128 @@ use schedule::kernel::lower;
 use schedule::{Config, ConfigSpace};
 use serde::{Deserialize, Serialize};
 
+/// What went wrong with a measurement, classified the way AutoTVM's
+/// measure infrastructure classifies RPC round-trip failures.
+///
+/// The split that matters operationally is [`is_transient`]: transient
+/// faults (timeouts, RPC flakes) may succeed on retry, persistent faults
+/// (compile errors, launch crashes, lost devices) never will and the
+/// configuration should be quarantined instead.
+///
+/// [`is_transient`]: MeasureErrorKind::is_transient
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MeasureErrorKind {
+    /// Lowering/compilation rejected the configuration.
+    CompileError,
+    /// The kernel launched but crashed (or the launch itself was refused
+    /// by the driver for resource limits).
+    LaunchCrash,
+    /// The trial exceeded its wall-clock budget.
+    Timeout,
+    /// A one-off infrastructure flake (RPC drop, board hiccup).
+    TransientFlake,
+    /// The device disappeared mid-measurement.
+    DeviceLost,
+}
+
+impl MeasureErrorKind {
+    /// True if retrying the same configuration can plausibly succeed.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        matches!(self, MeasureErrorKind::Timeout | MeasureErrorKind::TransientFlake)
+    }
+
+    /// Stable lowercase label (used in telemetry fields and reports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MeasureErrorKind::CompileError => "compile_error",
+            MeasureErrorKind::LaunchCrash => "launch_crash",
+            MeasureErrorKind::Timeout => "timeout",
+            MeasureErrorKind::TransientFlake => "transient_flake",
+            MeasureErrorKind::DeviceLost => "device_lost",
+        }
+    }
+}
+
+impl std::fmt::Display for MeasureErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed measurement failure: a taxonomy kind plus human detail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureError {
+    /// Failure class.
+    pub kind: MeasureErrorKind,
+    /// Free-form diagnostic (the underlying error message).
+    pub detail: String,
+}
+
+impl MeasureError {
+    /// Builds an error of `kind` with a diagnostic message.
+    pub fn new(kind: MeasureErrorKind, detail: impl Into<String>) -> Self {
+        MeasureError { kind, detail: detail.into() }
+    }
+
+    /// True if retrying the same configuration can plausibly succeed.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        self.kind.is_transient()
+    }
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl From<schedule::ScheduleError> for MeasureError {
+    fn from(e: schedule::ScheduleError) -> Self {
+        use schedule::ScheduleError as SE;
+        // Resource-limit violations surface at launch time on real
+        // hardware; everything else dies during lowering/compilation.
+        let kind = match e {
+            SE::InvalidThreadCount { .. }
+            | SE::InvalidSharedMem { .. }
+            | SE::InvalidRegisterCount { .. } => MeasureErrorKind::LaunchCrash,
+            SE::IndexOutOfRange { .. } | SE::UnsupportedTask(_) => MeasureErrorKind::CompileError,
+        };
+        MeasureError::new(kind, e.to_string())
+    }
+}
+
 /// Outcome of measuring one configuration on (simulated) hardware.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MeasureResult {
     /// Mean achieved GFLOPS over the repeats (0.0 for failed launches).
     pub gflops: f64,
-    /// Mean latency in seconds (an hour for failed launches).
+    /// Mean latency in seconds. Failed trials carry 0.0 and must be
+    /// excluded from latency aggregation, never averaged in.
     pub latency_s: f64,
-    /// Launch error, if the configuration was invalid.
-    pub error: Option<String>,
+    /// Typed failure, if the measurement did not produce a timing.
+    pub error: Option<MeasureError>,
 }
 
 impl MeasureResult {
+    /// The zero-GFLOPS penalty result AutoTVM records for a failure.
+    #[must_use]
+    pub fn failed(error: MeasureError) -> Self {
+        MeasureResult { gflops: 0.0, latency_s: 0.0, error: Some(error) }
+    }
+
     /// True if the configuration launched successfully.
     #[must_use]
     pub fn is_valid(&self) -> bool {
         self.error.is_none()
+    }
+
+    /// Failure class, if this result is a failure.
+    #[must_use]
+    pub fn error_kind(&self) -> Option<MeasureErrorKind> {
+        self.error.as_ref().map(|e| e.kind)
     }
 }
 
@@ -43,6 +149,13 @@ pub trait Measurer {
     /// Number of timed runs averaged per measurement.
     fn repeats(&self) -> usize {
         3
+    }
+
+    /// Configuration indices this measurer has quarantined for `task`
+    /// (known to crash persistently). Tuners exclude these from future
+    /// proposals. Plain measurers quarantine nothing.
+    fn quarantined(&self, _task: &TuningTask) -> Vec<u64> {
+        Vec::new()
     }
 }
 
@@ -108,7 +221,7 @@ impl Measurer for SimMeasurer {
         let _span = tel.span("measure");
         let wall = std::time::Instant::now();
         let result = match self.true_perf(task, space, config) {
-            Err(e) => MeasureResult { gflops: 0.0, latency_s: 3600.0, error: Some(e.to_string()) },
+            Err(e) => MeasureResult::failed(MeasureError::from(e)),
             Ok(perf) => {
                 let profile = perf.noise_profile();
                 let seed = seed_for(&task.name, config.index ^ self.trial_seed.rotate_left(17));
@@ -189,7 +302,10 @@ mod tests {
             let r = m.measure(&task, &space, &cfg);
             if !r.is_valid() {
                 assert_eq!(r.gflops, 0.0);
-                assert!(r.latency_s >= 3600.0);
+                // Failed trials must not poison latency aggregation.
+                assert_eq!(r.latency_s, 0.0);
+                let kind = r.error_kind().unwrap();
+                assert!(!kind.is_transient(), "lowering failures are persistent");
                 saw_invalid = true;
                 break;
             }

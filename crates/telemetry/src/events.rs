@@ -18,6 +18,14 @@ pub const RADIUS_EVENT: &str = "bao.radius";
 pub const SA_DONE_EVENT: &str = "sa.done";
 /// Name of the task-tuning start event.
 pub const TUNE_START_EVENT: &str = "tune.start";
+/// Name of the injected/observed measurement-fault event.
+pub const MEASURE_FAULT_EVENT: &str = "measure.fault";
+/// Name of the transient-fault retry event.
+pub const MEASURE_RETRY_EVENT: &str = "measure.retry";
+/// Name of the crashing-config quarantine event.
+pub const MEASURE_QUARANTINE_EVENT: &str = "measure.quarantine";
+/// Name of the crash-safe resume event (a tuning loop replaying a log).
+pub const TUNE_RESUME_EVENT: &str = "tune.resume";
 
 fn event_parts<'a>(rec: &'a Record, expect: &str) -> Option<(Option<u64>, u64, &'a Value)> {
     match rec {
@@ -174,6 +182,135 @@ impl TuneStartEvent {
     }
 }
 
+/// One `measure.fault` event: a measurement failure at the fault boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureFaultEvent {
+    /// Task name.
+    pub task: String,
+    /// Flat configuration index.
+    pub config_index: u64,
+    /// Fault-taxonomy label (`timeout`, `launch_crash`, ...).
+    pub kind: String,
+    /// Whether a retry can plausibly clear it.
+    pub transient: bool,
+    /// 0-based attempt number for this configuration.
+    pub attempt: u64,
+    /// Innermost open span at emission time.
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl MeasureFaultEvent {
+    /// Parses a [`Record`] as a fault event; `None` for anything else.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<MeasureFaultEvent> {
+        let (span, t_us, fields) = event_parts(rec, MEASURE_FAULT_EVENT)?;
+        Some(MeasureFaultEvent {
+            task: fields["task"].as_str()?.to_string(),
+            config_index: fields["config_index"].as_u64()?,
+            kind: fields["kind"].as_str()?.to_string(),
+            transient: fields["transient"].as_bool().unwrap_or(false),
+            attempt: fields["attempt"].as_u64().unwrap_or(0),
+            span,
+            t_us,
+        })
+    }
+}
+
+/// One `measure.retry` event: the robust layer retrying a transient fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureRetryEvent {
+    /// Task name.
+    pub task: String,
+    /// Flat configuration index.
+    pub config_index: u64,
+    /// 1-based retry attempt.
+    pub attempt: u64,
+    /// Fault-taxonomy label that triggered the retry.
+    pub kind: String,
+    /// Exponential backoff recorded for this retry, milliseconds.
+    pub backoff_ms: u64,
+    /// Innermost open span at emission time.
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl MeasureRetryEvent {
+    /// Parses a [`Record`] as a retry event; `None` for anything else.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<MeasureRetryEvent> {
+        let (span, t_us, fields) = event_parts(rec, MEASURE_RETRY_EVENT)?;
+        Some(MeasureRetryEvent {
+            task: fields["task"].as_str()?.to_string(),
+            config_index: fields["config_index"].as_u64()?,
+            attempt: fields["attempt"].as_u64()?,
+            kind: fields["kind"].as_str()?.to_string(),
+            backoff_ms: fields["backoff_ms"].as_u64().unwrap_or(0),
+            span,
+            t_us,
+        })
+    }
+}
+
+/// One `measure.quarantine` event: a config banned after persistent failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureQuarantineEvent {
+    /// Task name.
+    pub task: String,
+    /// Flat configuration index now quarantined.
+    pub config_index: u64,
+    /// Fault-taxonomy label of the persistent failure.
+    pub kind: String,
+    /// Innermost open span at emission time.
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl MeasureQuarantineEvent {
+    /// Parses a [`Record`] as a quarantine event; `None` for anything else.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<MeasureQuarantineEvent> {
+        let (span, t_us, fields) = event_parts(rec, MEASURE_QUARANTINE_EVENT)?;
+        Some(MeasureQuarantineEvent {
+            task: fields["task"].as_str()?.to_string(),
+            config_index: fields["config_index"].as_u64()?,
+            kind: fields["kind"].as_str()?.to_string(),
+            span,
+            t_us,
+        })
+    }
+}
+
+/// One `tune.resume` event: a crash-safe resume replaying a trial log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResumeEvent {
+    /// Task name.
+    pub task: String,
+    /// Trials replayed from the recovered log before measuring resumed.
+    pub replayed: u64,
+    /// Innermost open span at emission time.
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl TuneResumeEvent {
+    /// Parses a [`Record`] as a resume event; `None` for anything else.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<TuneResumeEvent> {
+        let (span, t_us, fields) = event_parts(rec, TUNE_RESUME_EVENT)?;
+        Some(TuneResumeEvent {
+            task: fields["task"].as_str()?.to_string(),
+            replayed: fields["replayed"].as_u64()?,
+            span,
+            t_us,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +379,53 @@ mod tests {
         assert!((s.accept_rate() - 0.75).abs() < 1e-12);
         let empty = ev(SA_DONE_EVENT, json!({"accepted": 0u64, "rejected": 0u64}));
         assert_eq!(SaDoneEvent::from_record(&empty).unwrap().accept_rate(), 0.0);
+    }
+
+    #[test]
+    fn fault_retry_quarantine_and_resume_events_round_trip() {
+        let fault = ev(
+            MEASURE_FAULT_EVENT,
+            json!({
+                "task": "m.T1", "config_index": 12u64, "kind": "timeout",
+                "transient": true, "attempt": 1u64,
+            }),
+        );
+        let f = MeasureFaultEvent::from_record(&fault).unwrap();
+        assert_eq!(f.task, "m.T1");
+        assert_eq!(f.config_index, 12);
+        assert_eq!(f.kind, "timeout");
+        assert!(f.transient);
+        assert_eq!(f.attempt, 1);
+
+        let retry = ev(
+            MEASURE_RETRY_EVENT,
+            json!({
+                "task": "m.T1", "config_index": 12u64, "attempt": 2u64,
+                "kind": "transient_flake", "backoff_ms": 200u64,
+            }),
+        );
+        let r = MeasureRetryEvent::from_record(&retry).unwrap();
+        assert_eq!(r.attempt, 2);
+        assert_eq!(r.backoff_ms, 200);
+        assert_eq!(r.kind, "transient_flake");
+
+        let quarantine = ev(
+            MEASURE_QUARANTINE_EVENT,
+            json!({"task": "m.T1", "config_index": 12u64, "kind": "launch_crash"}),
+        );
+        let q = MeasureQuarantineEvent::from_record(&quarantine).unwrap();
+        assert_eq!(q.config_index, 12);
+        assert_eq!(q.kind, "launch_crash");
+
+        let resume = ev(TUNE_RESUME_EVENT, json!({"task": "m.T1", "replayed": 37u64}));
+        let t = TuneResumeEvent::from_record(&resume).unwrap();
+        assert_eq!(t.replayed, 37);
+
+        // Cross-parse must fail, not fabricate.
+        assert!(MeasureFaultEvent::from_record(&retry).is_none());
+        assert!(MeasureRetryEvent::from_record(&fault).is_none());
+        assert!(MeasureQuarantineEvent::from_record(&resume).is_none());
+        assert!(TuneResumeEvent::from_record(&quarantine).is_none());
     }
 
     #[test]

@@ -78,7 +78,14 @@ pub const REPORT_EVENT: &str = "report";
 /// first, so consumers (`trace`, `compare`, `report`) can warn on traces
 /// written by a newer crate instead of silently misparsing them. Bump when
 /// a record variant or event payload changes incompatibly.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 adds the measurement-health events (`measure.fault`,
+/// `measure.retry`, `measure.quarantine`, `tune.resume`) and the
+/// multi-segment trace convention: a resumed run appends to the existing
+/// trace file, and a mid-stream [`Record::Schema`] marker starts a new
+/// process segment whose counter/histogram snapshots sum/merge with the
+/// previous segment's finals.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 struct Inner {
     sink: Box<dyn Sink>,
@@ -323,12 +330,29 @@ pub fn install_pipeline(
     quiet: bool,
     json: bool,
 ) -> std::io::Result<Telemetry> {
+    install_pipeline_mode(trace, quiet, json, false)
+}
+
+/// [`install_pipeline`] with an explicit trace-file mode: when `append`
+/// is set the trace file is extended instead of truncated, which is what
+/// a crash-safe resume wants — its fresh [`Record::Schema`] header marks
+/// a new process segment in the same trace.
+///
+/// # Errors
+///
+/// Propagates trace-file open errors.
+pub fn install_pipeline_mode(
+    trace: Option<&std::path::Path>,
+    quiet: bool,
+    json: bool,
+    append: bool,
+) -> std::io::Result<Telemetry> {
     let mut tee = TeeSink::new();
     if !quiet {
         tee = tee.with(if json { ReporterSink::json() } else { ReporterSink::human() });
     }
     if let Some(path) = trace {
-        tee = tee.with(FileSink::create(path)?);
+        tee = tee.with(if append { FileSink::append(path)? } else { FileSink::create(path)? });
     }
     let tel = if tee.is_empty() { Telemetry::disabled() } else { Telemetry::new(tee) };
     set_global(tel.clone());

@@ -46,6 +46,19 @@ impl FileSink {
         Ok(FileSink { out: Mutex::new(Box::new(std::io::BufWriter::new(f))) })
     }
 
+    /// Opens `path` for appending (creating it if absent). A resumed run
+    /// uses this so its records extend the crashed run's trace; the
+    /// fresh [`Record::Schema`] header it emits marks the segment
+    /// boundary for [`crate::TraceSummary`]'s merge rules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open errors.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FileSink { out: Mutex::new(Box::new(std::io::BufWriter::new(f))) })
+    }
+
     /// Wraps an arbitrary writer (e.g. a `Vec<u8>` in tests).
     pub fn from_writer(w: impl Write + Send + 'static) -> Self {
         FileSink { out: Mutex::new(Box::new(w)) }

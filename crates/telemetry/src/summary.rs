@@ -14,9 +14,13 @@ pub struct TraceSummary {
     pub spans: BTreeMap<String, SpanStats>,
     /// Per event name: how many were emitted (report events included).
     pub events: BTreeMap<String, u64>,
-    /// Final value of each counter (snapshots are cumulative; last wins).
+    /// Final value of each counter. Within one process segment (between
+    /// [`Record::Schema`] markers) snapshots are cumulative and the last
+    /// wins; across segments — a resumed run appending to the same trace
+    /// — segment finals sum.
     pub counters: BTreeMap<String, u64>,
-    /// Final snapshot of each histogram (last wins).
+    /// Final snapshot of each histogram, with the same segment rule as
+    /// counters: last-wins within a segment, merged across segments.
     pub histograms: BTreeMap<String, Histogram>,
     /// Lines that failed to parse as records.
     pub malformed_lines: u64,
@@ -82,6 +86,13 @@ impl TraceSummary {
     }
 
     /// Aggregates in-memory records (e.g. from a [`crate::VecSink`]).
+    ///
+    /// Counter and histogram records are cumulative snapshots within one
+    /// process; a [`Record::Schema`] marker mid-stream means a new
+    /// process appended to the trace (crash-safe resume), so the
+    /// finished segment's final snapshots are committed — summed for
+    /// counters, merged for histograms — before the new segment's
+    /// snapshots start accumulating.
     #[must_use]
     pub fn from_records(records: &[Record]) -> TraceSummary {
         let mut out = TraceSummary::default();
@@ -90,9 +101,23 @@ impl TraceSummary {
         let mut open: BTreeMap<u64, (String, Option<u64>)> = BTreeMap::new();
         // id → child time accumulated so far (children end before parents).
         let mut child_time: BTreeMap<u64, u64> = BTreeMap::new();
+        // Last snapshot per name in the current process segment.
+        let mut seg_counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut seg_histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+        let commit = |out: &mut TraceSummary,
+                      seg_counters: &mut BTreeMap<String, u64>,
+                      seg_histograms: &mut BTreeMap<String, Histogram>| {
+            for (name, value) in std::mem::take(seg_counters) {
+                *out.counters.entry(name).or_insert(0) += value;
+            }
+            for (name, hist) in std::mem::take(seg_histograms) {
+                out.histograms.entry(name).or_default().merge(&hist);
+            }
+        };
         for rec in records {
             match rec {
                 Record::Schema { version } => {
+                    commit(&mut out, &mut seg_counters, &mut seg_histograms);
                     out.schema_version = Some(*version);
                 }
                 Record::SpanStart { id, parent, name, .. } => {
@@ -113,13 +138,14 @@ impl TraceSummary {
                     *out.events.entry(name.clone()).or_insert(0) += 1;
                 }
                 Record::Counter { name, value } => {
-                    out.counters.insert(name.clone(), *value);
+                    seg_counters.insert(name.clone(), *value);
                 }
                 Record::Histogram { name, hist } => {
-                    out.histograms.insert(name.clone(), hist.clone());
+                    seg_histograms.insert(name.clone(), hist.clone());
                 }
             }
         }
+        commit(&mut out, &mut seg_counters, &mut seg_histograms);
         out.unclosed_spans = open.len() as u64;
         out
     }
@@ -261,6 +287,47 @@ mod tests {
         ];
         let s = TraceSummary::from_records(&recs);
         assert_eq!(s.counters["c"], 9);
+    }
+
+    #[test]
+    fn schema_markers_split_counter_segments_that_sum() {
+        // One process counted to 9 (snapshots 5 then 9), crashed; the
+        // resumed process appended a Schema header and counted to 4.
+        let recs = [
+            Record::Schema { version: crate::TRACE_SCHEMA_VERSION },
+            Record::Counter { name: "c".into(), value: 5 },
+            Record::Counter { name: "c".into(), value: 9 },
+            Record::Schema { version: crate::TRACE_SCHEMA_VERSION },
+            Record::Counter { name: "c".into(), value: 4 },
+            Record::Counter { name: "only_second".into(), value: 2 },
+        ];
+        let s = TraceSummary::from_records(&recs);
+        assert_eq!(s.counters["c"], 13, "segment finals sum across a resume");
+        assert_eq!(s.counters["only_second"], 2);
+    }
+
+    #[test]
+    fn schema_markers_merge_histogram_segments() {
+        let mut h1 = Histogram::new();
+        h1.observe(10.0);
+        let mut h1b = h1.clone();
+        h1b.observe(20.0);
+        let mut h2 = Histogram::new();
+        h2.observe(1000.0);
+        let recs = [
+            Record::Schema { version: crate::TRACE_SCHEMA_VERSION },
+            // Two flushes in one process: cumulative snapshots, last wins.
+            Record::Histogram { name: "h".into(), hist: h1 },
+            Record::Histogram { name: "h".into(), hist: h1b },
+            Record::Schema { version: crate::TRACE_SCHEMA_VERSION },
+            Record::Histogram { name: "h".into(), hist: h2 },
+        ];
+        let s = TraceSummary::from_records(&recs);
+        let h = &s.histograms["h"];
+        assert_eq!(h.count(), 3, "2 from the first segment's final + 1 appended");
+        assert!((h.sum() - 1030.0).abs() / 1030.0 < 0.1, "sum={}", h.sum());
+        // The merged tail is visible: p99 sits near the appended 1000.
+        assert!(h.quantile(0.99) > 500.0);
     }
 
     #[test]

@@ -52,6 +52,9 @@ fn write_run(root: &Path, name: &str, logs: &[TuningLog]) {
         schema_version: Some(MANIFEST_SCHEMA_VERSION),
         git_describe: None,
         wall_time_s: Some(0.5),
+        device: None,
+        fault: None,
+        resumed: None,
     })
     .expect("write manifest");
     for log in logs {

@@ -43,6 +43,9 @@ pub enum Verdict {
     Regressed,
     /// Everything else: the delta is indistinguishable from seed noise.
     Noise,
+    /// The task exists in only one of the runs, so there is nothing to
+    /// bootstrap — explicitly listed instead of silently dropped.
+    Incomparable,
 }
 
 impl Verdict {
@@ -53,11 +56,15 @@ impl Verdict {
             Verdict::Improved => "improved",
             Verdict::Regressed => "regressed",
             Verdict::Noise => "noise",
+            Verdict::Incomparable => "incomparable",
         }
     }
 }
 
 /// One aligned task.
+///
+/// For [`Verdict::Incomparable`] rows the missing side's `*_mean` /
+/// `*_best` fields are `NaN` (rendered as `-`) and the CI is degenerate.
 #[derive(Debug, Clone)]
 pub struct TaskComparison {
     /// Task name.
@@ -132,13 +139,33 @@ impl RunComparison {
             "{:<28} {:>10} {:>10} {:>8} {:>22} {:<9}",
             "task", "base", "cand", "Δ%", "CI (GFLOPS)", "verdict"
         );
+        let num = |v: f64| {
+            if v.is_nan() {
+                format!("{:>10}", "-")
+            } else {
+                format!("{v:>10.2}")
+            }
+        };
         for t in &self.tasks {
+            if t.verdict == Verdict::Incomparable {
+                let _ = writeln!(
+                    s,
+                    "{:<28} {} {} {:>8} {:>22} {:<9}",
+                    t.task,
+                    num(t.base_mean),
+                    num(t.cand_mean),
+                    "-",
+                    "-",
+                    t.verdict.label()
+                );
+                continue;
+            }
             let _ = writeln!(
                 s,
-                "{:<28} {:>10.2} {:>10.2} {:>7.2}% [{:>8.2}, {:>8.2}] {:<9}",
+                "{:<28} {} {} {:>7.2}% [{:>8.2}, {:>8.2}] {:<9}",
                 t.task,
-                t.base_mean,
-                t.cand_mean,
+                num(t.base_mean),
+                num(t.cand_mean),
                 t.delta_pct,
                 t.ci.lo,
                 t.ci.hi,
@@ -152,16 +179,17 @@ impl RunComparison {
         );
         let _ = writeln!(
             s,
-            "verdicts: {} improved, {} regressed, {} noise",
+            "verdicts: {} improved, {} regressed, {} noise, {} incomparable",
             self.count(Verdict::Improved),
             self.count(Verdict::Regressed),
-            self.count(Verdict::Noise)
+            self.count(Verdict::Noise),
+            self.count(Verdict::Incomparable)
         );
         for task in &self.only_in_base {
-            let _ = writeln!(s, "note: task {task} only in baseline — not compared");
+            let _ = writeln!(s, "note: task {task} only in baseline — incomparable");
         }
         for task in &self.only_in_cand {
-            let _ = writeln!(s, "note: task {task} only in candidate — not compared");
+            let _ = writeln!(s, "note: task {task} only in candidate — incomparable");
         }
         for w in &self.warnings {
             let _ = writeln!(s, "warning: {w}");
@@ -267,6 +295,50 @@ pub fn compare_logs(
             verdict,
         });
     }
+    // Tasks present on only one side cannot be bootstrapped; give them an
+    // explicit incomparable row (excluded from the aggregate and from
+    // `has_regressions`) instead of dropping them from the table.
+    let incomparable_ci = BootstrapCi {
+        delta: f64::NAN,
+        lo: f64::NAN,
+        hi: f64::NAN,
+        confidence: 1.0 - options.alpha,
+        resamples: 0,
+        paired: false,
+    };
+    for (task, b) in &base_by_task {
+        if cand_by_task.contains_key(*task) {
+            continue;
+        }
+        let bx: Vec<f64> = b.records.iter().map(|r| r.gflops).collect();
+        tasks.push(TaskComparison {
+            task: (*task).to_string(),
+            base_mean: mean(&bx),
+            cand_mean: f64::NAN,
+            base_best: b.best_gflops(),
+            cand_best: f64::NAN,
+            ci: incomparable_ci,
+            delta_pct: f64::NAN,
+            verdict: Verdict::Incomparable,
+        });
+    }
+    for (task, c) in &cand_by_task {
+        if base_by_task.contains_key(*task) {
+            continue;
+        }
+        let cx: Vec<f64> = c.records.iter().map(|r| r.gflops).collect();
+        tasks.push(TaskComparison {
+            task: (*task).to_string(),
+            base_mean: f64::NAN,
+            cand_mean: mean(&cx),
+            base_best: f64::NAN,
+            cand_best: c.best_gflops(),
+            ci: incomparable_ci,
+            delta_pct: f64::NAN,
+            verdict: Verdict::Incomparable,
+        });
+    }
+    tasks.sort_by(|a, b| a.task.cmp(&b.task));
     let aggregate = bootstrap_mean_delta_ci(
         &best_base,
         &best_cand,
@@ -420,10 +492,22 @@ mod tests {
             CompareOptions::default(),
             Vec::new(),
         );
-        assert_eq!(cmp.tasks.len(), 1);
+        assert_eq!(cmp.tasks.len(), 3, "unmatched tasks get explicit rows");
+        assert_eq!(cmp.count(Verdict::Incomparable), 2);
         assert_eq!(cmp.only_in_base, vec!["m.T9".to_string()]);
         assert_eq!(cmp.only_in_cand, vec!["m.T5".to_string()]);
-        assert!(cmp.render().contains("only in baseline"));
+        let t5 = cmp.tasks.iter().find(|t| t.task == "m.T5").unwrap();
+        assert_eq!(t5.verdict, Verdict::Incomparable);
+        assert!(t5.base_mean.is_nan() && t5.cand_mean > 0.0);
+        let t9 = cmp.tasks.iter().find(|t| t.task == "m.T9").unwrap();
+        assert!(t9.cand_mean.is_nan() && t9.base_mean > 0.0);
+        assert!(!cmp.has_regressions(), "incomparable must not gate CI");
+        let text = cmp.render();
+        assert!(text.contains("only in baseline"));
+        assert!(text.contains("incomparable"), "{text}");
+        // Rows are still sorted by task name, incomparable interleaved.
+        let names: Vec<&str> = cmp.tasks.iter().map(|t| t.task.as_str()).collect();
+        assert_eq!(names, ["m.T1", "m.T5", "m.T9"]);
     }
 
     #[test]

@@ -21,7 +21,10 @@ use std::path::{Path, PathBuf};
 
 /// Version of the registry entry format. Readers warn on newer entries
 /// instead of silently misreading them; entries with no version read as 1.
-pub const REGISTRY_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the measurement-health fields (`faults`, `retries`,
+/// `quarantined`, `resumed`), all optional so v1 entries still parse.
+pub const REGISTRY_SCHEMA_VERSION: u32 = 2;
 
 /// One run in the registry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +56,14 @@ pub struct RunEntry {
     pub latency_mean_ms: Option<f64>,
     /// End-to-end latency variance, for runs that deployed a model.
     pub latency_variance: Option<f64>,
+    /// Measurement faults observed (injected or real), from the trace.
+    pub faults: Option<u64>,
+    /// Transient-fault retries performed, from the trace.
+    pub retries: Option<u64>,
+    /// Configurations quarantined as persistently crashing, from the trace.
+    pub quarantined: Option<u64>,
+    /// Whether the run directory was continued by `tune --resume`.
+    pub resumed: Option<bool>,
 }
 
 impl RunEntry {
@@ -89,6 +100,14 @@ impl RunEntry {
         let run_id = path
             .file_name()
             .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+        // Health counters come from the trace when the run wrote one;
+        // trace-less (or unreadable-trace) runs leave them unset.
+        let health = crate::trace::TraceData::load(&dir.trace_path())
+            .ok()
+            .flatten()
+            .map(|t| telemetry::TraceSummary::from_records(&t.records));
+        let counter =
+            |name: &str| health.as_ref().map(|s| s.counters.get(name).copied().unwrap_or(0));
         Ok(RunEntry {
             schema_version: Some(REGISTRY_SCHEMA_VERSION),
             run_id,
@@ -103,6 +122,10 @@ impl RunEntry {
             task_best_gflops: logs.iter().map(|l| (l.task_name.clone(), l.best_gflops())).collect(),
             latency_mean_ms: None,
             latency_variance: None,
+            faults: counter("measure.fault"),
+            retries: counter("measure.retry"),
+            quarantined: counter("measure.quarantine"),
+            resumed: manifest.resumed,
         })
     }
 }
@@ -216,7 +239,7 @@ impl RegistryIndex {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10} {:>12} {:>10}",
+            "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10} {:>12} {:>10} {:>14}",
             "run",
             "kind",
             "model",
@@ -226,12 +249,25 @@ impl RegistryIndex {
             "tasks",
             "GFLOPS",
             "latency(ms)",
-            "wall(s)"
+            "wall(s)",
+            "health"
         );
         for e in entries {
+            // "f3 r1 q2 R" = 3 faults, 1 retry, 2 quarantined, resumed;
+            // "-" for pre-health (v1) entries with no trace data.
+            let health = match (e.faults, e.retries, e.quarantined) {
+                (None, None, None) => "-".to_string(),
+                (f, r, q) => format!(
+                    "f{} r{} q{}{}",
+                    f.unwrap_or(0),
+                    r.unwrap_or(0),
+                    q.unwrap_or(0),
+                    if e.resumed == Some(true) { " R" } else { "" }
+                ),
+            };
             let _ = writeln!(
                 s,
-                "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10.1} {:>12} {:>10}",
+                "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10.1} {:>12} {:>10} {:>14}",
                 e.run_id,
                 e.kind,
                 e.model,
@@ -242,6 +278,7 @@ impl RegistryIndex {
                 e.mean_best_gflops(),
                 e.latency_mean_ms.map_or_else(|| "-".to_string(), |l| format!("{l:.4}")),
                 e.wall_time_s.map_or_else(|| "-".to_string(), |w| format!("{w:.1}")),
+                health,
             );
         }
         if self.malformed_lines > 0 {
@@ -297,6 +334,10 @@ mod tests {
                 .collect(),
             latency_mean_ms: None,
             latency_variance: None,
+            faults: None,
+            retries: None,
+            quarantined: None,
+            resumed: None,
         }
     }
 
@@ -386,6 +427,9 @@ mod tests {
             schema_version: Some(MANIFEST_SCHEMA_VERSION),
             git_describe: None,
             wall_time_s: Some(0.5),
+            device: None,
+            fault: None,
+            resumed: Some(true),
         })
         .unwrap();
         let mut log = TuningLog::new("sq.T1", "autotvm");
@@ -402,6 +446,32 @@ mod tests {
         assert_eq!(e.model, "squeezenet_v1.1");
         assert_eq!(e.task_best_gflops["sq.T1"], 80.0);
         assert_eq!(e.n_trial, TuneOptions::smoke().n_trial as u64);
+        assert_eq!(e.faults, None, "trace-less run leaves health unset");
+        assert_eq!(e.resumed, Some(true));
+
+        // With a trace present, the health counters come from it.
+        let trace = [
+            serde_json::to_string(&telemetry::Record::Schema { version: 2 }).unwrap(),
+            serde_json::to_string(&telemetry::Record::Counter {
+                name: "measure.fault".into(),
+                value: 3,
+            })
+            .unwrap(),
+            serde_json::to_string(&telemetry::Record::Counter {
+                name: "measure.retry".into(),
+                value: 2,
+            })
+            .unwrap(),
+        ]
+        .join("\n");
+        std::fs::write(dir.trace_path(), trace).unwrap();
+        let e = RunEntry::from_run_dir(&root).unwrap();
+        assert_eq!(e.faults, Some(3));
+        assert_eq!(e.retries, Some(2));
+        assert_eq!(e.quarantined, Some(0));
+        let idx = RegistryIndex { entries: vec![e], ..RegistryIndex::default() };
+        let table = idx.render(&idx.entries.iter().collect::<Vec<_>>());
+        assert!(table.contains("f3 r2 q0 R"), "{table}");
         std::fs::remove_dir_all(root.parent().unwrap()).unwrap();
     }
 }

@@ -121,6 +121,7 @@ pub fn render_report(
     }
     convergence_section(&mut body, run, baseline);
     if let Some(trace) = &run.trace {
+        health_section(&mut body, run, trace);
         flame_section(&mut body, trace);
         adaptation_sections(&mut body, trace);
     }
@@ -214,6 +215,7 @@ td.num,th.num{text-align:right;font-variant-numeric:tabular-nums}\
 .v-improved{color:var(--status-good);font-weight:600}\
 .v-regressed{color:var(--status-critical);font-weight:600}\
 .v-noise{color:var(--text-muted)}\
+.v-incomparable{color:var(--text-muted);font-style:italic}\
 ";
 
 fn header_section(
@@ -249,11 +251,13 @@ fn compare_section(body: &mut String, cmp: &RunComparison) {
     let _ = write!(
         body,
         "<section><h2>Comparison vs baseline</h2>\
-         <div class=\"muted\">{} improved · {} regressed · {} noise — \
+         <div class=\"muted\">{} improved · {} regressed · {} noise · \
+         {} incomparable — \
          {:.0}% confidence, {} resamples, min effect {:.1}%</div>",
         cmp.count(Verdict::Improved),
         cmp.count(Verdict::Regressed),
         cmp.count(Verdict::Noise),
+        cmp.count(Verdict::Incomparable),
         100.0 * (1.0 - cmp.options.alpha),
         cmp.options.resamples,
         cmp.options.min_effect_pct,
@@ -264,23 +268,29 @@ fn compare_section(body: &mut String, cmp: &RunComparison) {
          <th class=\"num\">cand mean</th><th class=\"num\">Δ%</th>\
          <th class=\"num\">CI (GFLOPS)</th><th>verdict</th></tr></thead><tbody>"
     );
+    let cell = |v: f64| if v.is_nan() { "-".to_string() } else { format!("{v:.2}") };
     for t in &cmp.tasks {
         let (class, glyph) = match t.verdict {
             Verdict::Improved => ("v-improved", "▲"),
             Verdict::Regressed => ("v-regressed", "▼"),
             Verdict::Noise => ("v-noise", "·"),
+            Verdict::Incomparable => ("v-incomparable", "∅"),
+        };
+        let delta =
+            if t.delta_pct.is_nan() { "-".to_string() } else { format!("{:+.2}%", t.delta_pct) };
+        let ci = if t.ci.lo.is_nan() {
+            "-".to_string()
+        } else {
+            format!("[{:.2}, {:.2}]", t.ci.lo, t.ci.hi)
         };
         let _ = write!(
             body,
-            "<tr><td>{}</td><td class=\"num\">{:.2}</td><td class=\"num\">{:.2}</td>\
-             <td class=\"num\">{:+.2}%</td><td class=\"num\">[{:.2}, {:.2}]</td>\
+            "<tr><td>{}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{delta}</td><td class=\"num\">{ci}</td>\
              <td><span class=\"{}\">{} {}</span></td></tr>",
             esc(&t.task),
-            t.base_mean,
-            t.cand_mean,
-            t.delta_pct,
-            t.ci.lo,
-            t.ci.hi,
+            cell(t.base_mean),
+            cell(t.cand_mean),
             class,
             glyph,
             t.verdict.label(),
@@ -327,6 +337,44 @@ fn convergence_section(body: &mut String, run: &LoadedRun, baseline: Option<&Loa
         let _ = write!(body, "</div>");
     }
     let _ = write!(body, "</div></section>");
+}
+
+/// The fault-pipeline panel: how many trials failed, were retried, or got
+/// quarantined. Counters come from the trace, summed across process
+/// segments, so a resumed run shows whole-run totals.
+fn health_section(body: &mut String, run: &LoadedRun, trace: &TraceData) {
+    let summary = telemetry::TraceSummary::from_records(&trace.records);
+    let c = |name: &str| summary.counters.get(name).copied().unwrap_or(0);
+    let _ = write!(body, "<section><h2>Measurement health</h2><div class=\"meta\">");
+    let mut kv = |k: &str, v: String| {
+        let _ = write!(body, "<div><div class=\"k\">{k}</div><div class=\"v\">{v}</div></div>");
+    };
+    kv("measurements", c("measure.total").to_string());
+    kv("invalid configs", c("measure.invalid").to_string());
+    kv("injected faults", c("measure.fault").to_string());
+    kv("retries", c("measure.retry").to_string());
+    kv("quarantined", c("measure.quarantine").to_string());
+    kv("quarantine hits", c("measure.quarantine_hit").to_string());
+    kv("resumes", c("tune.resume").to_string());
+    kv("aborted tasks", c("tune.aborted").to_string());
+    kv(
+        "fault rate",
+        run.manifest.fault.filter(|f| f.rate > 0.0).map_or_else(
+            || "off".to_string(),
+            |f| format!("{:.1}% (seed {})", 100.0 * f.rate, f.seed),
+        ),
+    );
+    let _ = write!(body, "</div>");
+    if let Some(h) = summary.histograms.get("measure.retry.backoff_ms") {
+        let _ = write!(
+            body,
+            "<div class=\"muted\">retry backoff: {} waits, p50 {:.0}ms, p99 {:.0}ms</div>",
+            h.count(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+        );
+    }
+    let _ = write!(body, "</section>");
 }
 
 fn flame_section(body: &mut String, trace: &TraceData) {
@@ -670,6 +718,9 @@ mod tests {
                 schema_version: Some(1),
                 git_describe: Some("v0-test".into()),
                 wall_time_s: Some(1.5),
+                device: None,
+                fault: None,
+                resumed: None,
             },
             logs: vec![log],
             trace: None,
@@ -749,6 +800,22 @@ mod tests {
         assert!(html.contains("no trace.jsonl"));
         assert!(html.contains("Convergence"), "log fallback still draws curves");
         assert!(!html.contains("Where the wall clock went"));
+    }
+
+    #[test]
+    fn health_panel_sums_counters_across_resume_segments() {
+        let mut run = sample_run("run-e", 100.0);
+        let mut trace = trace_with_spans();
+        // Final snapshot of the first process, then a resume boundary, then
+        // the second process's snapshot: totals must sum to 5.
+        trace.records.push(Record::Counter { name: "measure.fault".into(), value: 3 });
+        trace.records.push(Record::Schema { version: 2 });
+        trace.records.push(Record::Counter { name: "measure.fault".into(), value: 2 });
+        run.trace = Some(trace);
+        let html = render_report(&run, None, None);
+        assert!(html.contains("Measurement health"));
+        assert!(html.contains(">5<"), "3 pre-resume + 2 post-resume faults: {html}");
+        assert!(html.contains("fault rate"));
     }
 
     #[test]

@@ -55,7 +55,14 @@ impl TraceData {
                 continue;
             }
             match serde_json::from_str::<Record>(line) {
-                Ok(Record::Schema { version }) => out.schema_version = Some(version),
+                Ok(Record::Schema { version }) => {
+                    out.schema_version = Some(version);
+                    // Kept in the stream: schema markers delimit process
+                    // segments, which segment-aware consumers
+                    // ([`telemetry::TraceSummary`]) need to sum counters
+                    // across a resumed run correctly.
+                    out.records.push(Record::Schema { version });
+                }
                 Ok(r) => out.records.push(r),
                 Err(_) => out.malformed_lines += 1,
             }
@@ -315,7 +322,7 @@ mod tests {
     }
 
     #[test]
-    fn loader_skips_corrupt_lines_and_strips_schema_header() {
+    fn loader_skips_corrupt_lines_and_keeps_schema_markers() {
         let jsonl = format!(
             "{}\nnot json\n{}\n",
             serde_json::to_string(&Record::Schema { version: 1 }).unwrap(),
@@ -324,7 +331,10 @@ mod tests {
         let data = TraceData::from_reader(jsonl.as_bytes()).unwrap();
         assert_eq!(data.schema_version, Some(1));
         assert_eq!(data.malformed_lines, 1);
-        assert_eq!(data.records.len(), 1);
+        // Schema markers stay in the stream (they delimit process segments
+        // for resumed-run counter summing).
+        assert_eq!(data.records.len(), 2);
+        assert!(matches!(data.records[0], Record::Schema { version: 1 }));
         assert!(data.schema_warning().is_none());
         let future = TraceData { schema_version: Some(99), ..TraceData::default() };
         assert!(future.schema_warning().unwrap().contains("newer"));

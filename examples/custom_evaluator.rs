@@ -9,7 +9,7 @@
 
 use aaltune::active_learning::bao::BaoTuner;
 use aaltune::active_learning::bted::bted;
-use aaltune::active_learning::task_tuning::drive_loop;
+use aaltune::active_learning::task_tuning::{drive_loop, TuneHooks};
 use aaltune::active_learning::{Method, RidgeEvaluator, TuneOptions};
 use aaltune::dnn_graph::{models, task::extract_tasks};
 use aaltune::gpu_sim::{GpuDevice, SimMeasurer};
@@ -26,7 +26,15 @@ fn main() {
     // Paper configuration: BTED init + BAO with the GBT evaluation function.
     let init = bted(&space, &opts.bted, opts.seed);
     let mut gbt_bao = BaoTuner::new(&space, init.clone(), opts.bao, opts.gbt, opts.seed);
-    let r = drive_loop(&task, &space, &mut gbt_bao, &measurer, Method::BtedBao, &opts);
+    let r = drive_loop(
+        &task,
+        &space,
+        &mut gbt_bao,
+        &measurer,
+        Method::BtedBao,
+        &opts,
+        TuneHooks::default(),
+    );
     println!(
         "BAO + GBT evaluator:   {:7.1} GFLOPS in {} measurements",
         r.best_gflops, r.num_measured
@@ -35,7 +43,15 @@ fn main() {
     // Same loop, ridge-regression evaluation function.
     let mut ridge_bao =
         BaoTuner::with_evaluator(&space, init, opts.bao, || RidgeEvaluator::new(1.0), opts.seed);
-    let r = drive_loop(&task, &space, &mut ridge_bao, &measurer, Method::BtedBao, &opts);
+    let r = drive_loop(
+        &task,
+        &space,
+        &mut ridge_bao,
+        &measurer,
+        Method::BtedBao,
+        &opts,
+        TuneHooks::default(),
+    );
     println!(
         "BAO + ridge evaluator: {:7.1} GFLOPS in {} measurements",
         r.best_gflops, r.num_measured

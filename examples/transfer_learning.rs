@@ -6,7 +6,7 @@
 //! cargo run --release --example transfer_learning
 //! ```
 
-use aaltune::active_learning::task_tuning::drive_loop;
+use aaltune::active_learning::task_tuning::{drive_loop, TuneHooks};
 use aaltune::active_learning::transfer::warm_start_configs;
 use aaltune::active_learning::tuner::XgbTuner;
 use aaltune::active_learning::{tune_task, Method, TuneOptions};
@@ -38,7 +38,15 @@ fn main() {
     println!("  transferred {} warm-start configurations", warm.len());
     let mut tuner =
         XgbTuner::new(&new_space, warm, opts.gbt, opts.sa, opts.plan_size, opts.epsilon, opts.seed);
-    let warm_run = drive_loop(new_task, &new_space, &mut tuner, &measurer, Method::AutoTvm, &opts);
+    let warm_run = drive_loop(
+        new_task,
+        &new_space,
+        &mut tuner,
+        &measurer,
+        Method::AutoTvm,
+        &opts,
+        TuneHooks::default(),
+    );
 
     println!("  cold: {:7.1} GFLOPS in {} measurements", cold.best_gflops, cold.num_measured);
     println!(

@@ -109,12 +109,14 @@ proptest! {
         let b = m.measure(&task, &space, &cfg);
         prop_assert_eq!(&a, &b);
         prop_assert!(a.gflops >= 0.0);
-        prop_assert!(a.latency_s > 0.0);
         if a.is_valid() {
-            // Valid measurements never exceed the device peak.
+            // Valid measurements have a real latency and never exceed peak.
+            prop_assert!(a.latency_s > 0.0);
             prop_assert!(a.gflops * 1e9 < GpuDevice::gtx_1080_ti().peak_flops());
         } else {
+            // Failed trials carry the zero penalty, not a latency sentinel.
             prop_assert_eq!(a.gflops, 0.0);
+            prop_assert_eq!(a.latency_s, 0.0);
         }
     }
 

@@ -25,7 +25,7 @@ pub use value::{Map, Number, Value};
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 /// A (de)serialization error: a message plus an optional path breadcrumb.
@@ -218,6 +218,12 @@ ser_tuple! {
     (0 A, 1 B, 2 C, 3 D)
 }
 
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn serialize(&self) -> Value {
         let mut m = Map::new();
@@ -355,6 +361,13 @@ de_tuple! {
     (2; 0 A, 1 B)
     (3; 0 A, 1 B, 2 C)
     (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::expected("array", "BTreeSet"))?;
+        arr.iter().map(T::deserialize).collect()
+    }
 }
 
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
