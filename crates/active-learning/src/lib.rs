@@ -51,7 +51,7 @@ pub mod tuner;
 pub use bao::BaoOptions;
 pub use bted::BtedOptions;
 pub use evaluator::{Evaluator, GbtEvaluator, RidgeEvaluator};
-pub use model_tuning::{tune_model, ModelTuneResult};
+pub use model_tuning::{tune_model, tune_model_parallel, ModelTuneResult};
 pub use options::TuneOptions;
 pub use records::{
     Checkpoint, LogWriter, RecoveredLog, RunDir, RunManifest, TrialRecord, TuningLog,

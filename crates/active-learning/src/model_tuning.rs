@@ -55,26 +55,47 @@ pub fn tune_model(
     opts: &TuneOptions,
     runs: usize,
 ) -> ModelTuneResult {
+    tune_model_parallel(graph, measurer, method, opts, runs, 1)
+}
+
+/// [`tune_model`] with up to `tasks_in_flight` tasks tuned concurrently.
+///
+/// Task seeds are derived from the task index, each task's trial stream is
+/// independent of the others, and results are folded in task order, so the
+/// outcome is identical to the serial loop for any `tasks_in_flight`.
+#[must_use]
+pub fn tune_model_parallel(
+    graph: &Graph,
+    measurer: &SimMeasurer,
+    method: Method,
+    opts: &TuneOptions,
+    runs: usize,
+    tasks_in_flight: usize,
+) -> ModelTuneResult {
     let tel = telemetry::global();
     let _span = tel.span("tune_model");
     let tasks = extract_tasks(graph);
     let n_tasks = tasks.len();
-    let mut results = Vec::with_capacity(tasks.len());
-    let mut tuned: Vec<(TuningTask, KernelPerf)> = Vec::with_capacity(tasks.len());
-    let mut total = 0usize;
-
-    for (i, task) in tasks.into_iter().enumerate() {
+    let per_task = executor::run_ordered(tasks, tasks_in_flight, |i, task| {
         tel.report(|| format!("{} ({method}): task {}/{n_tasks} {}", graph.name, i + 1, task.name));
         // Derive a per-task seed so tasks explore independently.
         let topts =
             TuneOptions { seed: opts.seed.wrapping_add((i as u64 + 1) * 0x9E37_79B9), ..*opts };
         let r = tune_task(&task, measurer, method, &topts);
-        total += r.num_measured;
-        if let Some(cfg) = &r.best_config {
+        let perf = r.best_config.as_ref().map(|cfg| {
             let space = space_for_task(&task);
-            let perf =
-                measurer.true_perf(&task, &space, cfg).expect("best config was measured as valid");
-            tuned.push((task.clone(), perf));
+            measurer.true_perf(&task, &space, cfg).expect("best config was measured as valid")
+        });
+        (task, r, perf)
+    });
+
+    let mut results = Vec::with_capacity(n_tasks);
+    let mut tuned: Vec<(TuningTask, KernelPerf)> = Vec::with_capacity(n_tasks);
+    let mut total = 0usize;
+    for (task, r, perf) in per_task {
+        total += r.num_measured;
+        if let Some(perf) = perf {
+            tuned.push((task, perf));
         }
         results.push(r);
     }

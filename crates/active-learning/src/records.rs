@@ -262,6 +262,11 @@ pub struct RunManifest {
     pub fault: Option<gpu_sim::FaultConfig>,
     /// Set when this run directory was continued by `tune --resume`.
     pub resumed: Option<bool>,
+    /// Measurement worker threads used (`None` = serial / pre-executor).
+    /// Advisory: worker count never changes results, only wall time.
+    pub workers: Option<usize>,
+    /// Simulated device slots in the executor's pool.
+    pub devices: Option<usize>,
 }
 
 impl RunManifest {
@@ -555,6 +560,8 @@ mod tests {
             device: Some("gtx1080ti".into()),
             fault: Some(gpu_sim::FaultConfig { rate: 0.1, seed: 3 }),
             resumed: None,
+            workers: Some(4),
+            devices: Some(2),
         };
         dir.write_manifest(&manifest).unwrap();
         assert_eq!(dir.read_manifest().unwrap(), manifest);

@@ -227,33 +227,49 @@ pub fn drive_loop<M: Measurer>(
         if batch.is_empty() {
             break;
         }
-        let mut results = Vec::with_capacity(batch.len());
-        for cfg in batch {
-            let (gflops, latency_s, live) = match replay.split_first() {
+        // Split the proposed batch into a replayed prefix (recorded trials
+        // fed back without re-measuring) and a live tail submitted as ONE
+        // batch through `measure_batch` — the executor's fan-out point.
+        // Per-config `measure` calls are deliberately absent here: the
+        // serial default of `measure_batch` covers plain measurers.
+        let mut outcomes: Vec<(f64, f64, bool)> = Vec::with_capacity(batch.len());
+        for cfg in &batch {
+            match replay.split_first() {
                 Some((rec, rest)) if rec.config_index == cfg.index => {
                     replay = rest;
-                    (rec.gflops, rec.latency_s, false)
+                    outcomes.push((rec.gflops, rec.latency_s, false));
                 }
                 Some((rec, _)) => {
                     // The proposal stream no longer matches the log
                     // (different binary or options?). Degrade gracefully:
                     // stop replaying and measure live from here.
+                    let at = measured + outcomes.len();
                     tel.report(|| {
                         format!(
-                            "{}: resume replay diverged at trial {measured} (logged config {}, \
+                            "{}: resume replay diverged at trial {at} (logged config {}, \
                              proposed {}) — continuing with live measurements",
                             task.name, rec.config_index, cfg.index
                         )
                     });
                     replay = &[];
-                    let r = measurer.measure(task, space, &cfg);
-                    (r.gflops, r.latency_s, true)
+                    break;
                 }
-                None => {
-                    let r = measurer.measure(task, space, &cfg);
-                    (r.gflops, r.latency_s, true)
-                }
-            };
+                None => break,
+            }
+        }
+        let live_tail = &batch[outcomes.len()..];
+        if !live_tail.is_empty() {
+            outcomes.extend(
+                measurer
+                    .measure_batch(task, space, live_tail)
+                    .into_iter()
+                    .map(|r| (r.gflops, r.latency_s, true)),
+            );
+        }
+        debug_assert_eq!(outcomes.len(), batch.len());
+
+        let mut results = Vec::with_capacity(batch.len());
+        for (cfg, (gflops, latency_s, live)) in batch.into_iter().zip(outcomes) {
             if gflops <= 0.0 {
                 failed += 1;
             }

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin ablation -- [--n-trial 512] \
-//!     [--trials 2] [--seed 0] [--tasks 0,3,6] [--out results] \
+//!     [--trials 2] [--seed 0] [--workers N] [--tasks 0,3,6] [--out results] \
 //!     [--trace FILE] [--quiet] [--json]
 //! ```
 
@@ -29,8 +29,13 @@ fn main() {
         .map(|s| s.trim().parse().expect("task index"))
         .collect();
 
+    let workers: usize = args.get("workers", 1);
+    bench::experiments::set_workers(workers);
     tel.report(|| {
-        format!("ablation: n_trial={n_trial} trials={trials} tasks={tasks:?} seed={seed}")
+        format!(
+            "ablation: n_trial={n_trial} trials={trials} tasks={tasks:?} seed={seed} \
+             workers={workers}"
+        )
     });
     let opts = scaled_options(n_trial, seed);
 

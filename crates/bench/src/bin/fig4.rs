@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig4 -- [--n-trial 1024] [--trials 3] \
-//!     [--seed 0] [--out results] [--trace FILE] [--quiet] [--json]
+//!     [--seed 0] [--workers N] [--out results] [--trace FILE] [--quiet] [--json]
 //! ```
 
 use bench::args::Args;
@@ -20,9 +20,11 @@ fn main() {
     let n_trial: usize = args.get("n-trial", 1024);
     let trials: usize = args.get("trials", 3);
     let seed: u64 = args.get("seed", 0);
+    let workers: usize = args.get("workers", 1);
+    bench::experiments::set_workers(workers);
     let out: PathBuf = PathBuf::from(args.get_str("out", "results"));
 
-    tel.report(|| format!("fig4: n_trial={n_trial} trials={trials} seed={seed}"));
+    tel.report(|| format!("fig4: n_trial={n_trial} trials={trials} seed={seed} workers={workers}"));
     let data = run_fig4(n_trial, trials, seed);
     print!("{}", render_fig4(&data));
     for layer in 0..2 {

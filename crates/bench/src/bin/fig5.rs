@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig5 -- [--n-trial 1024] [--trials 3] \
-//!     [--seed 0] [--out results] [--trace FILE] [--quiet] [--json]
+//!     [--seed 0] [--workers N] [--batch-size K] [--out results] \
+//!     [--trace FILE] [--quiet] [--json]
 //! ```
 
 use bench::args::Args;
@@ -20,8 +21,11 @@ fn main() {
     let seed: u64 = args.get("seed", 0);
     let out: PathBuf = PathBuf::from(args.get_str("out", "results"));
 
-    tel.report(|| format!("fig5: n_trial={n_trial} trials={trials} seed={seed}"));
-    let opts = scaled_options(n_trial, seed);
+    let workers: usize = args.get("workers", 1);
+    bench::experiments::set_workers(workers);
+    tel.report(|| format!("fig5: n_trial={n_trial} trials={trials} seed={seed} workers={workers}"));
+    let mut opts = scaled_options(n_trial, seed);
+    opts.batch_size = args.get("batch-size", opts.batch_size);
     let data = run_fig5(&opts, trials);
     print!("{}", render_fig5(&data));
     write_json(&out, "fig5.json", &data).expect("write results");

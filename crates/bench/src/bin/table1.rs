@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin table1 -- [--n-trial 768] [--trials 3] \
-//!     [--runs 600] [--seed 0] [--out results] [--models all|fast] \
-//!     [--trace FILE] [--quiet] [--json]
+//!     [--runs 600] [--seed 0] [--workers N] [--batch-size K] [--out results] \
+//!     [--models all|fast] [--trace FILE] [--quiet] [--json]
 //! ```
 //!
 //! `--models fast` restricts to the two cheapest models for a quick pass.
@@ -34,10 +34,16 @@ fn main() {
         other => panic!("unknown --models `{other}` (use all|fast)"),
     };
 
+    let workers: usize = args.get("workers", 1);
+    bench::experiments::set_workers(workers);
     tel.report(|| {
-        format!("table1: n_trial={n_trial} trials={trials} runs={runs} seed={seed} models={which}")
+        format!(
+            "table1: n_trial={n_trial} trials={trials} runs={runs} seed={seed} \
+             models={which} workers={workers}"
+        )
     });
-    let opts = scaled_options(n_trial, seed);
+    let mut opts = scaled_options(n_trial, seed);
+    opts.batch_size = args.get("batch-size", opts.batch_size);
     let data = run_table1_models(&graphs, &opts, trials, runs);
     print!("{}", render_table1(&data));
     write_json(&out, "table1.json", &data).expect("write results");

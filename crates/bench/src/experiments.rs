@@ -3,10 +3,27 @@
 use active_learning::{tune_model, tune_task, Method, ModelTuneResult, TuneOptions};
 use dnn_graph::models;
 use dnn_graph::task::{extract_tasks, TuningTask};
+use executor::run_ordered;
 use gpu_sim::{GpuDevice, SimMeasurer};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::stats::{delta_pct, mean};
+
+/// Worker threads shared by every experiment driver, set once by the bench
+/// binaries from `--workers` (default 1 = serial). Worker count never
+/// changes results: each `(task, method, trial)` unit is independently
+/// seeded and results fold in unit order via [`executor::run_ordered`].
+static WORKERS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the worker-thread count for all experiment drivers.
+pub fn set_workers(n: usize) {
+    WORKERS.store(n.max(1), Ordering::SeqCst);
+}
+
+fn workers() -> usize {
+    WORKERS.load(Ordering::SeqCst)
+}
 
 /// Simulated test device — the paper's GTX 1080 Ti.
 #[must_use]
@@ -55,19 +72,33 @@ pub fn run_fig4(n_trial: usize, trials: usize, seed: u64) -> Fig4Data {
     let tasks = extract_tasks(&models::mobilenet_v1(1));
     let base = TuneOptions { n_trial, early_stopping: usize::MAX, seed, ..TuneOptions::default() };
     let tel = telemetry::global();
+    // One unit per (layer, method, trial), fanned out over the worker pool
+    // and folded back in unit order, so the averaged curves are identical
+    // to the serial loop at any worker count.
+    let units: Vec<(usize, Method, u64)> = (0..tasks.len().min(2))
+        .flat_map(|layer| {
+            Method::PAPER_ARMS
+                .into_iter()
+                .flat_map(move |method| (0..trials as u64).map(move |t| (layer, method, t)))
+        })
+        .collect();
+    let runs = run_ordered(units, workers(), |_, (layer, method, t)| {
+        tel.report(|| format!("fig4: layer {} {method} trial {t}", layer + 1));
+        let opts = trial_options(&base, t);
+        let m = measurer(opts.seed);
+        let r = tune_task(&tasks[layer], &m, method, &opts);
+        (r.log.convergence_curve(), r.best_gflops)
+    });
+    let mut runs = runs.into_iter();
     let mut curves = Vec::new();
-    for (layer, task) in tasks.iter().enumerate().take(2) {
+    for layer in 0..tasks.len().min(2) {
         for method in Method::PAPER_ARMS {
-            tel.report(|| format!("fig4: layer {} {method}", layer + 1));
             let mut sum = vec![0.0f64; n_trial];
-            for t in 0..trials {
-                let opts = trial_options(&base, t as u64);
-                let m = measurer(opts.seed);
-                let r = tune_task(task, &m, method, &opts);
-                let c = r.log.convergence_curve();
+            for _ in 0..trials {
+                let (c, best) = runs.next().expect("one run per unit");
                 for (i, s) in sum.iter_mut().enumerate() {
                     // Hold the final value if the run ended early.
-                    *s += c.get(i).copied().unwrap_or(r.best_gflops);
+                    *s += c.get(i).copied().unwrap_or(best);
                 }
             }
             let curve = sum.into_iter().map(|s| s / trials as f64).collect();
@@ -123,19 +154,31 @@ pub fn run_fig5(base: &TuneOptions, trials: usize) -> Fig5Data {
 #[must_use]
 pub fn run_fig5_tasks(tasks: &[TuningTask], base: &TuneOptions, trials: usize) -> Fig5Data {
     let tel = telemetry::global();
+    let units: Vec<(usize, Method, u64)> = (0..tasks.len())
+        .flat_map(|ti| {
+            Method::PAPER_ARMS
+                .into_iter()
+                .flat_map(move |method| (0..trials as u64).map(move |t| (ti, method, t)))
+        })
+        .collect();
+    let runs = run_ordered(units, workers(), |_, (ti, method, t)| {
+        tel.report(|| format!("fig5: task T{} of {} — {method} trial {t}", ti + 1, tasks.len()));
+        let opts = trial_options(base, t);
+        let m = measurer(opts.seed);
+        let r = tune_task(&tasks[ti], &m, method, &opts);
+        (r.num_measured as f64, r.best_gflops)
+    });
+    let mut runs = runs.into_iter();
     let mut rows = Vec::with_capacity(tasks.len() + 1);
-    for (ti, task) in tasks.iter().enumerate() {
-        tel.report(|| format!("fig5: task T{} of {}", ti + 1, tasks.len()));
+    for ti in 0..tasks.len() {
         let mut cells = Vec::new();
         for method in Method::PAPER_ARMS {
             let mut configs = Vec::new();
             let mut gflops = Vec::new();
-            for t in 0..trials {
-                let opts = trial_options(base, t as u64);
-                let m = measurer(opts.seed);
-                let r = tune_task(task, &m, method, &opts);
-                configs.push(r.num_measured as f64);
-                gflops.push(r.best_gflops);
+            for _ in 0..trials {
+                let (n, g) = runs.next().expect("one run per unit");
+                configs.push(n);
+                gflops.push(g);
             }
             cells.push(Fig5Cell {
                 method,
@@ -217,19 +260,31 @@ pub fn run_table1_models(
     runs: usize,
 ) -> Table1Data {
     let tel = telemetry::global();
+    let units: Vec<(usize, Method, u64)> = (0..graphs.len())
+        .flat_map(|gi| {
+            Method::PAPER_ARMS
+                .into_iter()
+                .flat_map(move |method| (0..trials as u64).map(move |t| (gi, method, t)))
+        })
+        .collect();
+    let outcomes = run_ordered(units, workers(), |_, (gi, method, t)| {
+        tel.report(|| format!("table1: {} {method} trial {t}", graphs[gi].name));
+        let opts = trial_options(base, t);
+        let m = measurer(opts.seed);
+        let r: ModelTuneResult = tune_model(&graphs[gi], &m, method, &opts, runs);
+        (r.latency.mean_ms, r.latency.variance)
+    });
+    let mut outcomes = outcomes.into_iter();
     let mut rows = Vec::with_capacity(graphs.len() + 1);
     for graph in graphs {
         let mut cells = Vec::new();
         for method in Method::PAPER_ARMS {
-            tel.report(|| format!("table1: {} {method}", graph.name));
             let mut lat = Vec::new();
             let mut var = Vec::new();
-            for t in 0..trials {
-                let opts = trial_options(base, t as u64);
-                let m = measurer(opts.seed);
-                let r: ModelTuneResult = tune_model(graph, &m, method, &opts, runs);
-                lat.push(r.latency.mean_ms);
-                var.push(r.latency.variance);
+            for _ in 0..trials {
+                let (l, v) = outcomes.next().expect("one outcome per unit");
+                lat.push(l);
+                var.push(v);
             }
             cells.push(Table1Cell {
                 method,
@@ -398,17 +453,15 @@ fn sweep_point_method(
     trials: usize,
 ) -> AblationPoint {
     telemetry::global().report(|| format!("ablation: {setting}"));
-    let mut gflops = Vec::new();
-    let mut configs = Vec::new();
-    for &ti in task_indices {
-        for t in 0..trials {
-            let topts = trial_options(opts, t as u64);
-            let m = measurer(topts.seed);
-            let r = tune_task(&tasks[ti], &m, method, &topts);
-            gflops.push(r.best_gflops);
-            configs.push(r.num_measured as f64);
-        }
-    }
+    let units: Vec<(usize, u64)> =
+        task_indices.iter().flat_map(|&ti| (0..trials as u64).map(move |t| (ti, t))).collect();
+    let outcomes = run_ordered(units, workers(), |_, (ti, t)| {
+        let topts = trial_options(opts, t);
+        let m = measurer(topts.seed);
+        let r = tune_task(&tasks[ti], &m, method, &topts);
+        (r.best_gflops, r.num_measured as f64)
+    });
+    let (gflops, configs): (Vec<f64>, Vec<f64>) = outcomes.into_iter().unzip();
     AblationPoint { setting, gflops: mean(&gflops), num_configs: mean(&configs) }
 }
 

@@ -2,13 +2,17 @@
 
 use crate::opts::{device_by_name, method_by_name, model_by_name, Cli};
 use active_learning::{
-    tune_model, tune_task_with, Checkpoint, Method, RunDir, RunManifest, TrialRecord, TuneHooks,
-    TuneOptions, TuningLog, CHECKPOINT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
+    tune_model_parallel, tune_task_with, Checkpoint, Method, RunDir, RunManifest, TrialRecord,
+    TuneHooks, TuneOptions, TuningLog, CHECKPOINT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
 };
 use dnn_graph::task::extract_tasks;
+use executor::{run_ordered, Executor, ExecutorConfig};
 use gpu_sim::{FaultConfig, FaultInjectingMeasurer, RetryPolicy, RobustMeasurer, SimMeasurer};
 use schedule::template::space_for_task;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
 use trace_analysis::{
     compare_logs, compare_run_dirs, render_report, CompareOptions, LoadedRun, Registry, RunEntry,
     Verdict,
@@ -26,12 +30,15 @@ usage:
   aaltune devices
   aaltune tune    <model> [--task N] [--method M] [--n-trial N] [--seed S]
                           [--device D] [--log FILE] [--out DIR]
+                          [--workers N] [--devices M] [--batch-size K]
+                          [--device-ms T]
                           [--fault-rate P] [--fault-seed S] [--max-retries R]
                           [--trial-timeout-ms T] [--max-fail-rate F]
                           [--trace FILE] [--quiet] [--json]
-  aaltune tune    --resume RUN_DIR [--quiet] [--json]
+  aaltune tune    --resume RUN_DIR [--workers N] [--devices M] [--quiet] [--json]
   aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
-                          [--device D] [--trace FILE] [--quiet] [--json]
+                          [--workers N] [--device D] [--trace FILE]
+                          [--quiet] [--json]
   aaltune trace   <trace.jsonl>
   aaltune runs    [DIR] [--model M] [--method M] [--kind K]
   aaltune compare <BASE_RUN> <CAND_RUN> [--alpha A] [--resamples N]
@@ -49,6 +56,11 @@ faults:  --fault-rate injects deterministic measurement faults (seeded by
          persistent crashers are quarantined, and a task aborts once more
          than --max-fail-rate of its trials fail. Runs with --out are
          crash-safe: kill the process and continue with `tune --resume`
+parallel: --workers runs measurements on N worker threads over M simulated
+         device slots (--devices, default N) with --batch-size proposals per
+         round; results are re-sequenced by submission index, so trial logs
+         are byte-identical to --workers 1 for the same seed. --device-ms
+         emulates per-measurement device occupancy (real time per lease)
 analysis: `runs` lists the registry (DIR defaults to ./runs); `compare`
          bootstraps per-task deltas between two run dirs and exits 2 on a
          gated regression; `report` writes a self-contained HTML report";
@@ -116,6 +128,7 @@ fn options(cli: &Cli) -> Result<TuneOptions, String> {
         n_trial,
         early_stopping: 400.min(n_trial),
         seed: cli.flag("seed", 0)?,
+        batch_size: cli.flag("batch-size", TuneOptions::default().batch_size)?,
         max_retries: opt_flag(cli, "max-retries")?,
         trial_timeout_ms: opt_flag(cli, "trial-timeout-ms")?,
         fail_rate_cap: opt_flag(cli, "max-fail-rate")?,
@@ -183,6 +196,11 @@ struct TunePlan {
     checkpoint: Checkpoint,
     /// Exact task set pinned by the original manifest on resume.
     task_names: Option<Vec<String>>,
+    /// Measurement worker threads (free to change on resume: worker count
+    /// never changes results, only wall time).
+    workers: usize,
+    /// Simulated device slots in the executor pool.
+    devices: usize,
 }
 
 impl TunePlan {
@@ -214,6 +232,8 @@ impl TunePlan {
             resume: false,
             checkpoint: Checkpoint::default(),
             task_names: None,
+            workers: 1,
+            devices: 1,
         })
     }
 
@@ -246,6 +266,8 @@ impl TunePlan {
             resume: true,
             checkpoint,
             task_names: Some(manifest.tasks),
+            workers: manifest.workers.unwrap_or(1),
+            devices: manifest.devices.unwrap_or(1),
         })
     }
 
@@ -262,35 +284,71 @@ impl TunePlan {
             device: Some(self.device_name.clone()),
             fault: (!self.fault.is_off()).then_some(self.fault),
             resumed: self.resume.then_some(true),
+            workers: Some(self.workers),
+            devices: Some(self.devices),
         }
     }
+}
+
+/// Shared crash-safety bookkeeping while tasks tune concurrently.
+struct CkptState {
+    /// Tasks whose logs are complete and durable.
+    completed: Vec<String>,
+    /// Per in-flight task: config indices already appended to its durable
+    /// log. Checkpoints restrict each in-flight task's quarantine to this
+    /// set — a batch can quarantine a config trials before its record is
+    /// durable, and a resume that excluded such a config would diverge
+    /// from the uninterrupted run.
+    appended: BTreeMap<String, BTreeSet<u64>>,
 }
 
 #[allow(clippy::too_many_lines)]
 fn tune(cli: &Cli) -> Result<(), String> {
     let started = std::time::Instant::now();
-    let plan = match cli.flag_str("resume") {
+    let mut plan = match cli.flag_str("resume") {
         Some(p) => TunePlan::resume(Path::new(p))?,
         None => TunePlan::fresh(cli)?,
     };
+    if let Some(w) = opt_flag::<usize>(cli, "workers")? {
+        plan.workers = w;
+    }
+    if let Some(d) = opt_flag::<usize>(cli, "devices")? {
+        plan.devices = d;
+    } else if !plan.resume {
+        plan.devices = plan.devices.max(plan.workers);
+    }
+    if plan.workers == 0 || plan.devices == 0 {
+        return Err("--workers and --devices must be at least 1".to_string());
+    }
+    let device_ms: f64 = cli.flag("device-ms", 0.0)?;
+    if device_ms < 0.0 {
+        return Err(format!("--device-ms {device_ms} must be non-negative"));
+    }
 
     // The full measurement stack, always assembled the same way: fault
     // injection (transparent at rate 0) under the retry/timeout/quarantine
-    // policy. A resumed run restores the checkpointed quarantine so
-    // known-crashing configs are never re-measured.
+    // policy, fanned out over the executor's worker pool (a transparent
+    // pass-through at --workers 1). A resumed run restores the checkpointed
+    // quarantine so known-crashing configs are never re-measured.
     let policy = RetryPolicy {
         max_retries: plan.opts.max_retries_or_default(),
         trial_timeout_ms: plan.opts.trial_timeout_ms.unwrap_or(0.0),
         ..RetryPolicy::default()
     };
     let device = device_by_name(&plan.device_name)?;
-    let m = RobustMeasurer::new(
+    let robust = RobustMeasurer::new(
         FaultInjectingMeasurer::new(SimMeasurer::new(device), plan.fault),
         policy,
     );
     if let Some(q) = plan.checkpoint.quarantine.clone() {
-        m.restore_quarantine(q);
+        robust.restore_quarantine(q);
     }
+    let m = Executor::new(
+        robust,
+        ExecutorConfig::for_workers(plan.workers)
+            .with_devices(plan.devices)
+            .with_device_hold(Duration::from_secs_f64(device_ms / 1000.0)),
+    );
 
     // A resumed process appends to the existing trace; its fresh schema
     // header marks the segment boundary for counter summing.
@@ -334,12 +392,30 @@ fn tune(cli: &Cli) -> Result<(), String> {
     }
 
     let method = plan.method;
-    let mut completed: Vec<String> = plan.checkpoint.completed_tasks.clone();
-    let mut logs = Vec::new();
-    for i in selected {
-        let task = &tasks[i];
+    let ckpt_state = Mutex::new(CkptState {
+        completed: plan.checkpoint.completed_tasks.clone(),
+        appended: BTreeMap::new(),
+    });
+    // Checkpoint writes serialize under the state lock; the quarantine of
+    // every in-flight task is restricted to its durably-logged configs.
+    let write_ckpt =
+        |dir: &RunDir, st: &CkptState, in_flight: Option<&str>, trials: Option<u64>| {
+            let mut quarantine = m.inner().quarantine_snapshot();
+            for (task, allowed) in &st.appended {
+                quarantine.restrict(task, allowed);
+            }
+            dir.write_checkpoint(&Checkpoint {
+                schema_version: Some(CHECKPOINT_SCHEMA_VERSION),
+                completed_tasks: st.completed.clone(),
+                in_flight: in_flight.map(str::to_string),
+                trials_logged: trials,
+                quarantine: Some(quarantine),
+            })
+            .map_err(|e| format!("cannot write checkpoint: {e}"))
+        };
+    let run_task = |task: &dnn_graph::task::TuningTask| -> Result<TuningLog, String> {
         let r = if let Some(dir) = &plan.run_dir {
-            if completed.contains(&task.name) {
+            if ckpt_state.lock().expect("ckpt state poisoned").completed.contains(&task.name) {
                 // Finished before the kill: read the durable log back.
                 let f = std::fs::File::open(dir.log_path(&task.name))
                     .map_err(|e| format!("cannot reopen log of {}: {e}", task.name))?;
@@ -352,8 +428,7 @@ fn tune(cli: &Cli) -> Result<(), String> {
                         log.records.len()
                     )
                 });
-                logs.push(log);
-                continue;
+                return Ok(log);
             }
             // Durable path: recover any partial log, replay it through the
             // deterministic loop, and append every live trial before the
@@ -381,15 +456,12 @@ fn tune(cli: &Cli) -> Result<(), String> {
                     ),
                 }
             };
-            let ckpt = |trials: u64| Checkpoint {
-                schema_version: Some(CHECKPOINT_SCHEMA_VERSION),
-                completed_tasks: completed.clone(),
-                in_flight: Some(task.name.clone()),
-                trials_logged: Some(trials),
-                quarantine: Some(m.quarantine_snapshot()),
-            };
-            dir.write_checkpoint(&ckpt(replay.len() as u64))
-                .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+            {
+                let mut st = ckpt_state.lock().expect("ckpt state poisoned");
+                st.appended
+                    .insert(task.name.clone(), replay.iter().map(|rec| rec.config_index).collect());
+                write_ckpt(dir, &st, Some(&task.name), Some(replay.len() as u64))?;
+            }
             let trials_logged = std::cell::Cell::new(replay.len() as u64);
             let write_err: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
             let mut sink = |rec: &TrialRecord| {
@@ -397,8 +469,10 @@ fn tune(cli: &Cli) -> Result<(), String> {
                     write_err.borrow_mut().get_or_insert(e.to_string());
                 }
                 trials_logged.set(trials_logged.get() + 1);
+                let mut st = ckpt_state.lock().expect("ckpt state poisoned");
+                st.appended.get_mut(&task.name).expect("task registered").insert(rec.config_index);
                 if trials_logged.get().is_multiple_of(16) {
-                    let _ = dir.write_checkpoint(&ckpt(trials_logged.get()));
+                    let _ = write_ckpt(dir, &st, Some(&task.name), Some(trials_logged.get()));
                 }
             };
             let r = tune_task_with(
@@ -409,18 +483,14 @@ fn tune(cli: &Cli) -> Result<(), String> {
                 TuneHooks { on_trial: Some(&mut sink), replay: Some(&replay) },
             );
             if let Some(e) = write_err.into_inner() {
-                finish_telemetry(&tel);
                 return Err(format!("trial log of {} failed to write: {e}", task.name));
             }
-            completed.push(task.name.clone());
-            dir.write_checkpoint(&Checkpoint {
-                schema_version: Some(CHECKPOINT_SCHEMA_VERSION),
-                completed_tasks: completed.clone(),
-                in_flight: None,
-                trials_logged: None,
-                quarantine: Some(m.quarantine_snapshot()),
-            })
-            .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+            {
+                let mut st = ckpt_state.lock().expect("ckpt state poisoned");
+                st.appended.remove(&task.name);
+                st.completed.push(task.name.clone());
+                write_ckpt(dir, &st, None, None)?;
+            }
             r
         } else {
             tune_task_with(task, &m, method, &plan.opts, TuneHooks::default())
@@ -434,7 +504,26 @@ fn tune(cli: &Cli) -> Result<(), String> {
                 r.task_name, r.best_gflops, r.num_measured
             )
         });
-        logs.push(r.log);
+        Ok(r.log)
+    };
+    // Task-level scheduling: up to --workers tasks in flight, sharing the
+    // executor's worker pool and devices (fair-shared per task name); the
+    // log vector folds back in task order, exactly as the serial loop.
+    let concurrency = plan.workers.min(selected.len()).max(1);
+    let outcomes = run_ordered(selected, concurrency, |_, i| run_task(&tasks[i]));
+    let mut logs = Vec::with_capacity(outcomes.len());
+    let mut first_err: Option<String> = None;
+    for outcome in outcomes {
+        match outcome {
+            Ok(log) => logs.push(log),
+            Err(e) => {
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        finish_telemetry(&tel);
+        return Err(e);
     }
 
     if let Some(dir) = &plan.run_dir {
@@ -472,9 +561,13 @@ fn deploy(cli: &Cli) -> Result<(), String> {
     let method = method_by_name(cli.flag_str("method").unwrap_or("bted+bao"))?;
     let opts = options(cli)?;
     let runs: usize = cli.flag("runs", 600)?;
+    let workers: usize = cli.flag("workers", 1)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
     let m = measurer(cli)?;
     let tel = install_telemetry(cli, None)?;
-    let r = tune_model(&model, &m, method, &opts, runs);
+    let r = tune_model_parallel(&model, &m, method, &opts, runs, workers);
     tel.report(|| {
         format!(
             "{} ({method}): latency {:.4} ms  variance {:.4}  min {:.4}  max {:.4}  \

@@ -1,0 +1,195 @@
+//! A bounded multi-producer/multi-consumer queue built on
+//! `Mutex` + `Condvar` (the workspace is std-only).
+//!
+//! Two properties matter to the executor:
+//!
+//! * **backpressure** — [`BoundedQueue::push`] *blocks* once the queue
+//!   holds `capacity` items, so a fast producer (the tuning loop
+//!   submitting a batch) can never run ahead of stalled runners by more
+//!   than a bounded amount of memory;
+//! * **close-to-drain shutdown** — [`BoundedQueue::close`] wakes every
+//!   blocked producer and consumer, after which consumers keep draining
+//!   the remaining items and only then observe `None`. Nothing already
+//!   accepted is ever dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A blocking bounded FIFO shared by reference between threads.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    /// Telemetry histogram observed with the queue depth on every push.
+    depth_metric: &'static str,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, depth_metric: &'static str) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue cannot make progress");
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+            depth_metric,
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue was closed (shutdown) before it
+    /// could be accepted.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.capacity {
+                break;
+            }
+            st = self.not_full.wait(st).expect("queue poisoned");
+        }
+        st.items.push_back(item);
+        #[allow(clippy::cast_precision_loss)]
+        telemetry::global().observe(self.depth_metric, st.items.len() as f64);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` only once the queue is closed *and* fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain then stop.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True if nothing is queued right now.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The backpressure bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let q = BoundedQueue::new(4, "test.depth");
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_instead_of_growing() {
+        // The backpressure contract: a producer shoving far more items
+        // than `capacity` at a stalled consumer must block, not OOM.
+        let q = Arc::new(BoundedQueue::new(2, "test.depth"));
+        let pushed = Arc::new(AtomicUsize::new(0));
+        let producer = {
+            let (q, pushed) = (Arc::clone(&q), Arc::clone(&pushed));
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    q.push(i).unwrap();
+                    pushed.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+        // With no consumer, progress must stop at exactly `capacity`.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pushed.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(pushed.load(Ordering::SeqCst), 2, "producer must block at capacity");
+        assert_eq!(q.len(), 2);
+        // Draining un-blocks it and every item arrives in order.
+        for i in 0..50 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        producer.join().unwrap();
+        assert_eq!(pushed.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn close_drains_remaining_items_then_stops() {
+        let q = BoundedQueue::new(8, "test.depth");
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3), "push after close hands the item back");
+        assert_eq!(q.pop(), Some(1), "accepted items survive the close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(2, "test.depth"));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

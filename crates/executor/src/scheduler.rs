@@ -1,0 +1,98 @@
+//! Task-level scheduling: run many independent work items concurrently
+//! while returning results in a deterministic order.
+//!
+//! This is the layer that tunes multiple `TuningTask`s at once: each item
+//! is claimed in index order by a bounded pool of scoped threads, and the
+//! result vector is assembled by index, so callers observe exactly the
+//! output of the serial loop regardless of completion order. Fair-share
+//! *device* allocation between the concurrent tasks happens one layer
+//! down, in [`crate::DevicePool`], keyed by the task name each measurement
+//! batch carries.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Runs `f` over every item with up to `concurrency` worker threads,
+/// returning results in item order (index `i` of the output is item `i`'s
+/// result, as if the loop had run serially).
+///
+/// `concurrency <= 1` degrades to a plain in-thread loop — no threads are
+/// spawned, so the serial path is bit-for-bit the pre-parallel behavior.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers have stopped.
+pub fn run_ordered<T, R, F>(items: Vec<T>, concurrency: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let concurrency = concurrency.clamp(1, n.max(1));
+    if concurrency <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let tel = telemetry::global();
+    #[allow(clippy::cast_precision_loss)]
+    tel.observe("exec.sched.concurrency", concurrency as f64);
+    let work = Mutex::new(items.into_iter().enumerate());
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            scope.spawn(|| loop {
+                // Claim the next item in index order; drop the lock before
+                // the (long) call so claims never serialize the work.
+                let claimed = work.lock().expect("scheduler work poisoned").next();
+                let Some((i, item)) = claimed else { break };
+                let r = f(i, item);
+                *results[i].lock().expect("scheduler slot poisoned") = Some(r);
+            });
+        }
+    });
+    tel.observe("exec.sched.wall_us", started.elapsed().as_secs_f64() * 1e6);
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("scheduler slot poisoned")
+                .expect("scope join guarantees every claimed slot is filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_item_order_for_any_concurrency() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = run_ordered(items.clone(), 1, |i, x| (i, x * x));
+        for workers in [2, 4, 16] {
+            let parallel = run_ordered(items.clone(), workers, |i, x| (i, x * x));
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = run_ordered((0..100).collect(), 8, |_, x: i32| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn concurrency_is_clamped_to_item_count() {
+        // 1000 workers over 3 items must not spawn 1000 threads or hang.
+        let out = run_ordered(vec![1, 2, 3], 1000, |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert!(run_ordered(Vec::<u8>::new(), 4, |_, x| x).is_empty());
+    }
+}

@@ -23,8 +23,8 @@ use crate::noise::{seed_for, splitmix64, unit};
 use dnn_graph::task::TuningTask;
 use schedule::{Config, ConfigSpace};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Share of the overall fault rate drawn as persistent faults.
 const PERSISTENT_SHARE: f64 = 0.4;
@@ -71,14 +71,18 @@ pub struct FaultInjectingMeasurer<M> {
     inner: M,
     config: FaultConfig,
     /// Attempts seen per `(task, config)` key; drives the transient draw
-    /// so retries of the same configuration see fresh coin flips.
-    attempts: RefCell<HashMap<u64, u64>>,
+    /// so retries of the same configuration see fresh coin flips. Behind a
+    /// mutex so pooled executors can share one fault stream across worker
+    /// threads — the counter stays per-`(task, config)`, so as long as all
+    /// attempts of one configuration run on one worker (the retry loop
+    /// does), the draw sequence is identical to the serial path.
+    attempts: Mutex<HashMap<u64, u64>>,
 }
 
 impl<M: Measurer> FaultInjectingMeasurer<M> {
     /// Wraps `inner`, injecting faults per `config`.
     pub fn new(inner: M, config: FaultConfig) -> Self {
-        FaultInjectingMeasurer { inner, config, attempts: RefCell::new(HashMap::new()) }
+        FaultInjectingMeasurer { inner, config, attempts: Mutex::new(HashMap::new()) }
     }
 
     /// The wrapped measurer.
@@ -125,7 +129,7 @@ impl<M: Measurer> FaultInjectingMeasurer<M> {
 impl<M: Measurer> Measurer for FaultInjectingMeasurer<M> {
     fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult {
         let attempt = {
-            let mut attempts = self.attempts.borrow_mut();
+            let mut attempts = self.attempts.lock().expect("fault attempt map poisoned");
             let slot = attempts.entry(seed_for(&task.name, config.index)).or_insert(0);
             let current = *slot;
             *slot += 1;

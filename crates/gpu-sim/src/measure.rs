@@ -146,6 +146,24 @@ pub trait Measurer {
     /// Deploys `config` for `task` and reports measured performance.
     fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult;
 
+    /// Measures a whole batch of configurations, returning results in
+    /// submission order (`results[i]` belongs to `configs[i]`).
+    ///
+    /// The default walks the batch serially through [`Measurer::measure`],
+    /// so every existing measurer works unchanged; a pooled executor
+    /// overrides this to fan the batch out across workers while keeping
+    /// the ordering contract. The tuning loop only ever talks to this
+    /// method — per-config calls are an implementation detail of the
+    /// serial default.
+    fn measure_batch(
+        &self,
+        task: &TuningTask,
+        space: &ConfigSpace,
+        configs: &[Config],
+    ) -> Vec<MeasureResult> {
+        configs.iter().map(|c| self.measure(task, space, c)).collect()
+    }
+
     /// Number of timed runs averaged per measurement.
     fn repeats(&self) -> usize {
         3

@@ -25,8 +25,8 @@ use crate::measure::{MeasureError, MeasureErrorKind, MeasureResult, Measurer};
 use dnn_graph::task::TuningTask;
 use schedule::{Config, ConfigSpace};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 
 /// Retry/timeout policy for [`RobustMeasurer`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -100,32 +100,70 @@ impl Quarantine {
     pub fn is_empty(&self) -> bool {
         self.sets.values().all(BTreeSet::is_empty)
     }
+
+    /// Drops every quarantined index of `task` not in `allowed`.
+    ///
+    /// Used when checkpointing a batched run: a pooled executor can have
+    /// quarantined configurations whose trial records are not yet durable,
+    /// and persisting those entries would make a resumed run exclude
+    /// configurations its replayed proposal stream still expects to see.
+    /// Restricting the in-flight task's set to the durably-logged indices
+    /// keeps checkpoints consistent with the log.
+    pub fn restrict(&mut self, task: &str, allowed: &BTreeSet<u64>) {
+        if let Some(set) = self.sets.get_mut(task) {
+            set.retain(|i| allowed.contains(i));
+        }
+    }
 }
 
 /// A [`Measurer`] wrapper applying [`RetryPolicy`] and [`Quarantine`].
+///
+/// The quarantine lives behind an `Arc<Mutex<_>>`, so one set can be
+/// shared across worker threads (one `RobustMeasurer` driven by a pooled
+/// executor) *and* across independently constructed instances via
+/// [`RobustMeasurer::with_shared_quarantine`]: a configuration that
+/// crashed on worker 1 is never retried on worker 2.
 #[derive(Debug)]
 pub struct RobustMeasurer<M> {
     inner: M,
     policy: RetryPolicy,
-    quarantine: RefCell<Quarantine>,
+    quarantine: Arc<Mutex<Quarantine>>,
 }
 
 impl<M: Measurer> RobustMeasurer<M> {
     /// Wraps `inner` with `policy` and an empty quarantine.
     pub fn new(inner: M, policy: RetryPolicy) -> Self {
-        RobustMeasurer { inner, policy, quarantine: RefCell::new(Quarantine::new()) }
+        Self::with_shared_quarantine(inner, policy, Arc::new(Mutex::new(Quarantine::new())))
+    }
+
+    /// Wraps `inner` with `policy`, sharing an existing quarantine set —
+    /// several measurer instances (e.g. one per worker pool) then see and
+    /// extend the same per-task crash lists.
+    pub fn with_shared_quarantine(
+        inner: M,
+        policy: RetryPolicy,
+        quarantine: Arc<Mutex<Quarantine>>,
+    ) -> Self {
+        RobustMeasurer { inner, policy, quarantine }
+    }
+
+    /// Handle to the shared quarantine set, for wiring further instances
+    /// through [`RobustMeasurer::with_shared_quarantine`].
+    #[must_use]
+    pub fn shared_quarantine(&self) -> Arc<Mutex<Quarantine>> {
+        Arc::clone(&self.quarantine)
     }
 
     /// Seeds the quarantine (crash-safe resume restores the set the
     /// crashed run had accumulated).
     pub fn restore_quarantine(&self, quarantine: Quarantine) {
-        *self.quarantine.borrow_mut() = quarantine;
+        *self.quarantine.lock().expect("quarantine poisoned") = quarantine;
     }
 
     /// Snapshot of the current quarantine, for checkpointing.
     #[must_use]
     pub fn quarantine_snapshot(&self) -> Quarantine {
-        self.quarantine.borrow().clone()
+        self.quarantine.lock().expect("quarantine poisoned").clone()
     }
 
     /// The wrapped measurer.
@@ -156,7 +194,7 @@ impl<M: Measurer> RobustMeasurer<M> {
 impl<M: Measurer> Measurer for RobustMeasurer<M> {
     fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult {
         let tel = telemetry::global();
-        if self.quarantine.borrow().contains(&task.name, config.index) {
+        if self.quarantine.lock().expect("quarantine poisoned").contains(&task.name, config.index) {
             // Should not normally be proposed (tuners consult the set),
             // but short-circuit rather than crash again if it is.
             tel.count("measure.quarantine_hit", 1);
@@ -190,7 +228,11 @@ impl<M: Measurer> Measurer for RobustMeasurer<M> {
                 // Persistent failure: quarantine so it is never
                 // re-proposed, but still return the zero-GFLOPS penalty
                 // so cost models learn the cliff.
-                let newly = self.quarantine.borrow_mut().insert(&task.name, config.index);
+                let newly = self
+                    .quarantine
+                    .lock()
+                    .expect("quarantine poisoned")
+                    .insert(&task.name, config.index);
                 if newly {
                     tel.count("measure.quarantine", 1);
                     let kind = error.kind;
@@ -212,7 +254,8 @@ impl<M: Measurer> Measurer for RobustMeasurer<M> {
     }
 
     fn quarantined(&self, task: &TuningTask) -> Vec<u64> {
-        let mut indices = self.quarantine.borrow().indices_for(&task.name);
+        let mut indices =
+            self.quarantine.lock().expect("quarantine poisoned").indices_for(&task.name);
         indices.extend(self.inner.quarantined(task));
         indices.sort_unstable();
         indices.dedup();
@@ -312,6 +355,45 @@ mod tests {
         let loose = RetryPolicy { trial_timeout_ms: 1e9, ..RetryPolicy::default() };
         let robust = RobustMeasurer::new(SimMeasurer::new(GpuDevice::gtx_1080_ti()), loose);
         assert_eq!(robust.measure(&task, &space, &cfg), base);
+    }
+
+    #[test]
+    fn shared_quarantine_is_visible_across_instances() {
+        let (task, space) = setup();
+        let a = RobustMeasurer::new(faulty(0.5), RetryPolicy::default());
+        let b = RobustMeasurer::with_shared_quarantine(
+            faulty(0.5),
+            RetryPolicy::default(),
+            a.shared_quarantine(),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let cfg = loop {
+            let c = space.sample(&mut rng);
+            let r = a.measure(&task, &space, &c);
+            if r.error_kind().is_some_and(|k| !k.is_transient()) {
+                break c;
+            }
+        };
+        // The crash was observed through `a`; `b` must refuse to retry it.
+        assert!(b.quarantined(&task).contains(&cfg.index));
+        assert_eq!(
+            b.measure(&task, &space, &cfg).error_kind(),
+            Some(MeasureErrorKind::LaunchCrash)
+        );
+    }
+
+    #[test]
+    fn restrict_drops_entries_outside_the_allowed_set() {
+        let mut q = Quarantine::new();
+        q.insert("t1", 3);
+        q.insert("t1", 7);
+        q.insert("t2", 9);
+        let allowed: std::collections::BTreeSet<u64> = [3].into_iter().collect();
+        q.restrict("t1", &allowed);
+        assert_eq!(q.indices_for("t1"), vec![3]);
+        assert_eq!(q.indices_for("t2"), vec![9], "other tasks untouched");
+        q.restrict("t3", &allowed); // absent task is a no-op
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

@@ -55,6 +55,8 @@ fn write_run(root: &Path, name: &str, logs: &[TuningLog]) {
         device: None,
         fault: None,
         resumed: None,
+        workers: None,
+        devices: None,
     })
     .expect("write manifest");
     for log in logs {

@@ -430,6 +430,8 @@ mod tests {
             device: None,
             fault: None,
             resumed: Some(true),
+            workers: None,
+            devices: None,
         })
         .unwrap();
         let mut log = TuningLog::new("sq.T1", "autotvm");

@@ -122,6 +122,7 @@ pub fn render_report(
     convergence_section(&mut body, run, baseline);
     if let Some(trace) = &run.trace {
         health_section(&mut body, run, trace);
+        executor_section(&mut body, run, trace);
         flame_section(&mut body, trace);
         adaptation_sections(&mut body, trace);
     }
@@ -373,6 +374,96 @@ fn health_section(body: &mut String, run: &LoadedRun, trace: &TraceData) {
             h.quantile(0.5),
             h.quantile(0.99),
         );
+    }
+    let _ = write!(body, "</section>");
+}
+
+/// Pool health of the parallel measurement executor: worker utilization,
+/// batch latency, queue depth, and per-device occupancy. Omitted entirely
+/// for runs that never went through the executor (no `exec.*` counters).
+fn executor_section(body: &mut String, run: &LoadedRun, trace: &TraceData) {
+    let summary = telemetry::TraceSummary::from_records(&trace.records);
+    let c = |name: &str| summary.counters.get(name).copied().unwrap_or(0);
+    if c("exec.jobs.total") == 0 {
+        return;
+    }
+    let _ = write!(body, "<section><h2>Executor utilization</h2><div class=\"meta\">");
+    let mut kv = |k: &str, v: String| {
+        let _ = write!(body, "<div><div class=\"k\">{k}</div><div class=\"v\">{v}</div></div>");
+    };
+    kv(
+        "workers × devices",
+        format!(
+            "{} × {}",
+            run.manifest.workers.map_or_else(|| "?".into(), |w| w.to_string()),
+            run.manifest.devices.map_or_else(|| "?".into(), |d| d.to_string()),
+        ),
+    );
+    kv("jobs measured", c("exec.jobs.total").to_string());
+    kv("batches", c("exec.batch.submitted").to_string());
+    kv("invalid builds", c("exec.build.invalid").to_string());
+    let util = |busy: u64, idle: u64| {
+        let total = busy + idle;
+        if total == 0 {
+            "n/a".to_string()
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let pct = 100.0 * busy as f64 / total as f64;
+            format!("{pct:.0}%")
+        }
+    };
+    kv("builder busy", util(c("exec.worker.build.busy_us"), c("exec.worker.build.idle_us")));
+    kv("runner busy", util(c("exec.worker.run.busy_us"), c("exec.worker.run.idle_us")));
+    kv("device acquires", c("exec.device.acquires").to_string());
+    let _ = write!(body, "</div>");
+    let hist_line = |name: &str, label: &str| {
+        summary.histograms.get(name).filter(|h| h.count() > 0).map(|h| {
+            format!(
+                "{label}: {} obs, p50 {:.0}, p99 {:.0}",
+                h.count(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+            )
+        })
+    };
+    for line in [
+        hist_line("exec.batch.wall_us", "batch wall µs"),
+        hist_line("exec.batch.size", "batch size"),
+        hist_line("exec.queue.build.depth", "build-queue depth"),
+        hist_line("exec.queue.run.depth", "run-queue depth"),
+        hist_line("exec.device.busy_us", "device hold µs"),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        let _ = write!(body, "<div class=\"muted\">{line}</div>");
+    }
+    // Per-device occupancy: one row per `exec.device.<id>.acquires` counter.
+    let mut devices: Vec<(u64, u64, u64)> = summary
+        .counters
+        .iter()
+        .filter_map(|(name, &acquires)| {
+            let id: u64 =
+                name.strip_prefix("exec.device.")?.strip_suffix(".acquires")?.parse().ok()?;
+            Some((id, acquires, c(&format!("exec.device.{id}.busy_us"))))
+        })
+        .collect();
+    devices.sort_unstable();
+    if !devices.is_empty() {
+        let _ = write!(
+            body,
+            "<table><thead><tr><th>device</th><th class=\"num\">acquires</th>\
+             <th class=\"num\">busy</th></tr></thead><tbody>"
+        );
+        for (id, acquires, busy_us) in devices {
+            let _ = write!(
+                body,
+                "<tr><td>device {id}</td><td class=\"num\">{acquires}</td>\
+                 <td class=\"num\">{}</td></tr>",
+                fmt_us(busy_us),
+            );
+        }
+        let _ = write!(body, "</tbody></table>");
     }
     let _ = write!(body, "</section>");
 }
@@ -721,6 +812,8 @@ mod tests {
                 device: None,
                 fault: None,
                 resumed: None,
+                workers: None,
+                devices: None,
             },
             logs: vec![log],
             trace: None,
@@ -816,6 +909,46 @@ mod tests {
         assert!(html.contains("Measurement health"));
         assert!(html.contains(">5<"), "3 pre-resume + 2 post-resume faults: {html}");
         assert!(html.contains("fault rate"));
+    }
+
+    #[test]
+    fn executor_panel_renders_only_for_executor_runs() {
+        // Without exec.* counters the panel is omitted entirely.
+        let mut run = sample_run("run-f", 100.0);
+        run.trace = Some(trace_with_spans());
+        let html = render_report(&run, None, None);
+        assert!(!html.contains("Executor utilization"));
+
+        // With exec.* counters the panel reports utilization and devices.
+        let mut trace = trace_with_spans();
+        for (name, value) in [
+            ("exec.jobs.total", 48),
+            ("exec.batch.submitted", 6),
+            ("exec.build.invalid", 2),
+            ("exec.worker.run.busy_us", 900),
+            ("exec.worker.run.idle_us", 100),
+            ("exec.device.acquires", 48),
+            ("exec.device.0.acquires", 30),
+            ("exec.device.0.busy_us", 700),
+            ("exec.device.1.acquires", 18),
+            ("exec.device.1.busy_us", 300),
+        ] {
+            trace.records.push(Record::Counter { name: name.into(), value });
+        }
+        let mut wall = telemetry::Histogram::new();
+        wall.observe(1500.0);
+        wall.observe(2500.0);
+        trace.records.push(Record::Histogram { name: "exec.batch.wall_us".into(), hist: wall });
+        run.trace = Some(trace);
+        run.manifest.workers = Some(8);
+        run.manifest.devices = Some(2);
+        let html = render_report(&run, None, None);
+        assert!(html.contains("Executor utilization"));
+        assert!(html.contains("8 × 2"), "manifest workers/devices shown: {html}");
+        assert!(html.contains("runner busy"));
+        assert!(html.contains("90%"), "busy 900 of 1000 µs rounds to 90%");
+        assert!(html.contains("batch wall µs"));
+        assert!(html.contains("device 0") && html.contains("device 1"));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub use active_learning;
 pub use dnn_graph;
+pub use executor;
 pub use gbt;
 pub use gpu_sim;
 pub use schedule;
