@@ -328,6 +328,19 @@ impl RunDir {
         self.root.join("trace.jsonl")
     }
 
+    /// Location of the live JSON metrics snapshot (`metrics.snapshot.json`),
+    /// rewritten atomically by the snapshot writer while the run executes.
+    #[must_use]
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.root.join(telemetry::SNAPSHOT_FILE)
+    }
+
+    /// Location of the live Prometheus text snapshot (`metrics.prom`).
+    #[must_use]
+    pub fn prom_path(&self) -> PathBuf {
+        self.root.join(telemetry::PROM_FILE)
+    }
+
     /// Writes `manifest.json`.
     ///
     /// # Errors

@@ -133,6 +133,9 @@ pub fn tune_task_with<M: Measurer>(
 ) -> TaskTuneResult {
     let tel = telemetry::global();
     let _span = tel.span("tune_task");
+    // Live-only: lets heartbeats and `aaltune top` name the task currently
+    // tuning. Never reaches the trace or the trial log.
+    tel.set_label("task.current", &task.name);
     tel.event(telemetry::events::TUNE_START_EVENT, || {
         telemetry::json!({
             "task": task.name.clone(),
@@ -299,6 +302,13 @@ pub fn drive_loop<M: Measurer>(
                     })
                 });
                 tel.observe("trial.gflops", gflops);
+                tel.count("tune.trials", 1);
+                if tel.has_live_registry() {
+                    // Per-task progress gauges for the live dashboard.
+                    tel.gauge(&format!("task.{}.best_gflops", task.name), best_now);
+                    #[allow(clippy::cast_precision_loss)]
+                    tel.gauge(&format!("task.{}.trials", task.name), (measured + 1) as f64);
+                }
                 if let Some(sink) = hooks.on_trial.as_mut() {
                     sink(&record);
                 }
@@ -317,6 +327,7 @@ pub fn drive_loop<M: Measurer>(
         Some((c, g)) => (Some(c), g),
         None => (None, 0.0),
     };
+    tel.count("tune.tasks_completed", 1);
     TaskTuneResult {
         task_name: task.name.clone(),
         method,

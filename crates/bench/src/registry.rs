@@ -29,6 +29,8 @@ fn base_entry(run_id: String, kind: &str, model: &str, method: String) -> RunEnt
         retries: None,
         quarantined: None,
         resumed: None,
+        last_heartbeat_unix_ms: None,
+        trials_done: None,
     }
 }
 

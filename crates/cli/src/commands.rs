@@ -34,8 +34,10 @@ usage:
                           [--device-ms T]
                           [--fault-rate P] [--fault-seed S] [--max-retries R]
                           [--trial-timeout-ms T] [--max-fail-rate F]
+                          [--snapshot-interval-ms T]
                           [--trace FILE] [--quiet] [--json]
   aaltune tune    --resume RUN_DIR [--workers N] [--devices M] [--quiet] [--json]
+  aaltune top     RUN_DIR [--refresh-ms T] [--once] [--check]
   aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
                           [--workers N] [--device D] [--trace FILE]
                           [--quiet] [--json]
@@ -63,7 +65,12 @@ parallel: --workers runs measurements on N worker threads over M simulated
          emulates per-measurement device occupancy (real time per lease)
 analysis: `runs` lists the registry (DIR defaults to ./runs); `compare`
          bootstraps per-task deltas between two run dirs and exits 2 on a
-         gated regression; `report` writes a self-contained HTML report";
+         gated regression; `report` writes a self-contained HTML report
+live:    a run with --out publishes metrics.snapshot.json and metrics.prom
+         into its run dir every --snapshot-interval-ms (default 1000; 0
+         disables) — `top` renders them as a refreshing dashboard (--once
+         for a single plain frame, --check to validate the files in CI).
+         Snapshots never change trial logs: byte-identical on or off";
 
 /// Parses and runs one invocation, returning the process exit code
 /// (0 = success, [`EXIT_REGRESSED`] = gated regression).
@@ -81,6 +88,7 @@ pub fn dispatch(args: &[String]) -> Result<u8, String> {
             Ok(0)
         }
         Some("tune") => tune(&cli).map(|()| 0),
+        Some("top") => crate::top::top(&cli).map(|()| 0),
         Some("deploy") => deploy(&cli).map(|()| 0),
         Some("trace") => trace(&cli).map(|()| 0),
         Some("runs") => runs(&cli).map(|()| 0),
@@ -356,13 +364,35 @@ fn tune(cli: &Cli) -> Result<(), String> {
         .flag_str("trace")
         .map(PathBuf::from)
         .or_else(|| plan.run_dir.as_ref().map(RunDir::trace_path));
-    let tel = telemetry::install_pipeline_mode(
+    // Live observability: with a run dir and a non-zero interval, attach a
+    // metrics registry so every probe publishes live, and snapshot it into
+    // the run dir periodically. The registry and the snapshot thread only
+    // write side files (metrics.snapshot.json / metrics.prom) and append
+    // heartbeat events to the trace — trial logs stay byte-identical
+    // whether or not snapshots are enabled.
+    let snapshot_ms: u64 = cli.flag("snapshot-interval-ms", 1000)?;
+    let live_registry = plan
+        .run_dir
+        .as_ref()
+        .filter(|_| snapshot_ms > 0)
+        .map(|_| std::sync::Arc::new(telemetry::MetricsRegistry::new()));
+    let tel = telemetry::install_pipeline_live(
         trace.as_deref(),
         cli.flag_present("quiet"),
         cli.flag_present("json"),
         plan.resume,
+        live_registry.clone(),
     )
     .map_err(|e| format!("cannot create trace file: {e}"))?;
+    let mut snapshot_writer = match (&plan.run_dir, &live_registry) {
+        (Some(dir), Some(reg)) => Some(telemetry::SnapshotWriter::start(
+            dir.path().to_path_buf(),
+            std::sync::Arc::clone(reg),
+            Duration::from_millis(snapshot_ms),
+            tel.clone(),
+        )),
+        _ => None,
+    };
 
     let tasks = extract_tasks(&plan.model);
     let selected: Vec<usize> = if let Some(names) = &plan.task_names {
@@ -388,6 +418,16 @@ fn tune(cli: &Cli) -> Result<(), String> {
         if !plan.resume {
             dir.write_manifest(&plan.manifest(selected_names.clone(), None))
                 .map_err(|e| format!("cannot write manifest: {e}"))?;
+        }
+        // Register the run up front (no wall time yet), so `aaltune runs`
+        // lists it as live/stale while it executes; the completion append
+        // below shadows this entry (the registry keeps the last per id).
+        // Best-effort: a killed run's logs can be torn mid-line until the
+        // resume repairs them, and observability must never block tuning.
+        if let Some(base) = &plan.registry_base {
+            if let Ok(entry) = RunEntry::from_run_dir(dir.path()) {
+                let _ = Registry::at(base).append(&entry);
+            }
         }
     }
 
@@ -527,6 +567,12 @@ fn tune(cli: &Cli) -> Result<(), String> {
     }
 
     if let Some(dir) = &plan.run_dir {
+        // Stop the snapshot thread first: its final publish lands before
+        // the manifest gains a wall time, so `top` never sees a "done" run
+        // with a half-stale snapshot.
+        if let Some(writer) = snapshot_writer.take() {
+            writer.finish();
+        }
         // Rewrite the manifest with the final wall time (and the resumed
         // marker) now that the run is complete.
         dir.write_manifest(
@@ -807,6 +853,101 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(code, 0);
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn tune_publishes_snapshots_and_top_reads_them() {
+        let base = std::env::temp_dir().join(format!("aaltune-cli-top-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        dispatch(&sv(&[
+            "tune",
+            "squeezenet",
+            "--task",
+            "0",
+            "--n-trial",
+            "40",
+            "--method",
+            "autotvm",
+            "--quiet",
+            "--snapshot-interval-ms",
+            "50",
+            "--out",
+            base.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let run = base.join("squeezenet_v1.1-autotvm-seed0");
+        // The final snapshot reflects the completed run.
+        let snap: telemetry::MetricsSnapshot = serde_json::from_str(
+            &std::fs::read_to_string(run.join(telemetry::SNAPSHOT_FILE)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(snap.counter(telemetry::stream::TRIALS_COUNTER), 40);
+        assert_eq!(snap.counter(telemetry::stream::TASKS_DONE_COUNTER), 1);
+        assert!(snap.counter("measure.attempts") >= 40);
+        assert!(snap.gauges.keys().any(|k| k.ends_with(".best_gflops")), "{:?}", snap.gauges);
+        let prom = std::fs::read_to_string(run.join(telemetry::PROM_FILE)).unwrap();
+        assert!(!telemetry::parse_prometheus(&prom).unwrap().is_empty());
+        // Both `top` probe modes accept the finished run.
+        dispatch(&sv(&["top", run.to_str().unwrap(), "--once"])).unwrap();
+        dispatch(&sv(&["top", run.to_str().unwrap(), "--check"])).unwrap();
+        // The registry was appended at start and at completion; the load
+        // dedupes to one (done) entry.
+        let idx = Registry::at(&base).load().unwrap();
+        assert_eq!(idx.entries.len(), 1);
+        assert!(idx.entries[0].wall_time_s.is_some());
+        assert!(idx.entries[0].last_heartbeat_unix_ms.is_some());
+        // --check rejects a corrupted snapshot.
+        std::fs::write(run.join(telemetry::SNAPSHOT_FILE), "not json").unwrap();
+        let e = dispatch(&sv(&["top", run.to_str().unwrap(), "--check"])).unwrap_err();
+        assert!(e.contains("malformed"), "{e}");
+        assert!(dispatch(&sv(&["top", "/nonexistent/run"])).is_err());
+        assert!(dispatch(&sv(&["top"])).is_err());
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn snapshots_never_change_trial_logs() {
+        let base = std::env::temp_dir().join(format!("aaltune-cli-live-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let args = |out: &Path, interval: &str| {
+            sv(&[
+                "tune",
+                "squeezenet",
+                "--task",
+                "0",
+                "--n-trial",
+                "30",
+                "--method",
+                "autotvm",
+                "--quiet",
+                "--workers",
+                "2",
+                "--snapshot-interval-ms",
+                interval,
+                "--out",
+                out.to_str().unwrap(),
+            ])
+        };
+        dispatch(&args(&base.join("on"), "25")).unwrap();
+        dispatch(&args(&base.join("off"), "0")).unwrap();
+        let run = "squeezenet_v1.1-autotvm-seed0";
+        let log_of = |sub: &str| {
+            std::fs::read_dir(base.join(sub).join(run).join("logs"))
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .find(|p| p.extension().is_some_and(|e| e == "jsonl"))
+                .expect("task log exists")
+        };
+        assert_eq!(
+            std::fs::read(log_of("on")).unwrap(),
+            std::fs::read(log_of("off")).unwrap(),
+            "trial logs must be byte-identical with snapshots on or off"
+        );
+        // Interval 0 disables the live layer entirely: no side files.
+        assert!(base.join("on").join(run).join(telemetry::SNAPSHOT_FILE).is_file());
+        assert!(!base.join("off").join(run).join(telemetry::SNAPSHOT_FILE).exists());
+        assert!(!base.join("off").join(run).join(telemetry::PROM_FILE).exists());
         std::fs::remove_dir_all(&base).unwrap();
     }
 

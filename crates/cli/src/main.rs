@@ -27,6 +27,7 @@
 
 mod commands;
 mod opts;
+mod top;
 
 use std::process::ExitCode;
 

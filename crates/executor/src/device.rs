@@ -102,7 +102,12 @@ impl DevicePool {
                 tel.count("exec.device.acquires", 1);
                 tel.count(&format!("exec.device.{id}.acquires"), 1);
                 #[allow(clippy::cast_precision_loss)]
-                tel.observe("exec.device.pool_busy", (self.devices - self.free_now()) as f64);
+                let busy = (self.devices - self.free_now()) as f64;
+                tel.observe("exec.device.pool_busy", busy);
+                if tel.has_live_registry() {
+                    tel.gauge("exec.devices.busy.now", busy);
+                    tel.gauge(&format!("exec.device.{id}.busy.now"), 1.0);
+                }
                 return DeviceLease {
                     pool: Arc::clone(self),
                     id,
@@ -183,6 +188,12 @@ impl Drop for DeviceLease {
         #[allow(clippy::cast_precision_loss)]
         tel.observe("exec.device.busy_us", busy_us as f64);
         self.pool.release(self.id, &self.tag);
+        if tel.has_live_registry() {
+            tel.gauge(&format!("exec.device.{}.busy.now", self.id), 0.0);
+            #[allow(clippy::cast_precision_loss)]
+            let busy = (self.pool.devices - self.pool.free_now()) as f64;
+            tel.gauge("exec.devices.busy.now", busy);
+        }
     }
 }
 

@@ -321,10 +321,12 @@ fn builder_loop(build_q: &BoundedQueue<BuildJob>, run_q: &BoundedQueue<RunJob>) 
         let Some(job) = build_q.pop() else { break };
         record_us(&tel, "exec.worker.build.idle_us", idle);
         let busy = Instant::now();
+        tel.gauge_add("exec.workers.build.busy.now", 1.0);
         let valid = lower(&job.batch.task, &job.batch.space, &job.config).is_ok();
         tel.count(if valid { "exec.build.ok" } else { "exec.build.invalid" }, 1);
         tel.observe("exec.build_us", busy.elapsed().as_secs_f64() * 1e6);
         record_us(&tel, "exec.worker.build.busy_us", busy);
+        tel.gauge_add("exec.workers.build.busy.now", -1.0);
         if run_q.push(RunJob { job, valid }).is_err() {
             // Run queue closed before this job could be forwarded — only
             // possible on teardown after all batches completed; nothing to
@@ -343,11 +345,13 @@ fn runner_loop<M: Measurer>(run_q: &BoundedQueue<RunJob>, pool: &Arc<DevicePool>
         let Some(RunJob { job, valid }) = run_q.pop() else { break };
         record_us(&tel, "exec.worker.run.idle_us", idle);
         let busy = Instant::now();
+        tel.gauge_add("exec.workers.run.busy.now", 1.0);
         let lease = valid.then(|| pool.acquire(&job.batch.task.name));
         let result = measurer.measure(&job.batch.task, &job.batch.space, &job.config);
         drop(lease);
         tel.count("exec.jobs.total", 1);
         record_us(&tel, "exec.worker.run.busy_us", busy);
+        tel.gauge_add("exec.workers.run.busy.now", -1.0);
         job.batch.complete(job.seq, result);
     }
 }

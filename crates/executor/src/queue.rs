@@ -68,11 +68,23 @@ impl<T> BoundedQueue<T> {
             st = self.not_full.wait(st).expect("queue poisoned");
         }
         st.items.push_back(item);
+        let tel = telemetry::global();
         #[allow(clippy::cast_precision_loss)]
-        telemetry::global().observe(self.depth_metric, st.items.len() as f64);
+        let depth = st.items.len() as f64;
+        tel.observe(self.depth_metric, depth);
+        self.publish_depth(&tel, depth);
         drop(st);
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Mirrors the instantaneous depth into a live gauge (`<metric>.now`)
+    /// for dashboards. Only pays the name allocation when a live registry
+    /// is actually attached.
+    fn publish_depth(&self, tel: &telemetry::Telemetry, depth: f64) {
+        if tel.has_live_registry() {
+            tel.gauge(&format!("{}.now", self.depth_metric), depth);
+        }
     }
 
     /// Dequeues the next item, blocking while the queue is empty. Returns
@@ -81,6 +93,9 @@ impl<T> BoundedQueue<T> {
         let mut st = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(item) = st.items.pop_front() {
+                let tel = telemetry::global();
+                #[allow(clippy::cast_precision_loss)]
+                self.publish_depth(&tel, st.items.len() as f64);
                 drop(st);
                 self.not_full.notify_one();
                 return Some(item);
@@ -179,6 +194,27 @@ mod tests {
         assert_eq!(q.pop(), Some(1), "accepted items survive the close");
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn depth_gauge_tracks_live_queue_depth() {
+        // With a registry-backed global handle, push/pop mirror the
+        // instantaneous depth into a `<metric>.now` gauge.
+        let reg = Arc::new(telemetry::MetricsRegistry::new());
+        telemetry::set_global(telemetry::Telemetry::with_registry(
+            telemetry::VecSink::new(),
+            Arc::clone(&reg),
+        ));
+        let q = BoundedQueue::new(8, "gaugetest.depth");
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert!((reg.snapshot().gauge("gaugetest.depth.now") - 2.0).abs() < 1e-12);
+        let _ = q.pop();
+        assert!((reg.snapshot().gauge("gaugetest.depth.now") - 1.0).abs() < 1e-12);
+        telemetry::set_global(telemetry::Telemetry::disabled());
+        // Without a registry the gauge path is a no-op and pushes still work.
+        q.push(3).unwrap();
+        assert!((reg.snapshot().gauge("gaugetest.depth.now") - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -205,8 +205,14 @@ impl<M: Measurer> Measurer for RobustMeasurer<M> {
         }
         let mut attempt: u32 = 0;
         loop {
+            tel.count("measure.attempts", 1);
             let result = self.apply_timeout(self.inner.measure(task, space, config));
-            let Some(error) = &result.error else { return result };
+            let Some(error) = &result.error else {
+                // Health counters: fault rate = failed/attempts, retry rate
+                // = retry/attempts — the live dashboard's measurement row.
+                tel.count("measure.ok", 1);
+                return result;
+            };
             if error.is_transient() && attempt < self.policy.max_retries {
                 attempt += 1;
                 let backoff_ms = self.policy.backoff_ms(attempt);
@@ -245,6 +251,7 @@ impl<M: Measurer> Measurer for RobustMeasurer<M> {
                     });
                 }
             }
+            tel.count("measure.failed", 1);
             return result;
         }
     }

@@ -26,6 +26,8 @@ pub const MEASURE_RETRY_EVENT: &str = "measure.retry";
 pub const MEASURE_QUARANTINE_EVENT: &str = "measure.quarantine";
 /// Name of the crash-safe resume event (a tuning loop replaying a log).
 pub const TUNE_RESUME_EVENT: &str = "tune.resume";
+/// Name of the periodic liveness event the snapshot writer emits.
+pub const RUN_HEARTBEAT_EVENT: &str = "run.heartbeat";
 
 fn event_parts<'a>(rec: &'a Record, expect: &str) -> Option<(Option<u64>, u64, &'a Value)> {
     match rec {
@@ -311,6 +313,43 @@ impl TuneResumeEvent {
     }
 }
 
+/// One `run.heartbeat` event: periodic liveness proof from a running tune.
+///
+/// Carries *wall-clock* time (unlike `t_us`, which is process-relative), so
+/// `aaltune runs` can compare against "now" and flag a run whose heartbeats
+/// stopped — a crashed run looks exactly like a slow one otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatEvent {
+    /// Wall-clock milliseconds since the Unix epoch at emission.
+    pub unix_ms: u64,
+    /// Total live trials measured so far (across tasks).
+    pub trials: u64,
+    /// Tasks fully tuned so far.
+    pub tasks_done: u64,
+    /// Task currently tuning (`""` between tasks).
+    pub task: String,
+    /// Innermost open span at emission time.
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl HeartbeatEvent {
+    /// Parses a [`Record`] as a heartbeat event; `None` for anything else.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<HeartbeatEvent> {
+        let (span, t_us, fields) = event_parts(rec, RUN_HEARTBEAT_EVENT)?;
+        Some(HeartbeatEvent {
+            unix_ms: fields["unix_ms"].as_u64()?,
+            trials: fields["trials"].as_u64().unwrap_or(0),
+            tasks_done: fields["tasks_done"].as_u64().unwrap_or(0),
+            task: fields["task"].as_str().unwrap_or("").to_string(),
+            span,
+            t_us,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +465,23 @@ mod tests {
         assert!(MeasureRetryEvent::from_record(&fault).is_none());
         assert!(MeasureQuarantineEvent::from_record(&resume).is_none());
         assert!(TuneResumeEvent::from_record(&quarantine).is_none());
+    }
+
+    #[test]
+    fn heartbeat_round_trips_and_requires_wall_clock() {
+        let rec = ev(
+            RUN_HEARTBEAT_EVENT,
+            json!({"unix_ms": 1_700_000_000_000u64, "trials": 96u64,
+                   "tasks_done": 2u64, "task": "m.T3"}),
+        );
+        let h = HeartbeatEvent::from_record(&rec).unwrap();
+        assert_eq!(h.unix_ms, 1_700_000_000_000);
+        assert_eq!(h.trials, 96);
+        assert_eq!(h.tasks_done, 2);
+        assert_eq!(h.task, "m.T3");
+        // unix_ms is the staleness signal: without it the event is useless.
+        let missing = ev(RUN_HEARTBEAT_EVENT, json!({"trials": 1u64}));
+        assert!(HeartbeatEvent::from_record(&missing).is_none());
     }
 
     #[test]

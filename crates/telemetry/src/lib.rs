@@ -45,18 +45,24 @@
 //! ```
 
 pub mod events;
+pub mod export;
 pub mod metrics;
 pub mod record;
+pub mod registry;
 pub mod sink;
+pub mod stream;
 pub mod summary;
 
-pub use events::{RadiusEvent, SaDoneEvent, TrialEvent, TuneStartEvent};
+pub use events::{HeartbeatEvent, RadiusEvent, SaDoneEvent, TrialEvent, TuneStartEvent};
+pub use export::{parse_prometheus, to_prometheus};
 pub use metrics::Histogram;
 pub use record::Record;
+pub use registry::{MetricsRegistry, MetricsSnapshot, SNAPSHOT_SCHEMA_VERSION};
 /// Re-exported so instrumentation sites can build event payloads without
 /// depending on `serde_json` directly.
 pub use serde_json::{json, Value};
 pub use sink::{FileSink, NoopSink, ReporterSink, Sink, TeeSink, VecSink};
+pub use stream::{SnapshotWriter, TraceFollower, PROM_FILE, SNAPSHOT_FILE};
 pub use summary::TraceSummary;
 
 use std::cell::RefCell;
@@ -93,6 +99,9 @@ struct Inner {
     next_span: AtomicU64,
     counters: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    /// Optional live mirror: when attached, `count`/`observe` also publish
+    /// into it immediately, and `gauge`/`set_label` become live-only probes.
+    live: Option<Arc<MetricsRegistry>>,
 }
 
 thread_local! {
@@ -120,19 +129,46 @@ impl Telemetry {
     /// Creates a handle that emits every record to `sink`. Timestamps are
     /// microseconds since this call.
     pub fn new(sink: impl Sink + 'static) -> Self {
+        Self::build(Box::new(sink), None)
+    }
+
+    /// [`Telemetry::new`] with a live [`MetricsRegistry`] attached: every
+    /// `count`/`observe` also publishes into the registry immediately, and
+    /// [`Telemetry::gauge`]/[`Telemetry::set_label`] become live probes.
+    /// The registry never alters what reaches the sink.
+    pub fn with_registry(sink: impl Sink + 'static, registry: Arc<MetricsRegistry>) -> Self {
+        Self::build(Box::new(sink), Some(registry))
+    }
+
+    fn build(sink: Box<dyn Sink>, live: Option<Arc<MetricsRegistry>>) -> Self {
         let tel = Telemetry {
             inner: Some(Arc::new(Inner {
-                sink: Box::new(sink),
+                sink,
                 start: Instant::now(),
                 next_span: AtomicU64::new(1),
                 counters: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
+                live,
             })),
         };
         if let Some(inner) = &tel.inner {
             inner.sink.record(&Record::Schema { version: TRACE_SCHEMA_VERSION });
         }
         tel
+    }
+
+    /// The attached live registry, if any. Observers (snapshot writer,
+    /// dashboards) read it; publishers go through the probe methods.
+    #[must_use]
+    pub fn live_registry(&self) -> Option<Arc<MetricsRegistry>> {
+        self.inner.as_ref().and_then(|i| i.live.clone())
+    }
+
+    /// True when a live registry is attached — lets hot paths skip building
+    /// gauge names that would go nowhere.
+    #[must_use]
+    pub fn has_live_registry(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.live.is_some())
     }
 
     /// Creates a handle whose probes all short-circuit. This is the true
@@ -213,16 +249,49 @@ impl Telemetry {
     /// as [`Record::Counter`] snapshots at [`Telemetry::flush`].
     pub fn count(&self, name: &str, delta: u64) {
         let Some(inner) = &self.inner else { return };
-        let mut counters = inner.counters.lock().expect("counters poisoned");
-        *counters.entry(name.to_string()).or_insert(0) += delta;
+        {
+            let mut counters = inner.counters.lock().expect("counters poisoned");
+            *counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+        if let Some(live) = &inner.live {
+            live.inc(name, delta);
+        }
     }
 
     /// Records `value` into the log-scale histogram `name`. Histograms are
     /// emitted as [`Record::Histogram`] snapshots at [`Telemetry::flush`].
     pub fn observe(&self, name: &str, value: f64) {
         let Some(inner) = &self.inner else { return };
-        let mut hists = inner.histograms.lock().expect("histograms poisoned");
-        hists.entry(name.to_string()).or_default().observe(value);
+        {
+            let mut hists = inner.histograms.lock().expect("histograms poisoned");
+            hists.entry(name.to_string()).or_default().observe(value);
+        }
+        if let Some(live) = &inner.live {
+            live.observe(name, value);
+        }
+    }
+
+    /// Sets the live gauge `name` to `value`. Gauges are instantaneous
+    /// state (queue depth, busy workers) — they exist only in the attached
+    /// [`MetricsRegistry`] and never reach the trace, so instrumenting a
+    /// gauge cannot change any trace artifact. No-op without a registry.
+    pub fn gauge(&self, name: &str, value: f64) {
+        let Some(live) = self.inner.as_ref().and_then(|i| i.live.as_ref()) else { return };
+        live.gauge_set(name, value);
+    }
+
+    /// Adds `delta` (may be negative) to the live gauge `name`. Live-only,
+    /// like [`Telemetry::gauge`].
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        let Some(live) = self.inner.as_ref().and_then(|i| i.live.as_ref()) else { return };
+        live.gauge_add(name, delta);
+    }
+
+    /// Sets the live string label `name` (e.g. the task currently tuning).
+    /// Live-only, like [`Telemetry::gauge`].
+    pub fn set_label(&self, name: &str, value: &str) {
+        let Some(live) = self.inner.as_ref().and_then(|i| i.live.as_ref()) else { return };
+        live.set_label(name, value);
     }
 
     /// Emits the current counter and histogram snapshots, then flushes the
@@ -347,6 +416,24 @@ pub fn install_pipeline_mode(
     json: bool,
     append: bool,
 ) -> std::io::Result<Telemetry> {
+    install_pipeline_live(trace, quiet, json, append, None)
+}
+
+/// [`install_pipeline_mode`] with an optional live [`MetricsRegistry`]
+/// attached to the installed handle, so every instrumentation site in the
+/// process publishes live metrics without code changes. The registry never
+/// changes what reaches the trace file.
+///
+/// # Errors
+///
+/// Propagates trace-file open errors.
+pub fn install_pipeline_live(
+    trace: Option<&std::path::Path>,
+    quiet: bool,
+    json: bool,
+    append: bool,
+    live: Option<Arc<MetricsRegistry>>,
+) -> std::io::Result<Telemetry> {
     let mut tee = TeeSink::new();
     if !quiet {
         tee = tee.with(if json { ReporterSink::json() } else { ReporterSink::human() });
@@ -354,7 +441,11 @@ pub fn install_pipeline_mode(
     if let Some(path) = trace {
         tee = tee.with(if append { FileSink::append(path)? } else { FileSink::create(path)? });
     }
-    let tel = if tee.is_empty() { Telemetry::disabled() } else { Telemetry::new(tee) };
+    let tel = if tee.is_empty() && live.is_none() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::build(Box::new(tee), live)
+    };
     set_global(tel.clone());
     Ok(tel)
 }
@@ -473,6 +564,47 @@ mod tests {
             })
             .unwrap();
         assert_eq!(hist_count, 2);
+    }
+
+    #[test]
+    fn attached_registry_mirrors_counts_and_observes_without_changing_records() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let plain_sink = VecSink::new();
+        let live_sink = VecSink::new();
+        let plain = Telemetry::new(plain_sink.clone());
+        let live = Telemetry::with_registry(live_sink.clone(), Arc::clone(&reg));
+        for tel in [&plain, &live] {
+            tel.count("c", 4);
+            tel.observe("h", 10.0);
+            tel.gauge("g", 2.0);
+            tel.gauge_add("g", 0.5);
+            tel.set_label("l", "v");
+            tel.flush();
+        }
+        // Live metrics landed in the registry...
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), 4);
+        assert_eq!(snap.histograms["h"].count(), 1);
+        assert!((snap.gauge("g") - 2.5).abs() < 1e-12);
+        assert_eq!(snap.labels["l"], "v");
+        // ...and the record streams are identical: gauges/labels are
+        // live-only, and mirroring adds no records.
+        let names =
+            |s: &VecSink| -> Vec<String> { s.records().iter().map(|r| format!("{r:?}")).collect() };
+        assert_eq!(names(&plain_sink), names(&live_sink));
+    }
+
+    #[test]
+    fn gauge_and_label_are_noops_without_registry() {
+        let sink = VecSink::new();
+        let tel = Telemetry::new(sink.clone());
+        tel.gauge("g", 1.0);
+        tel.set_label("l", "v");
+        assert!(tel.live_registry().is_none());
+        let disabled = Telemetry::disabled();
+        disabled.gauge("g", 1.0);
+        disabled.gauge_add("g", 1.0);
+        disabled.set_label("l", "v");
     }
 
     #[test]

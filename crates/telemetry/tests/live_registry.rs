@@ -1,0 +1,132 @@
+//! Property tests for the live metrics layer: concurrent publishers must
+//! never lose an increment, and the Prometheus exposition must round-trip
+//! every registered metric name and value through the validating parser.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use telemetry::export::{parse_prometheus, sanitize_name, to_prometheus};
+use telemetry::MetricsRegistry;
+
+/// Name pool shaped like real internal metrics: dotted segments, digits,
+/// and bytes that force sanitization (`/`, space, `-`).
+const NAME_POOL: &[&str] = &[
+    "tune.trials",
+    "measure.retry",
+    "exec.queue.build.depth.now",
+    "exec.device.0.busy_us",
+    "task.m.T1/relu best",
+    "9starts.with-digit",
+    "snapshot.write_errors",
+    "a",
+];
+
+fn arb_names() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(0usize..NAME_POOL.len(), 1..4).prop_map(|idxs| {
+        let mut names: Vec<String> = idxs.iter().map(|&i| NAME_POOL[i].to_string()).collect();
+        names.sort();
+        names.dedup();
+        names
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// N threads each adding `per_thread` to a shared set of counters sum
+    /// exactly — no lost updates, whatever the thread/name interleaving.
+    #[test]
+    fn concurrent_increments_sum_exactly(
+        threads in 1usize..8,
+        per_thread in 1u64..400,
+        names in arb_names(),
+    ) {
+        let reg = Arc::new(MetricsRegistry::new());
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let names = names.clone();
+                std::thread::spawn(move || {
+                    // Mix cached handles and by-name increments: both paths
+                    // must land on the same atomic.
+                    let handle = reg.counter(&names[0]);
+                    for i in 0..per_thread {
+                        if i % 2 == 0 {
+                            reg.inc(&names[i as usize % names.len()], 1);
+                        } else {
+                            handle.add(1);
+                        }
+                        reg.gauge_add("live.gauge", 1.0);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        let total: u64 = names.iter().map(|n| snap.counter(n)).sum();
+        prop_assert_eq!(total, threads as u64 * per_thread);
+        #[allow(clippy::cast_precision_loss)]
+        let expect = (threads as u64 * per_thread) as f64;
+        prop_assert!((snap.gauge("live.gauge") - expect).abs() < 1e-6);
+    }
+
+    /// Every registered counter and gauge survives export → parse with its
+    /// exact value, and every histogram surfaces its count; the exposition
+    /// itself always validates.
+    #[test]
+    fn prometheus_export_round_trips_every_metric(
+        counter_names in arb_names(),
+        counter_vals in proptest::collection::vec(0u64..1_000_000, 8),
+        gauge_names in arb_names(),
+        gauge_vals in proptest::collection::vec(-1e6f64..1e6, 8),
+        hist_obs in proptest::collection::vec(1e-3f64..1e6, 0..20),
+    ) {
+        let reg = MetricsRegistry::new();
+        for (i, name) in counter_names.iter().enumerate() {
+            reg.inc(name, counter_vals[i]);
+        }
+        for (i, name) in gauge_names.iter().enumerate() {
+            // Suffix keeps gauge names from colliding with counter names —
+            // the collision case is covered separately in export.rs tests.
+            reg.gauge_set(&format!("{name}.g"), gauge_vals[i]);
+        }
+        for v in &hist_obs {
+            reg.observe("props.hist", *v);
+        }
+        let snap = reg.snapshot();
+        let text = to_prometheus(&snap);
+        let samples = parse_prometheus(&text).unwrap();
+        let find = |n: &str| samples.iter().find(|s| s.name == n && s.labels.is_empty());
+
+        // Sanitization can still collide distinct internal names (the
+        // exporter keeps the first claimant), so assert per exported name.
+        let mut claimed = std::collections::BTreeSet::new();
+        for (name, v) in &snap.counters {
+            let exported = sanitize_name(name);
+            if claimed.insert(exported.clone()) {
+                let sample = find(&exported).unwrap();
+                #[allow(clippy::cast_precision_loss)]
+                let want = *v as f64;
+                prop_assert!((sample.value - want).abs() < 1e-9, "{} -> {}", name, exported);
+            }
+        }
+        for (name, v) in &snap.gauges {
+            let exported = sanitize_name(name);
+            if claimed.insert(exported.clone()) {
+                let sample = find(&exported).unwrap();
+                prop_assert!(
+                    (sample.value - v).abs() <= 1e-9 * v.abs().max(1.0),
+                    "{} -> {}: {} vs {}",
+                    name, exported, sample.value, v
+                );
+            }
+        }
+        if !hist_obs.is_empty() {
+            let count = find("aaltune_props_hist_count").unwrap();
+            #[allow(clippy::cast_precision_loss)]
+            let want = hist_obs.len() as f64;
+            prop_assert!((count.value - want).abs() < 1e-9);
+        }
+    }
+}

@@ -28,7 +28,10 @@ pub mod trace;
 pub use compare::{
     compare_logs, compare_run_dirs, CompareOptions, RunComparison, TaskComparison, Verdict,
 };
-pub use registry::{git_describe, Registry, RegistryIndex, RunEntry, REGISTRY_SCHEMA_VERSION};
+pub use registry::{
+    git_describe, Registry, RegistryIndex, RunEntry, RunStatus, REGISTRY_SCHEMA_VERSION,
+    STALE_AFTER_MS,
+};
 pub use report::{render_report, LoadedRun};
 pub use stats::{bootstrap_mean_delta_ci, mean, variance, BootstrapCi};
 pub use trace::{FlameNode, TraceData};

@@ -24,7 +24,17 @@ use std::path::{Path, PathBuf};
 ///
 /// v2 added the measurement-health fields (`faults`, `retries`,
 /// `quarantined`, `resumed`), all optional so v1 entries still parse.
-pub const REGISTRY_SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added the liveness fields (`last_heartbeat_unix_ms`, `trials_done`),
+/// read from the run's `metrics.snapshot.json` / `run.heartbeat` events, so
+/// `aaltune runs` can tell a live run from a stale/crashed one. Also
+/// optional; older entries simply render no status.
+pub const REGISTRY_SCHEMA_VERSION: u32 = 3;
+
+/// A run whose last heartbeat is older than this, and which never recorded
+/// a wall time, renders as `stale` — its process is presumed crashed or
+/// wedged. Heartbeats default to 1 Hz, so 30 s is ~30 missed beats.
+pub const STALE_AFTER_MS: u64 = 30_000;
 
 /// One run in the registry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +74,38 @@ pub struct RunEntry {
     pub quarantined: Option<u64>,
     /// Whether the run directory was continued by `tune --resume`.
     pub resumed: Option<bool>,
+    /// Wall-clock ms (Unix epoch) of the run's last observed heartbeat —
+    /// from `metrics.snapshot.json` or the trace's `run.heartbeat` events.
+    pub last_heartbeat_unix_ms: Option<u64>,
+    /// Live trials measured as of the last heartbeat.
+    pub trials_done: Option<u64>,
+}
+
+/// Liveness classification of a registry entry, derived from its recorded
+/// wall time and last heartbeat. See [`RunEntry::status_at`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The run recorded a final wall time: it finished.
+    Done,
+    /// Heartbeats are recent — the run is executing right now.
+    Live,
+    /// The run never finished and heartbeats stopped this many ms ago:
+    /// presumed crashed or wedged.
+    Stale(u64),
+    /// No wall time and no heartbeat data (pre-v3 entry or snapshotting
+    /// disabled): liveness is unknown.
+    Unknown,
+}
+
+impl std::fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunStatus::Done => write!(f, "done"),
+            RunStatus::Live => write!(f, "live"),
+            RunStatus::Stale(age_ms) => write!(f, "stale {}s", age_ms / 1000),
+            RunStatus::Unknown => write!(f, "-"),
+        }
+    }
 }
 
 impl RunEntry {
@@ -78,6 +120,27 @@ impl RunEntry {
     pub fn mean_best_gflops(&self) -> f64 {
         let xs: Vec<f64> = self.task_best_gflops.values().copied().collect();
         mean(&xs)
+    }
+
+    /// Classifies the run's liveness as of wall-clock `now_ms` (Unix epoch
+    /// milliseconds): a recorded wall time means done; otherwise recent
+    /// heartbeats mean live, old ones mean stale, none means unknown.
+    #[must_use]
+    pub fn status_at(&self, now_ms: u64) -> RunStatus {
+        if self.wall_time_s.is_some() {
+            return RunStatus::Done;
+        }
+        match self.last_heartbeat_unix_ms {
+            None => RunStatus::Unknown,
+            Some(hb) => {
+                let age = now_ms.saturating_sub(hb);
+                if age <= STALE_AFTER_MS {
+                    RunStatus::Live
+                } else {
+                    RunStatus::Stale(age)
+                }
+            }
+        }
     }
 
     /// Builds an entry from a `tune --out` run directory: manifest facts
@@ -102,12 +165,27 @@ impl RunEntry {
             .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
         // Health counters come from the trace when the run wrote one;
         // trace-less (or unreadable-trace) runs leave them unset.
-        let health = crate::trace::TraceData::load(&dir.trace_path())
-            .ok()
-            .flatten()
-            .map(|t| telemetry::TraceSummary::from_records(&t.records));
+        let trace = crate::trace::TraceData::load(&dir.trace_path()).ok().flatten();
+        let health = trace.as_ref().map(|t| telemetry::TraceSummary::from_records(&t.records));
         let counter =
             |name: &str| health.as_ref().map(|s| s.counters.get(name).copied().unwrap_or(0));
+        // Liveness: prefer the (atomically rewritten, hence freshest)
+        // metrics snapshot; fall back to the trace's heartbeat events.
+        let snapshot: Option<telemetry::MetricsSnapshot> =
+            std::fs::read_to_string(dir.snapshot_path())
+                .ok()
+                .and_then(|s| serde_json::from_str(&s).ok());
+        let trace_heartbeat = trace
+            .as_ref()
+            .and_then(|t| t.records.iter().rev().find_map(telemetry::HeartbeatEvent::from_record));
+        let (last_heartbeat_unix_ms, trials_done) = match (&snapshot, &trace_heartbeat) {
+            (Some(s), hb) => (
+                Some(s.unix_ms.max(hb.as_ref().map_or(0, |h| h.unix_ms))),
+                Some(s.counter(telemetry::stream::TRIALS_COUNTER)),
+            ),
+            (None, Some(h)) => (Some(h.unix_ms), Some(h.trials)),
+            (None, None) => (None, None),
+        };
         Ok(RunEntry {
             schema_version: Some(REGISTRY_SCHEMA_VERSION),
             run_id,
@@ -126,6 +204,8 @@ impl RunEntry {
             retries: counter("measure.retry"),
             quarantined: counter("measure.quarantine"),
             resumed: manifest.resumed,
+            last_heartbeat_unix_ms,
+            trials_done,
         })
     }
 }
@@ -233,13 +313,21 @@ impl RegistryIndex {
             .collect()
     }
 
-    /// Renders entries as an aligned text table.
+    /// Renders entries as an aligned text table, classifying liveness
+    /// against the current wall clock.
     #[must_use]
     pub fn render(&self, entries: &[&RunEntry]) -> String {
+        self.render_at(entries, telemetry::registry::unix_ms_now())
+    }
+
+    /// [`RegistryIndex::render`] with an explicit "now" (Unix epoch ms), so
+    /// liveness classification is testable.
+    #[must_use]
+    pub fn render_at(&self, entries: &[&RunEntry], now_ms: u64) -> String {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10} {:>12} {:>10} {:>14}",
+            "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10} {:>12} {:>10} {:>14} {:>12}",
             "run",
             "kind",
             "model",
@@ -250,7 +338,8 @@ impl RegistryIndex {
             "GFLOPS",
             "latency(ms)",
             "wall(s)",
-            "health"
+            "health",
+            "status"
         );
         for e in entries {
             // "f3 r1 q2 R" = 3 faults, 1 retry, 2 quarantined, resumed;
@@ -267,7 +356,7 @@ impl RegistryIndex {
             };
             let _ = writeln!(
                 s,
-                "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10.1} {:>12} {:>10} {:>14}",
+                "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10.1} {:>12} {:>10} {:>14} {:>12}",
                 e.run_id,
                 e.kind,
                 e.model,
@@ -279,6 +368,7 @@ impl RegistryIndex {
                 e.latency_mean_ms.map_or_else(|| "-".to_string(), |l| format!("{l:.4}")),
                 e.wall_time_s.map_or_else(|| "-".to_string(), |w| format!("{w:.1}")),
                 health,
+                e.status_at(now_ms).to_string(),
             );
         }
         if self.malformed_lines > 0 {
@@ -338,6 +428,8 @@ mod tests {
             retries: None,
             quarantined: None,
             resumed: None,
+            last_heartbeat_unix_ms: None,
+            trials_done: None,
         }
     }
 
@@ -410,6 +502,100 @@ mod tests {
         let table = idx.render(&idx.filtered(None, None, None));
         assert!(table.contains("resnet18"), "{table}");
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn status_classifies_done_live_stale_unknown() {
+        let now: u64 = 1_700_000_000_000;
+        let done = entry("done", 0);
+        assert_eq!(done.status_at(now), RunStatus::Done);
+
+        let mut live = entry("live", 0);
+        live.wall_time_s = None;
+        live.last_heartbeat_unix_ms = Some(now - 2_000);
+        assert_eq!(live.status_at(now), RunStatus::Live);
+
+        let mut stale = entry("stale", 0);
+        stale.wall_time_s = None;
+        stale.last_heartbeat_unix_ms = Some(now - STALE_AFTER_MS - 90_000);
+        assert_eq!(stale.status_at(now), RunStatus::Stale(STALE_AFTER_MS + 90_000));
+        assert_eq!(stale.status_at(now).to_string(), "stale 120s");
+
+        let mut unknown = entry("unknown", 0);
+        unknown.wall_time_s = None;
+        assert_eq!(unknown.status_at(now), RunStatus::Unknown);
+
+        // A finished run stays "done" even with an ancient heartbeat.
+        let mut finished = entry("finished", 0);
+        finished.last_heartbeat_unix_ms = Some(0);
+        assert_eq!(finished.status_at(now), RunStatus::Done);
+
+        let idx =
+            RegistryIndex { entries: vec![done, live, stale, unknown], ..RegistryIndex::default() };
+        let table = idx.render_at(&idx.entries.iter().collect::<Vec<_>>(), now);
+        assert!(table.contains("status"), "{table}");
+        assert!(table.contains("live"), "{table}");
+        assert!(table.contains("stale 120s"), "{table}");
+    }
+
+    #[test]
+    fn entry_from_run_dir_reads_heartbeat_from_trace_and_snapshot() {
+        use active_learning::{RunManifest, TuneOptions, MANIFEST_SCHEMA_VERSION};
+        let root = temp_root("hb").join("hb-run");
+        let _ = std::fs::remove_dir_all(root.parent().unwrap());
+        let dir = RunDir::create(&root).unwrap();
+        dir.write_manifest(&RunManifest {
+            model: "squeezenet_v1.1".into(),
+            method: "autotvm".into(),
+            tasks: vec!["sq.T1".into()],
+            seed: 4,
+            options: TuneOptions::smoke(),
+            schema_version: Some(MANIFEST_SCHEMA_VERSION),
+            git_describe: None,
+            wall_time_s: None, // still running (or crashed)
+            device: None,
+            fault: None,
+            resumed: None,
+            workers: None,
+            devices: None,
+        })
+        .unwrap();
+        // No heartbeat data at all: liveness unknown.
+        let e = RunEntry::from_run_dir(&root).unwrap();
+        assert_eq!(e.last_heartbeat_unix_ms, None);
+        assert_eq!(e.status_at(1_700_000_000_000), RunStatus::Unknown);
+
+        // Heartbeat events in the trace surface as liveness.
+        let hb = telemetry::Record::Event {
+            name: "run.heartbeat".into(),
+            span: None,
+            t_us: 10,
+            fields: serde_json::json!({
+                "unix_ms": 1_700_000_000_000u64, "trials": 12u64,
+                "tasks_done": 1u64, "task": "sq.T1",
+            }),
+        };
+        let trace = [
+            serde_json::to_string(&telemetry::Record::Schema { version: 2 }).unwrap(),
+            serde_json::to_string(&hb).unwrap(),
+        ]
+        .join("\n");
+        std::fs::write(dir.trace_path(), trace).unwrap();
+        let e = RunEntry::from_run_dir(&root).unwrap();
+        assert_eq!(e.last_heartbeat_unix_ms, Some(1_700_000_000_000));
+        assert_eq!(e.trials_done, Some(12));
+        assert_eq!(e.status_at(1_700_000_005_000), RunStatus::Live);
+
+        // A fresher metrics snapshot wins over the trace heartbeat.
+        let reg = telemetry::MetricsRegistry::new();
+        reg.inc(telemetry::stream::TRIALS_COUNTER, 40);
+        let mut snap = reg.snapshot();
+        snap.unix_ms = 1_700_000_060_000;
+        std::fs::write(dir.snapshot_path(), serde_json::to_string(&snap).unwrap()).unwrap();
+        let e = RunEntry::from_run_dir(&root).unwrap();
+        assert_eq!(e.last_heartbeat_unix_ms, Some(1_700_000_060_000));
+        assert_eq!(e.trials_done, Some(40));
+        std::fs::remove_dir_all(root.parent().unwrap()).unwrap();
     }
 
     #[test]
