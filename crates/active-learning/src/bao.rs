@@ -14,6 +14,7 @@
 //! other strategy.
 
 use crate::evaluator::{Evaluator, GbtEvaluator};
+use crate::model_quality::ProposalDiag;
 use crate::tuner::Tuner;
 use gbt::GbtParams;
 use rand::rngs::StdRng;
@@ -90,6 +91,8 @@ where
     stall_widenings: u32,
     rng: StdRng,
     step: u64,
+    capture: bool,
+    diags: Vec<ProposalDiag>,
 }
 
 impl<'s> BaoTuner<'s> {
@@ -133,6 +136,8 @@ where
             stall_widenings: 0,
             rng: StdRng::seed_from_u64(seed),
             step: 0,
+            capture: false,
+            diags: Vec::new(),
         }
     }
 
@@ -148,14 +153,23 @@ where
 
     /// The measurements the bootstrap models are fit on: the most recent
     /// `fit_window` plus the 32 best-ever (so the models never forget where
-    /// the good region is).
+    /// the good region is). Failed trials (0 GFLOPS) are excluded — fitting
+    /// on them teaches the bagged models a crater around every fault and
+    /// repels the scope from the true optimum; quarantine/`visited` already
+    /// keep known-bad configurations out of future scopes. When *every*
+    /// measurement failed the raw set is used so bootstrap selection still
+    /// has something to resample.
     fn fit_window(&self) -> Vec<(Config, f64)> {
-        if self.measured.len() <= self.opts.fit_window {
-            return self.measured.clone();
+        let valid: Vec<(Config, f64)> =
+            self.measured.iter().filter(|(_, y)| *y > 0.0).cloned().collect();
+        let source: Vec<(Config, f64)> =
+            if valid.is_empty() { self.measured.clone() } else { valid };
+        if source.len() <= self.opts.fit_window {
+            return source;
         }
-        let recent_start = self.measured.len() - self.opts.fit_window;
-        let mut out: Vec<(Config, f64)> = self.measured[recent_start..].to_vec();
-        let mut elite: Vec<&(Config, f64)> = self.measured[..recent_start].iter().collect();
+        let recent_start = source.len() - self.opts.fit_window;
+        let mut out: Vec<(Config, f64)> = source[recent_start..].to_vec();
+        let mut elite: Vec<&(Config, f64)> = source[..recent_start].iter().collect();
         elite.sort_by(|a, b| b.1.total_cmp(&a.1));
         out.extend(elite.into_iter().take(32).cloned());
         out
@@ -216,14 +230,23 @@ where
     F: Fn() -> E,
 {
     fn next_batch(&mut self, n: usize) -> Vec<Config> {
+        self.diags.clear();
         // Initialization stage: drain the BTED set first.
         if !self.pending_init.is_empty() {
             let take = n.min(self.pending_init.len());
-            return self.pending_init.drain(..take).collect();
+            let batch: Vec<Config> = self.pending_init.drain(..take).collect();
+            if self.capture {
+                self.diags.extend(batch.iter().map(|c| ProposalDiag::blind(c.index)));
+            }
+            return batch;
         }
         if self.measured.is_empty() {
             // No valid initial set: fall back to random exploration.
-            return (0..n).map(|_| self.space.sample(&mut self.rng)).collect();
+            let batch: Vec<Config> = (0..n).map(|_| self.space.sample(&mut self.rng)).collect();
+            if self.capture {
+                self.diags.extend(batch.iter().map(|c| ProposalDiag::blind(c.index)));
+            }
+            return batch;
         }
         // Line 1 / line 3: center on the incumbent (the best configuration
         // of the initial set on the first iteration).
@@ -246,7 +269,7 @@ where
             let pick = if candidates.is_empty() {
                 None
             } else {
-                crate::bs::bootstrap_select(
+                crate::bs::bootstrap_select_diag(
                     self.space,
                     &fit_set,
                     &candidates,
@@ -258,7 +281,17 @@ where
             // Exhausted or degenerate neighborhood: random restart keeps the
             // search alive (the space is astronomically larger than the
             // visited set, so this terminates).
-            let cfg = pick.unwrap_or_else(|| self.space.sample(&mut self.rng));
+            let (cfg, diag) = match pick {
+                Some((cfg, diag)) => (cfg, diag),
+                None => {
+                    let cfg = self.space.sample(&mut self.rng);
+                    let diag = ProposalDiag::blind(cfg.index);
+                    (cfg, diag)
+                }
+            };
+            if self.capture {
+                self.diags.push(diag);
+            }
             self.visited.insert(cfg.index);
             out.push(cfg);
         }
@@ -291,6 +324,14 @@ where
         // `visited` filters the BAO scope, so quarantined configurations
         // drop out of every future neighborhood.
         self.visited.extend(indices.iter().copied());
+    }
+
+    fn set_capture(&mut self, enabled: bool) {
+        self.capture = enabled;
+    }
+
+    fn take_diagnostics(&mut self) -> Vec<ProposalDiag> {
+        std::mem::take(&mut self.diags)
     }
 }
 
@@ -390,6 +431,58 @@ mod tests {
         t.update(&results); // all invalid
         let next = t.next_batch(1);
         assert_eq!(next.len(), 1);
+    }
+
+    #[test]
+    fn failed_trials_are_excluded_from_the_fit_window() {
+        let space = toy_space();
+        let mut t = BaoTuner::new(&space, vec![], BaoOptions::default(), GbtParams::default(), 5);
+        t.update(&[
+            (space.config(0).unwrap(), 10.0),
+            (space.config(1).unwrap(), 0.0), // fault
+            (space.config(2).unwrap(), 12.0),
+            (space.config(3).unwrap(), 0.0), // fault
+        ]);
+        let fit = t.fit_window();
+        assert_eq!(fit.len(), 2, "zero-GFLOPS labels must not reach the surrogate");
+        assert!(fit.iter().all(|(_, y)| *y > 0.0));
+        // All-failed degenerate case: fall back to the raw set so BS can
+        // still resample (it panics on an empty measured set).
+        let mut t2 = BaoTuner::new(&space, vec![], BaoOptions::default(), GbtParams::default(), 6);
+        t2.update(&[(space.config(0).unwrap(), 0.0)]);
+        assert_eq!(t2.fit_window().len(), 1);
+    }
+
+    #[test]
+    fn capture_aligns_one_diag_per_proposal() {
+        let space = toy_space();
+        let init: Vec<Config> = (0..6).map(|i| space.config(i).unwrap()).collect();
+        let opts = BaoOptions { scope_size: 32, ..BaoOptions::default() };
+        let gbt = GbtParams { n_rounds: 8, ..GbtParams::default() };
+        let mut t = BaoTuner::new(&space, init, opts, gbt, 7);
+        t.set_capture(true);
+        // Init batch: blind diagnostics.
+        let batch = t.next_batch(t.preferred_batch());
+        let diags = t.take_diagnostics();
+        assert_eq!(diags.len(), batch.len());
+        assert!(diags.iter().all(|d| d.predicted_mean.is_none()));
+        let results: Vec<(Config, f64)> = batch
+            .into_iter()
+            .map(|c| {
+                let y = truth(&c);
+                (c, y)
+            })
+            .collect();
+        t.update(&results);
+        // Model stage: bootstrap selection carries mean/std/acquisition.
+        let batch = t.next_batch(1);
+        let diags = t.take_diagnostics();
+        assert_eq!(diags.len(), batch.len());
+        let d = &diags[0];
+        assert_eq!(d.config_index, batch[0].index);
+        assert!(d.predicted_mean.is_some_and(f64::is_finite));
+        assert!(d.predicted_std.is_some_and(|s| s >= 0.0));
+        assert!(d.acquisition.is_some());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! [`crate::Evaluator`].
 
 use crate::evaluator::Evaluator;
+use crate::model_quality::ProposalDiag;
 use gbt::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +58,32 @@ where
     E: Evaluator,
     F: Fn() -> E,
 {
+    bootstrap_select_diag(space, measured, candidates, gamma, make_evaluator, seed)
+        .map(|(cfg, _)| cfg)
+}
+
+/// [`bootstrap_select`] also returning the winner's model diagnostics.
+///
+/// The Γ per-candidate predictions are already computed for the argmax;
+/// accumulating their sum-of-squares alongside the sum yields the winner's
+/// bagged mean and disagreement (std) with zero extra model evaluations —
+/// which is what keeps introspection capture from perturbing the search.
+///
+/// # Panics
+///
+/// Same contract as [`bootstrap_select`].
+pub fn bootstrap_select_diag<E, F>(
+    space: &ConfigSpace,
+    measured: &[(Config, f64)],
+    candidates: &[Config],
+    gamma: usize,
+    make_evaluator: F,
+    seed: u64,
+) -> Option<(Config, ProposalDiag)>
+where
+    E: Evaluator,
+    F: Fn() -> E,
+{
     assert!(!measured.is_empty(), "BS needs an initial measured set");
     assert!(gamma > 0, "need at least one bootstrap resample");
     if candidates.is_empty() {
@@ -79,6 +106,7 @@ where
     });
     let mut rng = StdRng::seed_from_u64(seed);
     let mut scores = vec![0.0f64; candidates.len()];
+    let mut sq_scores = vec![0.0f64; candidates.len()];
     for g in 0..gamma {
         // Lines 2-3: bootstrap resample with |X_γ| = |X|.
         let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
@@ -91,10 +119,13 @@ where
             let _fit = tel.span("bs.fit");
             eval.fit(&xg, &yg, seed.wrapping_add(g as u64));
         }
-        // Line 6 accumulation: Σ_γ f_γ(x).
+        // Line 6 accumulation: Σ_γ f_γ(x), plus Σ_γ f_γ(x)² so the winner's
+        // bagged mean/std fall out without a second prediction pass.
         let _predict = tel.span("bs.predict");
-        for (s, row) in scores.iter_mut().zip(&cand_rows) {
-            *s += eval.predict_row(row);
+        for (i, row) in cand_rows.iter().enumerate() {
+            let p = eval.predict_row(row);
+            scores[i] += p;
+            sq_scores[i] += p * p;
         }
     }
 
@@ -104,7 +135,17 @@ where
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("candidates is non-empty");
-    Some(candidates[best].clone())
+    #[allow(clippy::cast_precision_loss)]
+    let g = gamma as f64;
+    let mean = scores[best] / g;
+    let std = (sq_scores[best] / g - mean * mean).max(0.0).sqrt();
+    let diag = ProposalDiag {
+        config_index: candidates[best].index,
+        predicted_mean: Some(mean),
+        predicted_std: Some(std),
+        acquisition: Some(scores[best]),
+    };
+    Some((candidates[best].clone(), diag))
 }
 
 #[cfg(test)]
@@ -183,6 +224,38 @@ mod tests {
         let a = bootstrap_select(&space, &measured, &candidates, 2, GbtEvaluator::default, 9);
         let b = bootstrap_select(&space, &measured, &candidates, 2, GbtEvaluator::default, 9);
         assert_eq!(a.map(|c| c.index), b.map(|c| c.index));
+    }
+
+    #[test]
+    fn diag_variant_matches_plain_selection() {
+        let (space, truth) = toy();
+        let measured = measured_set(&space, &truth, 40);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let candidates = space.sample_distinct(&mut rng, 20);
+        let plain = bootstrap_select(&space, &measured, &candidates, 3, GbtEvaluator::default, 11)
+            .expect("candidates non-empty");
+        let (cfg, diag) =
+            bootstrap_select_diag(&space, &measured, &candidates, 3, GbtEvaluator::default, 11)
+                .expect("candidates non-empty");
+        assert_eq!(cfg.index, plain.index, "diag variant must not change the pick");
+        assert_eq!(diag.config_index, cfg.index);
+        // acquisition is the Γ-sum, predicted_mean its average.
+        let acq = diag.acquisition.unwrap();
+        let mean = diag.predicted_mean.unwrap();
+        assert!((acq - 3.0 * mean).abs() < 1e-9);
+        assert!(diag.predicted_std.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn single_resample_diag_has_zero_std() {
+        let (space, truth) = toy();
+        let measured = measured_set(&space, &truth, 30);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let candidates = space.sample_distinct(&mut rng, 10);
+        let (_, diag) =
+            bootstrap_select_diag(&space, &measured, &candidates, 1, GbtEvaluator::default, 3)
+                .expect("candidates non-empty");
+        assert_eq!(diag.predicted_std.unwrap(), 0.0, "one model cannot disagree with itself");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod bao;
 pub mod bs;
 pub mod bted;
 pub mod evaluator;
+pub mod model_quality;
 pub mod model_tuning;
 pub mod options;
 pub mod records;
@@ -51,6 +52,10 @@ pub mod tuner;
 pub use bao::BaoOptions;
 pub use bted::BtedOptions;
 pub use evaluator::{Evaluator, GbtEvaluator, RidgeEvaluator};
+pub use model_quality::{
+    read_model_quality, write_model_quality, ModelPredRecord, ProposalDiag, MODEL_QUALITY_FILE,
+    MODEL_QUALITY_SCHEMA_VERSION,
+};
 pub use model_tuning::{tune_model, tune_model_parallel, ModelTuneResult};
 pub use options::TuneOptions;
 pub use records::{

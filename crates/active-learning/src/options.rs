@@ -52,6 +52,12 @@ pub struct TuneOptions {
     /// [`TuneOptions::FAIL_RATE_MIN_TRIALS`] trials). `None` or `1.0`
     /// disables the cap: hard tasks naturally reject many configs.
     pub fail_rate_cap: Option<f64>,
+    /// Record per-proposal model diagnostics (predicted mean/std,
+    /// acquisition score) for `model_quality.jsonl` and `aaltune explain`.
+    /// `None`/`false` disables capture at zero cost. Capture is pure —
+    /// proposals and trial logs are byte-identical either way. Optional so
+    /// pre-introspection manifests still deserialize.
+    pub capture_model: Option<bool>,
 }
 
 impl Default for TuneOptions {
@@ -72,6 +78,7 @@ impl Default for TuneOptions {
             max_retries: None,
             trial_timeout_ms: None,
             fail_rate_cap: None,
+            capture_model: None,
         }
     }
 }
@@ -91,6 +98,12 @@ impl TuneOptions {
     #[must_use]
     pub fn fail_rate_cap_or_default(&self) -> f64 {
         self.fail_rate_cap.unwrap_or(1.0)
+    }
+
+    /// Whether model-introspection capture is on (off by default).
+    #[must_use]
+    pub fn capture_model_or_default(&self) -> bool {
+        self.capture_model.unwrap_or(false)
     }
 
     /// A reduced-budget preset for unit tests and smoke benches.

@@ -341,6 +341,13 @@ impl RunDir {
         self.root.join(telemetry::PROM_FILE)
     }
 
+    /// Location of the model-introspection capture (`model_quality.jsonl`),
+    /// written once after the run when capture is on.
+    #[must_use]
+    pub fn model_quality_path(&self) -> PathBuf {
+        self.root.join(crate::model_quality::MODEL_QUALITY_FILE)
+    }
+
     /// Writes `manifest.json`.
     ///
     /// # Errors

@@ -115,6 +115,28 @@ pub fn simulated_annealing<S>(
 where
     S: Fn(&[Config]) -> Vec<f64>,
 {
+    simulated_annealing_scored(space, score, opts, plan_size, exclude, seed)
+        .into_iter()
+        .map(|(cfg, _)| cfg)
+        .collect()
+}
+
+/// [`simulated_annealing`] keeping each plan entry's model score.
+///
+/// The scores are already tracked by the top-k heap during the search, so
+/// returning them costs nothing — this is what lets introspection capture
+/// record acquisition scores without re-scoring the plan.
+pub fn simulated_annealing_scored<S>(
+    space: &ConfigSpace,
+    score: S,
+    opts: &SaOptions,
+    plan_size: usize,
+    exclude: &HashSet<u64>,
+    seed: u64,
+) -> Vec<(Config, f64)>
+where
+    S: Fn(&[Config]) -> Vec<f64>,
+{
     let mut rng = StdRng::seed_from_u64(seed);
     let mut points: Vec<Config> = (0..opts.parallel_size).map(|_| space.sample(&mut rng)).collect();
     let mut scores = score(&points);
@@ -188,7 +210,7 @@ where
     let mut plan: Vec<HeapItem> = heap.into_vec();
     plan.sort_by(|a, b| b.score.total_cmp(&a.score));
     plan.into_iter()
-        .map(|item| configs_by_index.remove(&item.index).expect("config tracked"))
+        .map(|item| (configs_by_index.remove(&item.index).expect("config tracked"), item.score))
         .collect()
 }
 
@@ -267,6 +289,30 @@ mod tests {
             let m = mutate(&space, &base, &mut rng);
             let diffs = base.choices.iter().zip(&m.choices).filter(|(a, b)| a != b).count();
             assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn scored_variant_matches_plain_and_reports_true_scores() {
+        let space = toy_space();
+        let plain =
+            simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &HashSet::new(), 6);
+        let scored = simulated_annealing_scored(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            8,
+            &HashSet::new(),
+            6,
+        );
+        assert_eq!(
+            plain.iter().map(|c| c.index).collect::<Vec<_>>(),
+            scored.iter().map(|(c, _)| c.index).collect::<Vec<_>>(),
+            "scored variant must not change the plan"
+        );
+        for (cfg, s) in &scored {
+            let truth = peaked_score(std::slice::from_ref(cfg))[0];
+            assert_eq!(*s, truth, "plan score must be the model score of its config");
         }
     }
 

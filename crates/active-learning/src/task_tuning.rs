@@ -2,6 +2,7 @@
 
 use crate::bao::BaoTuner;
 use crate::bted::bted;
+use crate::model_quality::{ModelPredRecord, ProposalDiag};
 use crate::options::TuneOptions;
 use crate::records::{TrialRecord, TuningLog};
 use crate::tuner::{RandomTuner, Tuner, XgbTuner};
@@ -85,6 +86,12 @@ pub struct TuneHooks<'a> {
     /// state (step counters, model state, BAO radius, RNG cursors) the
     /// recorded run had after its last durable trial.
     pub replay: Option<&'a [TrialRecord]>,
+    /// Called once per trial — replayed *and* live — with the surrogate's
+    /// opinion of that proposal, when `opts.capture_model` is on. Replayed
+    /// trials recompute their diagnostics deterministically, so a resumed
+    /// run rebuilds the same `model_quality.jsonl` an uninterrupted run
+    /// writes. Never called when capture is off.
+    pub on_model: Option<&'a mut dyn FnMut(&ModelPredRecord)>,
 }
 
 /// Builds the initial configuration set for `method`.
@@ -187,6 +194,20 @@ pub fn drive_loop<M: Measurer>(
     let mut failed = 0usize;
     let mut aborted: Option<String> = None;
 
+    // Model-introspection capture. Pure reads of the fitted model: turning
+    // it on must not perturb proposals, RNG streams, or trial-log bytes.
+    let capture = opts.capture_model_or_default();
+    if capture {
+        tuner.set_capture(true);
+    }
+    let mut round = 0usize;
+    // Cumulative (predicted, measured) pairs over successful trials with a
+    // model opinion, for the live rank-correlation / calibration gauges.
+    let mut cap_pred: Vec<f64> = Vec::new();
+    let mut cap_meas: Vec<f64> = Vec::new();
+    let mut cap_z_within = 0usize;
+    let mut cap_z_total = 0usize;
+
     let mut replay: &[TrialRecord] = hooks.replay.unwrap_or(&[]);
     if !replay.is_empty() {
         tel.count("tune.resume", 1);
@@ -230,6 +251,9 @@ pub fn drive_loop<M: Measurer>(
         if batch.is_empty() {
             break;
         }
+        // Positionally aligned with `batch`; empty when capture is off or
+        // the tuner has no model (then every proposal is blind).
+        let diags = if capture { tuner.take_diagnostics() } else { Vec::new() };
         // Split the proposed batch into a replayed prefix (recorded trials
         // fed back without re-measuring) and a live tail submitted as ONE
         // batch through `measure_batch` — the executor's fan-out point.
@@ -272,7 +296,7 @@ pub fn drive_loop<M: Measurer>(
         debug_assert_eq!(outcomes.len(), batch.len());
 
         let mut results = Vec::with_capacity(batch.len());
-        for (cfg, (gflops, latency_s, live)) in batch.into_iter().zip(outcomes) {
+        for (i, (cfg, (gflops, latency_s, live))) in batch.into_iter().zip(outcomes).enumerate() {
             if gflops <= 0.0 {
                 failed += 1;
             }
@@ -313,10 +337,69 @@ pub fn drive_loop<M: Measurer>(
                     sink(&record);
                 }
             }
+            if capture {
+                let diag = diags.get(i).copied().unwrap_or_else(|| ProposalDiag::blind(cfg.index));
+                debug_assert_eq!(diag.config_index, cfg.index, "diagnostics misaligned");
+                let mrec = ModelPredRecord {
+                    task: task.name.clone(),
+                    round,
+                    trial: record.trial,
+                    config_index: cfg.index,
+                    predicted_mean: diag.predicted_mean,
+                    predicted_std: diag.predicted_std,
+                    acquisition: diag.acquisition,
+                    measured_gflops: gflops,
+                };
+                if live {
+                    tel.event(telemetry::events::MODEL_PRED_EVENT, || {
+                        telemetry::json!({
+                            "round": mrec.round as u64,
+                            "trial": mrec.trial as u64,
+                            "config_index": mrec.config_index,
+                            "predicted_mean": mrec.predicted_mean,
+                            "predicted_std": mrec.predicted_std,
+                            "acquisition": mrec.acquisition,
+                            "measured_gflops": mrec.measured_gflops,
+                        })
+                    });
+                }
+                if let Some(p) = diag.predicted_mean {
+                    if gflops > 0.0 {
+                        cap_pred.push(p);
+                        cap_meas.push(gflops);
+                        if let Some(s) = diag.predicted_std {
+                            if s > 0.0 {
+                                cap_z_total += 1;
+                                if ((gflops - p) / s).abs() <= 1.0 {
+                                    cap_z_within += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(sink) = hooks.on_model.as_mut() {
+                    sink(&mrec);
+                }
+            }
             log.records.push(record);
             measured += 1;
             results.push((cfg, gflops));
         }
+        if capture && tel.has_live_registry() {
+            // Live-only model-quality gauges for `aaltune top`: cumulative
+            // Spearman rank correlation between predictions and
+            // measurements, and |coverage(|z| ≤ 1) − 0.683| calibration
+            // error over trials with a predictive std.
+            if cap_pred.len() >= 2 {
+                tel.gauge("model.rank_corr", gbt::metrics::spearman(&cap_pred, &cap_meas));
+            }
+            if cap_z_total > 0 {
+                #[allow(clippy::cast_precision_loss)]
+                let coverage = cap_z_within as f64 / cap_z_total as f64;
+                tel.gauge("model.calibration", (coverage - 0.683).abs());
+            }
+        }
+        round += 1;
         {
             let _update = tel.span("tuner.update");
             tuner.update(&results);
@@ -434,10 +517,89 @@ mod tests {
             &m,
             Method::Bted,
             &opts,
-            TuneHooks { on_trial: Some(&mut sink), replay: Some(&full.log.records[..cut]) },
+            TuneHooks {
+                on_trial: Some(&mut sink),
+                replay: Some(&full.log.records[..cut]),
+                ..TuneHooks::default()
+            },
         );
         assert_eq!(resumed.log, full.log);
         assert_eq!(seen, full.log.records[cut..], "sink must see exactly the live tail");
+    }
+
+    /// Tunes with capture on, collecting the model records.
+    fn tune_captured(
+        t: &TuningTask,
+        m: &SimMeasurer,
+        method: Method,
+        opts: &TuneOptions,
+        replay: Option<&[TrialRecord]>,
+    ) -> (TaskTuneResult, Vec<ModelPredRecord>) {
+        let mut records = Vec::new();
+        let mut sink = |r: &ModelPredRecord| records.push(r.clone());
+        let result = tune_task_with(
+            t,
+            m,
+            method,
+            opts,
+            TuneHooks { on_model: Some(&mut sink), replay, ..TuneHooks::default() },
+        );
+        (result, records)
+    }
+
+    #[test]
+    fn capture_leaves_trial_logs_byte_identical() {
+        let t = task(1);
+        let m = measurer();
+        let plain_opts = TuneOptions::smoke();
+        let cap_opts = TuneOptions { capture_model: Some(true), ..plain_opts };
+        for method in [Method::AutoTvm, Method::BtedBao] {
+            let plain = tune_task(&t, &m, method, &plain_opts);
+            let (captured, records) = tune_captured(&t, &m, method, &cap_opts, None);
+            assert_eq!(plain.log, captured.log, "{method}: capture perturbed the loop");
+            let plain_bytes = serde_json::to_string(&plain.log).unwrap();
+            let cap_bytes = serde_json::to_string(&captured.log).unwrap();
+            assert_eq!(plain_bytes, cap_bytes, "{method}: log bytes differ");
+            // One model record per trial, aligned with the trial log.
+            assert_eq!(records.len(), captured.log.records.len());
+            for (mr, tr) in records.iter().zip(&captured.log.records) {
+                assert_eq!(mr.trial, tr.trial);
+                assert_eq!(mr.config_index, tr.config_index);
+                assert_eq!(mr.measured_gflops, tr.gflops);
+            }
+            // Past initialization the model must actually have opinions.
+            assert!(
+                records.iter().any(|r| r.predicted_mean.is_some()),
+                "{method}: no model opinions captured"
+            );
+            // Blind proposals never fabricate an opinion.
+            let init = &records[..plain_opts.init_points.min(records.len())];
+            assert!(init.iter().all(|r| r.predicted_mean.is_none()));
+        }
+    }
+
+    #[test]
+    fn capture_disabled_never_calls_the_model_sink() {
+        let t = task(0);
+        let (_, records) =
+            tune_captured(&t, &measurer(), Method::Bted, &TuneOptions::smoke(), None);
+        assert!(records.is_empty(), "capture off must be zero-cost: no records");
+    }
+
+    #[test]
+    fn resumed_runs_rebuild_identical_model_records() {
+        let t = task(2);
+        let m = measurer();
+        let opts = TuneOptions { capture_model: Some(true), ..TuneOptions::smoke() };
+        let (full, full_records) = tune_captured(&t, &m, Method::BtedBao, &opts, None);
+        assert!(full_records.len() > 10);
+        let cut = full.log.records.len() / 2;
+        let (resumed, resumed_records) =
+            tune_captured(&t, &m, Method::BtedBao, &opts, Some(&full.log.records[..cut]));
+        assert_eq!(resumed.log, full.log);
+        // Replay recomputes diagnostics deterministically: the resumed
+        // stream equals the uninterrupted one for replayed AND live trials.
+        assert_eq!(resumed_records, full_records);
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub use grid::GridTuner;
 pub use random::RandomTuner;
 pub use xgb::XgbTuner;
 
+use crate::model_quality::ProposalDiag;
 use schedule::Config;
 
 /// A batch-oriented tuning strategy.
@@ -39,4 +40,18 @@ pub trait Tuner {
     /// exclusion mechanism may ignore it (they will just re-measure a
     /// zero-GFLOPS penalty).
     fn exclude(&mut self, _indices: &[u64]) {}
+
+    /// Enables (or disables) model-introspection capture. When enabled, the
+    /// strategy records a [`ProposalDiag`] per proposal in `next_batch`,
+    /// retrievable via [`Tuner::take_diagnostics`]. Capture must be pure:
+    /// it may read fitted models but must not touch RNG streams or change
+    /// which configurations are proposed. Model-free strategies ignore it.
+    fn set_capture(&mut self, _enabled: bool) {}
+
+    /// Drains the diagnostics recorded for the *most recent* `next_batch`
+    /// call, positionally aligned with its returned configurations. Empty
+    /// when capture is disabled or the strategy is model-free.
+    fn take_diagnostics(&mut self) -> Vec<ProposalDiag> {
+        Vec::new()
+    }
 }

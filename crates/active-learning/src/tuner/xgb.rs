@@ -6,13 +6,15 @@
 //! that is the entire difference between the two experiment arms.
 
 use crate::evaluator::{Evaluator, GbtEvaluator};
-use crate::sa::{simulated_annealing, SaOptions};
+use crate::model_quality::ProposalDiag;
+use crate::sa::{simulated_annealing_scored, SaOptions};
 use crate::tuner::Tuner;
 use gbt::{GbtParams, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use schedule::feature::features;
+use schedule::feature::{feature_len, features, features_into};
 use schedule::{Config, ConfigSpace};
+use std::cell::RefCell;
 use std::collections::HashSet;
 
 /// AutoTVM's model-based tuner.
@@ -24,14 +26,24 @@ pub struct XgbTuner<'s> {
     epsilon: f64,
     /// Initial configurations not yet proposed (random or BTED).
     pending_init: Vec<Config>,
-    /// Model-proposed configurations not yet proposed for measurement.
-    plan: Vec<Config>,
+    /// Model-proposed configurations not yet proposed for measurement,
+    /// with the model score SA ranked them by (`None` on the
+    /// not-enough-signal random plan).
+    plan: Vec<(Config, Option<f64>)>,
     measured: Vec<(Config, f64)>,
     visited: HashSet<u64>,
     /// Measurements accumulated since the last model refit.
     dirty: usize,
     rng: StdRng,
     refits: u64,
+    /// Normalization constant of the last fit — plan scores times this are
+    /// GFLOPS predictions.
+    y_max: f64,
+    /// Flat feature buffer reused by the batched SA scoring closure across
+    /// calls and across rounds.
+    feat_buf: RefCell<Vec<f64>>,
+    capture: bool,
+    diags: Vec<ProposalDiag>,
 }
 
 impl<'s> XgbTuner<'s> {
@@ -61,6 +73,10 @@ impl<'s> XgbTuner<'s> {
             dirty: 0,
             rng: StdRng::seed_from_u64(seed),
             refits: 0,
+            y_max: 1.0,
+            feat_buf: RefCell::new(Vec::new()),
+            capture: false,
+            diags: Vec::new(),
         }
     }
 
@@ -81,8 +97,8 @@ impl<'s> XgbTuner<'s> {
         XgbTuner::new(space, init, gbt, sa, plan_size, epsilon, seed)
     }
 
-    /// Refits the cost model on everything measured and rebuilds the plan
-    /// via simulated annealing on the model score.
+    /// Refits the cost model on the valid measurements and rebuilds the
+    /// plan via simulated annealing on the model score.
     fn replan(&mut self) {
         let tel = telemetry::global();
         let _span = tel.span("xgb.replan");
@@ -93,39 +109,61 @@ impl<'s> XgbTuner<'s> {
             self.plan = (0..self.plan_size)
                 .map(|_| self.space.sample(&mut self.rng))
                 .filter(|c| !self.visited.contains(&c.index))
+                .map(|c| (c, None))
                 .collect();
             return;
         }
-        // Fit on all measurements (failed ones at 0.0 teach the validity
-        // cliffs), normalizing scores so SA temperatures are comparable.
-        let rows: Vec<Vec<f64>> =
-            self.measured.iter().map(|(c, _)| features(self.space, c)).collect();
-        let y_max =
-            self.measured.iter().map(|&(_, y)| y).fold(f64::NEG_INFINITY, f64::max).max(1e-9);
-        let ys: Vec<f64> = self.measured.iter().map(|&(_, y)| y / y_max).collect();
+        // Fit on the valid measurements only: failed trials report 0.0
+        // GFLOPS, and regressing on those zeros drags the surrogate down
+        // around every fault — at a 10% fault rate the model starts
+        // steering *away* from the optimum. Known-bad configurations are
+        // kept out of future plans by `visited`/quarantine, not by
+        // poisoned labels. Scores normalize by the best observed value so
+        // SA temperatures stay comparable across tasks.
+        let rows: Vec<Vec<f64>> = valid.iter().map(|(c, _)| features(self.space, c)).collect();
+        let y_max = valid.iter().map(|&&(_, y)| y).fold(f64::NEG_INFINITY, f64::max).max(1e-9);
+        let ys: Vec<f64> = valid.iter().map(|&&(_, y)| y / y_max).collect();
         let x = Matrix::from_rows(&rows);
         let mut model = GbtEvaluator::new(self.gbt);
         {
             let _fit = tel.span("xgb.fit");
             model.fit(&x, &ys, self.refits);
         }
+        self.y_max = y_max;
         tel.event(
             "xgb.refit",
             || telemetry::json!({ "refit": self.refits, "rows": rows.len() as u64 }),
         );
 
         let space = self.space;
+        let n_feat = feature_len(space);
+        let feat_buf = &self.feat_buf;
         let score = |cands: &[Config]| -> Vec<f64> {
-            cands.iter().map(|c| model.predict_row(&features(space, c))).collect()
+            // One batched matrix predict per SA step instead of a model
+            // call (and a fresh feature Vec) per candidate. The flat
+            // buffer round-trips through the matrix so no allocation
+            // survives steady state.
+            let mut buf = feat_buf.borrow_mut();
+            buf.clear();
+            for c in cands {
+                features_into(space, c, &mut buf);
+            }
+            let x = Matrix::new(std::mem::take(&mut *buf), cands.len(), n_feat);
+            let preds = model.predict(&x);
+            *buf = x.into_data();
+            preds
         };
-        self.plan = simulated_annealing(
+        self.plan = simulated_annealing_scored(
             self.space,
             score,
             &self.sa,
             self.plan_size,
             &self.visited,
             self.refits.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        )
+        .into_iter()
+        .map(|(c, s)| (c, Some(s)))
+        .collect();
         self.dirty = 0;
     }
 }
@@ -133,10 +171,14 @@ impl<'s> XgbTuner<'s> {
 impl Tuner for XgbTuner<'_> {
     fn next_batch(&mut self, n: usize) -> Vec<Config> {
         let mut out = Vec::with_capacity(n);
+        self.diags.clear();
         // Initialization stage.
         while out.len() < n {
             let Some(cfg) = self.pending_init.pop() else { break };
             if self.visited.insert(cfg.index) {
+                if self.capture {
+                    self.diags.push(ProposalDiag::blind(cfg.index));
+                }
                 out.push(cfg);
             }
         }
@@ -149,8 +191,26 @@ impl Tuner for XgbTuner<'_> {
                 }
             }
             let explore = self.rng.gen::<f64>() < self.epsilon;
-            let cfg = if explore { self.space.sample(&mut self.rng) } else { self.plan.remove(0) };
+            let (cfg, score) = if explore {
+                (self.space.sample(&mut self.rng), None)
+            } else {
+                self.plan.remove(0)
+            };
             if self.visited.insert(cfg.index) {
+                if self.capture {
+                    // A plan entry's SA score IS the fitted model's
+                    // normalized prediction for it, so de-normalizing gives
+                    // the GFLOPS forecast without another model call.
+                    self.diags.push(match score {
+                        Some(s) => ProposalDiag {
+                            config_index: cfg.index,
+                            predicted_mean: Some(s * self.y_max),
+                            predicted_std: None,
+                            acquisition: Some(s),
+                        },
+                        None => ProposalDiag::blind(cfg.index),
+                    });
+                }
                 out.push(cfg);
             } else if !explore {
                 continue; // plan entry already visited, pull the next one
@@ -171,6 +231,14 @@ impl Tuner for XgbTuner<'_> {
         // `visited` doubles as the SA proposer's exclusion set, so
         // quarantined configurations are never planned again.
         self.visited.extend(indices.iter().copied());
+    }
+
+    fn set_capture(&mut self, enabled: bool) {
+        self.capture = enabled;
+    }
+
+    fn take_diagnostics(&mut self) -> Vec<ProposalDiag> {
+        std::mem::take(&mut self.diags)
     }
 }
 
@@ -274,5 +342,86 @@ mod tests {
         let results: Vec<(Config, f64)> = batch.into_iter().map(|c| (c, 0.0)).collect();
         t.update(&results);
         assert!(!t.next_batch(8).is_empty());
+    }
+
+    #[test]
+    fn capture_never_changes_proposals_and_aligns_diagnostics() {
+        let space = toy_space();
+        let (g, s) = small_params();
+        let mut plain = XgbTuner::with_random_init(&space, 8, g, s, 8, 0.1, 4);
+        let mut captured = XgbTuner::with_random_init(&space, 8, g, s, 8, 0.1, 4);
+        captured.set_capture(true);
+        let mut saw_model_opinion = false;
+        for _ in 0..5 {
+            let a = plain.next_batch(8);
+            let b = captured.next_batch(8);
+            assert_eq!(
+                a.iter().map(|c| c.index).collect::<Vec<_>>(),
+                b.iter().map(|c| c.index).collect::<Vec<_>>(),
+                "capture must not perturb the proposal stream"
+            );
+            assert!(plain.take_diagnostics().is_empty(), "disabled capture stays empty");
+            let diags = captured.take_diagnostics();
+            assert_eq!(diags.len(), b.len(), "one diagnostic per proposal");
+            for (cfg, d) in b.iter().zip(&diags) {
+                assert_eq!(cfg.index, d.config_index);
+                if let Some(m) = d.predicted_mean {
+                    assert!(m.is_finite());
+                    saw_model_opinion = true;
+                }
+            }
+            if a.is_empty() {
+                break;
+            }
+            let results: Vec<(Config, f64)> = a
+                .into_iter()
+                .map(|c| {
+                    let y = truth(&c);
+                    (c, y)
+                })
+                .collect();
+            plain.update(&results);
+            captured.update(&results);
+        }
+        assert!(saw_model_opinion, "model-stage proposals must carry predictions");
+    }
+
+    #[test]
+    fn ten_percent_faults_do_not_poison_the_model() {
+        // Satellite regression: 0-GFLOPS failures must be excluded from the
+        // surrogate's training labels. With them regressed as real zeros the
+        // model learns craters around every fault and steers away from the
+        // peak.
+        let space = toy_space();
+        let (g, s) = small_params();
+        let mut t = XgbTuner::with_random_init(&space, 16, g, s, 16, 0.0, 5);
+        let mut best_model = f64::NEG_INFINITY;
+        let mut trial = 0usize;
+        for round in 0..6 {
+            let batch = t.next_batch(16);
+            if batch.is_empty() {
+                break;
+            }
+            let results: Vec<(Config, f64)> = batch
+                .into_iter()
+                .map(|c| {
+                    // Every 10th measurement fails, independent of quality —
+                    // the fault pattern also hits configs near the optimum.
+                    trial += 1;
+                    let y = if trial.is_multiple_of(10) { 0.0 } else { truth(&c) };
+                    (c, y)
+                })
+                .collect();
+            if round > 0 {
+                for (_, y) in &results {
+                    best_model = best_model.max(*y);
+                }
+            }
+            t.update(&results);
+        }
+        assert!(
+            best_model > 95.0,
+            "model must still converge near the peak under 10% faults, got {best_model}"
+        );
     }
 }

@@ -81,6 +81,55 @@ fn faulty_bao_run_is_identical_across_worker_counts() {
 }
 
 #[test]
+fn capture_is_byte_identical_across_worker_counts() {
+    // Model-introspection capture must not perturb the measurement loop:
+    // with capture ON, trial JSONL at workers {1, 8} stays byte-identical
+    // to the capture-OFF serial log, and the captured model records are
+    // themselves identical at every worker count.
+    use active_learning::{tune_task_with, ModelPredRecord, TuneHooks};
+
+    let run = |workers: usize, capture: bool| -> (String, Vec<ModelPredRecord>) {
+        let task = extract_tasks(&models::squeezenet_v1_1(1)).remove(0);
+        let sim = SimMeasurer::new(GpuDevice::gtx_1080_ti());
+        let exec = Executor::new(sim, ExecutorConfig::for_workers(workers));
+        let opts = TuneOptions {
+            n_trial: 48,
+            early_stopping: 48,
+            seed: 11,
+            capture_model: Some(capture),
+            ..TuneOptions::smoke()
+        };
+        let mut records = Vec::new();
+        let mut sink = |r: &ModelPredRecord| records.push(r.clone());
+        let r = tune_task_with(
+            &task,
+            &exec,
+            Method::Bted,
+            &opts,
+            TuneHooks { on_model: Some(&mut sink), ..TuneHooks::default() },
+        );
+        let jsonl: String = r
+            .log
+            .records
+            .iter()
+            .map(|rec| serde_json::to_string(rec).expect("trial record serializes") + "\n")
+            .collect();
+        (jsonl, records)
+    };
+
+    let (plain_log, plain_records) = run(1, false);
+    assert!(plain_records.is_empty(), "capture off must produce no records");
+    let (base_log, base_records) = run(1, true);
+    assert_eq!(base_log, plain_log, "capture changed the serial trial log");
+    assert!(!base_records.is_empty());
+    for workers in [2usize, 8] {
+        let (log, records) = run(workers, true);
+        assert_eq!(log, base_log, "workers={workers}");
+        assert_eq!(records, base_records, "workers={workers}");
+    }
+}
+
+#[test]
 fn executor_wrapped_model_tuning_matches_serial() {
     // Task-level parallelism: tune_model_parallel with several tasks in
     // flight must fold to exactly the serial result.

@@ -2,8 +2,9 @@
 
 use crate::opts::{device_by_name, method_by_name, model_by_name, Cli};
 use active_learning::{
-    tune_model_parallel, tune_task_with, Checkpoint, Method, RunDir, RunManifest, TrialRecord,
-    TuneHooks, TuneOptions, TuningLog, CHECKPOINT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
+    read_model_quality, tune_model_parallel, tune_task_with, write_model_quality, Checkpoint,
+    Method, ModelPredRecord, RunDir, RunManifest, TrialRecord, TuneHooks, TuneOptions, TuningLog,
+    CHECKPOINT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION, MODEL_QUALITY_FILE,
 };
 use dnn_graph::task::extract_tasks;
 use executor::{run_ordered, Executor, ExecutorConfig};
@@ -34,10 +35,11 @@ usage:
                           [--device-ms T]
                           [--fault-rate P] [--fault-seed S] [--max-retries R]
                           [--trial-timeout-ms T] [--max-fail-rate F]
-                          [--snapshot-interval-ms T]
+                          [--snapshot-interval-ms T] [--no-capture-model]
                           [--trace FILE] [--quiet] [--json]
   aaltune tune    --resume RUN_DIR [--workers N] [--devices M] [--quiet] [--json]
   aaltune top     RUN_DIR [--refresh-ms T] [--once] [--check]
+  aaltune explain RUN_DIR
   aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
                           [--workers N] [--device D] [--trace FILE]
                           [--quiet] [--json]
@@ -70,7 +72,14 @@ live:    a run with --out publishes metrics.snapshot.json and metrics.prom
          into its run dir every --snapshot-interval-ms (default 1000; 0
          disables) — `top` renders them as a refreshing dashboard (--once
          for a single plain frame, --check to validate the files in CI).
-         Snapshots never change trial logs: byte-identical on or off";
+         Snapshots never change trial logs: byte-identical on or off
+insight: `tune` records the surrogate's per-proposal predictions into
+         RUN_DIR/model_quality.jsonl (off with --no-capture-model; capture
+         never changes trial logs). `explain RUN_DIR` prints per-round rank
+         correlation, top-k recall, calibration error, and regret, with a
+         trust verdict; `report` adds a Model quality panel; `compare
+         --fail-on-regress` also gates on rank-correlation drops when both
+         runs captured";
 
 /// Parses and runs one invocation, returning the process exit code
 /// (0 = success, [`EXIT_REGRESSED`] = gated regression).
@@ -89,6 +98,7 @@ pub fn dispatch(args: &[String]) -> Result<u8, String> {
         }
         Some("tune") => tune(&cli).map(|()| 0),
         Some("top") => crate::top::top(&cli).map(|()| 0),
+        Some("explain") => explain(&cli).map(|()| 0),
         Some("deploy") => deploy(&cli).map(|()| 0),
         Some("trace") => trace(&cli).map(|()| 0),
         Some("runs") => runs(&cli).map(|()| 0),
@@ -215,7 +225,13 @@ impl TunePlan {
     fn fresh(cli: &Cli) -> Result<TunePlan, String> {
         let model = model_arg(cli)?;
         let method = method_by_name(cli.flag_str("method").unwrap_or("bted+bao"))?;
-        let opts = options(cli)?;
+        // Capture is on by default for `tune`: it is pure (trial logs stay
+        // byte-identical) and it is what `explain` and the report's model
+        // panel feed on. The manifest pins the choice, so resume inherits it.
+        let opts = TuneOptions {
+            capture_model: Some(!cli.flag_present("no-capture-model")),
+            ..options(cli)?
+        };
         let fault =
             FaultConfig { rate: cli.flag("fault-rate", 0.0)?, seed: cli.flag("fault-seed", 0)? };
         if !(0.0..=1.0).contains(&fault.rate) {
@@ -453,14 +469,49 @@ fn tune(cli: &Cli) -> Result<(), String> {
             })
             .map_err(|e| format!("cannot write checkpoint: {e}"))
         };
+    // Model-capture bookkeeping: records fold per task and the file is
+    // rewritten (atomically) whenever a task completes, so a killed run
+    // keeps the capture of every completed task across a resume — the
+    // early-return path below reads those records back instead of
+    // refitting models.
+    let capture = plan.opts.capture_model_or_default();
+    let prior_model_records: Vec<ModelPredRecord> = match &plan.run_dir {
+        Some(dir) if plan.resume && capture && dir.model_quality_path().is_file() => {
+            read_model_quality(&dir.model_quality_path())?
+        }
+        _ => Vec::new(),
+    };
+    let model_records: Mutex<BTreeMap<String, Vec<ModelPredRecord>>> = Mutex::new(BTreeMap::new());
+    let write_model_capture = |dir: &RunDir| -> Result<(), String> {
+        let by_task = model_records.lock().expect("model records poisoned");
+        let all: Vec<ModelPredRecord> = selected_names
+            .iter()
+            .filter_map(|name| by_task.get(name))
+            .flat_map(|recs| recs.iter().cloned())
+            .collect();
+        write_model_quality(&dir.model_quality_path(), &all)
+            .map_err(|e| format!("cannot write {MODEL_QUALITY_FILE}: {e}"))
+    };
     let run_task = |task: &dnn_graph::task::TuningTask| -> Result<TuningLog, String> {
         let r = if let Some(dir) = &plan.run_dir {
             if ckpt_state.lock().expect("ckpt state poisoned").completed.contains(&task.name) {
-                // Finished before the kill: read the durable log back.
+                // Finished before the kill: read the durable log back (and
+                // the task's capture records, written when it completed).
                 let f = std::fs::File::open(dir.log_path(&task.name))
                     .map_err(|e| format!("cannot reopen log of {}: {e}", task.name))?;
                 let log = TuningLog::read_jsonl(std::io::BufReader::new(f))
                     .map_err(|e| format!("bad log for completed task {}: {e}", task.name))?;
+                if capture {
+                    let prior: Vec<ModelPredRecord> = prior_model_records
+                        .iter()
+                        .filter(|rec| rec.task == task.name)
+                        .cloned()
+                        .collect();
+                    model_records
+                        .lock()
+                        .expect("model records poisoned")
+                        .insert(task.name.clone(), prior);
+                }
                 tel.report(|| {
                     format!(
                         "{:<18} already complete ({} trials) — skipped",
@@ -504,6 +555,10 @@ fn tune(cli: &Cli) -> Result<(), String> {
             }
             let trials_logged = std::cell::Cell::new(replay.len() as u64);
             let write_err: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
+            // Capture sink: the loop recomputes diagnostics for replayed
+            // trials too, so a resumed task rebuilds its full record set.
+            let mut task_records: Vec<ModelPredRecord> = Vec::new();
+            let mut model_sink = |rec: &ModelPredRecord| task_records.push(rec.clone());
             let mut sink = |rec: &TrialRecord| {
                 if let Err(e) = writer.append(rec) {
                     write_err.borrow_mut().get_or_insert(e.to_string());
@@ -520,7 +575,11 @@ fn tune(cli: &Cli) -> Result<(), String> {
                 &m,
                 method,
                 &plan.opts,
-                TuneHooks { on_trial: Some(&mut sink), replay: Some(&replay) },
+                TuneHooks {
+                    on_trial: Some(&mut sink),
+                    on_model: Some(&mut model_sink),
+                    replay: Some(&replay),
+                },
             );
             if let Some(e) = write_err.into_inner() {
                 return Err(format!("trial log of {} failed to write: {e}", task.name));
@@ -530,6 +589,13 @@ fn tune(cli: &Cli) -> Result<(), String> {
                 st.appended.remove(&task.name);
                 st.completed.push(task.name.clone());
                 write_ckpt(dir, &st, None, None)?;
+            }
+            if capture {
+                model_records
+                    .lock()
+                    .expect("model records poisoned")
+                    .insert(task.name.clone(), task_records);
+                write_model_capture(dir)?;
             }
             r
         } else {
@@ -572,6 +638,11 @@ fn tune(cli: &Cli) -> Result<(), String> {
         // with a half-stale snapshot.
         if let Some(writer) = snapshot_writer.take() {
             writer.finish();
+        }
+        // The capture file is complete before the manifest gains a wall
+        // time, so a "done" run always has its final model_quality.jsonl.
+        if capture {
+            write_model_capture(dir)?;
         }
         // Rewrite the manifest with the final wall time (and the resumed
         // marker) now that the run is complete.
@@ -669,7 +740,11 @@ fn compare(cli: &Cli) -> Result<u8, String> {
     let cmp = compare_run_dirs(Path::new(base), Path::new(cand), compare_options(cli)?)?;
     print!("{}", cmp.render());
     if cli.flag_present("fail-on-regress") && cmp.has_regressions() {
-        eprintln!("FAIL: {} task(s) regressed", cmp.count(Verdict::Regressed));
+        let model = cmp.model_quality.iter().filter(|m| m.regressed).count();
+        eprintln!(
+            "FAIL: {} task(s) regressed, {model} model rank-correlation drop(s)",
+            cmp.count(Verdict::Regressed)
+        );
         return Ok(EXIT_REGRESSED);
     }
     Ok(0)
@@ -697,6 +772,25 @@ fn report(cli: &Cli) -> Result<(), String> {
         cli.flag_str("html").map_or_else(|| Path::new(run_path).join("report.html"), PathBuf::from);
     std::fs::write(&out, html).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!("wrote {}", out.display());
+    Ok(())
+}
+
+fn explain(cli: &Cli) -> Result<(), String> {
+    let path = Path::new(cli.positional.get(1).ok_or("missing RUN_DIR argument")?);
+    if !path.is_dir() {
+        return Err(format!("{} is not a run directory", path.display()));
+    }
+    let file = path.join(MODEL_QUALITY_FILE);
+    if !file.is_file() {
+        return Err(format!(
+            "{} has no {MODEL_QUALITY_FILE} — the run was tuned without model capture \
+             (capture is on by default; drop --no-capture-model and re-tune to record \
+             the surrogate's predictions)",
+            path.display()
+        ));
+    }
+    let records = read_model_quality(&file)?;
+    print!("{}", trace_analysis::render_explain(&trace_analysis::analyze(&records)));
     Ok(())
 }
 
@@ -839,6 +933,12 @@ mod tests {
             std::fs::read(log_of("cut")).unwrap(),
             "resumed log must be byte-identical to the uninterrupted run"
         );
+        // The replay recomputes the model's opinions, so the capture file
+        // also converges to the uninterrupted run's bytes.
+        let mq = |sub: &str| {
+            std::fs::read(base.join(sub).join(run).join(MODEL_QUALITY_FILE)).expect("capture file")
+        };
+        assert_eq!(mq("full"), mq("cut"), "resumed capture must match the uninterrupted run");
         let manifest = std::fs::read_to_string(cut_run.join("manifest.json")).unwrap();
         assert!(manifest.contains("\"resumed\""), "{manifest}");
 
@@ -1048,6 +1148,82 @@ mod tests {
     fn compare_on_missing_dirs_errors() {
         assert!(dispatch(&sv(&["compare", "/nonexistent/a"])).is_err());
         assert!(dispatch(&sv(&["report"])).is_err());
+    }
+
+    #[test]
+    fn tune_captures_model_quality_and_explain_renders() {
+        let base = std::env::temp_dir().join(format!("aaltune-cli-explain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let args = |out: &Path, extra: &[&str]| {
+            let mut v = sv(&[
+                "tune",
+                "squeezenet",
+                "--task",
+                "0",
+                "--n-trial",
+                "80",
+                "--method",
+                "bted+bao",
+                "--quiet",
+                "--out",
+                out.to_str().unwrap(),
+            ]);
+            v.extend(extra.iter().map(|s| (*s).to_string()));
+            v
+        };
+        dispatch(&args(&base.join("cap"), &[])).unwrap();
+        let run_name = "squeezenet_v1.1-bted+bao-seed0";
+        let cap_run = base.join("cap").join(run_name);
+        let records = read_model_quality(&cap_run.join(MODEL_QUALITY_FILE))
+            .expect("capture is on by default and must leave a model_quality.jsonl");
+        assert!(!records.is_empty());
+        assert!(
+            records.iter().any(|r| r.predicted_mean.is_some()),
+            "the surrogate must have scored at least one proposal"
+        );
+        dispatch(&sv(&["explain", cap_run.to_str().unwrap()])).unwrap();
+
+        // Opting out leaves no file, and `explain` says why.
+        dispatch(&args(&base.join("blind"), &["--no-capture-model"])).unwrap();
+        let blind_run = base.join("blind").join(run_name);
+        assert!(!blind_run.join(MODEL_QUALITY_FILE).exists());
+        let e = dispatch(&sv(&["explain", blind_run.to_str().unwrap()])).unwrap_err();
+        assert!(e.contains(MODEL_QUALITY_FILE), "{e}");
+        assert!(dispatch(&sv(&["explain", "/nonexistent/run"])).is_err());
+        assert!(dispatch(&sv(&["explain"])).is_err());
+
+        // Capture never perturbs the tuning loop: trial logs byte-identical.
+        let log_of = |run: &Path| {
+            std::fs::read_dir(run.join("logs"))
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .find(|p| p.extension().is_some_and(|e| e == "jsonl"))
+                .expect("task log exists")
+        };
+        assert_eq!(
+            std::fs::read(log_of(&cap_run)).unwrap(),
+            std::fs::read(log_of(&blind_run)).unwrap(),
+            "trial logs must be byte-identical with capture on or off"
+        );
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn model_rank_corr_regression_gates_with_exit_code_2() {
+        let fixtures =
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../trace-analysis/tests/fixtures");
+        // Identical trial logs, inverted model capture: only the
+        // rank-correlation gate can flag this pair.
+        let gated = dispatch(&sv(&[
+            "compare",
+            fixtures.join("base").to_str().unwrap(),
+            fixtures.join("model_regressed").to_str().unwrap(),
+            "--fail-on-regress",
+            "--resamples",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(gated, EXIT_REGRESSED);
     }
 
     #[test]

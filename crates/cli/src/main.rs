@@ -8,6 +8,7 @@
 //!                         [--out DIR] [--trace FILE] [--quiet] [--json]
 //! aaltune deploy  <model> [--method M] [--n-trial N] [--runs R] [--seed S]
 //!                         [--device NAME] [--trace FILE] [--quiet] [--json]
+//! aaltune explain RUN_DIR
 //! aaltune trace   <trace.jsonl>
 //! aaltune runs    [DIR] [--model M] [--method M] [--kind K]
 //! aaltune compare <BASE_RUN> <CAND_RUN> [--fail-on-regress] [--alpha A]
@@ -23,7 +24,9 @@
 //! per-run directory and registers it in `DIR/index.jsonl`; `runs` lists
 //! that registry, `compare` bootstraps per-task GFLOPS deltas between two
 //! run directories (exit code 2 on a gated regression), and `report`
-//! renders a self-contained HTML tuning report.
+//! renders a self-contained HTML tuning report. `tune` also captures the
+//! surrogate's per-proposal predictions into `model_quality.jsonl`
+//! (`--no-capture-model` to opt out); `explain` scores them round by round.
 
 mod commands;
 mod opts;

@@ -438,7 +438,9 @@ mod tests {
         }
     }
 
-    fn gated() -> (GatedMeasurer, Arc<(Mutex<bool>, Condvar)>, Arc<AtomicUsize>) {
+    type Gate = Arc<(Mutex<bool>, Condvar)>;
+
+    fn gated() -> (GatedMeasurer, Gate, Arc<AtomicUsize>) {
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let measured = Arc::new(AtomicUsize::new(0));
         let m = GatedMeasurer {

@@ -58,11 +58,60 @@ impl BaggedGbt {
 
     /// Disagreement (standard deviation) across the bag — an uncertainty
     /// signal usable for exploration-aware extensions.
+    ///
+    /// A single-model bag (or a bag fit on constant targets) has no
+    /// disagreement: the result is exactly `0.0`, never `NaN`.
     #[must_use]
     pub fn predict_std_row(&self, row: &[f64]) -> f64 {
         let preds: Vec<f64> = self.models.iter().map(|m| m.predict_row(row)).collect();
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        (preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64).sqrt()
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
+        // Guard against tiny negative variance from floating-point
+        // cancellation; sqrt of that would be NaN.
+        var.max(0.0).sqrt()
+    }
+
+    /// Batched bagged mean over every row of `x`.
+    ///
+    /// One pass per model rather than one per `(model, row)` pair — this is
+    /// the prediction entry used by the introspection capture path, where a
+    /// whole proposal batch is scored at once.
+    #[must_use]
+    pub fn predict_mean(&self, x: &Matrix) -> Vec<f64> {
+        let mut sums = vec![0.0; x.rows()];
+        for m in &self.models {
+            for (i, s) in sums.iter_mut().enumerate() {
+                *s += m.predict_row(x.row(i));
+            }
+        }
+        let inv = 1.0 / self.models.len() as f64;
+        sums.iter().map(|s| s * inv).collect()
+    }
+
+    /// Batched bagged standard deviation over every row of `x`.
+    ///
+    /// Accumulates per-row sum and sum-of-squares across the bag, so the
+    /// cost is one prediction per `(model, row)` — the same work
+    /// [`Self::predict_mean`] does, not Γ× more.
+    #[must_use]
+    pub fn predict_std(&self, x: &Matrix) -> Vec<f64> {
+        let n = self.models.len() as f64;
+        let mut sums = vec![0.0; x.rows()];
+        let mut sq_sums = vec![0.0; x.rows()];
+        for m in &self.models {
+            for i in 0..x.rows() {
+                let p = m.predict_row(x.row(i));
+                sums[i] += p;
+                sq_sums[i] += p * p;
+            }
+        }
+        sums.iter()
+            .zip(&sq_sums)
+            .map(|(s, s2)| {
+                let mean = s / n;
+                (s2 / n - mean * mean).max(0.0).sqrt()
+            })
+            .collect()
     }
 
     /// Number of models (Γ).
@@ -121,5 +170,68 @@ mod tests {
         let a = BaggedGbt::fit(&GbtParams::default(), &x, &y, 2, 7);
         let b = BaggedGbt::fit(&GbtParams::default(), &x, &y, 2, 7);
         assert_eq!(a.predict_sum_row(&[1.0, 1.0]), b.predict_sum_row(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn single_bag_std_is_exactly_zero() {
+        let (x, y) = data();
+        let b = BaggedGbt::fit(&GbtParams::default(), &x, &y, 1, 0);
+        assert_eq!(b.gamma(), 1);
+        for i in 0..x.rows() {
+            let s = b.predict_std_row(x.row(i));
+            assert_eq!(s, 0.0, "single-model bag cannot disagree with itself");
+        }
+        assert!(b.predict_std(&x).iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn constant_targets_give_zero_std_not_nan() {
+        let (x, _) = data();
+        let y = vec![3.5; x.rows()];
+        let b = BaggedGbt::fit(&GbtParams::default(), &x, &y, 4, 1);
+        for i in 0..x.rows() {
+            let s = b.predict_std_row(x.row(i));
+            assert!(s.is_finite(), "std must never be NaN");
+            assert!(s.abs() < 1e-9, "constant targets leave nothing to disagree on: {s}");
+            assert!((b.predict_mean_row(x.row(i)) - 3.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_row_predicts_are_finite() {
+        // Zero-feature training data: trees cannot split, so an empty row
+        // is a legal input and must yield the base score, never a panic or
+        // NaN.
+        let rows: Vec<Vec<f64>> = vec![Vec::new(); 12];
+        let y: Vec<f64> = (0..12).map(f64::from).collect();
+        let x = Matrix::from_rows(&rows);
+        let b = BaggedGbt::fit(&GbtParams::default(), &x, &y, 3, 3);
+        let empty: [f64; 0] = [];
+        assert!(b.predict_sum_row(&empty).is_finite());
+        assert!(b.predict_mean_row(&empty).is_finite());
+        let s = b.predict_std_row(&empty);
+        assert!(s.is_finite() && s >= 0.0);
+    }
+
+    #[test]
+    fn batched_predictions_match_row_by_row() {
+        let (x, y) = data();
+        let b = BaggedGbt::fit(&GbtParams::default(), &x, &y, 3, 5);
+        let means = b.predict_mean(&x);
+        let stds = b.predict_std(&x);
+        for i in 0..x.rows() {
+            assert!((means[i] - b.predict_mean_row(x.row(i))).abs() < 1e-9);
+            assert!((stds[i] - b.predict_std_row(x.row(i))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batched_predict_on_empty_matrix_is_empty() {
+        let (x, y) = data();
+        let b = BaggedGbt::fit(&GbtParams::default(), &x, &y, 2, 0);
+        let none: Vec<Vec<f64>> = Vec::new();
+        let m = Matrix::from_rows(&none);
+        assert!(b.predict_mean(&m).is_empty());
+        assert!(b.predict_std(&m).is_empty());
     }
 }

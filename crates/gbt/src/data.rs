@@ -71,6 +71,13 @@ impl Matrix {
         self.data[row * self.cols + col]
     }
 
+    /// Consumes the matrix, returning its flat row-major buffer — hot
+    /// scoring loops recycle the allocation across batches.
+    #[must_use]
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
     /// A new matrix containing the given rows (duplicates allowed — this is
     /// how bootstrap resamples are materialized).
     ///

@@ -28,6 +28,14 @@ pub fn feature_len(space: &ConfigSpace) -> usize {
 #[must_use]
 pub fn features(space: &ConfigSpace, config: &Config) -> Vec<f64> {
     let mut out = Vec::with_capacity(feature_len(space));
+    features_into(space, config, &mut out);
+    out
+}
+
+/// Appends the feature vector of `config` to `out` — lets hot scoring loops
+/// reuse one flat buffer across rows instead of allocating a `Vec` per
+/// configuration.
+pub fn features_into(space: &ConfigSpace, config: &Config, out: &mut Vec<f64>) {
     for value in space.values(config) {
         match value {
             KnobValue::Split(factors) => {
@@ -41,7 +49,6 @@ pub fn features(space: &ConfigSpace, config: &Config) -> Vec<f64> {
             }
         }
     }
-    out
 }
 
 /// Embeds many configurations at once (row-major).
@@ -99,6 +106,19 @@ mod tests {
         let b = features(&s, &s.config(3).unwrap());
         assert_eq!(sq_distance(&a, &a), 0.0);
         assert_eq!(sq_distance(&a, &b), sq_distance(&b, &a));
+    }
+
+    #[test]
+    fn features_into_appends_and_matches_features() {
+        let s = space();
+        let a = s.config(1).unwrap();
+        let b = s.config(3).unwrap();
+        let mut buf = Vec::new();
+        features_into(&s, &a, &mut buf);
+        features_into(&s, &b, &mut buf);
+        assert_eq!(buf.len(), 2 * feature_len(&s));
+        assert_eq!(&buf[..3], features(&s, &a).as_slice());
+        assert_eq!(&buf[3..], features(&s, &b).as_slice());
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub const MEASURE_QUARANTINE_EVENT: &str = "measure.quarantine";
 pub const TUNE_RESUME_EVENT: &str = "tune.resume";
 /// Name of the periodic liveness event the snapshot writer emits.
 pub const RUN_HEARTBEAT_EVENT: &str = "run.heartbeat";
+/// Name of the per-trial model-introspection event (capture only).
+pub const MODEL_PRED_EVENT: &str = "model.pred";
 
 fn event_parts<'a>(rec: &'a Record, expect: &str) -> Option<(Option<u64>, u64, &'a Value)> {
     match rec {
@@ -350,6 +352,54 @@ impl HeartbeatEvent {
     }
 }
 
+/// One `model.pred` event: the surrogate's opinion of a measured trial.
+///
+/// Emitted only when model-introspection capture is on, alongside the
+/// trial's `trial` event. Predictions are in measured units (GFLOPS);
+/// `predicted_mean`/`predicted_std`/`acquisition` are `None` for blind
+/// proposals (initialization, ε-greedy exploration, random fallback).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelPredEvent {
+    /// Model-refit round the proposal came from (0-based).
+    pub round: u64,
+    /// 0-based measurement counter within the task.
+    pub trial: u64,
+    /// Flat configuration index in the task's space.
+    pub config_index: u64,
+    /// Surrogate's predicted GFLOPS (`None` for blind proposals).
+    pub predicted_mean: Option<f64>,
+    /// Predictive standard deviation (`None` when the model has no
+    /// uncertainty estimate, e.g. a single non-bagged GBT).
+    pub predicted_std: Option<f64>,
+    /// Acquisition score the proposer ranked this config by.
+    pub acquisition: Option<f64>,
+    /// Measured GFLOPS (0.0 for a failed launch).
+    pub measured_gflops: f64,
+    /// Innermost open span at emission time.
+    pub span: Option<u64>,
+    /// Emission time, µs since telemetry start.
+    pub t_us: u64,
+}
+
+impl ModelPredEvent {
+    /// Parses a [`Record`] as a model-prediction event; `None` otherwise.
+    #[must_use]
+    pub fn from_record(rec: &Record) -> Option<ModelPredEvent> {
+        let (span, t_us, fields) = event_parts(rec, MODEL_PRED_EVENT)?;
+        Some(ModelPredEvent {
+            round: fields["round"].as_u64()?,
+            trial: fields["trial"].as_u64()?,
+            config_index: fields["config_index"].as_u64()?,
+            predicted_mean: fields["predicted_mean"].as_f64(),
+            predicted_std: fields["predicted_std"].as_f64(),
+            acquisition: fields["acquisition"].as_f64(),
+            measured_gflops: fields["measured_gflops"].as_f64()?,
+            span,
+            t_us,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +532,45 @@ mod tests {
         // unix_ms is the staleness signal: without it the event is useless.
         let missing = ev(RUN_HEARTBEAT_EVENT, json!({"trials": 1u64}));
         assert!(HeartbeatEvent::from_record(&missing).is_none());
+    }
+
+    #[test]
+    fn model_pred_event_round_trips_and_tolerates_blind_proposals() {
+        let rec = ev(
+            MODEL_PRED_EVENT,
+            json!({
+                "round": 4u64, "trial": 70u64, "config_index": 1234u64,
+                "predicted_mean": 110.5, "predicted_std": 8.25,
+                "acquisition": 0.91, "measured_gflops": 104.0,
+            }),
+        );
+        let m = ModelPredEvent::from_record(&rec).unwrap();
+        assert_eq!(m.round, 4);
+        assert_eq!(m.trial, 70);
+        assert_eq!(m.config_index, 1234);
+        assert!((m.predicted_mean.unwrap() - 110.5).abs() < 1e-12);
+        assert!((m.predicted_std.unwrap() - 8.25).abs() < 1e-12);
+        assert!((m.acquisition.unwrap() - 0.91).abs() < 1e-12);
+        assert!((m.measured_gflops - 104.0).abs() < 1e-12);
+
+        // Blind proposals carry null opinions, not fabricated zeros.
+        let blind = ev(
+            MODEL_PRED_EVENT,
+            json!({
+                "round": 0u64, "trial": 0u64, "config_index": 7u64,
+                "predicted_mean": Value::Null, "predicted_std": Value::Null,
+                "acquisition": Value::Null, "measured_gflops": 50.0,
+            }),
+        );
+        let b = ModelPredEvent::from_record(&blind).unwrap();
+        assert_eq!(b.predicted_mean, None);
+        assert_eq!(b.predicted_std, None);
+        assert_eq!(b.acquisition, None);
+
+        // Cross-parse must fail, not fabricate.
+        let trial = ev(TRIAL_EVENT, json!({"trial": 1u64}));
+        assert!(ModelPredEvent::from_record(&trial).is_none());
+        assert!(TrialEvent::from_record(&rec).is_none());
     }
 
     #[test]

@@ -173,7 +173,24 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
             continue;
         }
         let (name_part, labels, rest) = if let Some(open) = line.find('{') {
-            let Some(close) = line[open..].find('}').map(|i| open + i) else {
+            // The closing brace is the first `}` *outside* a quoted label
+            // value: values may legally contain `{`/`}` unescaped.
+            let mut close = None;
+            let mut in_quotes = false;
+            let mut escaped = false;
+            for (i, c) in line[open + 1..].char_indices() {
+                match c {
+                    _ if escaped => escaped = false,
+                    '\\' if in_quotes => escaped = true,
+                    '"' => in_quotes = !in_quotes,
+                    '}' if !in_quotes => {
+                        close = Some(open + 1 + i);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let Some(close) = close else {
                 return Err(format!("line {}: unterminated label block: {raw:?}", lineno + 1));
             };
             (&line[..open], line[open + 1..close].to_string(), line[close + 1..].trim())
@@ -277,5 +294,39 @@ mod tests {
         let text = to_prometheus(&reg.snapshot());
         assert!(text.contains("value=\"a\\\"b\\\\c\\nd\""));
         parse_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn hostile_metric_names_still_export_validly() {
+        // Anything a task name can smuggle into a metric name — unicode,
+        // spaces, braces, quotes, an empty string — must sanitize to a
+        // parseable exposition, never an invalid line.
+        let reg = MetricsRegistry::new();
+        reg.inc("tâche.μ/relu é", 1);
+        reg.inc("", 2);
+        reg.gauge_set("a{b=\"c\"} 1\n# sneaky", 3.0);
+        reg.gauge_set("0.force.leading.digit", 4.0);
+        let text = to_prometheus(&reg.snapshot());
+        let samples = parse_prometheus(&text).expect("sanitized export must parse");
+        assert_eq!(sanitize_name(""), "aaltune_");
+        let find = |n: String| samples.iter().find(|s| s.name == n).map(|s| s.value);
+        assert_eq!(find(sanitize_name("tâche.μ/relu é")), Some(1.0));
+        assert_eq!(find(sanitize_name("")), Some(2.0));
+        assert_eq!(find(sanitize_name("a{b=\"c\"} 1\n# sneaky")), Some(3.0));
+        assert_eq!(find(sanitize_name("0.force.leading.digit")), Some(4.0));
+        assert_eq!(sanitize_name("0.x"), "aaltune__0_x", "leading digit gains an underscore");
+    }
+
+    #[test]
+    fn hostile_label_names_and_values_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.set_label("task \"naïve\"\n", "π={3,14}\\\"");
+        let text = to_prometheus(&reg.snapshot());
+        let samples = parse_prometheus(&text).expect("escaped labels must parse");
+        let label = samples.iter().find(|s| s.name == "aaltune_label").unwrap();
+        // The newline and quotes are escaped inside the label block — the
+        // exposition stays one line per sample.
+        assert!(label.labels.contains("task \\\"naïve\\\"\\n"), "{}", label.labels);
+        assert!(label.labels.contains("π={3,14}\\\\\\\""), "{}", label.labels);
     }
 }

@@ -338,11 +338,8 @@ mod tests {
         assert!(samples.iter().any(|s| s.name == "aaltune_tune_trials" && s.value == 7.0));
 
         // Heartbeat events carry wall-clock time and live progress.
-        let hb: Vec<_> = sink
-            .records()
-            .iter()
-            .filter_map(|r| crate::events::HeartbeatEvent::from_record(r))
-            .collect();
+        let hb: Vec<_> =
+            sink.records().iter().filter_map(crate::events::HeartbeatEvent::from_record).collect();
         assert!(!hb.is_empty(), "no heartbeat events recorded");
         let last = hb.last().unwrap();
         assert!(last.unix_ms > 0);

@@ -5,15 +5,20 @@
 //! cargo run -p trace-analysis --example gen_fixtures
 //! ```
 //!
-//! Three runs over the same two tasks, fully deterministic:
-//! - `base`      — the reference run.
+//! Four runs over the same two tasks, fully deterministic:
+//! - `base`      — the reference run, with a well-calibrated model capture
+//!   (`model_quality.jsonl`: predictions track the measurements).
 //! - `noise`     — the same per-task measurement multisets, reordered:
 //!   identical means, so every task must classify as noise.
 //! - `regressed` — `m.T1` slowed down by 20%, `m.T2` untouched: `m.T1`
 //!   must classify as regressed (and gate the exit code), `m.T2` as noise.
+//! - `model_regressed` — byte-identical logs to `base` (no perf delta at
+//!   all) but an *inverted* model capture: only the rank-correlation gate
+//!   of `compare --fail-on-regress` can flag this run.
 
 use active_learning::{
-    RunDir, RunManifest, TrialRecord, TuneOptions, TuningLog, MANIFEST_SCHEMA_VERSION,
+    write_model_quality, ModelPredRecord, RunDir, RunManifest, TrialRecord, TuneOptions, TuningLog,
+    MANIFEST_SCHEMA_VERSION, MODEL_QUALITY_FILE,
 };
 use std::path::Path;
 
@@ -41,6 +46,29 @@ fn log_from(task: usize, name: &str, f: impl Fn(usize) -> f64) -> TuningLog {
     log
 }
 
+/// Model capture for `logs`: 3 rounds of 8 proposals per task, with the
+/// predicted mean derived from the measurement through `predict` (identity
+/// for a trustworthy model, an inversion for a broken one).
+fn capture_from(logs: &[TuningLog], predict: impl Fn(f64) -> f64) -> Vec<ModelPredRecord> {
+    let mut records = Vec::new();
+    for log in logs {
+        for rec in &log.records {
+            let mean = predict(rec.gflops);
+            records.push(ModelPredRecord {
+                task: log.task_name.clone(),
+                round: rec.trial / 8,
+                trial: rec.trial,
+                config_index: rec.config_index,
+                predicted_mean: Some(mean),
+                predicted_std: Some(0.05 * mean.abs().max(1.0)),
+                acquisition: Some(mean),
+                measured_gflops: rec.gflops,
+            });
+        }
+    }
+    records
+}
+
 fn write_run(root: &Path, name: &str, logs: &[TuningLog]) {
     let dir = RunDir::create(root.join(name)).expect("create fixture dir");
     dir.write_manifest(&RunManifest {
@@ -66,11 +94,21 @@ fn write_run(root: &Path, name: &str, logs: &[TuningLog]) {
 
 fn main() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
-    write_run(
-        &root,
-        "base",
-        &[log_from(0, "m.T1", |i| base_gflops(0, i)), log_from(1, "m.T2", |i| base_gflops(1, i))],
-    );
+    let base_logs =
+        [log_from(0, "m.T1", |i| base_gflops(0, i)), log_from(1, "m.T2", |i| base_gflops(1, i))];
+    write_run(&root, "base", &base_logs);
+    write_model_quality(
+        &root.join("base").join(MODEL_QUALITY_FILE),
+        &capture_from(&base_logs, |g| g),
+    )
+    .expect("write base capture");
+    // Same measurements as base, but the model ranked them upside down.
+    write_run(&root, "model_regressed", &base_logs);
+    write_model_quality(
+        &root.join("model_regressed").join(MODEL_QUALITY_FILE),
+        &capture_from(&base_logs, |g| 200.0 - g),
+    )
+    .expect("write inverted capture");
     write_run(
         &root,
         "noise",

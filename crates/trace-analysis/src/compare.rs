@@ -6,11 +6,18 @@
 //! regressed, or noise. `aaltune compare --fail-on-regress` turns the
 //! verdict into an exit code, which is what makes tuning changes CI-gatable.
 
+use crate::model_insight::TaskModelQuality;
 use crate::stats::{bootstrap_mean_delta_ci, mean, BootstrapCi};
-use active_learning::{RunDir, RunManifest, TuningLog};
+use active_learning::{read_model_quality, RunDir, RunManifest, TuningLog, MODEL_QUALITY_FILE};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Final-rank-correlation drop (candidate vs baseline) beyond which the
+/// candidate's surrogate is flagged as a model regression: the tuner may
+/// still luck into good configs this run, but its cost model has stopped
+/// ranking candidates correctly — the next run won't be so lucky.
+pub const RANK_CORR_REGRESS_DROP: f64 = 0.25;
 
 /// Knobs for a comparison.
 #[derive(Debug, Clone, Copy)]
@@ -103,16 +110,62 @@ pub struct RunComparison {
     pub aggregate: BootstrapCi,
     /// Options the comparison ran with.
     pub options: CompareOptions,
+    /// Surrogate-quality deltas, one per task captured in *both* runs —
+    /// empty unless both run directories carry a `model_quality.jsonl`.
+    pub model_quality: Vec<ModelQualityComparison>,
     /// Non-fatal issues: schema-version skew, mismatched configurations,
     /// skipped corrupt lines.
     pub warnings: Vec<String>,
 }
 
+/// One task's surrogate-quality delta between two captured runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelQualityComparison {
+    /// Task name.
+    pub task: String,
+    /// Baseline final cumulative rank correlation.
+    pub base_rank_corr: f64,
+    /// Candidate final cumulative rank correlation.
+    pub cand_rank_corr: f64,
+    /// Whether the drop exceeds [`RANK_CORR_REGRESS_DROP`].
+    pub regressed: bool,
+}
+
+/// Aligns two analyzed capture streams task-by-task and flags tasks whose
+/// final rank correlation dropped by more than [`RANK_CORR_REGRESS_DROP`].
+/// Tasks missing from either side, or without a final correlation (blind
+/// runs), are skipped — there is no model to compare.
+#[must_use]
+pub fn compare_model_quality(
+    base: &[TaskModelQuality],
+    cand: &[TaskModelQuality],
+) -> Vec<ModelQualityComparison> {
+    let cand_by: BTreeMap<&str, &TaskModelQuality> =
+        cand.iter().map(|t| (t.task.as_str(), t)).collect();
+    let mut out: Vec<ModelQualityComparison> = base
+        .iter()
+        .filter_map(|b| {
+            let c = cand_by.get(b.task.as_str())?;
+            let (bc, cc) = (b.final_rank_corr?, c.final_rank_corr?);
+            Some(ModelQualityComparison {
+                task: b.task.clone(),
+                base_rank_corr: bc,
+                cand_rank_corr: cc,
+                regressed: cc < bc - RANK_CORR_REGRESS_DROP,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.task.cmp(&b.task));
+    out
+}
+
 impl RunComparison {
-    /// True when any task regressed.
+    /// True when any task regressed — on trial outcomes or (when both runs
+    /// captured model diagnostics) on surrogate rank correlation.
     #[must_use]
     pub fn has_regressions(&self) -> bool {
         self.tasks.iter().any(|t| t.verdict == Verdict::Regressed)
+            || self.model_quality.iter().any(|m| m.regressed)
     }
 
     /// Count of tasks with the given verdict.
@@ -185,6 +238,20 @@ impl RunComparison {
             self.count(Verdict::Noise),
             self.count(Verdict::Incomparable)
         );
+        if !self.model_quality.is_empty() {
+            let _ = writeln!(s, "\nmodel quality (final rank correlation):");
+            let _ = writeln!(s, "{:<28} {:>10} {:>10} {:<9}", "task", "base", "cand", "verdict");
+            for m in &self.model_quality {
+                let _ = writeln!(
+                    s,
+                    "{:<28} {:>10.3} {:>10.3} {:<9}",
+                    m.task,
+                    m.base_rank_corr,
+                    m.cand_rank_corr,
+                    if m.regressed { "regressed" } else { "ok" }
+                );
+            }
+        }
         for task in &self.only_in_base {
             let _ = writeln!(s, "note: task {task} only in baseline — incomparable");
         }
@@ -232,7 +299,30 @@ pub fn compare_run_dirs(
             base_manifest.method, cand_manifest.method
         ));
     }
-    Ok(compare_logs(run_id(base), run_id(cand), &base_logs, &cand_logs, options, warnings))
+    let mut cmp =
+        compare_logs(run_id(base), run_id(cand), &base_logs, &cand_logs, options, warnings);
+    // Surrogate-quality gating applies only when BOTH runs captured model
+    // diagnostics — a capture-less run is not a model regression.
+    let base_mq = base.join(MODEL_QUALITY_FILE);
+    let cand_mq = cand.join(MODEL_QUALITY_FILE);
+    if base_mq.is_file() && cand_mq.is_file() {
+        match (read_model_quality(&base_mq), read_model_quality(&cand_mq)) {
+            (Ok(b), Ok(c)) => {
+                cmp.model_quality = compare_model_quality(
+                    &crate::model_insight::analyze(&b),
+                    &crate::model_insight::analyze(&c),
+                );
+            }
+            (b, c) => {
+                for (label, r) in [("baseline", &b), ("candidate", &c)] {
+                    if let Err(e) = r {
+                        cmp.warnings.push(format!("{label} model quality unreadable: {e}"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(cmp)
 }
 
 /// Core comparison over already-loaded logs (exposed for tests and the
@@ -362,6 +452,7 @@ pub fn compare_logs(
             .collect(),
         aggregate,
         options,
+        model_quality: Vec::new(),
         warnings,
     }
 }
@@ -508,6 +599,74 @@ mod tests {
         // Rows are still sorted by task name, incomparable interleaved.
         let names: Vec<&str> = cmp.tasks.iter().map(|t| t.task.as_str()).collect();
         assert_eq!(names, ["m.T1", "m.T5", "m.T9"]);
+    }
+
+    #[test]
+    fn rank_correlation_drop_is_a_gated_regression() {
+        use active_learning::ModelPredRecord;
+
+        // Predictions ranked by `corr`: +1 tracks measurements, −1 inverts.
+        let stream = |corr: f64| -> Vec<ModelPredRecord> {
+            (0..12)
+                .map(|i| {
+                    let g = 50.0 + i as f64;
+                    ModelPredRecord {
+                        task: "m.T1".to_string(),
+                        round: i / 4,
+                        trial: i,
+                        config_index: i as u64,
+                        predicted_mean: Some(100.0 + corr * g),
+                        predicted_std: None,
+                        acquisition: None,
+                        measured_gflops: g,
+                    }
+                })
+                .collect()
+        };
+        let good = crate::model_insight::analyze(&stream(1.0));
+        let bad = crate::model_insight::analyze(&stream(-1.0));
+
+        let mq = compare_model_quality(&good, &bad);
+        assert_eq!(mq.len(), 1);
+        assert!(mq[0].regressed, "+1 → −1 rank corr must regress");
+        assert!(!compare_model_quality(&good, &good)[0].regressed);
+
+        // The model-quality verdict flows into CI gating even when the
+        // trial outcomes themselves are identical.
+        let logs = vec![log("m.T1", wavy(40, 100.0))];
+        let mut cmp = compare_logs(
+            "a".into(),
+            "b".into(),
+            &logs,
+            &logs,
+            CompareOptions::default(),
+            Vec::new(),
+        );
+        assert!(!cmp.has_regressions());
+        cmp.model_quality = mq;
+        assert!(cmp.has_regressions(), "model regression must gate");
+        let text = cmp.render();
+        assert!(text.contains("model quality"), "{text}");
+        assert!(text.contains("regressed"), "{text}");
+    }
+
+    #[test]
+    fn blind_runs_have_no_model_quality_to_compare() {
+        use active_learning::ModelPredRecord;
+        let blind: Vec<ModelPredRecord> = (0..8)
+            .map(|i| ModelPredRecord {
+                task: "m.T1".to_string(),
+                round: 0,
+                trial: i,
+                config_index: i as u64,
+                predicted_mean: None,
+                predicted_std: None,
+                acquisition: None,
+                measured_gflops: 50.0 + i as f64,
+            })
+            .collect();
+        let b = crate::model_insight::analyze(&blind);
+        assert!(compare_model_quality(&b, &b).is_empty());
     }
 
     #[test]

@@ -16,17 +16,26 @@
 //!   self-contained HTML file with convergence curves, a per-phase
 //!   flamegraph, and the BAO/SA adaptation panels, reconstructed from the
 //!   trace by [`trace`].
+//! - **Model insight** ([`model_insight`]): `aaltune explain RUN` scores
+//!   the surrogate round by round — rank correlation, top-k recall,
+//!   calibration error, cumulative regret — from the run's
+//!   `model_quality.jsonl` capture stream.
 
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod model_insight;
 pub mod registry;
 pub mod report;
 pub mod stats;
 pub mod trace;
 
 pub use compare::{
-    compare_logs, compare_run_dirs, CompareOptions, RunComparison, TaskComparison, Verdict,
+    compare_logs, compare_model_quality, compare_run_dirs, CompareOptions, ModelQualityComparison,
+    RunComparison, TaskComparison, Verdict, RANK_CORR_REGRESS_DROP,
+};
+pub use model_insight::{
+    analyze, render_explain, RoundQuality, TaskModelQuality, TOP_K, TRUST_RANK_CORR,
 };
 pub use registry::{
     git_describe, Registry, RegistryIndex, RunEntry, RunStatus, REGISTRY_SCHEMA_VERSION,

@@ -1,0 +1,407 @@
+//! Surrogate-model introspection: how good was the cost model, round by
+//! round?
+//!
+//! The tuning loop's trial log records *what* was measured; the capture
+//! stream (`model_quality.jsonl`) records what the surrogate *expected*.
+//! This module joins the two into per-round quality metrics:
+//!
+//! - **Rank correlation** (Spearman) between predicted and measured GFLOPS
+//!   — the metric that matters for selection, since only the ordering of
+//!   candidates drives the proposer.
+//! - **Top-k recall** — of the round's k best measured configs, how many
+//!   the model also ranked in its top k.
+//! - **Calibration error** — |coverage(|z| ≤ 1) − 0.683| over trials with
+//!   a predictive std: a well-calibrated Gaussian puts ~68.3% of outcomes
+//!   within one predicted std.
+//! - **Cumulative regret** — Σ (best-known − measured) over all trials so
+//!   far: a trustworthy model stops paying for bad proposals early.
+//!
+//! `aaltune explain RUN_DIR` renders these as a per-task table with a
+//! plain-language verdict ("model untrustworthy until round N").
+
+use active_learning::ModelPredRecord;
+use gbt::metrics::spearman;
+
+/// Cumulative rank correlation at or above which the model's ordering is
+/// considered trustworthy (the verdict line's threshold).
+pub const TRUST_RANK_CORR: f64 = 0.5;
+
+/// Expected |z| ≤ 1 coverage of a calibrated Gaussian predictor.
+pub const GAUSSIAN_ONE_SIGMA: f64 = 0.683;
+
+/// Candidates per round counted for top-k recall (capped by round size).
+pub const TOP_K: usize = 3;
+
+/// Model-quality metrics for one refit round of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundQuality {
+    /// 0-based refit round.
+    pub round: usize,
+    /// Trials measured this round.
+    pub trials: usize,
+    /// Trials this round the model had an opinion on (predicted mean).
+    pub with_opinion: usize,
+    /// Spearman correlation of this round's predictions vs measurements
+    /// (`None` below 3 opinionated trials — a 2-point ordering is noise).
+    pub rank_corr: Option<f64>,
+    /// Spearman over *all* opinionated trials up to and including this
+    /// round (`None` below 2 pairs).
+    pub cum_rank_corr: Option<f64>,
+    /// Top-k recall within this round (`None` when the round has fewer
+    /// than 2 opinionated trials).
+    pub top_k_recall: Option<f64>,
+    /// Cumulative |z|-coverage calibration error (`None` until some trial
+    /// carries a predictive std).
+    pub calibration_err: Option<f64>,
+    /// Σ (best-known − measured) over all trials so far, GFLOPS.
+    pub cum_regret: f64,
+    /// Best measured GFLOPS up to and including this round.
+    pub best_gflops: f64,
+}
+
+/// Per-task model-quality summary: one [`RoundQuality`] per refit round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskModelQuality {
+    /// Task name.
+    pub task: String,
+    /// Per-round metrics, in round order.
+    pub rounds: Vec<RoundQuality>,
+    /// Trials captured in total.
+    pub trials: usize,
+    /// Final cumulative rank correlation (`None` if the model never had
+    /// 2+ opinions — e.g. a pure random run).
+    pub final_rank_corr: Option<f64>,
+    /// Mean of the per-round top-k recalls (`None` if no round had one).
+    pub mean_top_k_recall: Option<f64>,
+    /// Final cumulative calibration error (`None` without predictive stds).
+    pub final_calibration_err: Option<f64>,
+    /// Total regret vs the best-known config, GFLOPS.
+    pub total_regret: f64,
+    /// First round whose cumulative rank correlation reached
+    /// [`TRUST_RANK_CORR`] (`None` if it never did).
+    pub trustworthy_from: Option<usize>,
+}
+
+/// Joins capture records into per-task, per-round quality metrics.
+///
+/// Records are grouped by task in first-appearance order; within a task
+/// they are expected in trial order (the order the loop emitted them).
+/// Failed trials (`measured_gflops <= 0`) count toward regret but are
+/// excluded from correlation and calibration — a crashed launch says
+/// nothing about the model's ordering.
+#[must_use]
+pub fn analyze(records: &[ModelPredRecord]) -> Vec<TaskModelQuality> {
+    let mut task_order: Vec<&str> = Vec::new();
+    for r in records {
+        if !task_order.contains(&r.task.as_str()) {
+            task_order.push(&r.task);
+        }
+    }
+    task_order
+        .into_iter()
+        .map(|name| {
+            let recs: Vec<&ModelPredRecord> = records.iter().filter(|r| r.task == name).collect();
+            analyze_task(name, &recs)
+        })
+        .collect()
+}
+
+fn analyze_task(name: &str, recs: &[&ModelPredRecord]) -> TaskModelQuality {
+    let best_known = recs.iter().map(|r| r.measured_gflops).fold(0.0, f64::max);
+    let mut rounds: Vec<RoundQuality> = Vec::new();
+    let mut cum_pred: Vec<f64> = Vec::new();
+    let mut cum_meas: Vec<f64> = Vec::new();
+    let mut z_within = 0usize;
+    let mut z_total = 0usize;
+    let mut cum_regret = 0.0;
+    let mut best = 0.0f64;
+
+    let mut i = 0;
+    while i < recs.len() {
+        let round = recs[i].round;
+        let mut j = i;
+        while j < recs.len() && recs[j].round == round {
+            j += 1;
+        }
+        let round_recs = &recs[i..j];
+        i = j;
+
+        let mut rp: Vec<f64> = Vec::new();
+        let mut rm: Vec<f64> = Vec::new();
+        for r in round_recs {
+            best = best.max(r.measured_gflops);
+            cum_regret += (best_known - r.measured_gflops.max(0.0)).max(0.0);
+            if let Some(p) = r.predicted_mean {
+                if r.measured_gflops > 0.0 {
+                    rp.push(p);
+                    rm.push(r.measured_gflops);
+                    cum_pred.push(p);
+                    cum_meas.push(r.measured_gflops);
+                    if let Some(s) = r.predicted_std {
+                        if s > 0.0 {
+                            z_total += 1;
+                            if ((r.measured_gflops - p) / s).abs() <= 1.0 {
+                                z_within += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let rank_corr = (rp.len() >= 3).then(|| spearman(&rp, &rm));
+        let cum_rank_corr = (cum_pred.len() >= 2).then(|| spearman(&cum_pred, &cum_meas));
+        let top_k_recall = (rp.len() >= 2).then(|| top_k_recall(&rp, &rm, TOP_K));
+        let calibration_err = (z_total > 0).then(|| {
+            #[allow(clippy::cast_precision_loss)]
+            let coverage = z_within as f64 / z_total as f64;
+            (coverage - GAUSSIAN_ONE_SIGMA).abs()
+        });
+        rounds.push(RoundQuality {
+            round,
+            trials: round_recs.len(),
+            with_opinion: rp.len(),
+            rank_corr,
+            cum_rank_corr,
+            top_k_recall,
+            calibration_err,
+            cum_regret,
+            best_gflops: best,
+        });
+    }
+
+    let final_rank_corr = rounds.iter().rev().find_map(|r| r.cum_rank_corr);
+    let recalls: Vec<f64> = rounds.iter().filter_map(|r| r.top_k_recall).collect();
+    #[allow(clippy::cast_precision_loss)]
+    let mean_top_k_recall =
+        (!recalls.is_empty()).then(|| recalls.iter().sum::<f64>() / recalls.len() as f64);
+    let final_calibration_err = rounds.iter().rev().find_map(|r| r.calibration_err);
+    let trustworthy_from = rounds
+        .iter()
+        .find(|r| r.cum_rank_corr.is_some_and(|c| c >= TRUST_RANK_CORR))
+        .map(|r| r.round);
+    TaskModelQuality {
+        task: name.to_string(),
+        trials: recs.len(),
+        total_regret: cum_regret,
+        final_rank_corr,
+        mean_top_k_recall,
+        final_calibration_err,
+        trustworthy_from,
+        rounds,
+    }
+}
+
+/// Of the k best *measured* entries, the fraction the model also placed in
+/// its predicted top k. `k` is capped at the number of entries.
+fn top_k_recall(pred: &[f64], meas: &[f64], k: usize) -> f64 {
+    let k = k.min(pred.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let top_by = |vals: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).expect("finite metric"));
+        idx.truncate(k);
+        idx
+    };
+    let top_pred = top_by(pred);
+    let top_meas = top_by(meas);
+    let hits = top_meas.iter().filter(|i| top_pred.contains(i)).count();
+    #[allow(clippy::cast_precision_loss)]
+    let recall = hits as f64 / k as f64;
+    recall
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "     -".to_string(), |x| format!("{x:6.3}"))
+}
+
+/// Renders the `aaltune explain` per-task tables with verdict lines.
+#[must_use]
+pub fn render_explain(tasks: &[TaskModelQuality]) -> String {
+    let mut out = String::new();
+    for t in tasks {
+        let best = t.rounds.last().map_or(0.0, |r| r.best_gflops);
+        out.push_str(&format!(
+            "task {}  ({} trials, {} rounds, best {:.1} GFLOPS)\n",
+            t.task,
+            t.trials,
+            t.rounds.len(),
+            best
+        ));
+        out.push_str(
+            "  round  trials  opinions  rank-corr  cum-corr  top-3  calib-err  cum-regret\n",
+        );
+        for r in &t.rounds {
+            out.push_str(&format!(
+                "  {:5}  {:6}  {:8}  {:>9}  {:>8}  {:>5}  {:>9}  {:10.1}\n",
+                r.round,
+                r.trials,
+                r.with_opinion,
+                fmt_opt(r.rank_corr).trim(),
+                fmt_opt(r.cum_rank_corr).trim(),
+                fmt_opt(r.top_k_recall).trim(),
+                fmt_opt(r.calibration_err).trim(),
+                r.cum_regret,
+            ));
+        }
+        match (t.trustworthy_from, t.final_rank_corr) {
+            (Some(n), Some(c)) => out.push_str(&format!(
+                "  verdict: model trustworthy from round {n} \
+                 (cumulative rank-corr ≥ {TRUST_RANK_CORR}); final rank-corr {c:.3}\n"
+            )),
+            (None, Some(c)) => out.push_str(&format!(
+                "  verdict: model untrustworthy for the whole run \
+                 (cumulative rank-corr peaked below {TRUST_RANK_CORR}); final rank-corr {c:.3}\n"
+            )),
+            _ => out.push_str("  verdict: model never scored — blind search only\n"),
+        }
+        let recall = t.mean_top_k_recall.map_or_else(|| "-".into(), |v| format!("{v:.2}"));
+        let calib = t.final_calibration_err.map_or_else(|| "-".into(), |v| format!("{v:.3}"));
+        out.push_str(&format!(
+            "  top-{TOP_K} recall {recall} · calibration error {calib} · total regret {:.1} GFLOPS\n\n",
+            t.total_regret
+        ));
+    }
+    if tasks.is_empty() {
+        out.push_str("no capture records — was the run tuned with capture on?\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        task: &str,
+        round: usize,
+        trial: usize,
+        pred: Option<f64>,
+        std: Option<f64>,
+        meas: f64,
+    ) -> ModelPredRecord {
+        ModelPredRecord {
+            task: task.to_string(),
+            round,
+            trial,
+            config_index: trial as u64,
+            predicted_mean: pred,
+            predicted_std: std,
+            acquisition: pred,
+            measured_gflops: meas,
+        }
+    }
+
+    /// A capture stream where predictions track measurements perfectly.
+    fn perfect_stream() -> Vec<ModelPredRecord> {
+        let mut v = Vec::new();
+        // Round 0: blind init.
+        for t in 0..4 {
+            v.push(rec("m.T1", 0, t, None, None, 40.0 + t as f64));
+        }
+        // Rounds 1..3: opinions that exactly match outcomes.
+        let mut t = 4;
+        for round in 1..4 {
+            for i in 0..4 {
+                let g = 50.0 + (round * 4 + i) as f64;
+                v.push(rec("m.T1", round, t, Some(g), Some(5.0), g));
+                t += 1;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn perfect_predictions_score_perfectly() {
+        let tasks = analyze(&perfect_stream());
+        assert_eq!(tasks.len(), 1);
+        let t = &tasks[0];
+        assert_eq!(t.task, "m.T1");
+        assert_eq!(t.trials, 16);
+        assert_eq!(t.rounds.len(), 4);
+        // Blind round: no correlations.
+        assert_eq!(t.rounds[0].with_opinion, 0);
+        assert_eq!(t.rounds[0].rank_corr, None);
+        // Opinionated rounds: perfect ordering.
+        for r in &t.rounds[1..] {
+            assert!((r.rank_corr.unwrap() - 1.0).abs() < 1e-12);
+            assert!((r.top_k_recall.unwrap() - 1.0).abs() < 1e-12);
+        }
+        assert!((t.final_rank_corr.unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(t.trustworthy_from, Some(1));
+        // Exact predictions are all within one std → coverage 1.0.
+        assert!((t.final_calibration_err.unwrap() - (1.0 - GAUSSIAN_ONE_SIGMA)).abs() < 1e-12);
+        // Regret is positive (early trials below the final best) and the
+        // best is the stream maximum.
+        assert!(t.total_regret > 0.0);
+        assert!((t.rounds.last().unwrap().best_gflops - 65.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_predictions_score_negative() {
+        let mut v = Vec::new();
+        for i in 0..8 {
+            let g = 50.0 + i as f64;
+            // Model ranks them exactly backwards.
+            v.push(rec("m.T1", 0, i, Some(100.0 - g), None, g));
+        }
+        let t = &analyze(&v)[0];
+        assert!((t.final_rank_corr.unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(t.trustworthy_from, None);
+        assert_eq!(t.final_calibration_err, None, "no stds → no calibration");
+    }
+
+    #[test]
+    fn failed_trials_count_for_regret_but_not_correlation() {
+        let mut v = perfect_stream();
+        // A crashed launch with a (wrong) opinion attached.
+        v.push(rec("m.T1", 4, 16, Some(60.0), Some(5.0), 0.0));
+        let t = &analyze(&v)[0];
+        assert_eq!(t.rounds.last().unwrap().with_opinion, 0, "failure excluded");
+        assert!((t.final_rank_corr.unwrap() - 1.0).abs() < 1e-12, "correlation untouched");
+        // The failure pays full regret: best_known − 0.
+        let base = analyze(&perfect_stream())[0].total_regret;
+        assert!((t.total_regret - base - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tasks_group_in_first_appearance_order() {
+        let mut v = perfect_stream();
+        let mut second: Vec<ModelPredRecord> = perfect_stream()
+            .into_iter()
+            .map(|mut r| {
+                r.task = "m.T2".to_string();
+                r
+            })
+            .collect();
+        v.append(&mut second);
+        let tasks = analyze(&v);
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].task, "m.T1");
+        assert_eq!(tasks[1].task, "m.T2");
+        assert_eq!(tasks[0].rounds, tasks[1].rounds);
+    }
+
+    #[test]
+    fn render_explain_mentions_rounds_and_verdict() {
+        let text = render_explain(&analyze(&perfect_stream()));
+        assert!(text.contains("task m.T1"));
+        assert!(text.contains("rank-corr"));
+        assert!(text.contains("cum-regret"));
+        assert!(text.contains("trustworthy from round 1"), "{text}");
+        let empty = render_explain(&[]);
+        assert!(empty.contains("no capture records"));
+    }
+
+    #[test]
+    fn top_k_recall_counts_overlap() {
+        // Measured top-3 is {7,6,5} at indices {3,2,1}; predictions agree
+        // on 2 of 3.
+        let meas = [4.0, 5.0, 6.0, 7.0];
+        let pred = [6.5, 5.5, 1.0, 7.5]; // top-3 pred = indices {3,0,1}
+        assert!((top_k_recall(&pred, &meas, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((top_k_recall(&pred, &meas, 10) - 1.0).abs() < 1e-12, "k caps at n");
+    }
+}

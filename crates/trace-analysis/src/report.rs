@@ -14,8 +14,9 @@
 //! `prefers-color-scheme` with a `data-theme` override.
 
 use crate::compare::{RunComparison, Verdict};
+use crate::model_insight;
 use crate::trace::{FlameNode, TraceData};
-use active_learning::{RunDir, RunManifest, TuningLog};
+use active_learning::{read_model_quality, ModelPredRecord, RunDir, RunManifest, TuningLog};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -31,6 +32,9 @@ pub struct LoadedRun {
     pub logs: Vec<TuningLog>,
     /// The telemetry trace, when the run wrote one.
     pub trace: Option<TraceData>,
+    /// Model-introspection capture records — empty when the run was not
+    /// tuned with capture on.
+    pub model_quality: Vec<ModelPredRecord>,
 }
 
 impl LoadedRun {
@@ -50,10 +54,17 @@ impl LoadedRun {
         let logs = dir.read_logs().map_err(|e| format!("bad logs in {}: {e}", path.display()))?;
         let trace = TraceData::load(&dir.trace_path())
             .map_err(|e| format!("unreadable trace in {}: {e}", path.display()))?;
+        let mq_path = dir.model_quality_path();
+        let model_quality = if mq_path.is_file() {
+            read_model_quality(&mq_path)
+                .map_err(|e| format!("bad model quality in {}: {e}", path.display()))?
+        } else {
+            Vec::new()
+        };
         let id = path
             .file_name()
             .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
-        Ok(LoadedRun { id, manifest, logs, trace })
+        Ok(LoadedRun { id, manifest, logs, trace, model_quality })
     }
 
     /// Best-so-far GFLOPS per trial, per task. Prefers the trace's `trial`
@@ -120,6 +131,7 @@ pub fn render_report(
         compare_section(&mut body, cmp);
     }
     convergence_section(&mut body, run, baseline);
+    model_quality_section(&mut body, run);
     if let Some(trace) = &run.trace {
         health_section(&mut body, run, trace);
         executor_section(&mut body, run, trace);
@@ -335,6 +347,65 @@ fn convergence_section(body: &mut String, run: &LoadedRun, baseline: Option<&Loa
             let _ = write!(body, "</div>");
         }
         body.push_str(&line_chart(&series, "trial", "GFLOPS"));
+        let _ = write!(body, "</div>");
+    }
+    let _ = write!(body, "</div></section>");
+}
+
+/// The surrogate-quality panel: per-task cumulative rank correlation and
+/// regret curves from the run's capture stream, with the `explain`
+/// verdict. Omitted entirely for runs tuned without capture.
+fn model_quality_section(body: &mut String, run: &LoadedRun) {
+    if run.model_quality.is_empty() {
+        return;
+    }
+    let tasks = model_insight::analyze(&run.model_quality);
+    let _ = write!(
+        body,
+        "<section><h2>Model quality — was the surrogate trustworthy?</h2>\
+         <div class=\"muted\">cumulative Spearman rank correlation between \
+         predicted and measured GFLOPS, and cumulative regret vs the run's \
+         best config, per refit round</div><div class=\"grid\">"
+    );
+    for t in &tasks {
+        let corr_pts: Vec<(f64, f64)> = t
+            .rounds
+            .iter()
+            .filter_map(|r| {
+                #[allow(clippy::cast_precision_loss)]
+                r.cum_rank_corr.map(|c| (r.round as f64, c))
+            })
+            .collect();
+        #[allow(clippy::cast_precision_loss)]
+        let regret_pts: Vec<(f64, f64)> =
+            t.rounds.iter().map(|r| (r.round as f64, r.cum_regret)).collect();
+        let verdict = match (t.trustworthy_from, t.final_rank_corr) {
+            (Some(n), Some(c)) => {
+                format!("trustworthy from round {n} · final rank-corr {c:.2}")
+            }
+            (None, Some(c)) => format!("untrustworthy all run · final rank-corr {c:.2}"),
+            _ => "model never scored — blind search only".to_string(),
+        };
+        let _ = write!(
+            body,
+            "<div class=\"panel\"><h3>{}</h3><div class=\"muted\">{}</div>",
+            esc(&t.task),
+            esc(&verdict)
+        );
+        if !corr_pts.is_empty() {
+            body.push_str(&line_chart(
+                &[Series { label: "rank correlation", points: &corr_pts, slot: 1 }],
+                "round",
+                "rank corr",
+            ));
+        }
+        if !regret_pts.is_empty() {
+            body.push_str(&line_chart(
+                &[Series { label: "cumulative regret", points: &regret_pts, slot: 2 }],
+                "round",
+                "regret GFLOPS",
+            ));
+        }
         let _ = write!(body, "</div>");
     }
     let _ = write!(body, "</div></section>");
@@ -817,6 +888,7 @@ mod tests {
             },
             logs: vec![log],
             trace: None,
+            model_quality: Vec::new(),
         }
     }
 
@@ -949,6 +1021,35 @@ mod tests {
         assert!(html.contains("90%"), "busy 900 of 1000 µs rounds to 90%");
         assert!(html.contains("batch wall µs"));
         assert!(html.contains("device 0") && html.contains("device 1"));
+    }
+
+    #[test]
+    fn model_quality_panel_appears_only_for_captured_runs() {
+        let mut run = sample_run("run-g", 100.0);
+        let html = render_report(&run, None, None);
+        assert!(!html.contains("Model quality"), "no capture → no panel");
+
+        run.model_quality = (0..12)
+            .map(|i| ModelPredRecord {
+                task: "m.T1".to_string(),
+                round: i / 4,
+                trial: i,
+                config_index: i as u64,
+                predicted_mean: if i >= 4 { Some(50.0 + i as f64) } else { None },
+                predicted_std: if i >= 4 { Some(4.0) } else { None },
+                acquisition: None,
+                measured_gflops: 50.0 + i as f64,
+            })
+            .collect();
+        let html = render_report(&run, None, None);
+        assert!(html.contains("Model quality"));
+        assert!(html.contains("rank correlation"));
+        assert!(html.contains("cumulative regret"));
+        assert!(html.contains("trustworthy from round 1"), "{html}");
+        // Panel must not break self-containment.
+        for banned in ["http://", "https://", "<link", "<script", "url(", "@import"] {
+            assert!(!html.contains(banned), "found banned token {banned}");
+        }
     }
 
     #[test]

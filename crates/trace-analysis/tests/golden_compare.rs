@@ -42,6 +42,35 @@ fn injected_slowdown_classifies_as_regression() {
 }
 
 #[test]
+fn inverted_model_capture_gates_without_any_perf_delta() {
+    let cmp = compare_run_dirs(&fixture("base"), &fixture("model_regressed"), opts()).unwrap();
+    for t in &cmp.tasks {
+        assert_eq!(t.verdict, Verdict::Noise, "identical logs must stay noise: {t:?}");
+    }
+    assert_eq!(cmp.model_quality.len(), 2, "{:?}", cmp.model_quality);
+    assert!(
+        cmp.model_quality.iter().all(|m| m.regressed),
+        "the inverted capture must regress every task: {:?}",
+        cmp.model_quality
+    );
+    assert!(cmp.has_regressions(), "the rank-correlation gate alone must fire");
+    // A captured baseline against an uncaptured candidate never gates on
+    // model quality (`noise` has no capture file).
+    let blind = compare_run_dirs(&fixture("base"), &fixture("noise"), opts()).unwrap();
+    assert!(blind.model_quality.is_empty());
+    assert!(!blind.has_regressions());
+}
+
+#[test]
+fn report_shows_model_quality_panel_for_captured_fixture() {
+    let run = LoadedRun::load(&fixture("base")).unwrap();
+    assert!(!run.model_quality.is_empty());
+    let html = trace_analysis::render_report(&run, None, None);
+    assert!(html.contains("Model quality"), "captured fixture must get the panel");
+    assert!(html.contains("trustworthy"), "perfect predictions must read as trustworthy");
+}
+
+#[test]
 fn comparison_is_deterministic() {
     let a = compare_run_dirs(&fixture("base"), &fixture("regressed"), opts()).unwrap();
     let b = compare_run_dirs(&fixture("base"), &fixture("regressed"), opts()).unwrap();
