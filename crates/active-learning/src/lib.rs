@@ -59,7 +59,8 @@ pub use model_quality::{
 pub use model_tuning::{tune_model, tune_model_parallel, ModelTuneResult};
 pub use options::TuneOptions;
 pub use records::{
-    Checkpoint, LogWriter, RecoveredLog, RunDir, RunManifest, TrialRecord, TuningLog,
-    CHECKPOINT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
+    Checkpoint, DbProvenance, LogWriter, RecoveredLog, RunDir, RunManifest, TrialRecord, TuningLog,
+    WarmSeed, CHECKPOINT_SCHEMA_VERSION, MANIFEST_SCHEMA_VERSION,
 };
 pub use task_tuning::{tune_task, tune_task_with, Method, TaskTuneResult, TuneHooks};
+pub use transfer::{warm_start_configs, TransferStats, STALE_RECORD_COUNTER};

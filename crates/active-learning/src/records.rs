@@ -230,7 +230,35 @@ pub struct Checkpoint {
 /// and the convention that the manifest is written at run *start* (and
 /// rewritten with `wall_time_s` at the end), so a killed run leaves
 /// enough behind for `tune --resume`.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+///
+/// Version 3 adds `db` — the tuning-database provenance (path and policy)
+/// when the run consulted one, so resume reattaches the same database and
+/// analysis can tell warm runs from cold ones.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
+
+/// How a run used the persistent tuning database, recorded in the
+/// manifest so the run is reproducible and `tune --resume` reattaches
+/// the same store with the same policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbProvenance {
+    /// Database root directory, as given on the command line.
+    pub path: String,
+    /// Consultation policy label (`"serve"` or `"warm"`).
+    pub policy: String,
+}
+
+/// A persisted per-task warm-start seed, pinned at task start so a
+/// resumed run replays the identical initial behaviour even after the
+/// tuning database has moved on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmSeed {
+    /// `"serve"` — an exact database hit whose best config is re-verified
+    /// with a single measurement — or `"warm"` — configurations prepended
+    /// to the tuner's initial set.
+    pub mode: String,
+    /// The seed configurations, best first.
+    pub configs: Vec<schedule::Config>,
+}
 
 /// What produced a run — serialized as `manifest.json` so every results
 /// directory is self-describing and reproducible.
@@ -267,6 +295,8 @@ pub struct RunManifest {
     pub workers: Option<usize>,
     /// Simulated device slots in the executor's pool.
     pub devices: Option<usize>,
+    /// Tuning-database provenance (`None` = the run used no database).
+    pub db: Option<DbProvenance>,
 }
 
 impl RunManifest {
@@ -429,8 +459,11 @@ impl RunDir {
         self.root.join("checkpoint.json")
     }
 
-    /// Writes `checkpoint.json` atomically (write-then-rename), so a
-    /// crash mid-checkpoint leaves the previous checkpoint intact.
+    /// Writes `checkpoint.json` atomically: write a temp file, fsync it,
+    /// rename over the old one. The fsync matters — without it the rename
+    /// can land before the data on a power cut, publishing a truncated
+    /// checkpoint. A crash at any step leaves either the previous
+    /// checkpoint or the complete new one, never a torn in-place write.
     ///
     /// # Errors
     ///
@@ -438,7 +471,11 @@ impl RunDir {
     pub fn write_checkpoint(&self, checkpoint: &Checkpoint) -> std::io::Result<()> {
         let body = serde_json::to_string_pretty(checkpoint).expect("checkpoint serializes");
         let tmp = self.root.join("checkpoint.json.tmp");
-        std::fs::write(&tmp, body)?;
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
         std::fs::rename(&tmp, self.checkpoint_path())
     }
 
@@ -449,6 +486,53 @@ impl RunDir {
     /// Returns I/O failures or a parse error for a malformed checkpoint.
     pub fn read_checkpoint(&self) -> Result<Option<Checkpoint>, ReadLogError> {
         let body = match std::fs::read_to_string(self.checkpoint_path()) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(serde_json::from_str(&body)?))
+    }
+
+    /// Where the persisted warm-start seed of `task_name` lives.
+    ///
+    /// Warm-start configurations are derived from the tuning database at
+    /// task *start* and persisted here before the first trial, so a
+    /// resumed run replays the identical initial set even after the
+    /// database has moved on. Re-deriving on resume would diverge.
+    #[must_use]
+    pub fn warm_start_path(&self, task_name: &str) -> PathBuf {
+        let log = self.log_path(task_name);
+        let stem = log.file_stem().expect("log paths have stems").to_string_lossy();
+        self.root.join("warm").join(format!("{stem}.json"))
+    }
+
+    /// Persists the warm-start seed for `task_name` atomically
+    /// (write-temp, fsync, rename — same contract as the checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-write failures.
+    pub fn write_warm_start(&self, task_name: &str, seed: &WarmSeed) -> std::io::Result<()> {
+        let path = self.warm_start_path(task_name);
+        std::fs::create_dir_all(path.parent().expect("warm path has a parent"))?;
+        let tmp = path.with_extension("json.tmp");
+        let body = serde_json::to_string(seed).expect("seed serializes");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads back the persisted warm-start seed; `None` when the task
+    /// started cold.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures or a parse error for a damaged file.
+    pub fn read_warm_start(&self, task_name: &str) -> Result<Option<WarmSeed>, ReadLogError> {
+        let body = match std::fs::read_to_string(self.warm_start_path(task_name)) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
@@ -582,6 +666,7 @@ mod tests {
             resumed: None,
             workers: Some(4),
             devices: Some(2),
+            db: Some(DbProvenance { path: "db".into(), policy: "warm".into() }),
         };
         dir.write_manifest(&manifest).unwrap();
         assert_eq!(dir.read_manifest().unwrap(), manifest);
@@ -717,6 +802,60 @@ mod tests {
         };
         dir.write_checkpoint(&ckpt).unwrap();
         assert_eq!(dir.read_checkpoint().unwrap().unwrap(), ckpt);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_detected_not_silently_ignored() {
+        let root = std::env::temp_dir().join(format!("aaltune-ckpt-trunc-{}", std::process::id()));
+        let dir = RunDir::create(&root).unwrap();
+        let ckpt = Checkpoint {
+            schema_version: Some(CHECKPOINT_SCHEMA_VERSION),
+            completed_tasks: vec!["m.T0".into(), "m.T1".into()],
+            in_flight: Some("m.T2".into()),
+            trials_logged: Some(9),
+            quarantine: None,
+        };
+        dir.write_checkpoint(&ckpt).unwrap();
+
+        // Simulate torn bytes reaching disk (the failure the atomic
+        // write-fsync-rename path exists to prevent): the reader must
+        // report a parse error, never mistake the damage for "no
+        // checkpoint" and silently restart from scratch.
+        let path = dir.checkpoint_path();
+        let body = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+        assert!(
+            matches!(dir.read_checkpoint(), Err(ReadLogError::Parse(_))),
+            "truncation must surface as a parse error"
+        );
+
+        // An interrupted atomic write (temp file present, rename never
+        // happened) leaves the previous checkpoint fully intact.
+        std::fs::write(&path, &body).unwrap();
+        std::fs::write(root.join("checkpoint.json.tmp"), b"{\"partial").unwrap();
+        assert_eq!(dir.read_checkpoint().unwrap().unwrap(), ckpt);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn warm_start_seed_round_trips_and_cold_tasks_read_none() {
+        let root = std::env::temp_dir().join(format!("aaltune-warm-{}", std::process::id()));
+        let dir = RunDir::create(&root).unwrap();
+        assert!(dir.read_warm_start("m.T1").unwrap().is_none(), "cold task has no seed");
+        let seed = WarmSeed {
+            mode: "warm".into(),
+            configs: vec![
+                schedule::Config { index: 7, choices: vec![1, 2] },
+                schedule::Config { index: 3, choices: vec![0, 1] },
+            ],
+        };
+        dir.write_warm_start("m.T1", &seed).unwrap();
+        assert_eq!(dir.read_warm_start("m.T1").unwrap().unwrap(), seed);
+        assert!(dir.warm_start_path("m.T1").starts_with(root.join("warm")));
+        // Damage must be loud, not an implicit cold start.
+        std::fs::write(dir.warm_start_path("m.T1"), b"[{\"index\":").unwrap();
+        assert!(matches!(dir.read_warm_start("m.T1"), Err(ReadLogError::Parse(_))));
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -92,6 +92,14 @@ pub struct TuneHooks<'a> {
     /// run rebuilds the same `model_quality.jsonl` an uninterrupted run
     /// writes. Never called when capture is off.
     pub on_model: Option<&'a mut dyn FnMut(&ModelPredRecord)>,
+    /// Configurations to measure first, ahead of the method's own initial
+    /// set (tuning-database warm start or cross-task transfer). Prepended
+    /// with dedup-by-index; the combined set is truncated to
+    /// `opts.init_points` so the trial budget is unchanged. Ignored by
+    /// [`Method::Random`], which takes no initial set. Resume determinism
+    /// is the caller's contract: a resumed run must pass the same slice
+    /// the original run used (persist it, don't re-derive it).
+    pub warm_start: Option<&'a [Config]>,
 }
 
 /// Builds the initial configuration set for `method`.
@@ -152,11 +160,33 @@ pub fn tune_task_with<M: Measurer>(
         })
     });
     let space = space_for_task(task);
-    let init = initial_set(&space, method, opts);
-    tel.event(
-        "init_select.done",
-        || telemetry::json!({ "method": method.label(), "init_size": init.len() as u64 }),
-    );
+    let mut init = initial_set(&space, method, opts);
+    let mut warm_used = 0usize;
+    if let Some(warm) = hooks.warm_start.filter(|w| !w.is_empty()) {
+        // `init` is a pending stack (tuners pop from the end), so build the
+        // merged set in measured order — warm first, then the method's own
+        // picks in the order they would have been measured — and reverse.
+        let mut seen = std::collections::HashSet::new();
+        let mut merged = Vec::with_capacity(opts.init_points.max(1));
+        for cfg in warm.iter().chain(init.iter().rev()) {
+            if merged.len() >= opts.init_points.max(1) {
+                break;
+            }
+            if seen.insert(cfg.index) {
+                merged.push(cfg.clone());
+            }
+        }
+        warm_used = merged.iter().filter(|c| warm.iter().any(|w| w.index == c.index)).count();
+        merged.reverse();
+        init = merged;
+    }
+    tel.event("init_select.done", || {
+        telemetry::json!({
+            "method": method.label(),
+            "init_size": init.len() as u64,
+            "warm_start": warm_used as u64,
+        })
+    });
     let mut tuner: Box<dyn Tuner> = match method {
         Method::Random => Box::new(RandomTuner::new(&space, opts.seed)),
         Method::AutoTvm | Method::Bted => Box::new(XgbTuner::new(
@@ -600,6 +630,47 @@ mod tests {
         // Replay recomputes diagnostics deterministically: the resumed
         // stream equals the uninterrupted one for replayed AND live trials.
         assert_eq!(resumed_records, full_records);
+    }
+
+    #[test]
+    fn warm_start_configs_are_measured_first_and_replay_stays_exact() {
+        let t = task(1);
+        let m = measurer();
+        let opts = TuneOptions::smoke();
+        // Seed with three distinct configs (one duplicated: must dedup).
+        let space = space_for_task(&t);
+        let warm: Vec<Config> =
+            [7u64, 3, 7, 11].iter().map(|&i| space.config(i % space.len()).unwrap()).collect();
+        let r = tune_task_with(
+            &t,
+            &m,
+            Method::Bted,
+            &opts,
+            TuneHooks { warm_start: Some(&warm), ..TuneHooks::default() },
+        );
+        let measured: Vec<u64> = r.log.records.iter().map(|rec| rec.config_index).collect();
+        assert_eq!(&measured[..3], &[7, 3, 11], "warm configs lead, deduplicated");
+        assert!(r.num_measured <= opts.n_trial, "budget unchanged by warm start");
+
+        // A warm run resumes exactly like a cold one: replaying a prefix
+        // with the same warm slice reproduces the identical log.
+        let cut = r.log.records.len() / 2;
+        let resumed = tune_task_with(
+            &t,
+            &m,
+            Method::Bted,
+            &opts,
+            TuneHooks {
+                warm_start: Some(&warm),
+                replay: Some(&r.log.records[..cut]),
+                ..TuneHooks::default()
+            },
+        );
+        assert_eq!(resumed.log, r.log);
+
+        // Without warm start the run differs (the seeding is real).
+        let cold = tune_task(&t, &m, Method::Bted, &opts);
+        assert_ne!(cold.log.records[0].config_index, 7);
     }
 
     #[test]

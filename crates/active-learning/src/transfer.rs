@@ -9,11 +9,35 @@
 use crate::records::TuningLog;
 use schedule::{Config, ConfigSpace};
 
+/// Counter bumped once per stale prior record skipped during transfer.
+pub const STALE_RECORD_COUNTER: &str = "transfer.stale_record";
+
+/// What happened while mapping a prior log into a new space. A transfer
+/// that silently drops records is indistinguishable from one that found
+/// nothing worth transferring; these counts make the difference visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Successful trials considered (gflops > 0).
+    pub considered: usize,
+    /// Records whose `config_index` no longer decodes in the prior space —
+    /// the log predates a template change. Skipped, counted, reported.
+    pub stale: usize,
+    /// Configurations that collided with an earlier (better) one after
+    /// clipping into the target space.
+    pub deduplicated: usize,
+    /// Configurations actually transferred.
+    pub transferred: usize,
+}
+
 /// Maps the top-`k` configurations of `prior` (tuned on `prior_space`) into
-/// `space`, best first. Configurations that collide after clipping are
-/// deduplicated.
+/// `space`, best first, returning the configs plus a [`TransferStats`]
+/// accounting for every record considered. Stale records (a `config_index`
+/// out of range for `prior_space` — the template changed since the log was
+/// written) are skipped, counted in the stats, and bumped on the
+/// [`STALE_RECORD_COUNTER`]; configurations that collide after clipping
+/// are deduplicated.
 ///
-/// Returns an empty vector when the spaces have different knob counts —
+/// Returns no configs when the spaces have different knob counts —
 /// transfer only makes sense between tasks of the same template family.
 #[must_use]
 pub fn warm_start_configs(
@@ -21,9 +45,10 @@ pub fn warm_start_configs(
     prior_space: &ConfigSpace,
     prior: &TuningLog,
     k: usize,
-) -> Vec<Config> {
+) -> (Vec<Config>, TransferStats) {
+    let mut stats = TransferStats::default();
     if space.num_knobs() != prior_space.num_knobs() {
-        return Vec::new();
+        return (Vec::new(), stats);
     }
     let mut ranked: Vec<_> = prior.records.iter().filter(|r| r.gflops > 0.0).collect();
     ranked.sort_by(|a, b| b.gflops.total_cmp(&a.gflops));
@@ -34,21 +59,23 @@ pub fn warm_start_configs(
         if out.len() >= k {
             break;
         }
+        stats.considered += 1;
         let Ok(prior_cfg) = prior_space.config(rec.config_index) else {
-            continue; // stale log entry
+            stats.stale += 1;
+            continue;
         };
-        let choices: Vec<usize> = prior_cfg
-            .choices
-            .iter()
-            .zip(space.knobs())
-            .map(|(&c, knob)| c.min(knob.cardinality() - 1))
-            .collect();
-        let index = space.index_of(&choices);
-        if seen.insert(index) {
-            out.push(Config { index, choices });
+        let cfg = space.map_choices(&prior_cfg.choices).expect("knob counts checked equal above");
+        if seen.insert(cfg.index) {
+            out.push(cfg);
+        } else {
+            stats.deduplicated += 1;
         }
     }
-    out
+    stats.transferred = out.len();
+    if stats.stale > 0 {
+        telemetry::global().count(STALE_RECORD_COUNTER, stats.stale as u64);
+    }
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -83,10 +110,12 @@ mod tests {
         let prior_space = space(64);
         let new_space = space(64);
         let log = log_with(&prior_space, &[(0, 10.0), (5, 99.0), (3, 50.0)]);
-        let got = warm_start_configs(&new_space, &prior_space, &log, 2);
+        let (got, stats) = warm_start_configs(&new_space, &prior_space, &log, 2);
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].index, 5);
         assert_eq!(got[1].index, 3);
+        assert_eq!(stats.transferred, 2);
+        assert_eq!(stats.stale, 0);
     }
 
     #[test]
@@ -95,11 +124,12 @@ mod tests {
         let new_space = space(16); // 5 split candidates
         let last = prior_space.len() - 1;
         let log = log_with(&prior_space, &[(last, 42.0)]);
-        let got = warm_start_configs(&new_space, &prior_space, &log, 1);
+        let (got, stats) = warm_start_configs(&new_space, &prior_space, &log, 1);
         assert_eq!(got.len(), 1);
         for (&c, k) in got[0].choices.iter().zip(new_space.knobs()) {
             assert!(c < k.cardinality());
         }
+        assert_eq!(stats, TransferStats { considered: 1, transferred: 1, ..Default::default() });
     }
 
     #[test]
@@ -107,13 +137,45 @@ mod tests {
         let prior_space = space(64);
         let other = ConfigSpace::new("other", vec![Knob::choice("x", vec![0, 1])]);
         let log = log_with(&prior_space, &[(1, 5.0)]);
-        assert!(warm_start_configs(&other, &prior_space, &log, 4).is_empty());
+        assert!(warm_start_configs(&other, &prior_space, &log, 4).0.is_empty());
     }
 
     #[test]
     fn failed_trials_are_ignored() {
         let prior_space = space(64);
         let log = log_with(&prior_space, &[(1, 0.0), (2, 0.0)]);
-        assert!(warm_start_configs(&prior_space, &prior_space, &log, 4).is_empty());
+        let (got, stats) = warm_start_configs(&prior_space, &prior_space, &log, 4);
+        assert!(got.is_empty());
+        assert_eq!(stats.considered, 0, "failed trials never count as considered");
+    }
+
+    #[test]
+    fn stale_records_are_skipped_counted_and_reported() {
+        let prior_space = space(64);
+        let beyond = prior_space.len() + 3;
+        // Two stale entries outrank a valid one: both must be surfaced in
+        // the stats (and on the telemetry counter), not silently eaten.
+        let log = log_with(&prior_space, &[(beyond, 90.0), (beyond + 1, 80.0), (2, 50.0)]);
+        let sink = telemetry::VecSink::new();
+        telemetry::set_global(telemetry::Telemetry::new(sink.clone()));
+        let (got, stats) = warm_start_configs(&prior_space, &prior_space, &log, 4);
+        telemetry::global().flush();
+        telemetry::set_global(telemetry::Telemetry::disabled());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].index, 2);
+        assert_eq!(stats.stale, 2);
+        assert_eq!(stats.considered, 3);
+        assert_eq!(stats.transferred, 1);
+        let counted: u64 = sink
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                telemetry::Record::Counter { name, value, .. } if name == STALE_RECORD_COUNTER => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(counted, 2, "stale skips must reach the trace");
     }
 }

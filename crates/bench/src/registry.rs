@@ -31,6 +31,10 @@ fn base_entry(run_id: String, kind: &str, model: &str, method: String) -> RunEnt
         resumed: None,
         last_heartbeat_unix_ms: None,
         trials_done: None,
+        db_path: None,
+        db_policy: None,
+        db_hits: None,
+        db_warm_starts: None,
     }
 }
 

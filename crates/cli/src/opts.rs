@@ -8,7 +8,7 @@ use std::collections::HashMap;
 /// Flags that are switches (present or absent) rather than `--key value`
 /// pairs.
 const BOOL_FLAGS: &[&str] =
-    &["quiet", "json", "fail-on-regress", "once", "check", "no-capture-model"];
+    &["quiet", "json", "fail-on-regress", "once", "check", "no-capture-model", "repair"];
 
 /// Parsed command line: a positional list plus `--key value` flags.
 #[derive(Debug, Default)]

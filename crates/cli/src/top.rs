@@ -322,6 +322,7 @@ mod tests {
             resumed: None,
             workers: Some(4),
             devices: Some(3),
+            db: None,
         }
     }
 

@@ -140,6 +140,24 @@ impl ConfigSpace {
             .map(|i| self.knobs[i].value(config.choices[i]))
     }
 
+    /// Maps per-knob choice indices from *another* space of the same
+    /// template family into this one, clipping each choice to this space's
+    /// knob cardinality. Returns `None` when the knob counts differ —
+    /// mapping only makes sense between spaces of the same family.
+    ///
+    /// This is the core of configuration transfer (AutoTVM's log-based
+    /// warm start and the tuning database's cross-task seeding).
+    #[must_use]
+    pub fn map_choices(&self, choices: &[usize]) -> Option<Config> {
+        if choices.len() != self.knobs.len() {
+            return None;
+        }
+        let clipped: Vec<usize> =
+            choices.iter().zip(&self.knobs).map(|(&c, k)| c.min(k.cardinality() - 1)).collect();
+        let index = self.index_of(&clipped);
+        Some(Config { index, choices: clipped })
+    }
+
     /// Uniformly samples one configuration.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Config {
         let index = rng.gen_range(0..self.len);
@@ -227,6 +245,26 @@ mod tests {
         let cfg = s.config(3).unwrap(); // a=0 wraps: 3 % 3 = 0, b = 1
         assert_eq!(s.value_of(&cfg, "b"), Some(KnobValue::Choice(1)));
         assert_eq!(s.value_of(&cfg, "missing"), None);
+    }
+
+    #[test]
+    fn map_choices_clips_and_rejects_mismatched_arity() {
+        let big = ConfigSpace::new(
+            "big",
+            vec![Knob::split("a", 64, 2), Knob::choice("b", vec![0, 1]), Knob::split("c", 64, 2)],
+        );
+        let small = small_space(); // a: 3 candidates, b: 2, c: 4
+        let last = big.config(big.len() - 1).unwrap();
+        let mapped = small.map_choices(&last.choices).unwrap();
+        for (&c, k) in mapped.choices.iter().zip(small.knobs()) {
+            assert!(c < k.cardinality());
+        }
+        assert_eq!(small.index_of(&mapped.choices), mapped.index);
+        // In-range choices map unchanged.
+        let id = small.map_choices(&[1, 1, 2]).unwrap();
+        assert_eq!(id.choices, vec![1, 1, 2]);
+        // Arity mismatch maps nothing.
+        assert!(small.map_choices(&[0, 0]).is_none());
     }
 
     #[test]

@@ -85,6 +85,7 @@ fn write_run(root: &Path, name: &str, logs: &[TuningLog]) {
         resumed: None,
         workers: None,
         devices: None,
+        db: None,
     })
     .expect("write manifest");
     for log in logs {

@@ -29,7 +29,12 @@ use std::path::{Path, PathBuf};
 /// read from the run's `metrics.snapshot.json` / `run.heartbeat` events, so
 /// `aaltune runs` can tell a live run from a stale/crashed one. Also
 /// optional; older entries simply render no status.
-pub const REGISTRY_SCHEMA_VERSION: u32 = 3;
+///
+/// v4 added the tuning-database provenance (`db_path`, `db_policy`, from
+/// the manifest) and consumption counters (`db_hits`, `db_warm_starts`,
+/// from the trace), so `aaltune runs` shows which results were served or
+/// seeded from a store. All optional; database-less runs leave them unset.
+pub const REGISTRY_SCHEMA_VERSION: u32 = 4;
 
 /// A run whose last heartbeat is older than this, and which never recorded
 /// a wall time, renders as `stale` — its process is presumed crashed or
@@ -79,6 +84,14 @@ pub struct RunEntry {
     pub last_heartbeat_unix_ms: Option<u64>,
     /// Live trials measured as of the last heartbeat.
     pub trials_done: Option<u64>,
+    /// Tuning database the run consulted, from the manifest provenance.
+    pub db_path: Option<String>,
+    /// Database consultation policy (`"serve"` or `"warm"`).
+    pub db_policy: Option<String>,
+    /// Exact-hit lookups during the run, from the trace's `db.hit` counter.
+    pub db_hits: Option<u64>,
+    /// Tasks whose initial set was database-seeded (`db.warm_start`).
+    pub db_warm_starts: Option<u64>,
 }
 
 /// Liveness classification of a registry entry, derived from its recorded
@@ -206,6 +219,10 @@ impl RunEntry {
             resumed: manifest.resumed,
             last_heartbeat_unix_ms,
             trials_done,
+            db_path: manifest.db.as_ref().map(|d| d.path.clone()),
+            db_policy: manifest.db.as_ref().map(|d| d.policy.clone()),
+            db_hits: counter("db.hit"),
+            db_warm_starts: counter("db.warm_start"),
         })
     }
 }
@@ -327,7 +344,7 @@ impl RegistryIndex {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10} {:>12} {:>10} {:>14} {:>12}",
+            "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10} {:>12} {:>10} {:>14} {:>12} {:>10}",
             "run",
             "kind",
             "model",
@@ -339,7 +356,8 @@ impl RegistryIndex {
             "latency(ms)",
             "wall(s)",
             "health",
-            "status"
+            "status",
+            "db"
         );
         for e in entries {
             // "f3 r1 q2 R" = 3 faults, 1 retry, 2 quarantined, resumed;
@@ -354,9 +372,19 @@ impl RegistryIndex {
                     if e.resumed == Some(true) { " R" } else { "" }
                 ),
             };
+            // "serve h3 w2" = serve policy, 3 exact hits, 2 warm-started
+            // tasks; "-" for runs that attached no tuning database.
+            let db = match &e.db_policy {
+                None => "-".to_string(),
+                Some(policy) => format!(
+                    "{policy} h{} w{}",
+                    e.db_hits.unwrap_or(0),
+                    e.db_warm_starts.unwrap_or(0)
+                ),
+            };
             let _ = writeln!(
                 s,
-                "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10.1} {:>12} {:>10} {:>14} {:>12}",
+                "{:<40} {:<7} {:<16} {:<9} {:>5} {:>7} {:>6} {:>10.1} {:>12} {:>10} {:>14} {:>12} {:>10}",
                 e.run_id,
                 e.kind,
                 e.model,
@@ -369,6 +397,7 @@ impl RegistryIndex {
                 e.wall_time_s.map_or_else(|| "-".to_string(), |w| format!("{w:.1}")),
                 health,
                 e.status_at(now_ms).to_string(),
+                db,
             );
         }
         if self.malformed_lines > 0 {
@@ -430,6 +459,10 @@ mod tests {
             resumed: None,
             last_heartbeat_unix_ms: None,
             trials_done: None,
+            db_path: None,
+            db_policy: None,
+            db_hits: None,
+            db_warm_starts: None,
         }
     }
 
@@ -558,6 +591,7 @@ mod tests {
             resumed: None,
             workers: None,
             devices: None,
+            db: None,
         })
         .unwrap();
         // No heartbeat data at all: liveness unknown.
@@ -618,6 +652,7 @@ mod tests {
             resumed: Some(true),
             workers: None,
             devices: None,
+            db: None,
         })
         .unwrap();
         let mut log = TuningLog::new("sq.T1", "autotvm");

@@ -885,6 +885,7 @@ mod tests {
                 resumed: None,
                 workers: None,
                 devices: None,
+                db: None,
             },
             logs: vec![log],
             trace: None,

@@ -1,0 +1,63 @@
+//! A crash-safe, append-oriented tuning database.
+//!
+//! Every `tune` run used to start from scratch; this crate is the on-disk
+//! memory that survives the process. It stores, per canonical task spec
+//! (operator kind, workload shapes, knob-space fingerprint, device id),
+//! the top-k measured configurations and the convergence curve of the best
+//! run, so a later run can either serve the cached best instantly (exact
+//! hit) or warm-start its initial measurement set from nearest-neighbor
+//! tasks (miss).
+//!
+//! Robustness is the design center, not a feature:
+//!
+//! * **Torn writes** — every record is one CRC32-checksummed JSONL line
+//!   in an append-only segment; a line whose checksum fails (a kill -9
+//!   mid-append) is dropped if it is the tail, skipped-and-counted if it
+//!   is mid-file. A record is *committed* only once its line is fully on
+//!   disk, and the write-ahead contract is append-then-apply: the
+//!   in-memory map never holds a record the segment does not.
+//! * **Concurrent writers** — an advisory lock file (`lock`) serializes
+//!   writers; a locker that died (kill -9) is detected by liveness probe
+//!   and its lock taken over, while a live locker makes contenders back
+//!   off with bounded retries and a clean error.
+//! * **Bit-rot / compaction** — the compacted index (`index.json`) is
+//!   swapped atomically (write-temp, fsync, rename) and is purely an
+//!   optimization: [`fsck`](TuningDb::fsck) rebuilds it from surviving
+//!   segments, quarantining corrupt lines into `quarantine.jsonl` under
+//!   `--repair`, mirroring trace-analysis's skip-and-count corrupt-line
+//!   policy.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! <root>/
+//!   lock                 advisory writer lock (pid inside)
+//!   index.json           atomically-swapped compacted snapshot
+//!   segments/seg-N.jsonl CRC-checksummed append-only record segments
+//!   quarantine.jsonl     corrupt lines preserved by `fsck --repair`
+//! ```
+
+pub mod db;
+pub mod lock;
+pub mod segment;
+pub mod spec;
+
+pub use db::{DbError, DbStats, FsckReport, TuningDb, DB_SCHEMA_VERSION, TOP_K};
+pub use lock::{DbLock, LockError, LockOptions};
+pub use segment::{decode_line, encode_line, read_segment_bytes, SegmentScan};
+pub use spec::{decimate_curve, DbRecord, TaskSpec, TopConfig};
+
+/// Counter bumped on every exact-hit lookup.
+pub const DB_HIT_COUNTER: &str = "db.hit";
+/// Counter bumped on every lookup that found no exact record.
+pub const DB_MISS_COUNTER: &str = "db.miss";
+/// Counter bumped once per task whose initial set was warm-started.
+pub const DB_WARM_START_COUNTER: &str = "db.warm_start";
+/// Counter bumped per corrupt (checksum-failed or unparsable) line seen.
+pub const DB_CORRUPT_COUNTER: &str = "db.corrupt";
+/// Counter bumped when a dead writer's lock was taken over.
+pub const DB_TAKEOVER_COUNTER: &str = "db.lock_takeover";
+/// Counter bumped per record upsert.
+pub const DB_UPSERT_COUNTER: &str = "db.upsert";
+/// Gauge: distinct task specs in the open database.
+pub const DB_TASKS_GAUGE: &str = "db.tasks";

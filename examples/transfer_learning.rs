@@ -34,8 +34,12 @@ fn main() {
     // task's space and use them as (part of) the initial set.
     let new_space = space_for_task(new_task);
     let prior_space = space_for_task(prior_task);
-    let warm = warm_start_configs(&new_space, &prior_space, &prior.log, 32);
-    println!("  transferred {} warm-start configurations", warm.len());
+    let (warm, stats) = warm_start_configs(&new_space, &prior_space, &prior.log, 32);
+    println!(
+        "  transferred {} warm-start configurations ({} stale records skipped)",
+        warm.len(),
+        stats.stale
+    );
     let mut tuner =
         XgbTuner::new(&new_space, warm, opts.gbt, opts.sa, opts.plan_size, opts.epsilon, opts.seed);
     let warm_run = drive_loop(

@@ -37,8 +37,10 @@ fn warm_start_from_a_real_log_lands_in_the_new_space() {
 
     let prior_space = space_for_task(prior_task);
     let new_space = space_for_task(new_task);
-    let warm = warm_start_configs(&new_space, &prior_space, &prior.log, 16);
+    let (warm, stats) = warm_start_configs(&new_space, &prior_space, &prior.log, 16);
     assert!(!warm.is_empty(), "same-family tasks must transfer");
+    assert_eq!(stats.transferred, warm.len());
+    assert_eq!(stats.stale, 0, "a fresh log has no stale records");
     for cfg in &warm {
         // Every transferred config decodes consistently in the new space.
         let decoded = new_space.config(cfg.index).unwrap();
