@@ -1,0 +1,29 @@
+//! Clean corpus for `ambient-rng`: seeded RNG use and textual mentions.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+pub fn seeded(seed: u64) -> ChaCha8Rng {
+    // The blessed path: all randomness flows from the run seed.
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+pub fn documentation() -> &'static str {
+    // thread_rng() mentioned in a comment is not a draw.
+    "never call thread_rng() or read OsRng in tuning code"
+}
+
+pub fn random_looking_names(thread_rng_calls: usize) -> usize {
+    // Identifiers that merely contain the pattern text must not match:
+    // `thread_rng_calls` is an Ident token distinct from `thread_rng`.
+    thread_rng_calls + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_ambient_entropy() {
+        let x: f64 = rand::random();
+        assert!((0.0..=1.0).contains(&x));
+    }
+}

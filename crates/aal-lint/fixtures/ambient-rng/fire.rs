@@ -1,0 +1,21 @@
+//! Fire corpus for `ambient-rng`: entropy drawn outside the seeded path.
+
+use rand::rngs::OsRng; // expect: ambient-rng
+use rand::{Rng, SeedableRng};
+
+pub fn ambient_draw() -> u64 {
+    let mut rng = rand::thread_rng(); // expect: ambient-rng
+    rng.next_u64()
+}
+
+pub fn os_entropy() -> u64 {
+    OsRng.next_u64() // expect: ambient-rng
+}
+
+pub fn reseeded<R: SeedableRng>() -> R {
+    R::from_entropy() // expect: ambient-rng
+}
+
+pub fn convenience() -> f64 {
+    rand::random() // expect: ambient-rng
+}

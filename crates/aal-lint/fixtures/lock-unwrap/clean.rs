@@ -1,0 +1,34 @@
+//! Clean corpus for `lock-unwrap`: the blessed poisoning policy, plus
+//! lookalikes the token patterns must not catch.
+
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub fn policy_helper(m: &Mutex<u64>) -> u64 {
+    // The one documented policy: observe and recover.
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn rwlock_policy(l: &RwLock<u64>) -> u64 {
+    *l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn reader_with_args(bytes: &mut impl std::io::Read, buf: &mut [u8]) -> usize {
+    // `.read(buf)` has arguments — not a lock acquisition; the trailing
+    // unwrap_or is not `.unwrap()`.
+    bytes.read(buf).unwrap_or(0)
+}
+
+pub fn text_mention() -> &'static str {
+    "grep for .lock().unwrap() finds this string, the linter must not"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_unwrap_locks_freely() {
+        let m = Mutex::new(3u64);
+        assert_eq!(*m.lock().unwrap(), 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! Fire corpus for `lock-unwrap`: unwrapping poisoned-lock results at
+//! the call site instead of using the shared poisoning policy.
+//!
+//! Note: these sites report *only* `lock-unwrap`, never a second
+//! `unwrap` finding — overlap suppression keeps one waiver per site.
+
+use std::sync::{Mutex, RwLock};
+
+pub fn mutex_unwrap(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap() // expect: lock-unwrap
+}
+
+pub fn mutex_expect(m: &Mutex<u64>) -> u64 {
+    *m.lock().expect("poisoned") // expect: lock-unwrap
+}
+
+pub fn rwlock_read(l: &RwLock<u64>) -> u64 {
+    *l.read().unwrap() // expect: lock-unwrap
+}
+
+pub fn rwlock_write(l: &RwLock<u64>, v: u64) {
+    *l.write().expect("poisoned") = v; // expect: lock-unwrap
+}

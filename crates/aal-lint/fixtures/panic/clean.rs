@@ -1,0 +1,39 @@
+//! Clean corpus for `panic`: invariant checks and typed errors — the
+//! blessed alternatives the rule's `instead` text points at.
+
+pub fn typed_error(kind: u8) -> Result<u64, String> {
+    match kind {
+        0 => Ok(10),
+        1 => Ok(20),
+        other => Err(format!("unsupported kind {other}")),
+    }
+}
+
+pub fn invariant_checks(xs: &[u64]) -> u64 {
+    // assert!/debug_assert! are deliberate invariant checks, not flagged.
+    assert!(!xs.is_empty(), "caller guarantees a non-empty slice");
+    debug_assert!(xs.len() < 1 << 20);
+    xs[0]
+}
+
+pub fn text_mention() -> &'static str {
+    "panic! and todo! in a string are just words"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn tests_may_panic() {
+        if true {
+            panic!("boom");
+        }
+    }
+
+    #[test]
+    fn typed_error_path() {
+        assert!(typed_error(9).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! Fire corpus for `panic`: unconditional panics in library code.
+
+pub fn explicit(kind: u8) -> u64 {
+    match kind {
+        0 => 10,
+        1 => 20,
+        _ => panic!("unsupported kind {kind}"), // expect: panic
+    }
+}
+
+pub fn unfinished() -> u64 {
+    todo!("implement the fast path") // expect: panic
+}
+
+pub fn unreachable_variant() -> u64 {
+    unimplemented!() // expect: panic
+}

@@ -1,0 +1,35 @@
+//! Clean corpus for `raw-artifact-write`: the blessed write paths.
+
+use std::io::Write;
+use std::path::Path;
+
+pub fn temp_fsync_rename(dir: &Path, name: &str, body: &str) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    {
+        // aal-lint: allow(raw-artifact-write, reason = "temp side of temp+fsync+rename")
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(name))
+}
+
+pub fn append_only(path: &Path, line: &str) -> std::io::Result<()> {
+    // OpenOptions-append is the crash-safe discipline; only create/write
+    // (whole-file clobbers) are flagged.
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{line}")
+}
+
+pub fn mentioned_in_text() -> &'static str {
+    "File::create and fs::write are the APIs this rule rejects"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_write_scratch_files() {
+        let dir = std::env::temp_dir();
+        std::fs::write(dir.join("aal-lint-fixture-scratch"), "x").unwrap();
+    }
+}

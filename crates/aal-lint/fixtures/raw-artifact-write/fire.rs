@@ -1,0 +1,19 @@
+//! Fire corpus for `raw-artifact-write`: artifact writes that bypass the
+//! append-before-apply / temp+fsync+rename discipline.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+pub fn clobber_checkpoint(path: &Path, body: &str) -> std::io::Result<()> {
+    let mut f = File::create(path)?; // expect: raw-artifact-write
+    f.write_all(body.as_bytes())
+}
+
+pub fn one_shot(path: &Path, body: &str) -> std::io::Result<()> {
+    std::fs::write(path, body) // expect: raw-artifact-write
+}
+
+pub fn qualified(path: &Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path) // expect: raw-artifact-write
+}

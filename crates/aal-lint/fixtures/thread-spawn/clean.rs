@@ -1,0 +1,26 @@
+//! Clean corpus for `thread-spawn`: work routed through the executor,
+//! textual mentions, and test-only threads.
+
+pub fn through_the_executor() -> &'static str {
+    // Real code submits jobs to executor::Pool; `thread::spawn` stays a
+    // string here, not a call.
+    "use executor::Pool instead of thread::spawn"
+}
+
+pub fn waived_shutdown_helper(work: impl FnOnce() + Send + 'static) {
+    // aal-lint: allow(thread-spawn, reason = "fixture exercises a waived spawn")
+    std::thread::spawn(work);
+}
+
+pub fn spawn_like_names(thread_spawn_count: usize) -> usize {
+    thread_spawn_count + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn_directly() {
+        let h = std::thread::spawn(|| 7);
+        assert_eq!(h.join().unwrap(), 7);
+    }
+}

@@ -1,0 +1,16 @@
+//! Fire corpus for `thread-spawn`: ad-hoc threads outside the executor.
+
+pub fn fire_and_forget(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work); // expect: thread-spawn
+}
+
+pub fn named_worker() -> std::io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new() // expect: thread-spawn
+        .name("stray-worker".into())
+        .spawn(|| {})
+}
+
+pub fn imported(work: impl FnOnce() + Send + 'static) {
+    use std::thread;
+    thread::spawn(work); // expect: thread-spawn
+}

@@ -1,0 +1,41 @@
+//! Clean corpus for `unordered-serde`: ordered collections in derived
+//! items, and hash collections that never touch serde.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    pub name: String,
+    pub counters: BTreeMap<String, u64>,
+    pub seen: BTreeSet<u64>,
+}
+
+// No Serialize in the derive list: in-memory key order never leaks.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchIndex {
+    pub by_name: HashMap<String, usize>,
+}
+
+pub fn lookup_only(index: &HashMap<String, usize>, name: &str) -> Option<usize> {
+    // A HashMap used purely for keyed lookup outside any derived item.
+    index.get(name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test-only serialization helpers may use hash collections.
+    #[derive(Serialize)]
+    struct Probe {
+        order_free: std::collections::HashMap<String, u64>,
+    }
+
+    #[test]
+    fn lookup_finds_inserted_keys() {
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1usize);
+        assert_eq!(lookup_only(&m, "a"), Some(1));
+    }
+}

@@ -1,0 +1,18 @@
+//! Fire corpus for `unordered-serde`: hash collections inside items that
+//! derive `Serialize`, where iteration order leaks into artifacts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    pub name: String,
+    pub counters: HashMap<String, u64>, // expect: unordered-serde
+    pub seen: HashSet<u64>,             // expect: unordered-serde
+}
+
+#[derive(Serialize)]
+pub enum Artifact {
+    Flat(Vec<u64>),
+    Keyed { by_name: HashMap<String, f64> }, // expect: unordered-serde
+}

@@ -1,0 +1,35 @@
+//! Clean corpus for `unwrap`: fallible-access patterns that never panic,
+//! waived infallible sites, and test code.
+
+pub fn defaulted(s: &str) -> u64 {
+    s.parse().unwrap_or(0)
+}
+
+pub fn lazily_defaulted(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| s.len() as u64)
+}
+
+pub fn propagated(s: &str) -> Result<u64, std::num::ParseIntError> {
+    let n: u64 = s.parse()?;
+    Ok(n * 2)
+}
+
+pub fn waived_infallible() -> u64 {
+    // aal-lint: allow(unwrap, reason = "a literal always parses as u64")
+    "42".parse().unwrap()
+}
+
+pub fn text_mention() -> &'static str {
+    ".unwrap() in a string or // .expect(msg) comment is not a call"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_unwrap_freely() {
+        assert_eq!("7".parse::<u64>().unwrap(), 7);
+        assert_eq!(propagated("3").expect("parses"), 6);
+    }
+}

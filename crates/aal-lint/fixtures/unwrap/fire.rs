@@ -1,0 +1,14 @@
+//! Fire corpus for `unwrap`: panicking result/option access in library
+//! code.
+
+pub fn bare_unwrap(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // expect: unwrap
+}
+
+pub fn with_message(s: &str) -> u64 {
+    s.parse().expect("caller passes digits") // expect: unwrap
+}
+
+pub fn chained(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap().trim().to_string() // expect: unwrap
+}

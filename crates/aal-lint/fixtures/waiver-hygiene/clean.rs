@@ -1,0 +1,11 @@
+//! Clean corpus for waiver hygiene: well-formed, live waivers in both
+//! positions (leading and trailing), each suppressing a real finding.
+
+pub fn leading(s: &str) -> u64 {
+    // aal-lint: allow(unwrap, reason = "fixture: caller passes digits")
+    s.parse().unwrap()
+}
+
+pub fn trailing(s: &str) -> u64 {
+    s.parse().expect("digits") // aal-lint: allow(unwrap, reason = "fixture: trailing form")
+}

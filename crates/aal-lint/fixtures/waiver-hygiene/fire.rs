@@ -1,0 +1,23 @@
+//! Fire corpus for waiver hygiene: waivers are themselves linted.
+//!
+//! Expected findings (hardcoded in tests/fixtures.rs because waiver
+//! directives cannot carry trailing marker comments):
+//!   line 11 unused-waiver  (suppresses nothing)
+//!   line 16 waiver-syntax  (missing reason)
+//!   line 17 unwrap         (the malformed waiver does not suppress)
+//!   line 21 waiver-syntax  (unknown rule name)
+
+pub fn dead_waiver(s: &str) -> u64 {
+    // aal-lint: allow(unwrap, reason = "suppresses nothing on the next line")
+    s.len() as u64
+}
+
+pub fn missing_reason(s: &str) -> u64 {
+    // aal-lint: allow(unwrap)
+    s.parse().unwrap()
+}
+
+pub fn unknown_rule() -> u64 {
+    // aal-lint: allow(no-such-rule, reason = "typo in the rule name")
+    7
+}

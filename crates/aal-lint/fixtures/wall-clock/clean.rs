@@ -1,0 +1,32 @@
+//! Clean corpus for `wall-clock`: every near-miss the rule must ignore.
+//!
+//! A doc mention of Instant::now() is not a violation, and neither is
+//! the block-comment one below: /* SystemTime::now() */
+
+pub fn in_a_string() -> &'static str {
+    "calling Instant::now() here would be a violation, but this is text"
+}
+
+pub fn in_a_raw_string() -> &'static str {
+    r#"SystemTime::now() inside r"" is still just text"#
+}
+
+pub fn waived() -> std::time::Instant {
+    // aal-lint: allow(wall-clock, reason = "fixture exercises a leading waiver")
+    std::time::Instant::now()
+}
+
+pub fn similar_names(instant_now: u64) -> u64 {
+    // An identifier merely *containing* the words must not match.
+    let now = instant_now;
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 1000);
+    }
+}

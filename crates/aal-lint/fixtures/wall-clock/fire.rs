@@ -1,0 +1,20 @@
+//! Fire corpus for `wall-clock`: ambient time reads in library code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_us() -> u128 {
+    let t0 = Instant::now(); // expect: wall-clock
+    t0.elapsed().as_micros()
+}
+
+pub fn unix_seconds() -> u64 {
+    let now = SystemTime::now(); // expect: wall-clock
+    match now.duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+pub fn fully_qualified() -> std::time::Instant {
+    std::time::Instant::now() // expect: wall-clock
+}

@@ -1,0 +1,236 @@
+//! `aal-lint.toml` — scan roots and per-rule path scoping.
+//!
+//! The build environment vendors no TOML crate, so this module hand-parses
+//! the small, line-oriented subset the config actually needs: `[section]`
+//! headers, `key = "string"`, `key = true|false`, and string arrays (single-
+//! or multi-line). Anything outside that subset is a hard error — config
+//! typos must fail the lint run, not silently disable a rule.
+//!
+//! ```toml
+//! [scan]
+//! roots = ["crates", "src"]
+//! exclude = ["crates/aal-lint/fixtures"]
+//!
+//! [rules.wall-clock]
+//! # Rule disabled under these path prefixes:
+//! allow = ["crates/telemetry"]
+//!
+//! [rules.raw-artifact-write]
+//! # Rule enforced *only* under these path prefixes:
+//! only = ["crates/tuning-db"]
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Scoping for one rule.
+#[derive(Debug, Default, Clone)]
+pub struct RuleScope {
+    /// `false` turns the rule off everywhere.
+    pub enabled: Option<bool>,
+    /// Path prefixes where the rule does not apply.
+    pub allow: Vec<String>,
+    /// When non-empty, the rule applies *only* under these prefixes.
+    pub only: Vec<String>,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (relative to the workspace root) to scan for `.rs` files.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from the scan entirely.
+    pub exclude: Vec<String>,
+    /// Per-rule scoping, keyed by rule name.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl Default for Config {
+    /// The no-config default: scan everything passed in, all rules active
+    /// everywhere. This is what fixtures and `--no-config` runs use.
+    fn default() -> Config {
+        Config { roots: vec![".".into()], exclude: Vec::new(), rules: BTreeMap::new() }
+    }
+}
+
+impl Config {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config { roots: Vec::new(), ..Config::default() };
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((n, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                let known = section == "scan" || section.starts_with("rules.");
+                if !known {
+                    return Err(format!("line {}: unknown section [{section}]", n + 1));
+                }
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", n + 1));
+            };
+            let (key, mut val) = (key.trim(), val.trim().to_string());
+            // Multi-line array: accumulate until the closing bracket.
+            if val.starts_with('[') && !val.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    val.push(' ');
+                    val.push_str(strip_comment(cont).trim());
+                    if val.ends_with(']') {
+                        break;
+                    }
+                }
+            }
+            apply_key(&mut cfg, &section, key, &val).map_err(|e| format!("line {}: {e}", n + 1))?;
+        }
+        if cfg.roots.is_empty() {
+            cfg.roots.push(".".into());
+        }
+        Ok(cfg)
+    }
+
+    /// True when `rel_path` is excluded from scanning.
+    #[must_use]
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude.iter().any(|p| path_has_prefix(rel_path, p))
+    }
+
+    /// True when `rule` applies to `rel_path` under this config.
+    #[must_use]
+    pub fn rule_applies(&self, rule: &str, rel_path: &str) -> bool {
+        let Some(scope) = self.rules.get(rule) else {
+            return true;
+        };
+        if scope.enabled == Some(false) {
+            return false;
+        }
+        if !scope.only.is_empty() && !scope.only.iter().any(|p| path_has_prefix(rel_path, p)) {
+            return false;
+        }
+        !scope.allow.iter().any(|p| path_has_prefix(rel_path, p))
+    }
+}
+
+fn apply_key(cfg: &mut Config, section: &str, key: &str, val: &str) -> Result<(), String> {
+    if section == "scan" {
+        return match key {
+            "roots" => {
+                cfg.roots = parse_array(val)?;
+                Ok(())
+            }
+            "exclude" => {
+                cfg.exclude = parse_array(val)?;
+                Ok(())
+            }
+            _ => Err(format!("unknown [scan] key `{key}`")),
+        };
+    }
+    if let Some(rule) = section.strip_prefix("rules.") {
+        let scope = cfg.rules.entry(rule.to_string()).or_default();
+        return match key {
+            "allow" => {
+                scope.allow = parse_array(val)?;
+                Ok(())
+            }
+            "only" => {
+                scope.only = parse_array(val)?;
+                Ok(())
+            }
+            "enabled" => {
+                scope.enabled = Some(parse_bool(val)?);
+                Ok(())
+            }
+            _ => Err(format!("unknown [rules.{rule}] key `{key}`")),
+        };
+    }
+    Err(format!("key `{key}` outside any section"))
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string does not start a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_bool(val: &str) -> Result<bool, String> {
+    match val {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(format!("expected true/false, got `{val}`")),
+    }
+}
+
+fn parse_array(val: &str) -> Result<Vec<String>, String> {
+    let Some(inner) = val.strip_prefix('[').and_then(|v| v.strip_suffix(']')) else {
+        return Err(format!("expected a [\"...\"] array, got `{val}`"));
+    };
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        let Some(s) = item.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!("array items must be quoted strings, got `{item}`"));
+        };
+        out.push(s.trim_end_matches('/').to_string());
+    }
+    Ok(out)
+}
+
+/// Prefix match on whole path segments: `crates/cli` covers
+/// `crates/cli/src/main.rs` but not `crates/cli-extras/x.rs`.
+fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    path == prefix || path.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            "# top comment\n[scan]\nroots = [\"crates\", \"src\"]\nexclude = [\n  \"vendor\", # stubs\n  \"target\",\n]\n\n[rules.wall-clock]\nallow = [\"crates/telemetry/\"]\n[rules.raw-artifact-write]\nonly = [\"crates/tuning-db\"]\nenabled = true\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.roots, vec!["crates", "src"]);
+        assert_eq!(cfg.exclude, vec!["vendor", "target"]);
+        assert!(cfg.rule_applies("wall-clock", "crates/cli/src/main.rs"));
+        assert!(!cfg.rule_applies("wall-clock", "crates/telemetry/src/lib.rs"));
+        assert!(cfg.rule_applies("raw-artifact-write", "crates/tuning-db/src/db.rs"));
+        assert!(!cfg.rule_applies("raw-artifact-write", "crates/cli/src/main.rs"));
+    }
+
+    #[test]
+    fn segment_prefix_matching() {
+        assert!(path_has_prefix("crates/cli/src/main.rs", "crates/cli"));
+        assert!(!path_has_prefix("crates/cli-extras/a.rs", "crates/cli"));
+        assert!(path_has_prefix("crates/cli", "crates/cli"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_sections() {
+        assert!(Config::parse("[scan]\nbogus = true\n").is_err());
+        assert!(Config::parse("[surprise]\n").is_err());
+        assert!(Config::parse("orphan = 1\n").is_err());
+        assert!(Config::parse("[rules.x]\nallow = \"not-an-array\"\n").is_err());
+    }
+
+    #[test]
+    fn disabled_rule_never_applies() {
+        let cfg = Config::parse("[rules.unwrap]\nenabled = false\n").unwrap();
+        assert!(!cfg.rule_applies("unwrap", "crates/cli/src/main.rs"));
+    }
+}

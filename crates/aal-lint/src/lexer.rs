@@ -1,0 +1,401 @@
+//! A minimal, self-contained Rust lexer.
+//!
+//! The linter matches invariant violations on *token* streams, never on raw
+//! text, so occurrences of e.g. `Instant::now()` inside strings, raw strings,
+//! or comments can never fire a rule. The lexer therefore has to get exactly
+//! one thing right: the boundaries of comments, string/char literals (plain,
+//! raw, byte), lifetimes, identifiers, numbers, and punctuation. It does not
+//! validate the source — malformed input still lexes (greedily, to EOF where
+//! a terminator is missing) and always round-trips byte-for-byte:
+//! concatenating `Tok::text` in order reproduces the input exactly.
+
+/// Token classes, only as fine-grained as rule matching needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Horizontal/vertical whitespace run.
+    Whitespace,
+    /// `// ...` up to (not including) the newline. Includes `///` and `//!`.
+    LineComment,
+    /// `/* ... */`, nesting-aware; unterminated comments run to EOF.
+    BlockComment,
+    /// `"..."` or `b"..."`, escape-aware.
+    Str,
+    /// `r"..."`, `r#"..."#`, `br##"..."##`, any hash depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`, `b'x'`.
+    Char,
+    /// `'ident` that is not a char literal (e.g. `'static`, `'a`).
+    Lifetime,
+    /// Numeric literal (integers, floats, suffixed forms) — lexed loosely.
+    Num,
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// Any single remaining character.
+    Punct,
+}
+
+impl TokKind {
+    /// True for tokens rules can match on (not whitespace or comments).
+    #[must_use]
+    pub fn is_significant(self) -> bool {
+        !matches!(self, TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One lexed token: class, exact source slice, and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Cursor over `char_indices` with byte-offset bookkeeping.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` into a complete token cover: every byte of the input belongs
+/// to exactly one token, in order.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut cur = Cursor { src, pos: 0, line: 1 };
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = lex_one(&mut cur, c);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        toks.push(Tok { kind, text: &src[start..cur.pos], line });
+    }
+    toks
+}
+
+fn lex_one(cur: &mut Cursor<'_>, c: char) -> TokKind {
+    match c {
+        _ if c.is_whitespace() => {
+            cur.eat_while(char::is_whitespace);
+            TokKind::Whitespace
+        }
+        '/' if cur.peek2() == Some('/') => {
+            cur.eat_while(|c| c != '\n');
+            TokKind::LineComment
+        }
+        '/' if cur.peek2() == Some('*') => {
+            lex_block_comment(cur);
+            TokKind::BlockComment
+        }
+        '"' => {
+            cur.bump();
+            lex_str_body(cur);
+            TokKind::Str
+        }
+        'r' => lex_r(cur),
+        'b' => lex_b(cur),
+        '\'' => lex_quote(cur),
+        '0'..='9' => {
+            lex_num(cur);
+            TokKind::Num
+        }
+        _ if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            TokKind::Ident
+        }
+        _ => {
+            cur.bump();
+            TokKind::Punct
+        }
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(), cur.peek2()) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: runs to EOF
+        }
+    }
+}
+
+/// Body of a `"`-delimited string, opening quote already consumed.
+fn lex_str_body(cur: &mut Cursor<'_>) {
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump(); // skip the escaped char, incl. \" and \\
+            }
+            Some('"') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// `r` — raw string `r"`/`r#"`, raw identifier `r#ident`, or plain ident.
+fn lex_r(cur: &mut Cursor<'_>) -> TokKind {
+    let rest = &cur.src[cur.pos + 1..];
+    let hashes = rest.chars().take_while(|&c| c == '#').count();
+    let after = rest[hashes..].chars().next();
+    if after == Some('"') {
+        cur.bump(); // 'r'
+        lex_raw_str_body(cur, hashes);
+        return TokKind::RawStr;
+    }
+    if hashes == 1 && after.is_some_and(is_ident_start) {
+        cur.bump(); // 'r'
+        cur.bump(); // '#'
+        cur.eat_while(is_ident_continue);
+        return TokKind::Ident;
+    }
+    cur.eat_while(is_ident_continue);
+    TokKind::Ident
+}
+
+/// `b` — byte string `b"`, byte char `b'`, raw byte string `br#"`, or ident.
+fn lex_b(cur: &mut Cursor<'_>) -> TokKind {
+    match cur.peek2() {
+        Some('"') => {
+            cur.bump(); // 'b'
+            cur.bump(); // '"'
+            lex_str_body(cur);
+            TokKind::Str
+        }
+        Some('\'') => {
+            cur.bump(); // 'b'
+            lex_quote(cur)
+        }
+        Some('r') => {
+            let rest = &cur.src[cur.pos + 2..];
+            let hashes = rest.chars().take_while(|&c| c == '#').count();
+            if rest[hashes..].starts_with('"') {
+                cur.bump(); // 'b'
+                cur.bump(); // 'r'
+                lex_raw_str_body(cur, hashes);
+                TokKind::RawStr
+            } else {
+                cur.eat_while(is_ident_continue);
+                TokKind::Ident
+            }
+        }
+        _ => {
+            cur.eat_while(is_ident_continue);
+            TokKind::Ident
+        }
+    }
+}
+
+/// Raw string after the `r`/`br` prefix: `#* " ... " #*` with `hashes` hashes.
+fn lex_raw_str_body(cur: &mut Cursor<'_>, hashes: usize) {
+    for _ in 0..hashes {
+        cur.bump();
+    }
+    cur.bump(); // opening '"'
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let rest = &cur.src[cur.pos..];
+                if rest.chars().take(hashes).filter(|&c| c == '#').count() == hashes {
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    return;
+                }
+            }
+            None => return, // unterminated: runs to EOF
+            Some(_) => {}
+        }
+    }
+}
+
+/// `'` — char literal or lifetime. The decisive lookahead: `'x'` (closing
+/// quote after one char or an escape sequence) is a char, `'ident` without a
+/// closing quote is a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // opening '\''
+    match cur.peek() {
+        Some('\\') => {
+            cur.bump();
+            cur.bump(); // escaped char
+                        // Consume to the closing quote; covers \u{...} and malformed
+                        // tails without ever crossing a newline.
+            cur.eat_while(|c| c != '\'' && c != '\n');
+            cur.bump();
+            TokKind::Char
+        }
+        Some(c) if is_ident_continue(c) => {
+            cur.eat_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                TokKind::Char
+            } else {
+                TokKind::Lifetime
+            }
+        }
+        Some('\'') | None => {
+            // `''` (malformed) or a trailing quote at EOF.
+            cur.bump();
+            TokKind::Char
+        }
+        Some(_) => {
+            // `'('` etc: a single non-ident char — char literal if closed.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokKind::Char
+        }
+    }
+}
+
+/// Numeric literal, lexed loosely: digits/alnum/underscore runs, a fraction
+/// part when `.` is followed by a digit (so `1..4` stays three tokens), and
+/// exponent signs (`1e-3`). Precision here only has to be good enough to
+/// never swallow adjacent punctuation that rules might match on.
+fn lex_num(cur: &mut Cursor<'_>) {
+    loop {
+        cur.eat_while(|c| c.is_alphanumeric() || c == '_');
+        let prev_is_exp =
+            cur.src[..cur.pos].chars().next_back().is_some_and(|c| c == 'e' || c == 'E');
+        match (cur.peek(), cur.peek2()) {
+            (Some('.'), Some(d)) if d.is_ascii_digit() => {
+                cur.bump();
+            }
+            (Some('+' | '-'), Some(d)) if prev_is_exp && d.is_ascii_digit() => {
+                cur.bump();
+            }
+            _ => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.text).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn covers_and_roundtrips_basics() {
+        for src in [
+            "fn main() { let x = 1; }",
+            "let s = \"Instant::now() \\\" inside\";",
+            "let r = r#\"raw \" with // comment\"#;",
+            "let r = br##\"deep \"# edge\"##;",
+            "/* outer /* nested */ still */ let x = 'a';",
+            "// line Instant::now()\nlet t = 1.5e-3;",
+            "let l: &'static str = \"x\"; let c = '\\u{1F600}';",
+            "for i in 0..10 { v[i] = b'\\n'; }",
+            "let r#match = r#\"x\"#;",
+            "let b = b\"bytes \\\" ok\";",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds("\"a::b()\" /* c::d() */ // e::f()\n");
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[2].0, TokKind::BlockComment);
+        assert_eq!(toks[4].0, TokKind::LineComment);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks: Vec<_> = kinds("<'a> 'x' 'static '\\'' ")
+            .into_iter()
+            .filter(|(k, _)| k.is_significant())
+            .collect();
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Punct, "<"),
+                (TokKind::Lifetime, "'a"),
+                (TokKind::Punct, ">"),
+                (TokKind::Char, "'x'"),
+                (TokKind::Lifetime, "'static"),
+                (TokKind::Char, "'\\''"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_ident_vs_raw_str() {
+        assert_eq!(kinds("r#fn")[0], (TokKind::Ident, "r#fn"));
+        assert_eq!(kinds("r#\"s\"#")[0], (TokKind::RawStr, "r#\"s\"#"));
+        assert_eq!(kinds("r\"s\"")[0], (TokKind::RawStr, "r\"s\""));
+    }
+
+    #[test]
+    fn unterminated_inputs_still_cover() {
+        for src in ["\"open", "/* open /* deeper", "r##\"open\"#", "'\\"] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,268 @@
+//! `aal-lint` — the workspace invariant linter.
+//!
+//! The stack's headline guarantees (byte-identical trial logs at any worker
+//! count, kill-9-safe persistence, seeded reproducibility) are dynamic-test
+//! enforced but easy to silently break: one stray `Instant::now` in a replay
+//! path, a `HashMap` iterated into a serialized artifact, a raw
+//! `File::create` bypassing append-before-apply. This crate enforces those
+//! invariants *statically*, with a project-specific rule catalog
+//! ([`rules::RULES`]), an allow-list config (`aal-lint.toml`), and inline
+//! waivers that document every exception at its use site.
+//!
+//! Run it as `cargo run -p aal-lint -- check` (human output) or
+//! `-- check --json` (machine-readable). See DESIGN.md §14 for the
+//! invariant catalog and the waiver workflow.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use config::Config;
+use rules::{pattern_matches, rule_by_name, unordered_serde_matches, RawMatch, RULES};
+use serde::Serialize;
+use source::SourceFile;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One reported violation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// Rule name (`wall-clock`, `unwrap`, ... or `waiver-syntax` /
+    /// `unused-waiver` for waiver hygiene).
+    pub rule: String,
+    /// Rule category (`determinism`, `crash-safety`, `concurrency`,
+    /// `panic-policy`, `waiver`).
+    pub category: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the first offending token.
+    pub line: u32,
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Totals for one lint run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Summary {
+    pub files_scanned: usize,
+    pub findings: usize,
+    pub waivers_used: usize,
+    /// Finding count per rule (only non-zero entries).
+    pub by_rule: BTreeMap<String, usize>,
+}
+
+/// Full machine-readable report (`check --json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Report schema version.
+    pub version: u32,
+    pub summary: Summary,
+    pub findings: Vec<Finding>,
+}
+
+/// Lints a single file's source under `cfg`. `rel_path` is the
+/// workspace-relative path used for scoping and reporting.
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> (Vec<Finding>, usize) {
+    let mut file = SourceFile::parse(rel_path, src);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines.get(line as usize - 1).map_or(String::new(), |l| l.trim().to_string())
+    };
+
+    // Collect raw matches for every rule active on this path.
+    let mut raw: Vec<RawMatch> = Vec::new();
+    for rule in RULES {
+        if !cfg.rule_applies(rule.name, rel_path) {
+            continue;
+        }
+        if rule.name == "unordered-serde" {
+            raw.extend(unordered_serde_matches(&file, rule));
+        } else {
+            raw.extend(pattern_matches(&file, rule));
+        }
+    }
+
+    // `.lock().unwrap()` is the lock-unwrap rule's finding, not a second
+    // `unwrap` finding: drop panic-policy matches contained in a
+    // concurrency match span so each site needs exactly one waiver.
+    let lock_spans: Vec<(usize, usize)> =
+        raw.iter().filter(|m| m.rule.name == "lock-unwrap").map(|m| (m.start, m.end)).collect();
+    raw.retain(|m| {
+        m.rule.name != "unwrap" || !lock_spans.iter().any(|&(a, b)| m.start >= a && m.end <= b)
+    });
+
+    let mut findings = Vec::new();
+    let mut waivers_used = 0usize;
+    for m in raw {
+        if file.try_waive(m.rule.name, m.line) {
+            waivers_used += 1;
+            continue;
+        }
+        findings.push(Finding {
+            rule: m.rule.name.to_string(),
+            category: m.rule.category.to_string(),
+            path: rel_path.to_string(),
+            line: m.line,
+            message: format!("{} (found `{}`) — {}", m.rule.desc, m.what, m.rule.instead),
+            snippet: snippet(m.line),
+        });
+    }
+
+    // Waiver hygiene: malformed directives, unknown rules, dead waivers.
+    for e in &file.waiver_errors {
+        findings.push(Finding {
+            rule: "waiver-syntax".into(),
+            category: "waiver".into(),
+            path: rel_path.to_string(),
+            line: e.line,
+            message: e.message.clone(),
+            snippet: snippet(e.line),
+        });
+    }
+    for w in &file.waivers {
+        if rule_by_name(&w.rule).is_none() {
+            findings.push(Finding {
+                rule: "waiver-syntax".into(),
+                category: "waiver".into(),
+                path: rel_path.to_string(),
+                line: w.line,
+                message: format!("waiver names unknown rule `{}`", w.rule),
+                snippet: snippet(w.line),
+            });
+        } else if !w.used {
+            findings.push(Finding {
+                rule: "unused-waiver".into(),
+                category: "waiver".into(),
+                path: rel_path.to_string(),
+                line: w.line,
+                message: format!("waiver for `{}` suppresses nothing — remove it", w.rule),
+                snippet: snippet(w.line),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    (findings, waivers_used)
+}
+
+/// Recursively collects `.rs` files under `root`-relative scan roots,
+/// honoring excludes, in sorted (deterministic) order.
+pub fn collect_files(root: &Path, cfg: &Config) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for scan_root in &cfg.roots {
+        let dir = root.join(scan_root);
+        if !dir.exists() {
+            continue;
+        }
+        walk(root, &dir, cfg, &mut out)?;
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rel = rel_path(root, dir);
+    if cfg.is_excluded(&rel) || rel.split('/').any(|s| s == "target" || s == ".git") {
+        return Ok(());
+    }
+    if dir.is_file() {
+        if dir.extension().is_some_and(|e| e == "rs") {
+            out.push(dir.to_path_buf());
+        }
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        walk(root, &entry.path(), cfg, out)?;
+    }
+    Ok(())
+}
+
+/// Workspace-relative display path with `/` separators.
+#[must_use]
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Lints every file in `files`, producing the final report.
+pub fn lint_files(root: &Path, files: &[PathBuf], cfg: &Config) -> Result<Report, String> {
+    let mut findings = Vec::new();
+    let mut summary = Summary::default();
+    for path in files {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = rel_path(root, path);
+        let (file_findings, waived) = lint_source(&rel, &src, cfg);
+        summary.files_scanned += 1;
+        summary.waivers_used += waived;
+        findings.extend(file_findings);
+    }
+    for f in &findings {
+        *summary.by_rule.entry(f.rule.clone()).or_insert(0) += 1;
+    }
+    summary.findings = findings.len();
+    Ok(Report { version: 1, summary, findings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn end_to_end_finding_and_waiver() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let (f, waived) = lint_source("crates/x/src/lib.rs", src, &cfg());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(waived, 0);
+
+        let waived_src = "// aal-lint: allow(wall-clock, reason = \"self-timing only\")\nfn f() { let t = std::time::Instant::now(); }\n";
+        let (f, waived) = lint_source("crates/x/src/lib.rs", waived_src, &cfg());
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(waived, 1);
+    }
+
+    #[test]
+    fn lock_unwrap_needs_one_waiver_not_two() {
+        let src = "fn f(m: &std::sync::Mutex<u8>) { *m.lock().unwrap() += 1; }\n";
+        let (f, _) = lint_source("crates/x/src/lib.rs", src, &cfg());
+        let rules: Vec<&str> = f.iter().map(|x| x.rule.as_str()).collect();
+        assert_eq!(rules, vec!["lock-unwrap"]);
+    }
+
+    #[test]
+    fn unused_waiver_is_reported() {
+        let src = "// aal-lint: allow(unwrap, reason = \"nothing here\")\nfn f() {}\n";
+        let (f, _) = lint_source("crates/x/src/lib.rs", src, &cfg());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unused-waiver");
+    }
+
+    #[test]
+    fn unknown_rule_waiver_is_reported() {
+        let src = "// aal-lint: allow(no-such-rule, reason = \"x\")\nfn f() { y.unwrap(); }\n";
+        let (f, _) = lint_source("crates/x/src/lib.rs", src, &cfg());
+        assert!(f.iter().any(|x| x.rule == "waiver-syntax"));
+    }
+
+    #[test]
+    fn config_scoping_disables_rules_per_path() {
+        let cfg = Config::parse("[rules.wall-clock]\nallow = [\"crates/telemetry\"]\n").unwrap();
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let (f, _) = lint_source("crates/telemetry/src/lib.rs", src, &cfg);
+        assert!(f.is_empty());
+        let (f, _) = lint_source("crates/cli/src/main.rs", src, &cfg);
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! CLI entry point: `aal-lint check` / `aal-lint rules`.
+
+use aal_lint::config::Config;
+use aal_lint::rules::RULES;
+use aal_lint::{collect_files, lint_files, Report};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  aal-lint check [--json] [--root DIR] [--config FILE] [--no-config] [PATHS...]
+  aal-lint rules [--json]
+
+check scans the workspace (or just PATHS) for invariant violations and
+exits 0 when clean, 1 on findings, 2 on usage or I/O errors. The config
+is read from <root>/aal-lint.toml unless --config overrides it or
+--no-config selects built-in defaults (all rules, everywhere — what the
+fixture corpus runs under). Waive a finding at its use site with:
+  // aal-lint: allow(<rule>, reason = \"why this exception is sound\")
+rules lists the invariant catalog.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("aal-lint: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => rules(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn check(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut no_config = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--no-config" => no_config = true,
+            "--root" => {
+                root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let cfg =
+        if no_config { Config::default() } else { load_config(&root, config_path.as_deref())? };
+
+    let files = if paths.is_empty() {
+        collect_files(&root, &cfg)?
+    } else {
+        let mut out = Vec::new();
+        for p in &paths {
+            let abs = if p.is_absolute() { p.clone() } else { root.join(p) };
+            if !abs.exists() {
+                return Err(format!("no such path: {}", p.display()));
+            }
+            if abs.is_file() {
+                out.push(abs);
+                continue;
+            }
+            let sub = Config { roots: vec![".".into()], ..cfg.clone() };
+            out.extend(collect_files(&abs, &sub)?);
+        }
+        out.sort();
+        out.dedup();
+        out
+    };
+
+    let report = lint_files(&root, &files, &cfg)?;
+    if json {
+        println!("{}", serde_json::to_string(&report).map_err(|e| format!("render json: {e}"))?);
+    } else {
+        print_human(&report);
+    }
+    Ok(if report.findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn print_human(report: &Report) {
+    for f in &report.findings {
+        println!("{}:{}: [{}/{}] {}", f.path, f.line, f.category, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            println!("    > {}", f.snippet);
+        }
+    }
+    let s = &report.summary;
+    if !s.by_rule.is_empty() {
+        let per: Vec<String> = s.by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+        println!("---\n{}", per.join(", "));
+    }
+    println!(
+        "aal-lint: {} finding(s), {} waiver(s) honored, {} file(s) scanned",
+        s.findings, s.waivers_used, s.files_scanned
+    );
+}
+
+fn rules(args: &[String]) -> Result<ExitCode, String> {
+    let json = args.iter().any(|a| a == "--json");
+    if json {
+        let list: Vec<serde_json::Value> = RULES
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "name": r.name,
+                    "category": r.category,
+                    "desc": r.desc,
+                    "instead": r.instead,
+                })
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string(&serde_json::Value::Array(list))
+                .map_err(|e| format!("render json: {e}"))?
+        );
+    } else {
+        for r in RULES {
+            println!("{:<20} {:<13} {}", r.name, r.category, r.desc);
+            println!("{:<20} {:<13} fix: {}", "", "", r.instead);
+        }
+        println!("\nwaive at the use site with: // aal-lint: allow(<rule>, reason = \"...\")");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Walks up from the current directory to the first `aal-lint.toml` (or,
+/// failing that, a workspace-root `Cargo.toml`).
+fn find_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    let mut dir: &Path = &cwd;
+    loop {
+        if dir.join("aal-lint.toml").exists() {
+            return Ok(dir.to_path_buf());
+        }
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return Ok(cwd),
+        }
+    }
+}
+
+fn load_config(root: &Path, explicit: Option<&Path>) -> Result<Config, String> {
+    let path = match explicit {
+        Some(p) => p.to_path_buf(),
+        None => {
+            let default = root.join("aal-lint.toml");
+            if !default.exists() {
+                return Ok(Config::default());
+            }
+            default
+        }
+    };
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}

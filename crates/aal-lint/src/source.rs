@@ -1,0 +1,328 @@
+//! Per-file source model: significant tokens, test-code regions, and
+//! inline waivers.
+//!
+//! Rules never see raw text. They see the significant-token stream of a
+//! [`SourceFile`], with two layers of context computed up front:
+//!
+//! - **Test regions** — spans covered by `#[cfg(test)]` / `#[test]` items
+//!   (plus whole files under a `tests/` or `benches/` directory). Invariants
+//!   are about shipped library code; test code is exempt from every rule.
+//! - **Waivers** — `// aal-lint: allow(<rule>, reason = "...")` comments.
+//!   A trailing waiver covers its own line; a waiver alone on a line covers
+//!   the next line holding code. Waivers must name a known rule and carry a
+//!   non-empty reason, and unused waivers are themselves findings, so the
+//!   waiver inventory in the tree is always live and documented.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line of the waiver comment itself.
+    pub line: u32,
+    /// Rule name the waiver targets.
+    pub rule: String,
+    /// Documented reason (always non-empty once validated).
+    pub reason: String,
+    /// Line whose findings this waiver suppresses.
+    pub target_line: u32,
+    /// Set when a finding was suppressed by this waiver.
+    pub used: bool,
+}
+
+/// A malformed waiver comment, reported as a finding by the engine.
+#[derive(Debug, Clone)]
+pub struct WaiverError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Lexed file plus the context rules match against.
+pub struct SourceFile<'a> {
+    /// Significant tokens only (no whitespace, no comments).
+    pub sig: Vec<Tok<'a>>,
+    /// Sorted, disjoint spans over `sig` indices that are test code.
+    test_spans: Vec<(usize, usize)>,
+    /// Whether the whole file is test code (path under tests/ or benches/).
+    all_test: bool,
+    pub waivers: Vec<Waiver>,
+    pub waiver_errors: Vec<WaiverError>,
+}
+
+impl<'a> SourceFile<'a> {
+    /// Lexes and annotates one file. `rel_path` uses `/` separators.
+    #[must_use]
+    pub fn parse(rel_path: &str, src: &'a str) -> SourceFile<'a> {
+        let toks = lex(src);
+        let all_test = rel_path.split('/').any(|seg| seg == "tests" || seg == "benches");
+        let sig: Vec<Tok<'a>> = toks.iter().copied().filter(|t| t.kind.is_significant()).collect();
+        let test_spans = if all_test { Vec::new() } else { test_spans(&sig) };
+        let mut file = SourceFile {
+            sig,
+            test_spans,
+            all_test,
+            waivers: Vec::new(),
+            waiver_errors: Vec::new(),
+        };
+        if !all_test {
+            file.collect_waivers(&toks);
+        }
+        file
+    }
+
+    /// True when the significant token at `idx` lies in test code.
+    #[must_use]
+    pub fn is_test(&self, idx: usize) -> bool {
+        self.all_test || self.test_spans.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// Marks a matching waiver used and reports whether one covered
+    /// `(rule, line)`.
+    pub fn try_waive(&mut self, rule: &str, line: u32) -> bool {
+        for w in &mut self.waivers {
+            if w.rule == rule && w.target_line == line {
+                w.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Parses waiver comments from the full token stream (`toks` includes
+    /// comments; `self.sig` does not).
+    fn collect_waivers(&mut self, toks: &[Tok<'a>]) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::LineComment {
+                continue;
+            }
+            let body = t.text.trim_start_matches('/').trim();
+            let Some(directive) = body.strip_prefix("aal-lint:") else {
+                continue;
+            };
+            // Waivers inside test code would never suppress anything
+            // (all rules are test-exempt); treat them as dead weight.
+            let sig_after = self.sig.partition_point(|s| {
+                (s.line, s.text.as_ptr() as usize) < (t.line, t.text.as_ptr() as usize)
+            });
+            if sig_after > 0 && self.is_test(sig_after.saturating_sub(1)) {
+                continue;
+            }
+            match parse_directive(directive.trim()) {
+                Ok((rule, reason)) => {
+                    let trailing =
+                        toks[..i].iter().any(|p| p.line == t.line && p.kind.is_significant());
+                    let target_line = if trailing {
+                        t.line
+                    } else {
+                        // First code line after the comment.
+                        self.sig.get(sig_after).map_or(u32::MAX, |s| s.line)
+                    };
+                    self.waivers.push(Waiver {
+                        line: t.line,
+                        rule,
+                        reason,
+                        target_line,
+                        used: false,
+                    });
+                }
+                Err(message) => {
+                    self.waiver_errors.push(WaiverError { line: t.line, message });
+                }
+            }
+        }
+    }
+}
+
+/// Parses `allow(<rule>, reason = "...")`, returning `(rule, reason)`.
+fn parse_directive(s: &str) -> Result<(String, String), String> {
+    let Some(inner) = s.strip_prefix("allow(").and_then(|r| r.strip_suffix(')')) else {
+        return Err(format!("expected `allow(<rule>, reason = \"...\")`, got `{s}`"));
+    };
+    let Some((rule, rest)) = inner.split_once(',') else {
+        return Err("waiver is missing the `reason = \"...\"` argument".into());
+    };
+    let rule = rule.trim();
+    if rule.is_empty() {
+        return Err("waiver names an empty rule".into());
+    }
+    let rest = rest.trim();
+    let Some(q) = rest.strip_prefix("reason").map(str::trim_start) else {
+        return Err("second waiver argument must be `reason = \"...\"`".into());
+    };
+    let Some(q) = q.strip_prefix('=').map(str::trim_start) else {
+        return Err("second waiver argument must be `reason = \"...\"`".into());
+    };
+    let reason = q.strip_prefix('"').and_then(|r| r.strip_suffix('"'));
+    match reason {
+        Some(r) if !r.trim().is_empty() => Ok((rule.to_string(), r.to_string())),
+        Some(_) => Err("waiver reason must not be empty".into()),
+        None => Err("waiver reason must be a quoted string".into()),
+    }
+}
+
+/// Finds `#[cfg(test)]`- and `#[test]`-covered item spans over significant
+/// tokens. The scan is brace-matched, not grammar-aware: an attributed item
+/// extends to its first top-level `;` or through its first balanced
+/// `{ ... }` block, which is exactly right for `mod`, `fn`, `use`, `impl`,
+/// and struct items.
+fn test_spans(sig: &[Tok<'_>]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].text != "#" || sig.get(i + 1).map(|t| t.text) != Some("[") {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some((attr_end, is_test)) = scan_attr(sig, i + 1) else {
+            break;
+        };
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between the test attr and the item.
+        let mut j = attr_end + 1;
+        while sig.get(j).map(|t| t.text) == Some("#") && sig.get(j + 1).map(|t| t.text) == Some("[")
+        {
+            match scan_attr(sig, j + 1) {
+                Some((end, _)) => j = end + 1,
+                None => return spans,
+            }
+        }
+        let item_end = item_end(sig, j);
+        spans.push((attr_start, item_end));
+        i = item_end + 1;
+    }
+    spans
+}
+
+/// From the `[` at `open`, returns `(index of matching ], attr is a test
+/// marker)`. Test markers: `#[test]` and any `#[cfg(...)]` that mentions
+/// `test` without `not`.
+fn scan_attr(sig: &[Tok<'_>], open: usize) -> Option<(usize, bool)> {
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut k = open;
+    while k < sig.len() {
+        match sig[k].text {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            }
+            "test" => saw_test = true,
+            "not" => saw_not = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= sig.len() {
+        return None;
+    }
+    let head = sig.get(open + 1).map(|t| t.text);
+    let is_test = match head {
+        Some("test") => k == open + 2, // exactly `#[test]`
+        Some("cfg") => saw_test && !saw_not,
+        _ => false,
+    };
+    Some((k, is_test))
+}
+
+/// Returns the index of the last token of the item starting at `start`:
+/// the first top-level `;`, or the `}` closing the first top-level block.
+pub(crate) fn item_end(sig: &[Tok<'_>], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = start;
+    while k < sig.len() {
+        match sig[k].text {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" => {
+                // Enter the body, return at its matching close.
+                let mut b = 1usize;
+                k += 1;
+                while k < sig.len() && b > 0 {
+                    match sig[k].text {
+                        "{" => b += 1,
+                        "}" => b -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return k.saturating_sub(1);
+            }
+            ";" if depth == 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    sig.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let unwraps: Vec<bool> = f
+            .sig
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, _)| f.is_test(i))
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn a() { x.unwrap(); }\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let idx = f.sig.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(!f.is_test(idx));
+    }
+
+    #[test]
+    fn tests_dir_is_fully_exempt() {
+        let f = SourceFile::parse("crates/x/tests/t.rs", "fn a() { x.unwrap(); }");
+        let idx = f.sig.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(f.is_test(idx));
+    }
+
+    #[test]
+    fn waiver_parses_and_targets_next_line() {
+        let src = "// aal-lint: allow(unwrap, reason = \"startup config is static\")\nlet x = y.unwrap();\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.waivers.len(), 1);
+        assert_eq!(f.waivers[0].rule, "unwrap");
+        assert_eq!(f.waivers[0].target_line, 2);
+        assert!(f.waiver_errors.is_empty());
+    }
+
+    #[test]
+    fn trailing_waiver_targets_own_line() {
+        let src = "let x = y.unwrap(); // aal-lint: allow(unwrap, reason = \"ok\")\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.waivers[0].target_line, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_an_error() {
+        for bad in [
+            "// aal-lint: allow(unwrap)",
+            "// aal-lint: allow(unwrap, reason = \"\")",
+            "// aal-lint: allow(unwrap, because = \"x\")",
+            "// aal-lint: deny(unwrap)",
+        ] {
+            let f = SourceFile::parse("crates/x/src/lib.rs", bad);
+            assert_eq!(f.waiver_errors.len(), 1, "{bad}");
+        }
+    }
+}

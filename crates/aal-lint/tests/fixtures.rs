@@ -1,0 +1,141 @@
+//! Fixture-corpus self-tests: every rule has a fire/clean pair, the fire
+//! file produces *exactly* the findings its `// expect: <rule>` markers
+//! claim, the clean file produces none, and the CLI exit codes agree.
+
+use aal_lint::config::Config;
+use aal_lint::lint_source;
+use aal_lint::rules::RULES;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Fixture directories: one per rule, plus the waiver-hygiene corpus.
+fn corpus_dirs() -> Vec<String> {
+    let mut dirs: Vec<String> = RULES.iter().map(|r| r.name.to_string()).collect();
+    dirs.push("waiver-hygiene".to_string());
+    dirs
+}
+
+/// Parses `// expect: <rule>` markers into `(line, rule)` pairs.
+fn expected_markers(src: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(rest) = line.split("// expect: ").nth(1) {
+            out.push((i + 1, rest.trim().to_string()));
+        }
+    }
+    out
+}
+
+fn lint_fixture(dir: &str, name: &str) -> (Vec<(usize, String)>, String) {
+    let path = fixtures_root().join(dir).join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} missing: {e}", path.display()));
+    let rel = format!("crates/aal-lint/fixtures/{dir}/{name}");
+    let (findings, _) = lint_source(&rel, &src, &Config::default());
+    (findings.into_iter().map(|f| (f.line as usize, f.rule)).collect(), src)
+}
+
+#[test]
+fn every_rule_has_a_fixture_pair() {
+    for dir in corpus_dirs() {
+        for name in ["fire.rs", "clean.rs"] {
+            let p = fixtures_root().join(&dir).join(name);
+            assert!(p.is_file(), "missing fixture {}", p.display());
+        }
+    }
+}
+
+#[test]
+fn fire_fixtures_match_their_markers_exactly() {
+    for dir in corpus_dirs() {
+        if dir == "waiver-hygiene" {
+            continue; // hardcoded expectations; see below
+        }
+        let (mut actual, src) = lint_fixture(&dir, "fire.rs");
+        let mut expected = expected_markers(&src);
+        actual.sort();
+        expected.sort();
+        assert!(!expected.is_empty(), "{dir}/fire.rs has no expect markers");
+        assert_eq!(actual, expected, "{dir}/fire.rs findings diverge from markers");
+        // A fire corpus must exercise only its own rule.
+        for (_, rule) in &actual {
+            assert_eq!(rule, &dir, "{dir}/fire.rs fired foreign rule {rule}");
+        }
+    }
+}
+
+#[test]
+fn waiver_hygiene_fire_matches_hardcoded_expectations() {
+    let (mut actual, _) = lint_fixture("waiver-hygiene", "fire.rs");
+    actual.sort();
+    let expected = vec![
+        (11, "unused-waiver".to_string()),
+        (16, "waiver-syntax".to_string()),
+        (17, "unwrap".to_string()),
+        (21, "waiver-syntax".to_string()),
+    ];
+    assert_eq!(actual, expected);
+}
+
+#[test]
+fn clean_fixtures_are_silent() {
+    for dir in corpus_dirs() {
+        let (actual, _) = lint_fixture(&dir, "clean.rs");
+        assert_eq!(actual, Vec::new(), "{dir}/clean.rs should produce no findings");
+    }
+}
+
+#[test]
+fn cli_exit_codes_agree_with_the_corpus() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for dir in corpus_dirs() {
+        let fire = root.join("fixtures").join(&dir).join("fire.rs");
+        let status = Command::new(env!("CARGO_BIN_EXE_aal-lint"))
+            .args(["check", "--no-config", "--root"])
+            .arg(root)
+            .arg(&fire)
+            .output()
+            .expect("run aal-lint");
+        assert_eq!(
+            status.status.code(),
+            Some(1),
+            "fire fixture {dir} must exit 1:\n{}",
+            String::from_utf8_lossy(&status.stdout)
+        );
+
+        let clean = root.join("fixtures").join(&dir).join("clean.rs");
+        let status = Command::new(env!("CARGO_BIN_EXE_aal-lint"))
+            .args(["check", "--no-config", "--root"])
+            .arg(root)
+            .arg(&clean)
+            .output()
+            .expect("run aal-lint");
+        assert_eq!(
+            status.status.code(),
+            Some(0),
+            "clean fixture {dir} must exit 0:\n{}",
+            String::from_utf8_lossy(&status.stdout)
+        );
+    }
+}
+
+#[test]
+fn cli_json_report_is_well_formed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fire = root.join("fixtures").join("unwrap").join("fire.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_aal-lint"))
+        .args(["check", "--no-config", "--json", "--root"])
+        .arg(root)
+        .arg(&fire)
+        .output()
+        .expect("run aal-lint");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON report");
+    assert_eq!(v["version"], serde_json::json!(1));
+    assert_eq!(v["summary"]["findings"], serde_json::json!(3));
+    assert_eq!(v["findings"][0]["rule"], serde_json::json!("unwrap"));
+}

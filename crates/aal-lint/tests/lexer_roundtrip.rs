@@ -1,0 +1,87 @@
+//! Property tests for the lexer: tokenization must cover every input
+//! byte exactly once (`concat(tokens) == input`) for *arbitrary* text,
+//! including pathological string/comment/raw-string nesting and
+//! unterminated fragments — the linter's never-miss-never-invent
+//! guarantee rests on this.
+
+use aal_lint::lexer::lex;
+use aal_lint::source::SourceFile;
+use proptest::prelude::*;
+
+/// Fragments that exercise every tricky lexer state.
+fn arb_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn f() { let x = 1; }".to_string()),
+        Just("\"plain string\"".to_string()),
+        Just("\"escaped \\\" quote \\\\\"".to_string()),
+        Just("\"unterminated".to_string()),
+        Just("// line comment ending in quote \"\n".to_string()),
+        Just("/* block */".to_string()),
+        Just("/* outer /* nested */ still open */".to_string()),
+        Just("/* unterminated".to_string()),
+        Just("'a'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("'static".to_string()),
+        Just("&'a str".to_string()),
+        Just("b\"bytes \\\" esc\"".to_string()),
+        Just("b'x'".to_string()),
+        Just("br#\"raw bytes \" inside\"#".to_string()),
+        Just("r#match".to_string()),
+        Just("1.5e-3 0xff 1..4".to_string()),
+        Just("\n\n".to_string()),
+        // Raw strings at arbitrary hash depth; for depth >= 2 the body
+        // smuggles a `"#` that must not close the literal.
+        (0usize..5).prop_map(|n| {
+            let h = "#".repeat(n);
+            if n >= 2 {
+                format!("r{h}\"body \"# not closed yet\"{h}")
+            } else {
+                format!("r{h}\"body\"{h}")
+            }
+        }),
+        // Unterminated raw string: opener only.
+        (1usize..4).prop_map(|n| format!("r{}\"left open ", "#".repeat(n))),
+        // Arbitrary printable-ASCII soup (quotes, hashes, backslashes
+        // included via the full 0x20..0x7f range).
+        proptest::collection::vec(32u8..127, 0..16)
+            .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii")),
+    ]
+}
+
+fn arb_source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_fragment(), 0..12).prop_map(|frags| frags.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// concat(lex(s)) == s, every token non-empty.
+    #[test]
+    fn lex_round_trips_arbitrary_nesting(src in arb_source()) {
+        let toks = lex(&src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        prop_assert_eq!(rebuilt, src.clone());
+        prop_assert!(toks.iter().all(|t| !t.text.is_empty()));
+    }
+
+    /// Line numbers are monotone and match the newline count.
+    #[test]
+    fn lex_line_numbers_are_monotone(src in arb_source()) {
+        let toks = lex(&src);
+        let mut last = 1usize;
+        for t in &toks {
+            prop_assert!(t.line as usize >= last);
+            last = t.line as usize;
+        }
+        let newlines = src.matches('\n').count();
+        prop_assert!(last <= newlines + 1);
+    }
+
+    /// The full file-analysis front end (test spans, waiver parsing)
+    /// never panics on arbitrary input.
+    #[test]
+    fn source_parse_is_total(src in arb_source()) {
+        let f = SourceFile::parse("crates/x/src/lib.rs", &src);
+        prop_assert!(f.waivers.len() + f.waiver_errors.len() <= src.lines().count() + 1);
+    }
+}

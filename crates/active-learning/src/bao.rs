@@ -258,6 +258,7 @@ where
                     .iter()
                     .max_by(|a, b| a.1.total_cmp(&b.1))
                     .cloned()
+                    // aal-lint: allow(unwrap, reason = "BAO only reaches ranking after at least one measurement")
                     .expect("measured is non-empty")
             })
             .0;

@@ -134,6 +134,7 @@ where
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
+        // aal-lint: allow(unwrap, reason = "bootstrap resampling requires the non-empty candidate set checked by the caller")
         .expect("candidates is non-empty");
     #[allow(clippy::cast_precision_loss)]
     let g = gamma as f64;

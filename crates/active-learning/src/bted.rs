@@ -93,6 +93,7 @@ pub fn bted(space: &ConfigSpace, opts: &BtedOptions, seed: u64) -> Vec<Config> {
                     scope.spawn(move || ted_batch(space, opts, bseed))
                 })
                 .collect();
+            // aal-lint: allow(unwrap, reason = "join propagates a worker panic; swallowing it would hide the failure")
             handles.into_iter().flat_map(|h| h.join().expect("TED batch panicked")).collect()
         })
     } else {

@@ -89,13 +89,16 @@ struct ModelQualityHeader {
 pub fn write_model_quality(path: &Path, records: &[ModelPredRecord]) -> std::io::Result<()> {
     let tmp = path.with_extension("jsonl.tmp");
     {
+        // aal-lint: allow(raw-artifact-write, reason = "temp side of temp+fsync+rename")
         let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
         let header = ModelQualityHeader {
             kind: "model_quality".to_string(),
             schema_version: MODEL_QUALITY_SCHEMA_VERSION,
         };
+        // aal-lint: allow(unwrap, reason = "header is a plain data struct; serialization cannot fail")
         writeln!(f, "{}", serde_json::to_string(&header).expect("header serializes"))?;
         for r in records {
+            // aal-lint: allow(unwrap, reason = "prediction records are plain data; serialization cannot fail")
             writeln!(f, "{}", serde_json::to_string(r).expect("record serializes"))?;
         }
         f.flush()?;

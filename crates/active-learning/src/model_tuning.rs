@@ -84,6 +84,7 @@ pub fn tune_model_parallel(
         let r = tune_task(&task, measurer, method, &topts);
         let perf = r.best_config.as_ref().map(|cfg| {
             let space = space_for_task(&task);
+            // aal-lint: allow(unwrap, reason = "a positive best_gflops implies the config was measured valid")
             measurer.true_perf(&task, &space, cfg).expect("best config was measured as valid")
         });
         (task, r, perf)

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use schedule::{Config, ConfigSpace};
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Annealing parameters (AutoTVM defaults, scaled to this harness).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,7 +86,7 @@ impl Ord for HeapItem {
 /// ```
 /// use active_learning::sa::{simulated_annealing, SaOptions};
 /// use schedule::{ConfigSpace, Knob};
-/// use std::collections::HashSet;
+/// use std::collections::BTreeSet;
 ///
 /// let space = ConfigSpace::new("demo", vec![Knob::split("t", 256, 2)]);
 /// // Prefer balanced splits: maximize min(outer, inner).
@@ -98,7 +98,7 @@ impl Ord for HeapItem {
 ///     }).collect(),
 ///     &SaOptions::default(),
 ///     1,
-///     &HashSet::new(),
+///     &BTreeSet::new(),
 ///     42,
 /// );
 /// let best = space.values(&plan[0])[0].as_split().unwrap().to_vec();
@@ -109,7 +109,7 @@ pub fn simulated_annealing<S>(
     score: S,
     opts: &SaOptions,
     plan_size: usize,
-    exclude: &HashSet<u64>,
+    exclude: &BTreeSet<u64>,
     seed: u64,
 ) -> Vec<Config>
 where
@@ -131,7 +131,7 @@ pub fn simulated_annealing_scored<S>(
     score: S,
     opts: &SaOptions,
     plan_size: usize,
-    exclude: &HashSet<u64>,
+    exclude: &BTreeSet<u64>,
     seed: u64,
 ) -> Vec<(Config, f64)>
 where
@@ -143,12 +143,11 @@ where
 
     // Top-k tracker over every point SA visits.
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
-    let mut in_heap: HashSet<u64> = HashSet::new();
-    let mut configs_by_index: std::collections::HashMap<u64, Config> =
-        std::collections::HashMap::new();
+    let mut in_heap: BTreeSet<u64> = BTreeSet::new();
+    let mut configs_by_index: BTreeMap<u64, Config> = BTreeMap::new();
     let offer = |heap: &mut BinaryHeap<HeapItem>,
-                 in_heap: &mut HashSet<u64>,
-                 configs_by_index: &mut std::collections::HashMap<u64, Config>,
+                 in_heap: &mut BTreeSet<u64>,
+                 configs_by_index: &mut BTreeMap<u64, Config>,
                  cfg: &Config,
                  s: f64| {
         if exclude.contains(&cfg.index) || in_heap.contains(&cfg.index) {
@@ -160,6 +159,7 @@ where
             heap.push(HeapItem { score: s, index: cfg.index });
         } else if let Some(worst) = heap.peek() {
             if s > worst.score {
+                // aal-lint: allow(unwrap, reason = "guarded by the heap length check above")
                 let removed = heap.pop().expect("heap non-empty");
                 in_heap.remove(&removed.index);
                 configs_by_index.remove(&removed.index);
@@ -210,6 +210,7 @@ where
     let mut plan: Vec<HeapItem> = heap.into_vec();
     plan.sort_by(|a, b| b.score.total_cmp(&a.score));
     plan.into_iter()
+        // aal-lint: allow(unwrap, reason = "offer() inserts into configs_by_index for every index it pushes on the heap")
         .map(|item| (configs_by_index.remove(&item.index).expect("config tracked"), item.score))
         .collect()
 }
@@ -238,8 +239,14 @@ mod tests {
     #[test]
     fn finds_the_peak_region() {
         let space = toy_space();
-        let plan =
-            simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &HashSet::new(), 1);
+        let plan = simulated_annealing(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            8,
+            &BTreeSet::new(),
+            1,
+        );
         assert!(!plan.is_empty());
         // Best plan entry should be at/near the peak (7, 3).
         let best = &plan[0];
@@ -255,10 +262,10 @@ mod tests {
             peaked_score,
             &SaOptions::default(),
             16,
-            &HashSet::new(),
+            &BTreeSet::new(),
             2,
         );
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for c in &plan {
             assert!(seen.insert(c.index), "duplicate plan entry");
         }
@@ -274,7 +281,7 @@ mod tests {
         // Exclude the exact peak.
         let peak_choices = vec![7usize, 3usize];
         let peak_index = space.index_of(&peak_choices);
-        let mut exclude = HashSet::new();
+        let mut exclude = BTreeSet::new();
         exclude.insert(peak_index);
         let plan = simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &exclude, 3);
         assert!(plan.iter().all(|c| c.index != peak_index));
@@ -295,14 +302,20 @@ mod tests {
     #[test]
     fn scored_variant_matches_plain_and_reports_true_scores() {
         let space = toy_space();
-        let plain =
-            simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &HashSet::new(), 6);
+        let plain = simulated_annealing(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            8,
+            &BTreeSet::new(),
+            6,
+        );
         let scored = simulated_annealing_scored(
             &space,
             peaked_score,
             &SaOptions::default(),
             8,
-            &HashSet::new(),
+            &BTreeSet::new(),
             6,
         );
         assert_eq!(
@@ -319,16 +332,28 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let space = toy_space();
-        let a: Vec<u64> =
-            simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &HashSet::new(), 9)
-                .iter()
-                .map(|c| c.index)
-                .collect();
-        let b: Vec<u64> =
-            simulated_annealing(&space, peaked_score, &SaOptions::default(), 8, &HashSet::new(), 9)
-                .iter()
-                .map(|c| c.index)
-                .collect();
+        let a: Vec<u64> = simulated_annealing(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            8,
+            &BTreeSet::new(),
+            9,
+        )
+        .iter()
+        .map(|c| c.index)
+        .collect();
+        let b: Vec<u64> = simulated_annealing(
+            &space,
+            peaked_score,
+            &SaOptions::default(),
+            8,
+            &BTreeSet::new(),
+            9,
+        )
+        .iter()
+        .map(|c| c.index)
+        .collect();
         assert_eq!(a, b);
     }
 }

@@ -121,6 +121,7 @@ pub fn ted(features: &[Vec<f64>], mu: f64, m: usize, kernel: TedKernel) -> Vec<u
                 best = Some((v, score));
             }
         }
+        // aal-lint: allow(unwrap, reason = "the loop runs only while unselected candidates remain")
         let (x, _) = best.expect("at least one unselected candidate");
         taken[x] = true;
         selected.push(x);

@@ -64,6 +64,7 @@ pub fn warm_start_configs(
             stats.stale += 1;
             continue;
         };
+        // aal-lint: allow(unwrap, reason = "knob-count equality is checked just above")
         let cfg = space.map_choices(&prior_cfg.choices).expect("knob counts checked equal above");
         if seen.insert(cfg.index) {
             out.push(cfg);

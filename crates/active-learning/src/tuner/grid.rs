@@ -30,6 +30,7 @@ impl Tuner for GridTuner<'_> {
     fn next_batch(&mut self, n: usize) -> Vec<Config> {
         let take = (n as u64).min(self.remaining());
         let out = (self.next..self.next + take)
+            // aal-lint: allow(unwrap, reason = "indices are drawn from 0..space.len()")
             .map(|i| self.space.config(i).expect("index within space"))
             .collect();
         self.next += take;

@@ -33,6 +33,7 @@ impl Tuner for RandomTuner<'_> {
             }
             let idx = self.rng.gen_range(0..space_len);
             if self.visited.insert(idx) {
+                // aal-lint: allow(unwrap, reason = "sampled index is drawn from 0..space.len()")
                 out.push(self.space.config(idx).expect("sampled index in range"));
             }
         }

@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use schedule::feature::{feature_len, features, features_into};
 use schedule::{Config, ConfigSpace};
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// AutoTVM's model-based tuner.
 pub struct XgbTuner<'s> {
@@ -31,7 +31,7 @@ pub struct XgbTuner<'s> {
     /// not-enough-signal random plan).
     plan: Vec<(Config, Option<f64>)>,
     measured: Vec<(Config, f64)>,
-    visited: HashSet<u64>,
+    visited: BTreeSet<u64>,
     /// Measurements accumulated since the last model refit.
     dirty: usize,
     rng: StdRng,
@@ -69,7 +69,7 @@ impl<'s> XgbTuner<'s> {
             pending_init: init,
             plan: Vec::new(),
             measured: Vec::new(),
-            visited: HashSet::new(),
+            visited: BTreeSet::new(),
             dirty: 0,
             rng: StdRng::seed_from_u64(seed),
             refits: 0,
@@ -316,7 +316,7 @@ mod tests {
         let space = toy_space();
         let (g, s) = small_params();
         let mut t = XgbTuner::with_random_init(&space, 8, g, s, 8, 0.2, 2);
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for _ in 0..5 {
             let batch = t.next_batch(8);
             let results: Vec<(Config, f64)> = batch

@@ -71,7 +71,7 @@ fn bench_components(c: &mut Criterion) {
                 |cands| cands.iter().map(|cfg| cfg.index as f64).collect(),
                 &SaOptions::default(),
                 64,
-                &std::collections::HashSet::new(),
+                &std::collections::BTreeSet::new(),
                 11,
             );
             black_box(plan.len())

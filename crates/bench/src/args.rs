@@ -1,7 +1,7 @@
 //! Minimal `--key value` argument parsing for the experiment binaries
 //! (keeps the workspace dependency-light; no clap).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Flags that are switches (present or absent) rather than `--key value`
 /// pairs.
@@ -10,7 +10,7 @@ const BOOL_FLAGS: &[&str] = &["quiet", "json"];
 /// Parsed `--key value` pairs.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
-    values: HashMap<String, String>,
+    values: BTreeMap<String, String>,
 }
 
 impl Args {
@@ -30,7 +30,7 @@ impl Args {
     ///
     /// Panics if a `--key` has no following value.
     pub fn parse<I: IntoIterator<Item = String>>(iter: I) -> Self {
-        let mut values = HashMap::new();
+        let mut values = BTreeMap::new();
         let mut it = iter.into_iter();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {

@@ -14,6 +14,7 @@ use bench::report::{render_fig4, write_json};
 use std::path::PathBuf;
 
 fn main() {
+    // aal-lint: allow(wall-clock, reason = "experiment runtime recorded in figure metadata; not a tuning input")
     let started = std::time::Instant::now();
     let args = Args::from_env();
     let tel = init_telemetry(&args);

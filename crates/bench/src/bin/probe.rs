@@ -51,6 +51,7 @@ fn main() {
     let m = SimMeasurer::new(GpuDevice::gtx_1080_ti());
     println!("task {}: {}", task_idx, task);
     for method in [Method::AutoTvm, Method::Bted, Method::BtedBao] {
+        // aal-lint: allow(wall-clock, reason = "experiment runtime recorded in probe output; not a tuning input")
         let t0 = Instant::now();
         let r = tune_task(task, &m, method, &opts);
         println!(

@@ -18,6 +18,7 @@ use dnn_graph::models;
 use std::path::PathBuf;
 
 fn main() {
+    // aal-lint: allow(wall-clock, reason = "experiment runtime recorded in table metadata; not a tuning input")
     let started = std::time::Instant::now();
     let args = Args::from_env();
     let tel = init_telemetry(&args);

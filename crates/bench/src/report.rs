@@ -13,6 +13,7 @@ use std::path::Path;
 pub fn write_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let body = serde_json::to_string_pretty(value).expect("experiment data serializes");
+    // aal-lint: allow(raw-artifact-write, reason = "experiment figure data; regenerable by re-running the binary")
     std::fs::write(dir.join(name), body)
 }
 

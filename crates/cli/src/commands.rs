@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Duration;
+use telemetry::sync::lock_or_recover;
 use trace_analysis::{
     compare_logs, compare_run_dirs, render_report, CompareOptions, LoadedRun, Registry, RunEntry,
     Verdict,
@@ -410,6 +411,7 @@ struct CkptState {
 
 #[allow(clippy::too_many_lines)]
 fn tune(cli: &Cli) -> Result<(), String> {
+    // aal-lint: allow(wall-clock, reason = "elapsed time reported to the user and run registry; not a tuning input")
     let started = std::time::Instant::now();
     let mut plan = match cli.flag_str("resume") {
         Some(p) => TunePlan::resume(Path::new(p))?,
@@ -593,9 +595,7 @@ fn tune(cli: &Cli) -> Result<(), String> {
             top_k,
             curve: decimate_curve(&log.convergence_curve(), 64),
         };
-        store
-            .lock()
-            .expect("tuning db poisoned")
+        lock_or_recover(store)
             .upsert(rec)
             .map_err(|e| format!("cannot upsert {} into tuning database: {e}", task.name))
     };
@@ -634,7 +634,7 @@ fn tune(cli: &Cli) -> Result<(), String> {
     };
     let model_records: Mutex<BTreeMap<String, Vec<ModelPredRecord>>> = Mutex::new(BTreeMap::new());
     let write_model_capture = |dir: &RunDir| -> Result<(), String> {
-        let by_task = model_records.lock().expect("model records poisoned");
+        let by_task = lock_or_recover(&model_records);
         let all: Vec<ModelPredRecord> = selected_names
             .iter()
             .filter_map(|name| by_task.get(name))
@@ -645,7 +645,7 @@ fn tune(cli: &Cli) -> Result<(), String> {
     };
     let run_task = |task: &dnn_graph::task::TuningTask| -> Result<TuningLog, String> {
         if let Some(dir) = &plan.run_dir {
-            if ckpt_state.lock().expect("ckpt state poisoned").completed.contains(&task.name) {
+            if lock_or_recover(&ckpt_state).completed.contains(&task.name) {
                 // Finished before the kill: read the durable log back (and
                 // the task's capture records, written when it completed).
                 // Its database upsert was durable before the completion
@@ -660,10 +660,7 @@ fn tune(cli: &Cli) -> Result<(), String> {
                         .filter(|rec| rec.task == task.name)
                         .cloned()
                         .collect();
-                    model_records
-                        .lock()
-                        .expect("model records poisoned")
-                        .insert(task.name.clone(), prior);
+                    lock_or_recover(&model_records).insert(task.name.clone(), prior);
                 }
                 tel.report(|| {
                     format!(
@@ -693,7 +690,7 @@ fn tune(cli: &Cli) -> Result<(), String> {
                 Some(s) => Some(s),
                 None => {
                     let derived = {
-                        let store = store.lock().expect("tuning db poisoned");
+                        let store = lock_or_recover(store);
                         match store.lookup(&spec) {
                             Some(rec) if db_policy == DbPolicy::Serve => Some(WarmSeed {
                                 mode: "serve".into(),
@@ -776,7 +773,7 @@ fn tune(cli: &Cli) -> Result<(), String> {
                 // instead of silently losing the database write.
                 upsert_result(task, &log)?;
                 if let Some(dir) = &plan.run_dir {
-                    let mut st = ckpt_state.lock().expect("ckpt state poisoned");
+                    let mut st = lock_or_recover(&ckpt_state);
                     st.completed.push(task.name.clone());
                     write_ckpt(dir, &st, None, None)?;
                 }
@@ -819,7 +816,7 @@ fn tune(cli: &Cli) -> Result<(), String> {
                 }
             };
             {
-                let mut st = ckpt_state.lock().expect("ckpt state poisoned");
+                let mut st = lock_or_recover(&ckpt_state);
                 st.appended
                     .insert(task.name.clone(), replay.iter().map(|rec| rec.config_index).collect());
                 write_ckpt(dir, &st, Some(&task.name), Some(replay.len() as u64))?;
@@ -835,8 +832,8 @@ fn tune(cli: &Cli) -> Result<(), String> {
                     write_err.borrow_mut().get_or_insert(e.to_string());
                 }
                 trials_logged.set(trials_logged.get() + 1);
-                let mut st = ckpt_state.lock().expect("ckpt state poisoned");
-                st.appended.get_mut(&task.name).expect("task registered").insert(rec.config_index);
+                let mut st = lock_or_recover(&ckpt_state);
+                st.appended.entry(task.name.clone()).or_default().insert(rec.config_index);
                 if trials_logged.get().is_multiple_of(16) {
                     let _ = write_ckpt(dir, &st, Some(&task.name), Some(trials_logged.get()));
                 }
@@ -859,16 +856,13 @@ fn tune(cli: &Cli) -> Result<(), String> {
             // Upsert before the completion checkpoint (see the serve path).
             upsert_result(task, &r.log)?;
             {
-                let mut st = ckpt_state.lock().expect("ckpt state poisoned");
+                let mut st = lock_or_recover(&ckpt_state);
                 st.appended.remove(&task.name);
                 st.completed.push(task.name.clone());
                 write_ckpt(dir, &st, None, None)?;
             }
             if capture {
-                model_records
-                    .lock()
-                    .expect("model records poisoned")
-                    .insert(task.name.clone(), task_records);
+                lock_or_recover(&model_records).insert(task.name.clone(), task_records);
                 write_model_capture(dir)?;
             }
             r
@@ -945,6 +939,7 @@ fn tune(cli: &Cli) -> Result<(), String> {
     }
     if let Some(path) = cli.flag_str("log") {
         let mut f =
+            // aal-lint: allow(raw-artifact-write, reason = "explicit --log export requested by the user; regenerable from the run directory")
             std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         for log in &logs {
             log.write_jsonl(&mut f).map_err(|e| format!("write failed: {e}"))?;
@@ -1109,6 +1104,7 @@ fn report(cli: &Cli) -> Result<(), String> {
     let html = render_report(&run, baseline.as_ref(), comparison.as_ref());
     let out =
         cli.flag_str("html").map_or_else(|| Path::new(run_path).join("report.html"), PathBuf::from);
+    // aal-lint: allow(raw-artifact-write, reason = "HTML report is a derived view; regenerable from the trace")
     std::fs::write(&out, html).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!("wrote {}", out.display());
     Ok(())

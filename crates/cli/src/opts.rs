@@ -3,7 +3,7 @@
 use active_learning::Method;
 use dnn_graph::{models, Graph};
 use gpu_sim::GpuDevice;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Flags that are switches (present or absent) rather than `--key value`
 /// pairs.
@@ -15,7 +15,7 @@ const BOOL_FLAGS: &[&str] =
 pub struct Cli {
     /// Positional arguments in order.
     pub positional: Vec<String>,
-    flags: HashMap<String, String>,
+    flags: BTreeMap<String, String>,
 }
 
 impl Cli {

@@ -26,6 +26,7 @@ impl FusedGroup {
     /// The node whose output leaves the group (the last member).
     #[must_use]
     pub fn output(&self) -> NodeId {
+        // aal-lint: allow(unwrap, reason = "a group is created with one member and never shrinks")
         *self.members.last().expect("groups are never empty")
     }
 }

@@ -106,6 +106,7 @@ impl Graph {
 
     /// Adds a graph input of the given shape.
     pub fn add_input(&mut self, shape: Shape) -> NodeId {
+        // aal-lint: allow(unwrap, reason = "input nodes carry no inputs to validate")
         self.add(Op::Input(shape), vec![]).expect("input nodes are always valid")
     }
 
@@ -165,11 +166,13 @@ impl Graph {
 
     /// Adds a ReLU. Never fails for an existing node.
     pub fn add_relu(&mut self, x: NodeId) -> NodeId {
+        // aal-lint: allow(unwrap, reason = "shape-preserving op on an already-validated input cannot fail")
         self.add(Op::Relu, vec![x]).expect("relu preserves any shape")
     }
 
     /// Adds an inference-mode batch normalization.
     pub fn add_batch_norm(&mut self, x: NodeId) -> NodeId {
+        // aal-lint: allow(unwrap, reason = "shape-preserving op on an already-validated input cannot fail")
         self.add(Op::BatchNorm, vec![x]).expect("batch_norm preserves any shape")
     }
 
@@ -212,6 +215,7 @@ impl Graph {
 
     /// Adds a softmax over the last dimension.
     pub fn add_softmax(&mut self, x: NodeId) -> NodeId {
+        // aal-lint: allow(unwrap, reason = "shape-preserving op on an already-validated input cannot fail")
         self.add(Op::Softmax, vec![x]).expect("softmax preserves any shape")
     }
 

@@ -12,11 +12,11 @@ use crate::fusion::fuse;
 use crate::graph::Graph;
 use crate::ops::{Conv2dAttrs, DenseAttrs, Op};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The template family a task is tuned with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TaskKind {
     /// Direct CUDA conv2d template.
     Conv2d,
@@ -37,7 +37,7 @@ impl fmt::Display for TaskKind {
 }
 
 /// A fully-specified kernel workload — the tuple TVM calls a "workload key".
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Workload {
     /// Convolution workload (also covers depth-wise via `groups`).
     Conv2d {
@@ -90,6 +90,7 @@ impl Workload {
     pub fn macs(&self) -> u64 {
         match *self {
             Workload::Conv2d { batch, in_channels, out_channels, kernel, groups, .. } => {
+                // aal-lint: allow(unwrap, reason = "conv workloads always have spatial output")
                 let (oh, ow) = self.out_hw().expect("conv has spatial output");
                 let per_out = in_channels / groups * kernel.0 * kernel.1;
                 (batch * out_channels * oh * ow) as u64 * per_out as u64
@@ -188,8 +189,9 @@ fn dense_workload(graph: &Graph, node_id: usize, a: &DenseAttrs) -> Workload {
 fn extract(graph: &Graph, include_dense: bool) -> Vec<TuningTask> {
     let fused = fuse(graph);
     let mut order: Vec<(TaskKind, Workload)> = Vec::new();
-    let mut counts: HashMap<Workload, usize> = HashMap::new();
+    let mut counts: BTreeMap<Workload, usize> = BTreeMap::new();
     for group in fused.anchored() {
+        // aal-lint: allow(unwrap, reason = "anchored() yields only groups with an anchor")
         let anchor = group.anchor.expect("anchored() yields anchored groups");
         let (kind, workload) = match &graph.node(anchor).op {
             Op::Conv2d(a) => {

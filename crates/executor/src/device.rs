@@ -21,8 +21,9 @@
 //! counters (`exec.device.N.*`) and a pool-wide busy histogram.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+use telemetry::sync::lock_or_recover;
 
 /// A pool of simulated device slots shared by runner workers.
 #[derive(Debug)]
@@ -83,17 +84,18 @@ impl DevicePool {
     /// Devices currently free (diagnostic).
     #[must_use]
     pub fn free_now(&self) -> usize {
-        self.state.lock().expect("device pool poisoned").free.len()
+        lock_or_recover(&self.state).free.len()
     }
 
     /// Blocks until a device is available to `tag` under fair share, then
     /// leases it. The lease releases its device on drop.
     #[must_use]
     pub fn acquire(self: &Arc<Self>, tag: &str) -> DeviceLease {
-        let mut st = self.state.lock().expect("device pool poisoned");
+        let mut st = lock_or_recover(&self.state);
         st.tags.entry(tag.to_string()).or_default().waiting += 1;
         loop {
             if let Some(id) = self.try_take(&mut st, tag) {
+                // aal-lint: allow(unwrap, reason = "the tag was registered earlier in this function")
                 let me = st.tags.get_mut(tag).expect("tag registered above");
                 me.waiting -= 1;
                 me.in_use += 1;
@@ -112,10 +114,11 @@ impl DevicePool {
                     pool: Arc::clone(self),
                     id,
                     tag: tag.to_string(),
+                    // aal-lint: allow(wall-clock, reason = "device lease hold-time metric; observability only")
                     acquired: Instant::now(),
                 };
             }
-            st = self.freed.wait(st).expect("device pool poisoned");
+            st = self.freed.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -126,6 +129,7 @@ impl DevicePool {
         }
         let active = st.tags.values().filter(|t| t.in_use + t.waiting > 0).count().max(1);
         let cap = self.devices.div_ceil(active);
+        // aal-lint: allow(unwrap, reason = "acquire registers the tag before try_take can run")
         let me = st.tags.get(tag).expect("tag registered before try_take");
         let other_waiters =
             st.tags.iter().filter(|(name, t)| name.as_str() != tag && t.waiting > 0).count();
@@ -142,7 +146,7 @@ impl DevicePool {
 
     /// Returns `id` to the pool (lease drop).
     fn release(&self, id: usize, tag: &str) {
-        let mut st = self.state.lock().expect("device pool poisoned");
+        let mut st = lock_or_recover(&self.state);
         st.free.push(id);
         if let Some(me) = st.tags.get_mut(tag) {
             me.in_use = me.in_use.saturating_sub(1);
@@ -245,7 +249,7 @@ mod tests {
         // Give the waiter time to register, then free one device. A is at
         // its fair-share cap (ceil(2/2) = 1) while B waits, so the freed
         // device must go to B even though this thread could also re-ask.
-        while pool.state.lock().unwrap().tags.get("b").map_or(0, |t| t.waiting) == 0 {
+        while lock_or_recover(&pool.state).tags.get("b").map_or(0, |t| t.waiting) == 0 {
             std::thread::sleep(Duration::from_millis(1));
         }
         drop(a1);

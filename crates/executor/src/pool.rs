@@ -23,9 +23,10 @@ use dnn_graph::task::TuningTask;
 use gpu_sim::{MeasureError, MeasureErrorKind, MeasureResult, Measurer};
 use schedule::kernel::lower;
 use schedule::{Config, ConfigSpace};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use telemetry::sync::lock_or_recover;
 
 /// Pool sizing and pipeline tuning for [`Executor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,7 +105,7 @@ struct BatchState {
 
 impl Batch {
     fn complete(&self, seq: usize, result: MeasureResult) {
-        let mut st = self.state.lock().expect("batch poisoned");
+        let mut st = lock_or_recover(&self.state);
         debug_assert!(st.results[seq].is_none(), "slot {seq} completed twice");
         st.results[seq] = Some(result);
         st.remaining -= 1;
@@ -144,13 +145,14 @@ impl BatchHandle {
     /// dropped after the submit: shutdown drains accepted jobs.
     #[must_use]
     pub fn wait(self) -> Vec<MeasureResult> {
-        let mut st = self.batch.state.lock().expect("batch poisoned");
+        let mut st = lock_or_recover(&self.batch.state);
         while st.remaining > 0 {
-            st = self.batch.done.wait(st).expect("batch poisoned");
+            st = self.batch.done.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         let results: Vec<MeasureResult> = st
             .results
             .drain(..)
+            // aal-lint: allow(unwrap, reason = "remaining == 0 means every result slot was filled")
             .map(|r| r.expect("remaining == 0 means every slot filled"))
             .collect();
         drop(st);
@@ -192,6 +194,7 @@ impl<M: Measurer + Send + Sync + 'static> Executor<M> {
                 std::thread::Builder::new()
                     .name(format!("exec-build-{i}"))
                     .spawn(move || builder_loop(&bq, &rq))
+                    // aal-lint: allow(unwrap, reason = "thread spawn fails only on OS resource exhaustion; no recovery at this layer")
                     .expect("spawn builder")
             })
             .collect();
@@ -203,6 +206,7 @@ impl<M: Measurer + Send + Sync + 'static> Executor<M> {
                 std::thread::Builder::new()
                     .name(format!("exec-run-{i}"))
                     .spawn(move || runner_loop(&rq, &pool, &*m))
+                    // aal-lint: allow(unwrap, reason = "thread spawn fails only on OS resource exhaustion; no recovery at this layer")
                     .expect("spawn runner")
             })
             .collect();
@@ -264,6 +268,7 @@ impl<M: Measurer + Send + Sync + 'static> Executor<M> {
                 );
             }
         }
+        // aal-lint: allow(wall-clock, reason = "batch wall-time metric; results are ordered by slot, never by time")
         BatchHandle { batch, submitted: Instant::now() }
     }
 }
@@ -272,6 +277,7 @@ impl<M: Measurer + Send + Sync + 'static> Measurer for Executor<M> {
     fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult {
         self.measure_batch(task, space, std::slice::from_ref(config))
             .pop()
+            // aal-lint: allow(unwrap, reason = "submitting one job guarantees one result")
             .expect("one submitted job yields one result")
     }
 
@@ -317,9 +323,11 @@ impl<M> Drop for Executor<M> {
 fn builder_loop(build_q: &BoundedQueue<BuildJob>, run_q: &BoundedQueue<RunJob>) {
     let tel = telemetry::global();
     loop {
+        // aal-lint: allow(wall-clock, reason = "worker idle/busy accounting exported as telemetry only")
         let idle = Instant::now();
         let Some(job) = build_q.pop() else { break };
         record_us(&tel, "exec.worker.build.idle_us", idle);
+        // aal-lint: allow(wall-clock, reason = "worker idle/busy accounting exported as telemetry only")
         let busy = Instant::now();
         tel.gauge_add("exec.workers.build.busy.now", 1.0);
         let valid = lower(&job.batch.task, &job.batch.space, &job.config).is_ok();
@@ -341,9 +349,11 @@ fn builder_loop(build_q: &BoundedQueue<BuildJob>, run_q: &BoundedQueue<RunJob>) 
 fn runner_loop<M: Measurer>(run_q: &BoundedQueue<RunJob>, pool: &Arc<DevicePool>, measurer: &M) {
     let tel = telemetry::global();
     loop {
+        // aal-lint: allow(wall-clock, reason = "worker idle/busy accounting exported as telemetry only")
         let idle = Instant::now();
         let Some(RunJob { job, valid }) = run_q.pop() else { break };
         record_us(&tel, "exec.worker.run.idle_us", idle);
+        // aal-lint: allow(wall-clock, reason = "worker idle/busy accounting exported as telemetry only")
         let busy = Instant::now();
         tel.gauge_add("exec.workers.run.busy.now", 1.0);
         let lease = valid.then(|| pool.acquire(&job.batch.task.name));
@@ -428,7 +438,7 @@ mod tests {
             config: &Config,
         ) -> MeasureResult {
             let (lock, cv) = &*self.gate;
-            let mut open = lock.lock().unwrap();
+            let mut open = lock_or_recover(&lock);
             while !*open {
                 open = cv.wait(open).unwrap();
             }
@@ -452,7 +462,7 @@ mod tests {
     }
 
     fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
-        *gate.0.lock().unwrap() = true;
+        *lock_or_recover(&gate.0) = true;
         gate.1.notify_all();
     }
 

@@ -13,7 +13,8 @@
 //!   accepted is ever dropped.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
+use telemetry::sync::lock_or_recover;
 
 /// A blocking bounded FIFO shared by reference between threads.
 #[derive(Debug)]
@@ -57,7 +58,7 @@ impl<T> BoundedQueue<T> {
     /// Returns the item back if the queue was closed (shutdown) before it
     /// could be accepted.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = lock_or_recover(&self.state);
         loop {
             if st.closed {
                 return Err(item);
@@ -65,7 +66,7 @@ impl<T> BoundedQueue<T> {
             if st.items.len() < self.capacity {
                 break;
             }
-            st = self.not_full.wait(st).expect("queue poisoned");
+            st = self.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         st.items.push_back(item);
         let tel = telemetry::global();
@@ -90,7 +91,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeues the next item, blocking while the queue is empty. Returns
     /// `None` only once the queue is closed *and* fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue poisoned");
+        let mut st = lock_or_recover(&self.state);
         loop {
             if let Some(item) = st.items.pop_front() {
                 let tel = telemetry::global();
@@ -103,13 +104,13 @@ impl<T> BoundedQueue<T> {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).expect("queue poisoned");
+            st = self.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: producers fail fast, consumers drain then stop.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        lock_or_recover(&self.state).closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }
@@ -117,7 +118,7 @@ impl<T> BoundedQueue<T> {
     /// Items currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        lock_or_recover(&self.state).items.len()
     }
 
     /// True if nothing is queued right now.

@@ -9,8 +9,9 @@
 //! down, in [`crate::DevicePool`], keyed by the task name each measurement
 //! batch carries.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
+use telemetry::sync::lock_or_recover;
 
 /// Runs `f` over every item with up to `concurrency` worker threads,
 /// returning results in item order (index `i` of the output is item `i`'s
@@ -38,16 +39,17 @@ where
     tel.observe("exec.sched.concurrency", concurrency as f64);
     let work = Mutex::new(items.into_iter().enumerate());
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // aal-lint: allow(wall-clock, reason = "scheduler wall-time metric; trial order is fixed by slot index, not by time")
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..concurrency {
             scope.spawn(|| loop {
                 // Claim the next item in index order; drop the lock before
                 // the (long) call so claims never serialize the work.
-                let claimed = work.lock().expect("scheduler work poisoned").next();
+                let claimed = lock_or_recover(&work).next();
                 let Some((i, item)) = claimed else { break };
                 let r = f(i, item);
-                *results[i].lock().expect("scheduler slot poisoned") = Some(r);
+                *lock_or_recover(&results[i]) = Some(r);
             });
         }
     });
@@ -56,7 +58,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("scheduler slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
+                // aal-lint: allow(unwrap, reason = "scoped join guarantees every claimed slot was filled")
                 .expect("scope join guarantees every claimed slot is filled")
         })
         .collect()

@@ -23,8 +23,9 @@ use crate::noise::{seed_for, splitmix64, unit};
 use dnn_graph::task::TuningTask;
 use schedule::{Config, ConfigSpace};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
+use telemetry::sync::lock_or_recover;
 
 /// Share of the overall fault rate drawn as persistent faults.
 const PERSISTENT_SHARE: f64 = 0.4;
@@ -76,13 +77,13 @@ pub struct FaultInjectingMeasurer<M> {
     /// threads — the counter stays per-`(task, config)`, so as long as all
     /// attempts of one configuration run on one worker (the retry loop
     /// does), the draw sequence is identical to the serial path.
-    attempts: Mutex<HashMap<u64, u64>>,
+    attempts: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl<M: Measurer> FaultInjectingMeasurer<M> {
     /// Wraps `inner`, injecting faults per `config`.
     pub fn new(inner: M, config: FaultConfig) -> Self {
-        FaultInjectingMeasurer { inner, config, attempts: Mutex::new(HashMap::new()) }
+        FaultInjectingMeasurer { inner, config, attempts: Mutex::new(BTreeMap::new()) }
     }
 
     /// The wrapped measurer.
@@ -129,7 +130,7 @@ impl<M: Measurer> FaultInjectingMeasurer<M> {
 impl<M: Measurer> Measurer for FaultInjectingMeasurer<M> {
     fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult {
         let attempt = {
-            let mut attempts = self.attempts.lock().expect("fault attempt map poisoned");
+            let mut attempts = lock_or_recover(&self.attempts);
             let slot = attempts.entry(seed_for(&task.name, config.index)).or_insert(0);
             let current = *slot;
             *slot += 1;

@@ -237,6 +237,7 @@ impl Measurer for SimMeasurer {
     fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult {
         let tel = telemetry::global();
         let _span = tel.span("measure");
+        // aal-lint: allow(wall-clock, reason = "host-side wall-time metric around the simulated kernel; observability only")
         let wall = std::time::Instant::now();
         let result = match self.true_perf(task, space, config) {
             Err(e) => MeasureResult::failed(MeasureError::from(e)),

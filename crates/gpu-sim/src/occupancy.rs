@@ -56,6 +56,7 @@ pub fn occupancy(spec: &KernelSpec, device: &GpuDevice) -> Occupancy {
     ]
     .into_iter()
     .min_by_key(|&(b, _)| b)
+    // aal-lint: allow(unwrap, reason = "the iterator literally has four candidates")
     .expect("four candidates");
 
     // Register over-subscription at one resident block does not prevent a

@@ -132,6 +132,7 @@ pub fn predict(spec: &KernelSpec, device: &GpuDevice, config_index: u64) -> Kern
         let m = (mem_time, Bottleneck::Memory);
         let s = (smem_time, Bottleneck::SharedMem);
         let max =
+            // aal-lint: allow(unwrap, reason = "the iterator literally has three candidates")
             [c, m, s].into_iter().max_by(|a, b| a.0.total_cmp(&b.0)).expect("three candidates");
         // Imperfect overlap between the pipes.
         let sum = compute_time + mem_time + smem_time;

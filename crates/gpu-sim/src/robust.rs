@@ -27,6 +27,7 @@ use schedule::{Config, ConfigSpace};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
+use telemetry::sync::lock_or_recover;
 
 /// Retry/timeout policy for [`RobustMeasurer`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -157,13 +158,13 @@ impl<M: Measurer> RobustMeasurer<M> {
     /// Seeds the quarantine (crash-safe resume restores the set the
     /// crashed run had accumulated).
     pub fn restore_quarantine(&self, quarantine: Quarantine) {
-        *self.quarantine.lock().expect("quarantine poisoned") = quarantine;
+        *lock_or_recover(&self.quarantine) = quarantine;
     }
 
     /// Snapshot of the current quarantine, for checkpointing.
     #[must_use]
     pub fn quarantine_snapshot(&self) -> Quarantine {
-        self.quarantine.lock().expect("quarantine poisoned").clone()
+        lock_or_recover(&self.quarantine).clone()
     }
 
     /// The wrapped measurer.
@@ -194,7 +195,7 @@ impl<M: Measurer> RobustMeasurer<M> {
 impl<M: Measurer> Measurer for RobustMeasurer<M> {
     fn measure(&self, task: &TuningTask, space: &ConfigSpace, config: &Config) -> MeasureResult {
         let tel = telemetry::global();
-        if self.quarantine.lock().expect("quarantine poisoned").contains(&task.name, config.index) {
+        if lock_or_recover(&self.quarantine).contains(&task.name, config.index) {
             // Should not normally be proposed (tuners consult the set),
             // but short-circuit rather than crash again if it is.
             tel.count("measure.quarantine_hit", 1);
@@ -234,11 +235,7 @@ impl<M: Measurer> Measurer for RobustMeasurer<M> {
                 // Persistent failure: quarantine so it is never
                 // re-proposed, but still return the zero-GFLOPS penalty
                 // so cost models learn the cliff.
-                let newly = self
-                    .quarantine
-                    .lock()
-                    .expect("quarantine poisoned")
-                    .insert(&task.name, config.index);
+                let newly = lock_or_recover(&self.quarantine).insert(&task.name, config.index);
                 if newly {
                     tel.count("measure.quarantine", 1);
                     let kind = error.kind;
@@ -261,8 +258,7 @@ impl<M: Measurer> Measurer for RobustMeasurer<M> {
     }
 
     fn quarantined(&self, task: &TuningTask) -> Vec<u64> {
-        let mut indices =
-            self.quarantine.lock().expect("quarantine poisoned").indices_for(&task.name);
+        let mut indices = lock_or_recover(&self.quarantine).indices_for(&task.name);
         indices.extend(self.inner.quarantined(task));
         indices.sort_unstable();
         indices.dedup();

@@ -186,6 +186,7 @@ fn lower_conv2d(
     else {
         unreachable!("conv lowering requires a conv workload")
     };
+    // aal-lint: allow(unwrap, reason = "conv kernels run only on conv workloads, which have spatial dims")
     let (oh, ow) = task.workload.out_hw().expect("conv has spatial output");
     let rc = in_channels / groups;
 
@@ -266,6 +267,7 @@ fn lower_depthwise(
     let Workload::Conv2d { batch, out_channels, kernel, stride, .. } = task.workload else {
         unreachable!("depthwise lowering requires a conv workload")
     };
+    // aal-lint: allow(unwrap, reason = "conv kernels run only on conv workloads, which have spatial dims")
     let (oh, ow) = task.workload.out_hw().expect("conv has spatial output");
 
     let [bc, vc, tc, ci] = split4(space, cfg, "tile_c");

@@ -175,6 +175,7 @@ fn elementary_move<R: Rng + ?Sized>(
                 return false;
             }
             // Smallest prime factor keeps the move minimal.
+            // aal-lint: allow(unwrap, reason = "every integer greater than 1 has a prime factor")
             let p = (2..).find(|d| f % d == 0).expect("f > 1 has a prime factor");
             factors[from] /= p;
             factors[to] *= p;

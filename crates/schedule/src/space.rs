@@ -59,6 +59,7 @@ impl ConfigSpace {
         let mut len: u64 = 1;
         for k in &knobs {
             strides.push(len);
+            // aal-lint: allow(unwrap, reason = "deliberate hard stop: a space larger than u64 cannot be indexed")
             len = len.checked_mul(k.cardinality() as u64).expect("config space size overflows u64");
         }
         ConfigSpace { task_name: task_name.into(), knobs, strides, len }
@@ -161,6 +162,7 @@ impl ConfigSpace {
     /// Uniformly samples one configuration.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Config {
         let index = rng.gen_range(0..self.len);
+        // aal-lint: allow(unwrap, reason = "sampled index is drawn from 0..len")
         self.config(index).expect("sampled index is in range")
     }
 
@@ -169,6 +171,7 @@ impl ConfigSpace {
     pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Config> {
         if (n as u64) >= self.len {
             return (0..self.len)
+                // aal-lint: allow(unwrap, reason = "enumeration covers exactly 0..len")
                 .map(|i| self.config(i).expect("exhaustive enumeration"))
                 .collect();
         }
@@ -177,6 +180,7 @@ impl ConfigSpace {
         while out.len() < n {
             let idx = rng.gen_range(0..self.len);
             if seen.insert(idx) {
+                // aal-lint: allow(unwrap, reason = "sampled index is drawn from 0..len")
                 out.push(self.config(idx).expect("sampled index is in range"));
             }
         }

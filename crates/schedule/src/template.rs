@@ -24,6 +24,7 @@ fn conv2d_space(task: &TuningTask) -> ConfigSpace {
     let Workload::Conv2d { out_channels, in_channels, kernel, groups, .. } = task.workload else {
         unreachable!("conv2d template requires a conv workload")
     };
+    // aal-lint: allow(unwrap, reason = "conv templates run only on conv workloads, which have spatial dims")
     let (oh, ow) = task.workload.out_hw().expect("conv has spatial output");
     let rc = in_channels / groups;
     ConfigSpace::new(
@@ -46,6 +47,7 @@ fn depthwise_space(task: &TuningTask) -> ConfigSpace {
     let Workload::Conv2d { out_channels, kernel, .. } = task.workload else {
         unreachable!("depthwise template requires a conv workload")
     };
+    // aal-lint: allow(unwrap, reason = "conv templates run only on conv workloads, which have spatial dims")
     let (oh, ow) = task.workload.out_hw().expect("conv has spatial output");
     ConfigSpace::new(
         task.name.clone(),

@@ -52,6 +52,7 @@ pub mod registry;
 pub mod sink;
 pub mod stream;
 pub mod summary;
+pub mod sync;
 
 pub use events::{HeartbeatEvent, RadiusEvent, SaDoneEvent, TrialEvent, TuneStartEvent};
 pub use export::{parse_prometheus, to_prometheus};
@@ -64,6 +65,7 @@ pub use serde_json::{json, Value};
 pub use sink::{FileSink, NoopSink, ReporterSink, Sink, TeeSink, VecSink};
 pub use stream::{SnapshotWriter, TraceFollower, PROM_FILE, SNAPSHOT_FILE};
 pub use summary::TraceSummary;
+pub use sync::{lock_or_recover, read_or_recover, write_or_recover};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -250,7 +252,7 @@ impl Telemetry {
     pub fn count(&self, name: &str, delta: u64) {
         let Some(inner) = &self.inner else { return };
         {
-            let mut counters = inner.counters.lock().expect("counters poisoned");
+            let mut counters = lock_or_recover(&inner.counters);
             *counters.entry(name.to_string()).or_insert(0) += delta;
         }
         if let Some(live) = &inner.live {
@@ -263,7 +265,7 @@ impl Telemetry {
     pub fn observe(&self, name: &str, value: f64) {
         let Some(inner) = &self.inner else { return };
         {
-            let mut hists = inner.histograms.lock().expect("histograms poisoned");
+            let mut hists = lock_or_recover(&inner.histograms);
             hists.entry(name.to_string()).or_default().observe(value);
         }
         if let Some(live) = &inner.live {
@@ -300,13 +302,13 @@ impl Telemetry {
     pub fn flush(&self) {
         let Some(inner) = &self.inner else { return };
         {
-            let counters = inner.counters.lock().expect("counters poisoned");
+            let counters = lock_or_recover(&inner.counters);
             for (name, &value) in counters.iter() {
                 inner.sink.record(&Record::Counter { name: name.clone(), value });
             }
         }
         {
-            let hists = inner.histograms.lock().expect("histograms poisoned");
+            let hists = lock_or_recover(&inner.histograms);
             for (name, hist) in hists.iter() {
                 inner.sink.record(&Record::Histogram { name: name.clone(), hist: hist.clone() });
             }
@@ -367,7 +369,7 @@ static GLOBAL: RwLock<Option<Telemetry>> = RwLock::new(None);
 /// Installing [`Telemetry::disabled`] turns global telemetry off again.
 pub fn set_global(tel: Telemetry) {
     let enabled = tel.is_enabled();
-    *GLOBAL.write().expect("global telemetry poisoned") = enabled.then_some(tel);
+    *write_or_recover(&GLOBAL) = enabled.then_some(tel);
     GLOBAL_ENABLED.store(enabled, Ordering::Release);
 }
 
@@ -379,7 +381,7 @@ pub fn global() -> Telemetry {
     if !GLOBAL_ENABLED.load(Ordering::Acquire) {
         return Telemetry::disabled();
     }
-    GLOBAL.read().expect("global telemetry poisoned").clone().unwrap_or_default()
+    read_or_recover(&GLOBAL).clone().unwrap_or_default()
 }
 
 /// Builds and installs the standard command-line pipeline: a progress

@@ -27,6 +27,7 @@
 //! determinism constraint the snapshot layer is built around.
 
 use crate::metrics::Histogram;
+use crate::sync::{lock_or_recover, read_or_recover, write_or_recover};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -133,10 +134,10 @@ impl MetricsRegistry {
         name: &str,
         init: u64,
     ) -> Arc<AtomicU64> {
-        if let Some(cell) = map.read().expect("registry map poisoned").get(name) {
+        if let Some(cell) = read_or_recover(map).get(name) {
             return Arc::clone(cell);
         }
-        let mut w = map.write().expect("registry map poisoned");
+        let mut w = write_or_recover(map);
         Arc::clone(w.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(init))))
     }
 
@@ -181,17 +182,12 @@ impl MetricsRegistry {
     /// Records `value` into the live histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
         let shard = &self.hist_shards[Self::shard_of(name)];
-        shard
-            .lock()
-            .expect("histogram shard poisoned")
-            .entry(name.to_string())
-            .or_default()
-            .observe(value);
+        lock_or_recover(shard).entry(name.to_string()).or_default().observe(value);
     }
 
     /// Sets the string label `name` (e.g. `task.current`).
     pub fn set_label(&self, name: &str, value: &str) {
-        self.labels.write().expect("labels poisoned").insert(name.to_string(), value.to_string());
+        write_or_recover(&self.labels).insert(name.to_string(), value.to_string());
     }
 
     /// Produces a consistent point-in-time view of every registered metric.
@@ -201,24 +197,18 @@ impl MetricsRegistry {
     /// acceptable for a live dashboard and keeps publishers unblocked.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .read()
-            .expect("registry map poisoned")
+        let counters = read_or_recover(&self.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
-        let gauges = self
-            .gauges
-            .read()
-            .expect("registry map poisoned")
+        let gauges = read_or_recover(&self.gauges)
             .iter()
             .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
             .collect();
-        let labels = self.labels.read().expect("labels poisoned").clone();
+        let labels = read_or_recover(&self.labels).clone();
         let mut histograms = BTreeMap::new();
         for shard in &self.hist_shards {
-            for (k, h) in shard.lock().expect("histogram shard poisoned").iter() {
+            for (k, h) in lock_or_recover(shard).iter() {
                 histograms.insert(k.clone(), h.clone());
             }
         }

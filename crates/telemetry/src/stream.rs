@@ -120,6 +120,7 @@ impl TraceFollower {
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
+        // aal-lint: allow(raw-artifact-write, reason = "temp side of temp+fsync+rename")
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
@@ -186,6 +187,7 @@ impl SnapshotWriter {
     ) -> SnapshotWriter {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        // aal-lint: allow(thread-spawn, reason = "observability-only snapshot thread with explicit stop+join; routing it through the executor would couple tuning to the dashboard")
         let handle = std::thread::Builder::new()
             .name("metrics-snapshot".to_string())
             .spawn(move || {
@@ -203,6 +205,7 @@ impl SnapshotWriter {
                 // Final snapshot so the files reflect run completion.
                 Self::publish(&dir, &registry, &tel);
             })
+            // aal-lint: allow(unwrap, reason = "thread spawn fails only on OS resource exhaustion; no recovery at this layer")
             .expect("spawn metrics-snapshot thread");
         SnapshotWriter { stop, handle: Some(handle) }
     }

@@ -71,6 +71,7 @@ fn conv_attrs_of(task: &TuningTask) -> Conv2dAttrs {
     let Workload::Conv2d { in_channels, out_channels, kernel, stride, padding, groups, .. } =
         task.workload
     else {
+        // aal-lint: allow(panic, reason = "caller contract: the executor dispatches only conv tasks to the tiled conv kernel")
         panic!("tiled conv execution requires a conv task")
     };
     Conv2dAttrs {
@@ -109,6 +110,7 @@ pub fn conv2d_tiled(
 
     let split = |name: &str| {
         AxisSplit::from_value(
+            // aal-lint: allow(panic, reason = "knob names come from the space that produced the config; a miss is a programming error")
             &space.value_of(config, name).unwrap_or_else(|| panic!("knob `{name}` exists")),
         )
     };

@@ -268,6 +268,7 @@ impl Registry {
             std::fs::create_dir_all(parent)?;
         }
         let mut f = std::fs::OpenOptions::new().create(true).append(true).open(&self.index)?;
+        // aal-lint: allow(unwrap, reason = "RunEntry is a plain data struct; serialization cannot fail")
         writeln!(f, "{}", serde_json::to_string(entry).expect("entry serializes"))
     }
 

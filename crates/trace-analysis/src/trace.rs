@@ -218,6 +218,7 @@ impl FlameNode {
             &mut self.children[i]
         } else {
             self.children.push(FlameNode::new(name));
+            // aal-lint: allow(unwrap, reason = "a child was pushed on the line above")
             self.children.last_mut().expect("just pushed")
         }
     }

@@ -118,12 +118,14 @@ impl DbLock {
     /// [`LockError::Io`] on filesystem failures.
     pub fn acquire(path: &Path, opts: &LockOptions) -> Result<DbLock, LockError> {
         let pid = std::process::id();
+        // aal-lint: allow(wall-clock, reason = "bounds the stale-lock wait; timing out a dead owner is not a determinism input")
         let started = Instant::now();
         let mut backoff = opts.initial_backoff;
         let mut took_over_stale = false;
         loop {
             match std::fs::OpenOptions::new().write(true).create_new(true).open(path) {
                 Ok(mut f) => {
+                    // aal-lint: allow(unwrap, reason = "LockBody is a plain data struct; serialization cannot fail")
                     let body = serde_json::to_string(&LockBody { pid }).expect("pid serializes");
                     f.write_all(body.as_bytes())?;
                     f.sync_all()?;

@@ -39,6 +39,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// type is plain data).
 #[must_use]
 pub fn encode_line<T: Serialize>(value: &T) -> Vec<u8> {
+    // aal-lint: allow(unwrap, reason = "db records are plain data; serialization cannot fail")
     let body = serde_json::to_string(value).expect("db record serializes");
     let mut line = format!("{:08x} ", crc32(body.as_bytes())).into_bytes();
     line.extend_from_slice(body.as_bytes());

@@ -232,6 +232,7 @@ pub fn decimate_curve(curve: &[f64], max_points: usize) -> Vec<f64> {
     for i in 0..max_points - 1 {
         out.push(curve[i * curve.len() / max_points]);
     }
+    // aal-lint: allow(unwrap, reason = "the curve is longer than max_points on this branch")
     out.push(*curve.last().expect("non-empty: longer than max_points"));
     out
 }
