@@ -59,6 +59,14 @@ usage:
                           [--min-effect PCT] [--boot-seed S] [--fail-on-regress]
   aaltune report  <RUN> [BASELINE] [--html FILE] [--alpha A] [--resamples N]
                           [--min-effect PCT] [--boot-seed S]
+  aaltune serve   [--root DIR] [--addr H:P] [--http-workers N] [--job-workers N]
+                          [--devices M] [--exec-workers N] [--device-ms T]
+                          [--backlog B] [--tenant-devices Q]
+                          [--db DIR] [--snapshot-interval-ms T] [--quiet]
+  aaltune client  <submit|status|result|events|best|shutdown> [ID]
+                          [--root DIR | --addr H:P] [--tenant T] [--model M]
+                          [--task N] [--method M] [--n-trial N] [--seed S]
+                          [--device D] [--priority P] [--wait]
 models:  alexnet resnet18 resnet34 vgg16 vgg19 mobilenet_v1 squeezenet_v1.1
 methods: random autotvm bted bted+bao (default)
 devices: gtx1080ti (default) v100 jetson
@@ -98,7 +106,17 @@ insight: `tune` records the surrogate's per-proposal predictions into
          correlation, top-k recall, calibration error, and regret, with a
          trust verdict; `report` adds a Model quality panel; `compare
          --fail-on-regress` also gates on rank-correlation drops when both
-         runs captured";
+         runs captured
+serving: `serve` runs a long-lived tuning server: POST /jobs queues tuning
+         jobs per tenant (fair-share scheduling, per-tenant --backlog and
+         --tenant-devices quotas), GET /best answers from the tuning
+         database without touching the tuning loop, and GET /jobs/ID/events
+         streams progress. Jobs are journaled and checkpointed: kill the
+         server and restart it on the same --root, and the queue resumes
+         with byte-identical trial logs. `top ROOT` watches a live server;
+         `client` is the matching command-line client (--root reads the
+         published address from ROOT/serve.addr; submit --wait polls the
+         job to completion and prints its result)";
 
 /// Parses and runs one invocation, returning the process exit code
 /// (0 = success, [`EXIT_REGRESSED`] = gated regression).
@@ -124,6 +142,8 @@ pub fn dispatch(args: &[String]) -> Result<u8, String> {
         Some("runs") => runs(&cli).map(|()| 0),
         Some("compare") => compare(&cli),
         Some("report") => report(&cli).map(|()| 0),
+        Some("serve") => serve_cmd(&cli).map(|()| 0),
+        Some("client") => client_cmd(&cli),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_string()),
     }
@@ -998,7 +1018,7 @@ fn db_cmd(cli: &Cli) -> Result<u8, String> {
                 .map_err(|e| format!("cannot open {}: {e}", root.display()))?;
             for rec in store.records() {
                 let line =
-                    serde_json::to_string(rec).map_err(|e| format!("serialize failed: {e}"))?;
+                    serde_json::to_string(&rec).map_err(|e| format!("serialize failed: {e}"))?;
                 println!("{line}");
             }
             Ok(0)
@@ -1127,6 +1147,155 @@ fn explain(cli: &Cli) -> Result<(), String> {
     let records = read_model_quality(&file)?;
     print!("{}", trace_analysis::render_explain(&trace_analysis::analyze(&records)));
     Ok(())
+}
+
+/// `aaltune serve` — run the tuning server until `POST /shutdown` (or a
+/// signal; queued jobs resume on the next start from the same --root).
+fn serve_cmd(cli: &Cli) -> Result<(), String> {
+    let quiet = cli.flag_present("quiet");
+    let cfg = serve::ServeConfig {
+        root: PathBuf::from(cli.flag_str("root").unwrap_or("serve-root")),
+        addr: cli.flag_str("addr").unwrap_or("127.0.0.1:7411").to_string(),
+        http_workers: cli.flag("http-workers", 4)?,
+        job_workers: cli.flag("job-workers", 2)?,
+        devices: cli.flag("devices", 4)?,
+        exec_workers: cli.flag("exec-workers", 2)?,
+        device_hold: Duration::from_millis(cli.flag("device-ms", 0)?),
+        backlog: cli.flag("backlog", 16)?,
+        tenant_devices: cli.flag_str("tenant-devices").map(str::parse).transpose().map_err(
+            |_| "invalid value for --tenant-devices (expected a device count)".to_string(),
+        )?,
+        db: cli.flag_str("db").map(PathBuf::from),
+        snapshot_interval: Duration::from_millis(cli.flag("snapshot-interval-ms", 1000)?),
+        quiet,
+    };
+    let root = cfg.root.clone();
+    let server = serve::Server::start(cfg)?;
+    if !quiet {
+        eprintln!(
+            "serving on {} (root {}; POST /shutdown to drain)",
+            server.addr(),
+            root.display()
+        );
+    }
+    server.wait();
+    Ok(())
+}
+
+/// Resolves the server address for `aaltune client`: explicit `--addr`,
+/// else the address the server published into `<--root>/serve.addr`.
+fn client_addr(cli: &Cli) -> Result<String, String> {
+    if let Some(addr) = cli.flag_str("addr") {
+        return Ok(addr.to_string());
+    }
+    let root = cli.flag_str("root").unwrap_or("serve-root");
+    let path = Path::new(root).join("serve.addr");
+    std::fs::read_to_string(&path).map(|s| s.trim().to_string()).map_err(|e| {
+        format!("no --addr and cannot read {} ({e}); is the server running?", path.display())
+    })
+}
+
+/// `aaltune client <submit|status|result|events|best|shutdown>`.
+fn client_cmd(cli: &Cli) -> Result<u8, String> {
+    let addr = client_addr(cli)?;
+    let sub = cli
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("missing client subcommand (submit, status, result, events, best, shutdown)")?;
+    let job_id = || -> Result<&str, String> {
+        cli.positional.get(2).map(String::as_str).ok_or_else(|| "missing job id".to_string())
+    };
+    match sub {
+        "submit" => {
+            let mut body = serde_json::json!({
+                "model": cli.flag_str("model").ok_or("submit requires --model")?,
+                "tenant": cli.flag_str("tenant").unwrap_or("default"),
+                "method": cli.flag_str("method").unwrap_or("bted+bao"),
+                "device": cli.flag_str("device").unwrap_or("gtx1080ti"),
+                "n_trial": cli.flag("n-trial", 64u64)?,
+                "seed": cli.flag("seed", 0u64)?,
+                "priority": cli.flag("priority", 0u64)?,
+            });
+            if let (serde_json::Value::Object(obj), Some(task)) = (&mut body, cli.flag_str("task"))
+            {
+                let task: u64 = task
+                    .parse()
+                    .map_err(|_| "invalid value for --task (expected an index)".to_string())?;
+                obj.insert("task".into(), serde_json::Value::from(task));
+            }
+            let (code, resp) = serve::client::request(&addr, "POST", "/jobs", Some(&body))?;
+            println!("{resp}");
+            if code != 202 {
+                return Ok(1);
+            }
+            if !cli.flag_present("wait") {
+                return Ok(0);
+            }
+            let id = resp["id"].as_str().ok_or("server response has no job id")?.to_string();
+            loop {
+                let (_, status) =
+                    serve::client::request(&addr, "GET", &format!("/jobs/{id}"), None)?;
+                match status["state"].as_str() {
+                    Some("done") => {
+                        let (_, result) = serve::client::request(
+                            &addr,
+                            "GET",
+                            &format!("/jobs/{id}/result"),
+                            None,
+                        )?;
+                        println!("{result}");
+                        return Ok(0);
+                    }
+                    Some("failed") => {
+                        println!("{status}");
+                        return Ok(1);
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(200)),
+                }
+            }
+        }
+        "status" => {
+            let (code, resp) =
+                serve::client::request(&addr, "GET", &format!("/jobs/{}", job_id()?), None)?;
+            println!("{resp}");
+            Ok(u8::from(code != 200))
+        }
+        "result" => {
+            let (code, resp) =
+                serve::client::request(&addr, "GET", &format!("/jobs/{}/result", job_id()?), None)?;
+            println!("{resp}");
+            Ok(u8::from(code != 200))
+        }
+        "events" => {
+            serve::client::stream_events(&addr, &format!("/jobs/{}/events", job_id()?), |v| {
+                println!("{v}");
+                true
+            })?;
+            Ok(0)
+        }
+        "best" => {
+            let model = cli.flag_str("model").ok_or("best requires --model")?;
+            let task: u64 = cli.flag("task", 0)?;
+            let device = cli.flag_str("device").unwrap_or("gtx1080ti");
+            let (code, resp) = serve::client::request(
+                &addr,
+                "GET",
+                &format!("/best?model={model}&task={task}&device={device}"),
+                None,
+            )?;
+            println!("{resp}");
+            Ok(u8::from(code != 200))
+        }
+        "shutdown" => {
+            let (code, resp) = serve::client::request(&addr, "POST", "/shutdown", None)?;
+            println!("{resp}");
+            Ok(u8::from(code != 202))
+        }
+        other => Err(format!(
+            "unknown client subcommand `{other}` (submit, status, result, events, best, shutdown)"
+        )),
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 /// Flags that are switches (present or absent) rather than `--key value`
 /// pairs.
 const BOOL_FLAGS: &[&str] =
-    &["quiet", "json", "fail-on-regress", "once", "check", "no-capture-model", "repair"];
+    &["quiet", "json", "fail-on-regress", "once", "check", "no-capture-model", "repair", "wait"];
 
 /// Parsed command line: a positional list plus `--key value` flags.
 #[derive(Debug, Default)]

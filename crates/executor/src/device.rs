@@ -10,6 +10,11 @@
 //!   instead of monopolizing the pool. The cap is *soft*: a surplus of
 //!   free devices, or the absence of any other waiter, lets a task exceed
 //!   it, so devices never idle while exactly one task wants them.
+//! * **hard per-tag quotas** — [`DevicePool::set_tag_cap`] pins an
+//!   absolute ceiling on the devices one tag may hold at once. Unlike the
+//!   soft fair-share cap it is never exceeded, even when the rest of the
+//!   pool sits idle: a serving deployment uses it as the per-tenant device
+//!   quota, so one tenant's burst cannot occupy another tenant's share.
 //! * **occupancy emulation** — an optional real-time hold keeps the
 //!   device (and its runner) busy for a configurable duration per lease,
 //!   standing in for the device-side round-trip a simulator otherwise
@@ -40,6 +45,9 @@ struct PoolState {
     free: Vec<usize>,
     /// Per-tag accounting; entries are removed once a tag goes idle.
     tags: BTreeMap<String, TagState>,
+    /// Hard per-tag ceilings ([`DevicePool::set_tag_cap`]). Kept separate
+    /// from `tags` so a quota outlives the tag going idle.
+    caps: BTreeMap<String, usize>,
 }
 
 #[derive(Debug, Default)]
@@ -68,6 +76,7 @@ impl DevicePool {
             state: Mutex::new(PoolState {
                 free: (0..devices).rev().collect(),
                 tags: BTreeMap::new(),
+                caps: BTreeMap::new(),
             }),
             freed: Condvar::new(),
             devices,
@@ -85,6 +94,33 @@ impl DevicePool {
     #[must_use]
     pub fn free_now(&self) -> usize {
         lock_or_recover(&self.state).free.len()
+    }
+
+    /// Sets (or with `None` clears) a *hard* ceiling on the devices `tag`
+    /// may hold concurrently. The quota composes with the soft fair-share
+    /// cap: a tag is eligible only when it is under both. A cap of zero is
+    /// clamped to one — a zero quota would block that tag's `acquire`
+    /// forever. Already-held leases are unaffected; the quota bites on the
+    /// next acquisition.
+    pub fn set_tag_cap(&self, tag: &str, cap: Option<usize>) {
+        let mut st = lock_or_recover(&self.state);
+        match cap {
+            Some(c) => {
+                st.caps.insert(tag.to_string(), c.max(1));
+            }
+            None => {
+                st.caps.remove(tag);
+            }
+        }
+        drop(st);
+        // A raised/cleared quota may make a blocked waiter eligible.
+        self.freed.notify_all();
+    }
+
+    /// The hard quota currently set for `tag`, if any.
+    #[must_use]
+    pub fn tag_cap(&self, tag: &str) -> Option<usize> {
+        lock_or_recover(&self.state).caps.get(tag).copied()
     }
 
     /// Blocks until a device is available to `tag` under fair share, then
@@ -131,6 +167,13 @@ impl DevicePool {
         let cap = self.devices.div_ceil(active);
         // aal-lint: allow(unwrap, reason = "acquire registers the tag before try_take can run")
         let me = st.tags.get(tag).expect("tag registered before try_take");
+        // A hard quota is absolute: at the ceiling the tag is ineligible no
+        // matter how idle the rest of the pool is.
+        if let Some(&hard) = st.caps.get(tag) {
+            if me.in_use >= hard {
+                return None;
+            }
+        }
         let other_waiters =
             st.tags.iter().filter(|(name, t)| name.as_str() != tag && t.waiting > 0).count();
         // Under the cap: always eligible. Over it: only when no other tag
@@ -270,5 +313,127 @@ mod tests {
         let t0 = Instant::now();
         drop(pool.acquire("t"));
         assert!(t0.elapsed() >= Duration::from_millis(30), "lease must hold the device");
+    }
+
+    #[test]
+    fn hard_cap_binds_even_on_an_idle_pool() {
+        // Unlike the soft fair-share cap, a quota holds with zero
+        // contention: the tag blocks at its ceiling while devices idle.
+        let pool = DevicePool::new(4);
+        pool.set_tag_cap("tenant", Some(2));
+        assert_eq!(pool.tag_cap("tenant"), Some(2));
+        let a = pool.acquire("tenant");
+        let b = pool.acquire("tenant");
+        assert_eq!(pool.free_now(), 2);
+        let blocked = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.acquire("tenant"))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!blocked.is_finished(), "third lease must block at the quota");
+        // Another tag is unaffected by tenant's quota.
+        let other = pool.acquire("other");
+        drop(a);
+        let c = blocked.join().unwrap();
+        drop(b);
+        drop(c);
+        drop(other);
+        // Clearing the quota lifts the ceiling.
+        pool.set_tag_cap("tenant", None);
+        let all: Vec<_> = (0..4).map(|_| pool.acquire("tenant")).collect();
+        assert_eq!(pool.free_now(), 0);
+        drop(all);
+        // A zero cap is clamped to one instead of deadlocking acquire.
+        pool.set_tag_cap("z", Some(0));
+        assert_eq!(pool.tag_cap("z"), Some(1));
+        drop(pool.acquire("z"));
+    }
+}
+
+#[cfg(test)]
+mod quota_properties {
+    use super::*;
+    use proptest::prelude::*;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Tracks the concurrent high-water mark of leases per tag.
+    struct HighWater {
+        now: AtomicUsize,
+        max: AtomicUsize,
+    }
+
+    impl HighWater {
+        fn new() -> Self {
+            HighWater { now: AtomicUsize::new(0), max: AtomicUsize::new(0) }
+        }
+
+        fn enter(&self) {
+            let n = self.now.fetch_add(1, Ordering::SeqCst) + 1;
+            self.max.fetch_max(n, Ordering::SeqCst);
+        }
+
+        fn exit(&self) {
+            self.now.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Fair share under quotas, ≥3 concurrent tags, panicking workers:
+        /// no tag ever holds more devices than its hard cap, and every
+        /// lease — including those dropped during a panic unwind — returns
+        /// to the pool (no leaks: the pool ends fully free).
+        #[test]
+        fn quotas_hold_and_leases_never_leak_under_panics(
+            devices in 1usize..6,
+            caps in proptest::collection::vec(1usize..4, 3..5),
+            leases_per_tag in 2usize..8,
+            panic_mask in 0u32..64,
+        ) {
+            let pool = DevicePool::new(devices);
+            let tags: Vec<String> = (0..caps.len()).map(|i| format!("tenant-{i}")).collect();
+            for (tag, &cap) in tags.iter().zip(&caps) {
+                pool.set_tag_cap(tag, Some(cap));
+            }
+            let water: Vec<Arc<HighWater>> =
+                tags.iter().map(|_| Arc::new(HighWater::new())).collect();
+            let workers: Vec<_> = tags
+                .iter()
+                .enumerate()
+                .map(|(i, tag)| {
+                    let pool = Arc::clone(&pool);
+                    let water = Arc::clone(&water[i]);
+                    let tag = tag.clone();
+                    std::thread::spawn(move || {
+                        for n in 0..leases_per_tag {
+                            // A panicking worker must still release its
+                            // lease through the unwind.
+                            let panics = panic_mask & (1 << ((i * leases_per_tag + n) % 6)) != 0;
+                            let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                let lease = pool.acquire(&tag);
+                                water.enter();
+                                std::thread::sleep(Duration::from_micros(200));
+                                water.exit();
+                                assert!(!panics, "injected worker panic");
+                                drop(lease);
+                            }));
+                            let _ = attempt;
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            for (i, (&cap, hw)) in caps.iter().zip(&water).enumerate() {
+                let seen = hw.max.load(Ordering::SeqCst);
+                prop_assert!(
+                    seen <= cap.min(devices),
+                    "tag {i} held {seen} devices concurrently, cap {cap}, pool {devices}"
+                );
+            }
+            prop_assert_eq!(pool.free_now(), devices, "leases leaked (panic unwind?)");
+        }
     }
 }

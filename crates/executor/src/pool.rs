@@ -181,13 +181,34 @@ pub struct Executor<M> {
 }
 
 impl<M: Measurer + Send + Sync + 'static> Executor<M> {
-    /// Spawns the worker pools and wraps `measurer`.
+    /// Spawns the worker pools and wraps `measurer`, with a private
+    /// [`DevicePool`] sized by `config`.
     #[must_use]
     pub fn new(measurer: M, config: ExecutorConfig) -> Self {
+        let pool = DevicePool::with_hold(config.devices, config.device_hold);
+        Self::with_pool(measurer, config, pool, None)
+    }
+
+    /// Like [`Executor::new`], but leasing devices from a caller-provided
+    /// (possibly shared) pool instead of a private one, and optionally
+    /// overriding the lease tag. By default leases are tagged with the
+    /// task name (fair share *between tasks* of one run); a serving
+    /// deployment passes the tenant id as `lease_tag` so several
+    /// executors sharing one pool contend *between tenants*, with
+    /// [`DevicePool::set_tag_cap`] quotas enforced across all of them.
+    /// `config.devices` / `config.device_hold` are ignored — the shared
+    /// pool's own sizing wins.
+    #[must_use]
+    pub fn with_pool(
+        measurer: M,
+        config: ExecutorConfig,
+        devices: Arc<DevicePool>,
+        lease_tag: Option<String>,
+    ) -> Self {
         let measurer = Arc::new(measurer);
+        let lease_tag: Option<Arc<str>> = lease_tag.map(Into::into);
         let build_q = Arc::new(BoundedQueue::new(config.queue_capacity, "exec.queue.build.depth"));
         let run_q = Arc::new(BoundedQueue::new(config.queue_capacity, "exec.queue.run.depth"));
-        let devices = DevicePool::with_hold(config.devices, config.device_hold);
         let builders = (0..config.builders.max(1))
             .map(|i| {
                 let (bq, rq) = (Arc::clone(&build_q), Arc::clone(&run_q));
@@ -203,9 +224,10 @@ impl<M: Measurer + Send + Sync + 'static> Executor<M> {
                 let rq = Arc::clone(&run_q);
                 let pool = Arc::clone(&devices);
                 let m = Arc::clone(&measurer);
+                let tag = lease_tag.clone();
                 std::thread::Builder::new()
                     .name(format!("exec-run-{i}"))
-                    .spawn(move || runner_loop(&rq, &pool, &*m))
+                    .spawn(move || runner_loop(&rq, &pool, &*m, tag.as_deref()))
                     // aal-lint: allow(unwrap, reason = "thread spawn fails only on OS resource exhaustion; no recovery at this layer")
                     .expect("spawn runner")
             })
@@ -345,8 +367,14 @@ fn builder_loop(build_q: &BoundedQueue<BuildJob>, run_q: &BoundedQueue<RunJob>) 
 }
 
 /// Run stage: lease a device, measure through the wrapped stack, complete
-/// the batch slot.
-fn runner_loop<M: Measurer>(run_q: &BoundedQueue<RunJob>, pool: &Arc<DevicePool>, measurer: &M) {
+/// the batch slot. Leases are tagged with `lease_tag` when set (shared
+/// pools contending between tenants), else the task name.
+fn runner_loop<M: Measurer>(
+    run_q: &BoundedQueue<RunJob>,
+    pool: &Arc<DevicePool>,
+    measurer: &M,
+    lease_tag: Option<&str>,
+) {
     let tel = telemetry::global();
     loop {
         // aal-lint: allow(wall-clock, reason = "worker idle/busy accounting exported as telemetry only")
@@ -356,7 +384,8 @@ fn runner_loop<M: Measurer>(run_q: &BoundedQueue<RunJob>, pool: &Arc<DevicePool>
         // aal-lint: allow(wall-clock, reason = "worker idle/busy accounting exported as telemetry only")
         let busy = Instant::now();
         tel.gauge_add("exec.workers.run.busy.now", 1.0);
-        let lease = valid.then(|| pool.acquire(&job.batch.task.name));
+        let tag = lease_tag.unwrap_or(&job.batch.task.name);
+        let lease = valid.then(|| pool.acquire(tag));
         let result = measurer.measure(&job.batch.task, &job.batch.space, &job.config);
         drop(lease);
         tel.count("exec.jobs.total", 1);

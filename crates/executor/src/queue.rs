@@ -229,4 +229,42 @@ mod tests {
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
     }
+
+    #[test]
+    fn close_while_many_consumers_blocked_wakes_all_and_drains_exactly_once() {
+        // The server's shutdown path: several workers are parked in `pop`
+        // on a non-empty-then-empty queue when `close` lands. Every one of
+        // them must wake (no deadlocked thread left behind), the remaining
+        // items must each be delivered to exactly one consumer, and every
+        // consumer must eventually observe `None`.
+        for round in 0..20 {
+            let q = Arc::new(BoundedQueue::<u32>::new(8, "test.depth"));
+            let consumers: Vec<_> = (0..6)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(item) = q.pop() {
+                            got.push(item);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            // Let the consumers park, then race a few items against close.
+            // Varying the pre-close sleep across rounds shifts the
+            // interleaving between "all parked" and "mid-drain".
+            std::thread::sleep(Duration::from_micros(200 * round));
+            for i in 0..5 {
+                q.push(i).unwrap();
+            }
+            q.close();
+            let mut delivered: Vec<u32> = Vec::new();
+            for c in consumers {
+                delivered.extend(c.join().expect("no consumer may deadlock or panic"));
+            }
+            delivered.sort_unstable();
+            assert_eq!(delivered, vec![0, 1, 2, 3, 4], "each item drains exactly once");
+        }
+    }
 }

@@ -1,0 +1,202 @@
+//! A minimal blocking HTTP/1.1 client for `aaltune client`, the
+//! end-to-end tests, and the loadgen bench.
+//!
+//! Mirrors the server's hand-rolled subset: fixed `Content-Length`
+//! responses (with keep-alive reuse via [`ClientConn`]) and chunked
+//! event streams (line-by-line callback).
+
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One response: status code + parsed JSON body.
+pub type Response = (u16, Value);
+
+/// A reusable keep-alive connection (the loadgen hot path: no TCP
+/// handshake per lookup).
+#[derive(Debug)]
+pub struct ClientConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ClientConn {
+    /// Connects with Nagle disabled and a generous read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when the connection cannot be established.
+    pub fn connect(addr: &str) -> Result<ClientConn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).map_err(|e| format!("nodelay: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .map_err(|e| format!("read timeout: {e}"))?;
+        Ok(ClientConn { stream, buf: Vec::new() })
+    }
+
+    /// Sends one request and reads its fixed-length response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic on I/O failure or a malformed response.
+    pub fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<Response, String> {
+        let payload = body.map(Value::to_string).unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: aaltune\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            payload.len()
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|()| self.stream.write_all(payload.as_bytes()))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let (status, body_bytes) = self.read_response()?;
+        let body = if body_bytes.is_empty() {
+            Value::Null
+        } else {
+            serde_json::from_str(
+                std::str::from_utf8(&body_bytes).map_err(|_| "non-UTF-8 response".to_string())?,
+            )
+            .map_err(|e| format!("bad response JSON: {e}"))?
+        };
+        Ok((status, body))
+    }
+
+    fn read_response(&mut self) -> Result<(u16, Vec<u8>), String> {
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let body_start = head_end + 4;
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or("malformed status line")?;
+        let mut content_length = 0usize;
+        let mut chunked = false;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length =
+                        value.trim().parse().map_err(|_| "bad content-length".to_string())?;
+                } else if name.eq_ignore_ascii_case("transfer-encoding")
+                    && value.trim().eq_ignore_ascii_case("chunked")
+                {
+                    chunked = true;
+                }
+            }
+        }
+        if chunked {
+            return Err("unexpected chunked response (use stream_events)".to_string());
+        }
+        while self.buf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok((status, body))
+    }
+
+    fn fill(&mut self) -> Result<(), String> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err("connection closed mid-response".to_string()),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+}
+
+/// One-shot request on a fresh connection.
+///
+/// # Errors
+///
+/// Returns a diagnostic on connection or protocol failure.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+) -> Result<Response, String> {
+    ClientConn::connect(addr)?.roundtrip(method, path, body)
+}
+
+/// Streams `GET <path>` (a chunked JSONL endpoint), invoking `on_line`
+/// for each JSON line until the stream terminates or `on_line` returns
+/// `false`.
+///
+/// # Errors
+///
+/// Returns a diagnostic on connection or protocol failure.
+pub fn stream_events(
+    addr: &str,
+    path: &str,
+    mut on_line: impl FnMut(&Value) -> bool,
+) -> Result<(), String> {
+    let mut conn = ClientConn::connect(addr)?;
+    let head = format!("GET {path} HTTP/1.1\r\nHost: aaltune\r\n\r\n");
+    conn.stream
+        .write_all(head.as_bytes())
+        .and_then(|()| conn.stream.flush())
+        .map_err(|e| format!("send: {e}"))?;
+    // Read the response head; require chunked.
+    let head_end = loop {
+        if let Some(pos) = conn.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        conn.fill()?;
+    };
+    let head = String::from_utf8_lossy(&conn.buf[..head_end]).into_owned();
+    conn.buf.drain(..head_end + 4);
+    if !head.to_ascii_lowercase().contains("transfer-encoding: chunked") {
+        return Err(format!("not a chunked stream: {}", head.lines().next().unwrap_or("")));
+    }
+    let mut carry = String::new();
+    loop {
+        // Chunk size line.
+        let line_end = loop {
+            if let Some(pos) = conn.buf.windows(2).position(|w| w == b"\r\n") {
+                break pos;
+            }
+            conn.fill()?;
+        };
+        let size = usize::from_str_radix(String::from_utf8_lossy(&conn.buf[..line_end]).trim(), 16)
+            .map_err(|_| "bad chunk size".to_string())?;
+        conn.buf.drain(..line_end + 2);
+        if size == 0 {
+            return Ok(()); // terminal chunk (trailing CRLF may or may not arrive)
+        }
+        while conn.buf.len() < size + 2 {
+            conn.fill()?;
+        }
+        carry.push_str(&String::from_utf8_lossy(&conn.buf[..size]));
+        conn.buf.drain(..size + 2);
+        while let Some(nl) = carry.find('\n') {
+            let line: String = carry.drain(..=nl).collect();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v: Value =
+                serde_json::from_str(line).map_err(|e| format!("bad event line: {e}"))?;
+            if !on_line(&v) {
+                return Ok(());
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! A minimal HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! The build is offline (no tokio, no hyper), so this module hand-rolls
+//! exactly the subset the job API needs — request-line + headers +
+//! `Content-Length` bodies in, fixed or chunked responses out — the way
+//! `aal-lint` hand-rolled its Rust lexer. Keep-alive is supported via a
+//! per-connection carry buffer; pipelined bytes beyond the current
+//! request simply wait there for the next parse.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body; bigger submissions get a 413.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted header block, bounding a slow-loris peer's memory.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// How long a keep-alive read blocks before yielding [`ReadOutcome::Idle`]
+/// so the worker can check the shutdown flag.
+pub const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: BTreeMap<String, String>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// What a blocking read on a keep-alive connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Peer closed the connection cleanly.
+    Eof,
+    /// Read timed out between requests; poll shutdown and retry.
+    Idle,
+    /// Malformed request head; the connection should be dropped after
+    /// the carried 400 response.
+    Bad(&'static str),
+    /// Body larger than [`MAX_BODY_BYTES`].
+    TooLarge,
+}
+
+/// A server-side connection: the stream plus carried-over bytes.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    /// Wraps an accepted stream, disabling Nagle (the read path answers
+    /// sub-millisecond requests; a 40 ms coalescing delay would dominate
+    /// p99) and arming the idle-poll read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn new(stream: TcpStream) -> std::io::Result<Conn> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(IDLE_POLL))?;
+        Ok(Conn { stream, buf: Vec::new() })
+    }
+
+    /// Reads the next request off the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard I/O errors (connection reset etc.); timeouts are
+    /// [`ReadOutcome::Idle`], not errors.
+    pub fn read_request(&mut self) -> std::io::Result<ReadOutcome> {
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Ok(ReadOutcome::Bad("header block too large"));
+            }
+            match self.fill()? {
+                Filled::Data => {}
+                Filled::Eof => {
+                    return Ok(if self.buf.is_empty() {
+                        ReadOutcome::Eof
+                    } else {
+                        ReadOutcome::Bad("connection closed mid-request")
+                    });
+                }
+                Filled::Timeout => {
+                    // Mid-head timeouts only idle out between requests;
+                    // a half-sent head keeps waiting (the peer may be
+                    // slow, and shutdown kills the socket anyway).
+                    if self.buf.is_empty() {
+                        return Ok(ReadOutcome::Idle);
+                    }
+                }
+            }
+        };
+        let head = match std::str::from_utf8(&self.buf[..head_end]) {
+            Ok(h) => h.to_string(),
+            Err(_) => return Ok(ReadOutcome::Bad("non-UTF-8 request head")),
+        };
+        let body_start = head_end + 4;
+        let mut lines = head.split("\r\n");
+        let Some(request_line) = lines.next() else {
+            return Ok(ReadOutcome::Bad("empty request"));
+        };
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+            return Ok(ReadOutcome::Bad("malformed request line"));
+        };
+        let method = method.to_ascii_uppercase();
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = match value.trim().parse() {
+                        Ok(n) => n,
+                        Err(_) => return Ok(ReadOutcome::Bad("bad content-length")),
+                    };
+                }
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            self.buf.clear();
+            return Ok(ReadOutcome::TooLarge);
+        }
+        while self.buf.len() < body_start + content_length {
+            match self.fill()? {
+                Filled::Data => {}
+                Filled::Eof => return Ok(ReadOutcome::Bad("connection closed mid-body")),
+                Filled::Timeout => {}
+            }
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        let (path, query) = parse_target(target);
+        Ok(ReadOutcome::Request(Request { method, path, query, body }))
+    }
+
+    fn fill(&mut self) -> std::io::Result<Filled> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Ok(Filled::Eof),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(Filled::Data)
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(Filled::Timeout)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes a complete JSON response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (peer gone).
+    pub fn respond_json(&mut self, status: u16, body: &Value) -> std::io::Result<()> {
+        let bytes = body.to_string().into_bytes();
+        self.respond_bytes(status, "application/json", &bytes)
+    }
+
+    /// Writes a complete response with the given content type.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn respond_bytes(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            status_text(status),
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()
+    }
+
+    /// Starts a chunked (streaming) response; follow with
+    /// [`Conn::write_chunk`] calls and one [`Conn::finish_chunked`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn start_chunked(&mut self, status: u16, content_type: &str) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status_text(status)
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Writes one chunk of a chunked response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures — the signal a streaming handler uses
+    /// to notice the client went away.
+    pub fn write_chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates a chunked response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn finish_chunked(&mut self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+enum Filled {
+    Data,
+    Eof,
+    Timeout,
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits a request target into decoded path + query map.
+fn parse_target(target: &str) -> (String, BTreeMap<String, String>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut params = BTreeMap::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        params.insert(percent_decode(k), percent_decode(v));
+    }
+    (percent_decode(path), params)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The reason phrase for the handful of statuses the server uses.
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing_decodes_path_and_query() {
+        let (path, q) = parse_target("/best?model=squeezenet_v1.1&task=3&x=a%20b+c");
+        assert_eq!(path, "/best");
+        assert_eq!(q["model"], "squeezenet_v1.1");
+        assert_eq!(q["task"], "3");
+        assert_eq!(q["x"], "a b c");
+        let (path, q) = parse_target("/jobs/j1");
+        assert_eq!(path, "/jobs/j1");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn percent_decode_handles_malformed_escapes() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

@@ -1,0 +1,244 @@
+//! Job specifications, states, and the crash-safe submission journal.
+//!
+//! The journal is the queue's durability: one JSONL line per lifecycle
+//! transition (`submitted`, `done`, `failed`), appended and flushed
+//! *before* the client's 202 acknowledgement. On restart the server
+//! replays the journal in order; every acknowledged job whose terminal
+//! line is missing is re-enqueued in its original submission order, so
+//! job ids — assigned sequentially from the journal — are identical to
+//! an uninterrupted twin's, and the per-job run directories resume
+//! through the same replay machinery `tune --resume` uses.
+
+use active_learning::Method;
+use dnn_graph::{models, Graph};
+use gpu_sim::GpuDevice;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// Ceiling on requested trials per task, bounding a hostile submission.
+pub const MAX_TRIALS: usize = 100_000;
+
+/// A validated tuning-job request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Submitting tenant; device quotas and fair share key off this.
+    pub tenant: String,
+    /// Model name (see [`model_by_name`]).
+    pub model: String,
+    /// Task index within the model (`None` = every task).
+    pub task: Option<usize>,
+    /// Method label (see [`method_by_name`]).
+    pub method: String,
+    /// Trial budget per task.
+    pub n_trial: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated device preset (see [`device_by_name`]).
+    pub device: String,
+    /// Scheduling priority within the tenant (higher first).
+    pub priority: u8,
+}
+
+impl JobSpec {
+    /// Parses a submission body. The vendored serde has no field
+    /// defaulting, so optional fields are filled in by hand here — which
+    /// also yields better error messages than a derive would.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field; every name is
+    /// validated eagerly so a bad job is rejected at submit, not at run.
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        let obj = v.as_object().ok_or("job spec must be a JSON object")?;
+        let str_field = |name: &str, default: &str| -> Result<String, String> {
+            match obj.get(name) {
+                None => Ok(default.to_string()),
+                Some(Value::String(s)) if !s.is_empty() => Ok(s.clone()),
+                Some(_) => Err(format!("field `{name}` must be a non-empty string")),
+            }
+        };
+        let uint_field = |name: &str, default: u64| -> Result<u64, String> {
+            match obj.get(name) {
+                None => Ok(default),
+                Some(v) => v.as_u64().ok_or_else(|| format!("field `{name}` must be an integer")),
+            }
+        };
+        let spec = JobSpec {
+            tenant: str_field("tenant", "default")?,
+            model: str_field("model", "")?,
+            task: match obj.get("task") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    usize::try_from(v.as_u64().ok_or("field `task` must be an integer")?)
+                        .map_err(|_| "field `task` out of range")?,
+                ),
+            },
+            method: str_field("method", "bted+bao")?,
+            n_trial: usize::try_from(uint_field("n_trial", 64)?)
+                .map_err(|_| "field `n_trial` out of range")?,
+            seed: uint_field("seed", 0)?,
+            device: str_field("device", "gtx1080ti")?,
+            priority: u8::try_from(uint_field("priority", 0)?)
+                .map_err(|_| "field `priority` must fit in u8")?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Re-checks every resolvable name (also run on journal replay, so a
+    /// journal written by a newer build degrades to a failed job instead
+    /// of a panicking worker).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first resolution failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.model.is_empty() {
+            return Err("field `model` is required".into());
+        }
+        if self.tenant.chars().any(|c| !c.is_alphanumeric() && c != '-' && c != '_') {
+            return Err("field `tenant` must be alphanumeric (plus `-`/`_`)".into());
+        }
+        if self.n_trial == 0 || self.n_trial > MAX_TRIALS {
+            return Err(format!("field `n_trial` must be in 1..={MAX_TRIALS}"));
+        }
+        let graph = model_by_name(&self.model)?;
+        if let Some(i) = self.task {
+            let n = dnn_graph::task::extract_tasks(&graph).len();
+            if i >= n {
+                return Err(format!("task index {i} out of range (model has {n})"));
+            }
+        }
+        method_by_name(&self.method)?;
+        device_by_name(&self.device)?;
+        Ok(())
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and journaled, waiting for a worker.
+    Queued,
+    /// A worker is tuning it.
+    Running,
+    /// Finished; `result.json` is in its run directory.
+    Done,
+    /// Terminated with an error.
+    Failed,
+}
+
+impl JobState {
+    /// Wire name of the state.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// One journal line. `spec` rides on `submitted` entries; `error` on
+/// `failed` ones.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalLine {
+    /// `submitted`, `done`, or `failed`.
+    pub entry: String,
+    /// Job id (`j1`, `j2`, ... in submission order).
+    pub id: String,
+    /// The job spec (submission entries only).
+    pub spec: Option<JobSpec>,
+    /// Failure diagnostic (failed entries only).
+    pub error: Option<String>,
+}
+
+/// Resolves a model name (the CLI's resolver, duplicated because `cli`
+/// is a binary crate; `bench` does the same).
+///
+/// # Errors
+///
+/// Returns an error listing the valid names.
+pub fn model_by_name(name: &str) -> Result<Graph, String> {
+    match name {
+        "alexnet" => Ok(models::alexnet(1)),
+        "resnet18" => Ok(models::resnet18(1)),
+        "resnet34" => Ok(models::resnet34(1)),
+        "vgg16" => Ok(models::vgg16(1)),
+        "vgg19" => Ok(models::vgg19(1)),
+        "mobilenet_v1" | "mobilenet" => Ok(models::mobilenet_v1(1)),
+        "squeezenet_v1.1" | "squeezenet" => Ok(models::squeezenet_v1_1(1)),
+        other => Err(format!(
+            "unknown model `{other}` (alexnet, resnet18, resnet34, vgg16, vgg19, \
+             mobilenet_v1, squeezenet_v1.1)"
+        )),
+    }
+}
+
+/// Resolves a method label.
+///
+/// # Errors
+///
+/// Returns an error listing the valid labels.
+pub fn method_by_name(name: &str) -> Result<Method, String> {
+    match name {
+        "random" => Ok(Method::Random),
+        "autotvm" => Ok(Method::AutoTvm),
+        "bted" => Ok(Method::Bted),
+        "bted+bao" | "bao" | "ours" => Ok(Method::BtedBao),
+        other => Err(format!("unknown method `{other}` (random, autotvm, bted, bted+bao)")),
+    }
+}
+
+/// Resolves a device preset.
+///
+/// # Errors
+///
+/// Returns an error listing the valid names.
+pub fn device_by_name(name: &str) -> Result<GpuDevice, String> {
+    match name {
+        "gtx1080ti" | "1080ti" => Ok(GpuDevice::gtx_1080_ti()),
+        "v100" => Ok(GpuDevice::tesla_v100()),
+        "jetson" | "tx2" => Ok(GpuDevice::jetson_tx2()),
+        other => Err(format!("unknown device `{other}` (gtx1080ti, v100, jetson)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn spec_parsing_fills_defaults_and_validates_names() {
+        let spec = JobSpec::from_value(&json!({"model": "squeezenet", "task": 2})).unwrap();
+        assert_eq!(spec.tenant, "default");
+        assert_eq!(spec.method, "bted+bao");
+        assert_eq!(spec.n_trial, 64);
+        assert_eq!(spec.task, Some(2));
+
+        assert!(JobSpec::from_value(&json!({})).unwrap_err().contains("model"));
+        assert!(JobSpec::from_value(&json!({"model": "nope"})).unwrap_err().contains("nope"));
+        assert!(JobSpec::from_value(&json!({"model": "squeezenet", "task": 99}))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(JobSpec::from_value(&json!({"model": "squeezenet", "n_trial": 0})).is_err());
+        assert!(JobSpec::from_value(&json!({"model": "squeezenet", "tenant": "a b"})).is_err());
+    }
+
+    #[test]
+    fn journal_lines_round_trip() {
+        let spec = JobSpec::from_value(&json!({"model": "squeezenet"})).unwrap();
+        let line = JournalLine {
+            entry: "submitted".into(),
+            id: "j1".into(),
+            spec: Some(spec.clone()),
+            error: None,
+        };
+        let s = serde_json::to_string(&line).unwrap();
+        let back: JournalLine = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.spec.unwrap(), spec);
+    }
+}

@@ -44,6 +44,7 @@
 //! # set_global(Telemetry::disabled());
 //! ```
 
+pub mod bus;
 pub mod events;
 pub mod export;
 pub mod metrics;
@@ -54,6 +55,7 @@ pub mod stream;
 pub mod summary;
 pub mod sync;
 
+pub use bus::{BusRecv, EventBus, EventSub};
 pub use events::{HeartbeatEvent, RadiusEvent, SaDoneEvent, TrialEvent, TuneStartEvent};
 pub use export::{parse_prometheus, to_prometheus};
 pub use metrics::Histogram;

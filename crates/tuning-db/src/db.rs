@@ -15,6 +15,7 @@
 //! truncate committed data) and a fresh segment becomes the append target.
 
 use crate::lock::{DbLock, LockError, LockOptions};
+use crate::read::ReadHandle;
 use crate::segment::{encode_line, read_segment_bytes, SegmentScan};
 use crate::spec::{DbRecord, TaskSpec};
 use serde::{Deserialize, Serialize};
@@ -23,6 +24,8 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+use telemetry::sync::{read_or_recover, write_or_recover};
 
 /// Version stamped into every record and the index snapshot.
 pub const DB_SCHEMA_VERSION: u32 = 1;
@@ -123,10 +126,15 @@ impl FsckReport {
 }
 
 /// An open, locked tuning database.
+///
+/// The in-memory map lives behind an `RwLock` shared with every
+/// [`ReadHandle`] handed out by [`TuningDb::read_handle`], so concurrent
+/// readers (e.g. a server's `GET /best` path) see each committed upsert
+/// atomically — a record is inserted fully merged, never field-by-field.
 pub struct TuningDb {
     root: PathBuf,
     _lock: DbLock,
-    records: BTreeMap<String, DbRecord>,
+    records: Arc<RwLock<BTreeMap<String, DbRecord>>>,
     active: File,
     active_seq: u64,
     covered_seq: u64,
@@ -137,7 +145,7 @@ impl fmt::Debug for TuningDb {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TuningDb")
             .field("root", &self.root)
-            .field("tasks", &self.records.len())
+            .field("tasks", &read_or_recover(&self.records).len())
             .field("active_seq", &self.active_seq)
             .finish_non_exhaustive()
     }
@@ -194,6 +202,29 @@ fn merge_into(records: &mut BTreeMap<String, DbRecord>, rec: DbRecord) {
             e.insert(rec);
         }
     }
+}
+
+/// Shared nearest-neighbor scan over a record map (used by both the
+/// locked writer and [`ReadHandle`]): Euclidean distance over the
+/// log-shape embedding, exact spec excluded, transferability-gated,
+/// ties broken by key for determinism.
+pub(crate) fn nearest_in(
+    records: &BTreeMap<String, DbRecord>,
+    spec: &TaskSpec,
+    feature: &[f64],
+    k: usize,
+) -> Vec<DbRecord> {
+    let mut scored: Vec<(f64, &DbRecord)> = records
+        .values()
+        .filter(|r| r.spec != *spec && spec.transferable_from(&r.spec))
+        .filter(|r| r.feature.len() == feature.len())
+        .map(|r| {
+            let d: f64 = r.feature.iter().zip(feature).map(|(a, b)| (a - b) * (a - b)).sum();
+            (d, r)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.spec.key().cmp(&b.1.spec.key())));
+    scored.into_iter().take(k).map(|(_, r)| r.clone()).collect()
 }
 
 impl TuningDb {
@@ -266,12 +297,21 @@ impl TuningDb {
         Ok(TuningDb {
             root: root.to_path_buf(),
             _lock: lock,
-            records,
+            records: Arc::new(RwLock::new(records)),
             active,
             active_seq,
             covered_seq,
             corrupt_lines,
         })
+    }
+
+    /// A cheap cloneable read-only view sharing this writer's in-memory
+    /// map. Lookups through the handle stay coherent with concurrent
+    /// [`TuningDb::upsert`] calls (each upsert swaps in a fully merged
+    /// record under the write lock).
+    #[must_use]
+    pub fn read_handle(&self) -> ReadHandle {
+        ReadHandle::new(Arc::clone(&self.records))
     }
 
     /// The database root directory.
@@ -283,24 +323,26 @@ impl TuningDb {
     /// Number of distinct task specs stored.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.len()
+        read_or_recover(&self.records).len()
     }
 
     /// True when no task has been stored yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        read_or_recover(&self.records).is_empty()
     }
 
-    /// All stored records, in key order.
-    pub fn records(&self) -> impl Iterator<Item = &DbRecord> {
-        self.records.values()
-    }
-
-    /// Exact-hit lookup, bumping `db.hit` / `db.miss`.
+    /// All stored records, cloned out in key order.
     #[must_use]
-    pub fn lookup(&self, spec: &TaskSpec) -> Option<&DbRecord> {
-        let got = self.records.get(&spec.key());
+    pub fn records(&self) -> Vec<DbRecord> {
+        read_or_recover(&self.records).values().cloned().collect()
+    }
+
+    /// Exact-hit lookup, bumping `db.hit` / `db.miss`. Returns a clone so
+    /// no lock is held across the caller's use of the record.
+    #[must_use]
+    pub fn lookup(&self, spec: &TaskSpec) -> Option<DbRecord> {
+        let got = read_or_recover(&self.records).get(&spec.key()).cloned();
         let tel = telemetry::global();
         tel.count(if got.is_some() { crate::DB_HIT_COUNTER } else { crate::DB_MISS_COUNTER }, 1);
         got
@@ -311,20 +353,8 @@ impl TuningDb {
     /// spec itself; only specs [`TaskSpec::transferable_from`] `spec` with
     /// matching feature arity are considered.
     #[must_use]
-    pub fn nearest(&self, spec: &TaskSpec, feature: &[f64], k: usize) -> Vec<&DbRecord> {
-        let mut scored: Vec<(f64, &DbRecord)> = self
-            .records
-            .values()
-            .filter(|r| r.spec != *spec && spec.transferable_from(&r.spec))
-            .filter(|r| r.feature.len() == feature.len())
-            .map(|r| {
-                let d: f64 = r.feature.iter().zip(feature).map(|(a, b)| (a - b) * (a - b)).sum();
-                (d, r)
-            })
-            .collect();
-        scored
-            .sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.spec.key().cmp(&b.1.spec.key())));
-        scored.into_iter().take(k).map(|(_, r)| r).collect()
+    pub fn nearest(&self, spec: &TaskSpec, feature: &[f64], k: usize) -> Vec<DbRecord> {
+        nearest_in(&read_or_recover(&self.records), spec, feature, k)
     }
 
     /// Merges `rec` into the store: append the merged record to the active
@@ -338,7 +368,7 @@ impl TuningDb {
     /// next open).
     pub fn upsert(&mut self, rec: DbRecord) -> Result<(), DbError> {
         let key = rec.spec.key();
-        let merged = match self.records.get(&key) {
+        let merged = match read_or_recover(&self.records).get(&key) {
             Some(existing) => {
                 let mut m = existing.clone();
                 m.merge(&rec, TOP_K);
@@ -349,11 +379,17 @@ impl TuningDb {
         let line = encode_line(&merged);
         self.active.write_all(&line)?;
         self.active.flush()?;
-        self.records.insert(key, merged);
+        // Readers never see the record mid-merge: the fully merged clone
+        // is swapped in under the write lock only after the append landed.
+        let tasks = {
+            let mut records = write_or_recover(&self.records);
+            records.insert(key, merged);
+            records.len()
+        };
         let tel = telemetry::global();
         tel.count(crate::DB_UPSERT_COUNTER, 1);
         #[allow(clippy::cast_precision_loss)]
-        tel.gauge(crate::DB_TASKS_GAUGE, self.records.len() as f64);
+        tel.gauge(crate::DB_TASKS_GAUGE, tasks as f64);
         Ok(())
     }
 
@@ -370,7 +406,7 @@ impl TuningDb {
         let index = Index {
             schema_version: DB_SCHEMA_VERSION,
             covered_seq: covered,
-            records: self.records.values().cloned().collect(),
+            records: read_or_recover(&self.records).values().cloned().collect(),
         };
         store_index(&self.root, &index)?;
         self.covered_seq = covered;
@@ -391,13 +427,14 @@ impl TuningDb {
     #[must_use]
     pub fn stats(&self) -> DbStats {
         let segments = list_segments(&self.root).map(|s| s.len() as u64).unwrap_or(0);
+        let records = read_or_recover(&self.records);
         DbStats {
-            tasks: self.records.len() as u64,
-            configs: self.records.values().map(|r| r.top_k.len() as u64).sum(),
+            tasks: records.len() as u64,
+            configs: records.values().map(|r| r.top_k.len() as u64).sum(),
             segments,
             covered_seq: self.covered_seq,
             corrupt_lines: self.corrupt_lines,
-            best_gflops: self.records.values().map(|r| r.best_gflops).fold(0.0_f64, f64::max),
+            best_gflops: records.values().map(|r| r.best_gflops).fold(0.0_f64, f64::max),
         }
     }
 
@@ -635,7 +672,7 @@ mod tests {
         // still does (simulated by copying it back under a covered seq).
         {
             let db = TuningDb::open(&root, &LockOptions::try_once()).unwrap();
-            let rec = db.lookup(&spec).unwrap().clone();
+            let rec = db.lookup(&spec).unwrap();
             let line = encode_line(&rec);
             std::fs::write(segment_path(&root, 1), line).unwrap();
         }

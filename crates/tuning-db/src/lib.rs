@@ -39,11 +39,13 @@
 
 pub mod db;
 pub mod lock;
+pub mod read;
 pub mod segment;
 pub mod spec;
 
 pub use db::{DbError, DbStats, FsckReport, TuningDb, DB_SCHEMA_VERSION, TOP_K};
 pub use lock::{DbLock, LockError, LockOptions};
+pub use read::ReadHandle;
 pub use segment::{decode_line, encode_line, read_segment_bytes, SegmentScan};
 pub use spec::{decimate_curve, DbRecord, TaskSpec, TopConfig};
 

@@ -98,7 +98,7 @@ proptest! {
         let mut db = TuningDb::open(&root, &LockOptions::try_once()).unwrap();
         prop_assert_eq!(db.len(), expect.records.len());
         for rec in &expect.records {
-            prop_assert_eq!(db.lookup(&rec.spec), Some(rec));
+            prop_assert_eq!(db.lookup(&rec.spec).as_ref(), Some(rec));
         }
         // The reopened store accepts new writes: the crash cost at most
         // the uncommitted tail, never the ability to continue.
