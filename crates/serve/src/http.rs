@@ -11,7 +11,9 @@ use serde_json::Value;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request body; bigger submissions get a 413.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
@@ -22,6 +24,11 @@ const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// How long a keep-alive read blocks before yielding [`ReadOutcome::Idle`]
 /// so the worker can check the shutdown flag.
 pub const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Total time a peer gets to deliver one request once its first byte
+/// has arrived. A client that stalls mid-head or mid-body past this is
+/// dropped, so it cannot pin an HTTP worker (slow-loris defense).
+pub const READ_DEADLINE: Duration = Duration::from_secs(10);
 
 /// One parsed request.
 #[derive(Debug)]
@@ -50,6 +57,9 @@ pub enum ReadOutcome {
     Bad(&'static str),
     /// Body larger than [`MAX_BODY_BYTES`].
     TooLarge,
+    /// The server is shutting down; drop the connection without a
+    /// response (the peer's request was incomplete anyway).
+    Shutdown,
 }
 
 /// A server-side connection: the stream plus carried-over bytes.
@@ -57,6 +67,8 @@ pub enum ReadOutcome {
 pub struct Conn {
     stream: TcpStream,
     buf: Vec<u8>,
+    shutdown: Option<Arc<AtomicBool>>,
+    deadline: Duration,
 }
 
 impl Conn {
@@ -70,7 +82,28 @@ impl Conn {
     pub fn new(stream: TcpStream) -> std::io::Result<Conn> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(IDLE_POLL))?;
-        Ok(Conn { stream, buf: Vec::new() })
+        Ok(Conn { stream, buf: Vec::new(), shutdown: None, deadline: READ_DEADLINE })
+    }
+
+    /// Attaches the server shutdown flag: every read-timeout tick checks
+    /// it, so a connection mid-request cannot outlive a drain by more
+    /// than one [`IDLE_POLL`].
+    #[must_use]
+    pub fn with_shutdown(mut self, flag: Arc<AtomicBool>) -> Conn {
+        self.shutdown = Some(flag);
+        self
+    }
+
+    /// Overrides the per-request read deadline (tests shrink it; the
+    /// default is [`READ_DEADLINE`]).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Conn {
+        self.deadline = deadline;
+        self
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.as_ref().is_some_and(|f| f.load(Ordering::Acquire))
     }
 
     /// Reads the next request off the connection.
@@ -80,6 +113,10 @@ impl Conn {
     /// Propagates hard I/O errors (connection reset etc.); timeouts are
     /// [`ReadOutcome::Idle`], not errors.
     pub fn read_request(&mut self) -> std::io::Result<ReadOutcome> {
+        // The deadline clock starts when this call does; once the first
+        // byte is buffered the loops below never return Idle, so a
+        // partial request must complete within `deadline` or be dropped.
+        let started = Instant::now();
         let head_end = loop {
             if let Some(pos) = find_head_end(&self.buf) {
                 break pos;
@@ -97,11 +134,14 @@ impl Conn {
                     });
                 }
                 Filled::Timeout => {
-                    // Mid-head timeouts only idle out between requests;
-                    // a half-sent head keeps waiting (the peer may be
-                    // slow, and shutdown kills the socket anyway).
+                    if self.shutting_down() {
+                        return Ok(ReadOutcome::Shutdown);
+                    }
                     if self.buf.is_empty() {
                         return Ok(ReadOutcome::Idle);
+                    }
+                    if started.elapsed() > self.deadline {
+                        return Ok(ReadOutcome::Bad("request read timed out"));
                     }
                 }
             }
@@ -139,7 +179,14 @@ impl Conn {
             match self.fill()? {
                 Filled::Data => {}
                 Filled::Eof => return Ok(ReadOutcome::Bad("connection closed mid-body")),
-                Filled::Timeout => {}
+                Filled::Timeout => {
+                    if self.shutting_down() {
+                        return Ok(ReadOutcome::Shutdown);
+                    }
+                    if started.elapsed() > self.deadline {
+                        return Ok(ReadOutcome::Bad("request read timed out"));
+                    }
+                }
             }
         }
         let body = self.buf[body_start..body_start + content_length].to_vec();
@@ -325,5 +372,41 @@ mod tests {
         assert_eq!(percent_decode("a%2Fb"), "a/b");
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    /// Accepted `Conn` + a client stream it is reading from.
+    fn socket_pair() -> (Conn, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        (Conn::new(accepted).unwrap(), client)
+    }
+
+    #[test]
+    fn stalled_body_hits_the_read_deadline() {
+        let (conn, mut client) = socket_pair();
+        let mut conn = conn.with_deadline(Duration::from_millis(50));
+        // Headers promise a body that never arrives.
+        client.write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\n").unwrap();
+        let start = Instant::now();
+        match conn.read_request().unwrap() {
+            ReadOutcome::Bad(msg) => assert!(msg.contains("timed out"), "{msg}"),
+            other => panic!("expected deadline Bad, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5), "deadline bounds the stall");
+    }
+
+    #[test]
+    fn stalled_head_yields_to_shutdown() {
+        let (conn, mut client) = socket_pair();
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut conn = conn.with_shutdown(Arc::clone(&flag));
+        // Half a request head, then silence; shutdown must still win.
+        client.write_all(b"GET /best?model=sq").unwrap();
+        flag.store(true, Ordering::Release);
+        match conn.read_request().unwrap() {
+            ReadOutcome::Shutdown => {}
+            other => panic!("expected Shutdown, got {other:?}"),
+        }
     }
 }

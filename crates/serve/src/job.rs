@@ -18,6 +18,10 @@ use serde_json::Value;
 /// Ceiling on requested trials per task, bounding a hostile submission.
 pub const MAX_TRIALS: usize = 100_000;
 
+/// Longest accepted tenant name; tenants label metric names, so their
+/// length (like their cardinality) must be bounded at admission.
+pub const MAX_TENANT_LEN: usize = 64;
+
 /// A validated tuning-job request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobSpec {
@@ -98,6 +102,9 @@ impl JobSpec {
         }
         if self.tenant.chars().any(|c| !c.is_alphanumeric() && c != '-' && c != '_') {
             return Err("field `tenant` must be alphanumeric (plus `-`/`_`)".into());
+        }
+        if self.tenant.len() > MAX_TENANT_LEN {
+            return Err(format!("field `tenant` must be at most {MAX_TENANT_LEN} bytes"));
         }
         if self.n_trial == 0 || self.n_trial > MAX_TRIALS {
             return Err(format!("field `n_trial` must be in 1..={MAX_TRIALS}"));
@@ -226,6 +233,8 @@ mod tests {
             .contains("out of range"));
         assert!(JobSpec::from_value(&json!({"model": "squeezenet", "n_trial": 0})).is_err());
         assert!(JobSpec::from_value(&json!({"model": "squeezenet", "tenant": "a b"})).is_err());
+        let long = "x".repeat(MAX_TENANT_LEN + 1);
+        assert!(JobSpec::from_value(&json!({"model": "squeezenet", "tenant": long})).is_err());
     }
 
     #[test]

@@ -21,13 +21,13 @@
 
 use crate::admission::{Admission, SubmitError};
 use crate::http::{Conn, ReadOutcome, Request, IDLE_POLL};
-use crate::job::{model_by_name, JobSpec, JobState, JournalLine};
+use crate::job::{device_by_name, model_by_name, JobSpec, JobState, JournalLine};
 use crate::runner::run_job;
 use dnn_graph::task::extract_tasks;
 use executor::{BoundedQueue, DevicePool};
 use schedule::template::space_for_task;
 use serde_json::{json, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -92,6 +92,16 @@ impl Default for ServeConfig {
     }
 }
 
+/// Entries kept in [`Shared::spec_cache`]. The key space is finite once
+/// model/task/device are validated, but a cap keeps a misbehaving churn
+/// of valid keys from mattering either.
+const SPEC_CACHE_CAP: usize = 512;
+
+/// Distinct tenants that get their own metric names; later tenants are
+/// aggregated under `other` so unauthenticated submissions cannot grow
+/// the registry without bound.
+const TENANT_LABEL_CAP: usize = 64;
+
 /// State shared by every server thread.
 struct Shared {
     cfg: ServeConfig,
@@ -103,11 +113,14 @@ struct Shared {
     read: ReadHandle,
     bus: telemetry::EventBus,
     tel: Telemetry,
-    shutdown: AtomicBool,
+    shutdown: Arc<AtomicBool>,
     conns: BoundedQueue<TcpStream>,
     /// `model/task/device` → (spec, feature): `/best` rebuilds neither
     /// the graph nor the task features on the hot path.
     spec_cache: RwLock<BTreeMap<String, (TaskSpec, Vec<f64>)>>,
+    /// Tenants granted per-tenant metric names (bounded; see
+    /// [`TENANT_LABEL_CAP`]).
+    tenant_labels: Mutex<BTreeSet<String>>,
 }
 
 impl Shared {
@@ -128,6 +141,21 @@ impl Shared {
         let payload = serde_json::to_string(line).map_err(|e| format!("journal encode: {e}"))?;
         let mut f = lock_or_recover(&self.journal);
         writeln!(f, "{payload}").and_then(|()| f.flush()).map_err(|e| format!("journal write: {e}"))
+    }
+
+    /// The metric label for `tenant`: its own name for the first
+    /// [`TENANT_LABEL_CAP`] distinct tenants, `other` afterwards —
+    /// client-chosen strings must not grow the registry unboundedly.
+    fn tenant_label(&self, tenant: &str) -> String {
+        let mut labels = lock_or_recover(&self.tenant_labels);
+        if labels.contains(tenant) {
+            return tenant.to_string();
+        }
+        if labels.len() < TENANT_LABEL_CAP {
+            labels.insert(tenant.to_string());
+            return tenant.to_string();
+        }
+        "other".to_string()
     }
 }
 
@@ -207,9 +235,10 @@ impl Server {
             read,
             bus,
             tel,
-            shutdown: AtomicBool::new(false),
+            shutdown: Arc::new(AtomicBool::new(false)),
             conns: BoundedQueue::new(64, "serve.conns.depth"),
             spec_cache: RwLock::new(BTreeMap::new()),
+            tenant_labels: Mutex::new(BTreeSet::new()),
             cfg,
         });
         shared.tel.gauge("serve.queue.depth", to_f64(shared.admission.queue_depth()));
@@ -329,6 +358,9 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // A persistent failure (e.g. EMFILE) would otherwise
+                // busy-spin this thread at 100% CPU; back off briefly.
+                std::thread::sleep(Duration::from_millis(50));
             }
         }
     }
@@ -341,7 +373,8 @@ fn http_worker(shared: &Arc<Shared>) {
 }
 
 fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
-    let Ok(mut conn) = Conn::new(stream) else { return };
+    let Ok(conn) = Conn::new(stream) else { return };
+    let mut conn = conn.with_shutdown(Arc::clone(&shared.shutdown));
     loop {
         match conn.read_request() {
             Ok(ReadOutcome::Request(req)) => {
@@ -364,7 +397,7 @@ fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 let _ = conn.respond_json(413, &json!({ "error": "body too large" }));
                 return;
             }
-            Ok(ReadOutcome::Eof) | Err(_) => return,
+            Ok(ReadOutcome::Eof | ReadOutcome::Shutdown) | Err(_) => return,
         }
     }
 }
@@ -414,6 +447,7 @@ fn post_job(shared: &Arc<Shared>, conn: &mut Conn, req: &Request) -> std::io::Re
         Err(e) => return conn.respond_json(400, &json!({ "error": e })),
     };
     let tenant = spec.tenant.clone();
+    let label = shared.tenant_label(&tenant);
     if let Some(q) = shared.cfg.tenant_devices {
         shared.pool.set_tag_cap(&tenant, Some(q));
     }
@@ -428,13 +462,13 @@ fn post_job(shared: &Arc<Shared>, conn: &mut Conn, req: &Request) -> std::io::Re
     match outcome {
         Ok(id) => {
             shared.tel.count("serve.admitted", 1);
-            shared.tel.count(&format!("serve.tenant.{tenant}.admitted"), 1);
+            shared.tel.count(&format!("serve.tenant.{label}.admitted"), 1);
             shared.tel.gauge("serve.queue.depth", to_f64(shared.admission.queue_depth()));
             conn.respond_json(202, &json!({ "id": id, "status": "queued" }))
         }
         Err(SubmitError::Rejected(reject)) => {
             shared.tel.count("serve.rejected", 1);
-            shared.tel.count(&format!("serve.tenant.{tenant}.rejected"), 1);
+            shared.tel.count(&format!("serve.tenant.{label}.rejected"), 1);
             let (status, body) = reject.to_http(&tenant);
             conn.respond_json(status, &body)
         }
@@ -458,6 +492,9 @@ fn get_best(shared: &Arc<Shared>, conn: &mut Conn, req: &Request) -> std::io::Re
         }
     };
     let device = req.query.get("device").map_or("gtx1080ti", String::as_str);
+    if let Err(e) = device_by_name(device) {
+        return conn.respond_json(400, &json!({ "error": e }));
+    }
     let key = format!("{model}/{task_idx}/{device}");
     let cached = read_or_recover(&shared.spec_cache).get(&key).cloned();
     let (spec, feature) = match cached {
@@ -476,7 +513,14 @@ fn get_best(shared: &Arc<Shared>, conn: &mut Conn, req: &Request) -> std::io::Re
             };
             let space = space_for_task(task);
             let built = (TaskSpec::of(task, &space, device), TaskSpec::features(task));
-            write_or_recover(&shared.spec_cache).insert(key, built.clone());
+            let mut cache = write_or_recover(&shared.spec_cache);
+            // Every key component is validated above, so the key space is
+            // already finite; the cap is a backstop, and dropping the
+            // whole map on overflow is fine at this hit rate.
+            if cache.len() >= SPEC_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, built.clone());
             built
         }
     };
@@ -535,7 +579,7 @@ fn job_events(shared: &Arc<Shared>, conn: &mut Conn, id: &str) -> std::io::Resul
     // Subscribe before snapshotting the ring so nothing falls between;
     // overlap is deduped by seq.
     let sub = shared.bus.subscribe();
-    let Some((ring, _)) = shared.admission.events_snapshot(id) else {
+    let Some((ring, state)) = shared.admission.events_snapshot(id) else {
         return conn.respond_json(404, &json!({ "error": "unknown job" })).map(|()| true);
     };
     conn.start_chunked(200, "application/jsonl")?;
@@ -547,6 +591,15 @@ fn job_events(shared: &Arc<Shared>, conn: &mut Conn, id: &str) -> std::io::Resul
             last_seq = cast_seq(s);
         }
         terminal = terminal || is_terminal(v);
+    }
+    // A job restored terminal from the journal has an empty ring: no
+    // terminal event will ever arrive on the bus, so synthesize one and
+    // finish instead of polling until server shutdown.
+    if !terminal && matches!(state, JobState::Done | JobState::Failed) {
+        let name = if state == JobState::Done { "job.done" } else { "job.failed" };
+        let line = json!({ "event": name, "job": id, "replayed": true });
+        conn.write_chunk(format!("{line}\n").as_bytes())?;
+        terminal = true;
     }
     while !terminal && !shared.shutdown.load(Ordering::Acquire) {
         match sub.recv_timeout(IDLE_POLL) {

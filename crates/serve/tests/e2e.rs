@@ -112,9 +112,13 @@ fn full_job_lifecycle_read_path_and_event_stream() {
         client::request(&addr, "GET", "/best?model=squeezenet&task=5", None).unwrap();
     assert_eq!(code, 200, "nearest fallback: {near}");
     assert_eq!(near["source"].as_str(), Some("nearest"));
-    // A bad query is a 400, not a panic.
+    // A bad query is a 400, not a panic — and an unknown device is
+    // rejected before it can mint a spec-cache entry.
     let (code, _) = client::request(&addr, "GET", "/best?task=0", None).unwrap();
     assert_eq!(code, 400);
+    let (code, body) =
+        client::request(&addr, "GET", "/best?model=squeezenet&device=tpu", None).unwrap();
+    assert_eq!(code, 400, "unknown device: {body}");
 
     // The event stream replays the ring and terminates at the terminal
     // event even for a long-finished job.
@@ -231,6 +235,56 @@ fn restart_resumes_queue_with_byte_identical_logs() {
         let crash_result = std::fs::read(crash_root.join("jobs").join(id).join("result.json"));
         assert_eq!(twin_result.unwrap(), crash_result.unwrap(), "{id} result matches");
     }
+    // A fresh server on the now-complete journal restores both jobs as
+    // terminal with empty event rings; the stream must synthesize the
+    // terminal line and finish instead of polling until shutdown.
+    let server = Server::start(config(&crash_root)).expect("post-resume restart");
+    let addr = server.addr().to_string();
+    let mut events: Vec<Value> = Vec::new();
+    client::stream_events(&addr, &format!("/jobs/{j1}/events"), |v| {
+        events.push(v.clone());
+        true
+    })
+    .expect("replayed job streams");
+    assert_eq!(events.last().and_then(|v| v["event"].as_str()), Some("job.done"));
+    assert_eq!(events.last().and_then(|v| v["replayed"].as_bool()), Some(true));
+    server.shutdown();
+    server.wait();
+
     let _ = std::fs::remove_dir_all(&twin_root);
     let _ = std::fs::remove_dir_all(&crash_root);
+}
+
+/// A client that sends request headers and then stalls must not pin an
+/// HTTP worker past shutdown: even with every worker mid-read, the
+/// drain completes within the idle-poll tick.
+#[test]
+fn stalled_clients_do_not_block_shutdown() {
+    use std::io::Write;
+
+    let root = temp_root("stall");
+    let server = Server::start(config(&root)).expect("server starts");
+    let addr = server.addr();
+
+    // More stalled connections than http_workers (2), each promising a
+    // body that never arrives.
+    let mut stalled = Vec::new();
+    for _ in 0..3 {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        s.write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 64\r\n\r\n").expect("partial write");
+        stalled.push(s);
+    }
+    // Let the workers pick the connections up and enter the body read.
+    std::thread::sleep(Duration::from_millis(200));
+
+    server.shutdown();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.wait();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("shutdown must drain despite stalled clients");
+    drop(stalled);
+    let _ = std::fs::remove_dir_all(&root);
 }
